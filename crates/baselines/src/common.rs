@@ -1,0 +1,142 @@
+//! Infrastructure shared by the baseline protocols: agent beacons,
+//! temporary-address pools, and the protocol numbers / ports they use.
+//!
+//! Every baseline needs two things MHRP also needs but solves within
+//! itself: a way for mobile hosts to *find* the local support node
+//! (forwarder / MSR / PFS / base station), and — for the Columbia, Sony
+//! and Matsushita protocols — a **temporary IP address** on the visited
+//! network. The paper's §7 scalability critique of those protocols rests
+//! partly on that temporary-address requirement, so the pool is explicit
+//! and exhaustible here.
+
+use std::net::Ipv4Addr;
+
+use ip::{PacketError, Prefix};
+
+/// UDP port for baseline agent beacons (like MHRP's advertisements).
+pub const BEACON_PORT: u16 = 9000;
+
+/// UDP port for baseline control messages (registrations, queries).
+pub const CONTROL_PORT: u16 = 9001;
+
+/// IP protocol number for the Sunshine-Postel source-route shim.
+pub const PROTO_SPFWD: u8 = 153;
+
+/// A periodic beacon from a baseline support node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Beacon {
+    /// The advertising support node's address on this network.
+    pub agent: Ipv4Addr,
+    /// Protocol discriminator (so co-located experiments don't confuse
+    /// each other's agents).
+    pub protocol: u8,
+}
+
+impl Beacon {
+    /// Encodes to 8 bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8);
+        buf.push(self.protocol);
+        buf.extend_from_slice(&[0; 3]);
+        buf.extend_from_slice(&self.agent.octets());
+        buf
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::Truncated`] if fewer than 8 bytes are given.
+    pub fn decode(buf: &[u8]) -> Result<Beacon, PacketError> {
+        if buf.len() < 8 {
+            return Err(PacketError::Truncated);
+        }
+        Ok(Beacon {
+            protocol: buf[0],
+            agent: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
+        })
+    }
+}
+
+/// A finite pool of temporary addresses on one network.
+///
+/// The Columbia, Sony and Matsushita protocols require each visiting
+/// mobile host to obtain one; §7 argues this "places a limit on their
+/// scalability, since the available IP address space within any foreign
+/// network number is limited". [`TempAddrPool::exhausted`] makes that
+/// limit measurable (experiment E07).
+#[derive(Debug)]
+pub struct TempAddrPool {
+    prefix: Prefix,
+    next: u32,
+    limit: u32,
+    allocated: Vec<Ipv4Addr>,
+}
+
+impl TempAddrPool {
+    /// Creates a pool of `limit` addresses inside `prefix`, starting at
+    /// host number `first`.
+    pub fn new(prefix: Prefix, first: u32, limit: u32) -> TempAddrPool {
+        TempAddrPool { prefix, next: first, limit, allocated: Vec::new() }
+    }
+
+    /// Allocates the next temporary address, or `None` when exhausted.
+    pub fn allocate(&mut self) -> Option<Ipv4Addr> {
+        if self.allocated.len() as u32 >= self.limit {
+            return None;
+        }
+        let addr = self.prefix.host_at(self.next);
+        self.next += 1;
+        self.allocated.push(addr);
+        Some(addr)
+    }
+
+    /// Returns `addr` to the pool.
+    pub fn release(&mut self, addr: Ipv4Addr) {
+        self.allocated.retain(|a| *a != addr);
+    }
+
+    /// Whether the pool has no more addresses.
+    pub fn exhausted(&self) -> bool {
+        self.allocated.len() as u32 >= self.limit
+    }
+
+    /// Number of outstanding allocations.
+    pub fn in_use(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// The pool's network prefix.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beacon_round_trips() {
+        let b = Beacon { agent: Ipv4Addr::new(10, 4, 0, 1), protocol: 7 };
+        assert_eq!(Beacon::decode(&b.encode()).unwrap(), b);
+        assert_eq!(b.encode().len(), 8);
+        assert!(Beacon::decode(&[0; 4]).is_err());
+    }
+
+    #[test]
+    fn pool_allocates_releases_and_exhausts() {
+        let prefix: Prefix = "10.4.0.0/24".parse().unwrap();
+        let mut pool = TempAddrPool::new(prefix, 100, 2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        assert_ne!(a, b);
+        assert!(prefix.contains(a) && prefix.contains(b));
+        assert!(pool.exhausted());
+        assert_eq!(pool.allocate(), None);
+        pool.release(a);
+        assert!(!pool.exhausted());
+        assert!(pool.allocate().is_some());
+        assert_eq!(pool.in_use(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the agent data structures: the location cache the
+//! paper says fits "in the same table" as ICMP redirects (§4.3) and the
+//! §4.3 update rate limiter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use mhrp::{LocationCache, UpdateRateLimiter};
+use netsim::time::{SimDuration, SimTime};
+
+fn addr(i: u32) -> Ipv4Addr {
+    Ipv4Addr::from(0x0a00_0000 + i)
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("location_cache_hit_64", |b| {
+        let mut cache = LocationCache::new(64);
+        for i in 0..64 {
+            cache.insert(addr(i), addr(1000 + i), SimTime::from_millis(u64::from(i)));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(cache.lookup(addr(i), SimTime::from_secs(1)))
+        })
+    });
+    c.bench_function("location_cache_lru_churn_64", |b| {
+        let mut cache = LocationCache::new(64);
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            cache.insert(addr(i), addr(9), SimTime::from_nanos(u64::from(i)));
+        })
+    });
+}
+
+fn bench_rate_limiter(c: &mut Criterion) {
+    c.bench_function("rate_limiter_allow_128", |b| {
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_secs(5), 128);
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            black_box(rl.allow(addr(i % 256), SimTime::from_nanos(u64::from(i) * 1_000_000)))
+        })
+    });
+}
+
+fn bench_routing_table(c: &mut Criterion) {
+    use netstack::route::{NextHop, RoutingTable};
+    let mut t = RoutingTable::new();
+    for i in 0..64u32 {
+        t.add(
+            ip::Prefix::new(addr(i * 256), 24),
+            NextHop::Gateway { iface: netsim::IfaceId(0), via: addr(1) },
+        );
+    }
+    t.add(ip::Prefix::default_route(), NextHop::Direct { iface: netsim::IfaceId(0) });
+    c.bench_function("routing_lpm_64_prefixes", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            black_box(t.lookup(addr(i % 20_000)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_rate_limiter, bench_routing_table
+}
+criterion_main!(benches);

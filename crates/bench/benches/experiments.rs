@@ -1,0 +1,60 @@
+//! End-to-end experiment benchmarks: one target per reproduced
+//! table/figure (DESIGN.md E01–E10). Each iteration runs the experiment's
+//! full simulation, so these double as regression timers for the
+//! simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use scenarios::experiments::{
+    e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
+    e08_rate_limit, e09_icmp_errors, e10_at_home,
+};
+use scenarios::shootout::{mhrp_driver, run_comparison};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e01_header_table", |b| b.iter(|| black_box(e01_header::run())));
+    g.bench_function("e02_overhead_mhrp_only", |b| {
+        b.iter(|| run_comparison(mhrp_driver(1), 10))
+    });
+    g.bench_function("e03_path_lengths", |b| b.iter(|| black_box(e03_path::run(1))));
+    g.bench_function("e04_handoff", |b| {
+        b.iter(|| black_box(e04_handoff::run_one(1, true, "bench")))
+    });
+    g.bench_function("e05_loops_detected", |b| b.iter(|| black_box(e05_loops::run_one(1, true, 10))));
+    g.bench_function("e06_recovery_query", |b| {
+        b.iter(|| {
+            black_box(e06_recovery::run_one(
+                1,
+                e06_recovery::CrashMode::RebootWithQuery,
+                false,
+                "bench",
+            ))
+        })
+    });
+    g.bench_function("e07_mhrp_4_mobiles", |b| {
+        b.iter(|| black_box(e07_scalability::mhrp_point(1, 4)))
+    });
+    g.bench_function("e08_rate_limit", |b| {
+        b.iter(|| black_box(e08_rate_limit::run(1, 20, 1_000, 5_000)))
+    });
+    g.bench_function("e09_error_reverse_path", |b| {
+        b.iter(|| black_box(e09_icmp_errors::run_sender_built(1)))
+    });
+    g.bench_function("e10_at_home", |b| b.iter(|| black_box(e10_at_home::run(1))));
+    g.finish();
+}
+
+fn bench_full_shootout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shootout");
+    g.sample_size(10);
+    g.bench_function("e02_all_protocols", |b| {
+        b.iter(|| black_box(e02_overhead::run(1, 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_full_shootout);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks of the §4.4/§5.3/§4.5 tunnel machinery: re-tunneling with
+//! list growth, loop detection, and error reversal.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use ip::ipv4::Ipv4Packet;
+use mhrp::tunnel;
+
+fn a(x: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, x)
+}
+
+fn tunneled(prev: usize) -> Ipv4Packet {
+    let mut pkt = Ipv4Packet::new(a(1), a(7), ip::proto::UDP, vec![0; 64]).with_ttl(200);
+    tunnel::encapsulate(&mut pkt, a(50), a(100), false);
+    for i in 0..prev {
+        tunnel::retunnel(&mut pkt, a(100 + i as u8), a(101 + i as u8), 64).unwrap();
+    }
+    pkt
+}
+
+fn bench_retunnel(c: &mut Criterion) {
+    for prev in [1usize, 4, 8] {
+        let pkt = tunneled(prev);
+        c.bench_function(&format!("retunnel_list_{prev}"), |b| {
+            b.iter_batched(
+                || pkt.clone(),
+                |mut p| {
+                    tunnel::retunnel(&mut p, a(200), a(201), 64).unwrap();
+                    p
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_loop_detection(c: &mut Criterion) {
+    // Worst case: the list is long and we are not on it.
+    let pkt = tunneled(8);
+    c.bench_function("loop_check_miss_8", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |mut p| tunnel::retunnel(&mut p, a(250), a(251), 64).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Hit: our address is on the list.
+    c.bench_function("loop_check_hit_8", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |mut p| tunnel::retunnel(&mut p, a(104), a(251), 64).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_error_reversal(c: &mut Criterion) {
+    let pkt = tunneled(4);
+    let original = pkt.encode();
+    c.bench_function("icmp_error_reverse_4", |b| {
+        b.iter(|| black_box(tunnel::reverse_icmp_original(black_box(&original), a(104))))
+    });
+}
+
+fn bench_contraction(c: &mut Criterion) {
+    c.bench_function("loop_contraction_8_cap4", |b| {
+        b.iter(|| scenarios::experiments::e05_loops::contraction_transits(8, 4))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_retunnel, bench_loop_detection, bench_error_reversal, bench_contraction
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the wire codecs exercised on every simulated hop
+//! (supports E01: the header machinery is cheap as well as small).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use ip::checksum::internet_checksum;
+use ip::icmp::{IcmpMessage, LocationUpdate, LocationUpdateCode};
+use ip::ipv4::Ipv4Packet;
+use mhrp::MhrpHeader;
+
+fn a(x: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, x)
+}
+
+fn bench_ipv4(c: &mut Criterion) {
+    let pkt = Ipv4Packet::new(a(1), a(2), ip::proto::UDP, vec![0x5a; 512]);
+    let bytes = pkt.encode();
+    c.bench_function("ipv4_encode_512B", |b| b.iter(|| black_box(&pkt).encode()));
+    c.bench_function("ipv4_decode_512B", |b| {
+        b.iter(|| Ipv4Packet::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_mhrp_header(c: &mut Criterion) {
+    let mut h = MhrpHeader::new(ip::proto::TCP, a(7));
+    h.prev_sources = vec![a(1), a(2), a(3), a(4)];
+    let bytes = h.encode();
+    c.bench_function("mhrp_header_encode_4prev", |b| b.iter(|| black_box(&h).encode()));
+    c.bench_function("mhrp_header_decode_4prev", |b| {
+        b.iter(|| MhrpHeader::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1500];
+    c.bench_function("internet_checksum_1500B", |b| {
+        b.iter(|| internet_checksum(black_box(&data)))
+    });
+}
+
+fn bench_icmp(c: &mut Criterion) {
+    let msg = IcmpMessage::LocationUpdate(LocationUpdate {
+        code: LocationUpdateCode::Bind,
+        mobile: a(7),
+        foreign_agent: a(100),
+    });
+    let bytes = msg.encode();
+    c.bench_function("location_update_encode", |b| b.iter(|| black_box(&msg).encode()));
+    c.bench_function("location_update_decode", |b| {
+        b.iter(|| IcmpMessage::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_tunnel_transform(c: &mut Criterion) {
+    let plain = Ipv4Packet::new(a(1), a(7), ip::proto::UDP, vec![0; 256]);
+    c.bench_function("mhrp_encapsulate_256B", |b| {
+        b.iter_batched(
+            || plain.clone(),
+            |mut pkt| {
+                mhrp::tunnel::encapsulate(&mut pkt, a(50), a(100), false);
+                pkt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut tunneled = plain.clone();
+    mhrp::tunnel::encapsulate(&mut tunneled, a(50), a(100), false);
+    c.bench_function("mhrp_decapsulate_256B", |b| {
+        b.iter_batched(
+            || tunneled.clone(),
+            |mut pkt| {
+                mhrp::tunnel::decapsulate(&mut pkt).unwrap();
+                pkt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ipv4, bench_mhrp_header, bench_checksum, bench_icmp, bench_tunnel_transform
+}
+criterion_main!(benches);

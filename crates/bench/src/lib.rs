@@ -1,0 +1,1 @@
+//! Shared helpers for the benchmark harness (see the `report` binary).

@@ -1,0 +1,261 @@
+//! `report` — regenerates every reproduced table and figure.
+//!
+//! ```text
+//! cargo run -p bench --bin report            # all experiments
+//! cargo run -p bench --bin report -- e02 e05 # a subset
+//! ```
+//!
+//! Output is the plain-text form of the tables recorded in EXPERIMENTS.md.
+
+use scenarios::experiments::{
+    e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
+    e08_rate_limit, e09_icmp_errors, e10_at_home,
+};
+use scenarios::report::{f2, table};
+
+const SEED: u64 = 1994;
+
+fn e01() {
+    println!("\n== E01 — Figures 2/3: MHRP header sizes and layout ==");
+    let rows = e01_header::run();
+    println!(
+        "{}",
+        table(
+            &["case", "paper (bytes)", "measured (bytes)"],
+            rows.iter()
+                .map(|r| vec![r.case.into(), r.paper_bytes.to_string(), r.measured_bytes.to_string()])
+                .collect(),
+        )
+    );
+    let golden = e01_header::golden_header();
+    println!("golden header bytes: {golden:02x?}");
+}
+
+fn e02() {
+    println!("\n== E02 — §7: per-packet overhead comparison ==");
+    let rows = e02_overhead::run(SEED, e02_overhead::DEFAULT_PACKETS);
+    println!(
+        "{}",
+        table(
+            &["protocol", "paper B/pkt", "measured B/pkt", "fwd hops", "delivered", "control msgs"],
+            rows.iter()
+                .map(|r| vec![
+                    r.protocol.clone(),
+                    r.paper_overhead.into(),
+                    f2(r.overhead_per_packet),
+                    f2(r.avg_forward_hops),
+                    format!("{}/{}", r.delivered, r.data_packets_sent),
+                    r.control_messages.to_string(),
+                ])
+                .collect(),
+        )
+    );
+}
+
+fn e03() {
+    println!("\n== E03 — §6.1/§6.2: routing path length ==");
+    let rows = e03_path::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["regime", "router hops"],
+            rows.iter().map(|r| vec![r.regime.into(), r.hops.to_string()]).collect(),
+        )
+    );
+    println!(
+        "home-anchored contrast (Matsushita forwarding mode): {} hops",
+        f2(e03_path::anchored_hops(SEED))
+    );
+}
+
+fn e04() {
+    println!("\n== E04 — §6.3: handoff between foreign agents ==");
+    let rows = e04_handoff::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["configuration", "sent during move", "delivered", "disruption (ms)", "updates"],
+            rows.iter()
+                .map(|r| vec![
+                    r.label.clone(),
+                    r.sent_during_move.to_string(),
+                    r.delivered_during_move.to_string(),
+                    if r.disruption_ms == u64::MAX {
+                        "never".into()
+                    } else {
+                        r.disruption_ms.to_string()
+                    },
+                    r.location_updates.to_string(),
+                ])
+                .collect(),
+        )
+    );
+}
+
+fn e05() {
+    println!("\n== E05 — §5.3: routing-loop robustness ==");
+    let rows = e05_loops::run(SEED, 20);
+    println!(
+        "{}",
+        table(
+            &["configuration", "loops detected", "tunnel transits"],
+            rows.iter()
+                .map(|r| vec![
+                    r.label.clone(),
+                    r.loops_detected.to_string(),
+                    r.tunnel_transits.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    println!("loop contraction (pure, §5.3): transits until detection");
+    println!(
+        "{}",
+        table(
+            &["loop size", "list cap", "transits"],
+            [(3usize, 8usize), (4, 8), (6, 3), (8, 4)]
+                .iter()
+                .map(|&(n, cap)| vec![
+                    n.to_string(),
+                    cap.to_string(),
+                    e05_loops::contraction_transits(n, cap).to_string(),
+                ])
+                .collect(),
+        )
+    );
+}
+
+fn e06() {
+    println!("\n== E06 — §5.2: foreign-agent crash recovery ==");
+    let rows = e06_recovery::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["configuration", "recovery (ms)", "packets lost"],
+            rows.iter()
+                .map(|r| vec![
+                    r.label.clone(),
+                    r.recovery_ms.map(|v| v.to_string()).unwrap_or_else(|| "never".into()),
+                    r.packets_lost.to_string(),
+                ])
+                .collect(),
+        )
+    );
+}
+
+fn e07() {
+    println!("\n== E07 — §7: scalability with mobile-host population ==");
+    let points = e07_scalability::run(SEED, &[1, 2, 4, 8]);
+    println!(
+        "{}",
+        table(
+            &["protocol", "mobiles", "ctl msgs/move", "max node state", "temp addrs"],
+            points
+                .iter()
+                .map(|p| vec![
+                    p.protocol.clone(),
+                    p.mobiles.to_string(),
+                    f2(p.control_msgs_per_move),
+                    p.max_node_state.to_string(),
+                    p.temp_addrs_used.to_string(),
+                ])
+                .collect(),
+        )
+    );
+}
+
+fn e08() {
+    println!("\n== E08 — §4.3: location-update rate limiting ==");
+    let rows: Vec<(u64, e08_rate_limit::RateLimitResult)> = [200u64, 1_000, 5_000]
+        .iter()
+        .map(|&ms| (ms, e08_rate_limit::run(SEED, 40, 2_000, ms)))
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["min interval (ms)", "packets", "updates sent", "suppressed"],
+            rows.iter()
+                .map(|(ms, r)| vec![
+                    ms.to_string(),
+                    r.packets_sent.to_string(),
+                    r.updates_sent.to_string(),
+                    r.updates_suppressed.to_string(),
+                ])
+                .collect(),
+        )
+    );
+}
+
+fn e09() {
+    println!("\n== E09 — §4.5: ICMP error reverse path ==");
+    let rows = e09_icmp_errors::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["configuration", "sender saw error", "cache purged", "reversals"],
+            rows.iter()
+                .map(|r| vec![
+                    r.label.clone(),
+                    r.sender_errors.to_string(),
+                    r.cache_purged.to_string(),
+                    r.reversals.to_string(),
+                ])
+                .collect(),
+        )
+    );
+}
+
+fn e10() {
+    println!("\n== E10 — §1/§8: zero penalty at home ==");
+    let r = e10_at_home::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["metric", "MHRP world", "plain-IP world"],
+            vec![
+                vec!["ping RTT (us)".into(), r.mhrp_rtt_us.to_string(), r.plain_rtt_us.to_string()],
+                vec!["reply TTL".into(), r.mhrp_reply_ttl.to_string(), r.plain_reply_ttl.to_string()],
+                vec!["MHRP overhead bytes".into(), r.mhrp_overhead_bytes.to_string(), "-".into()],
+                vec!["registrations".into(), r.registrations.to_string(), "-".into()],
+                vec!["location updates".into(), r.updates.to_string(), "-".into()],
+            ],
+        )
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(name));
+    println!("MHRP reproduction report (seed {SEED}) — paper: Johnson, ICDCS 1994");
+    if want("e01") {
+        e01();
+    }
+    if want("e02") {
+        e02();
+    }
+    if want("e03") {
+        e03();
+    }
+    if want("e04") {
+        e04();
+    }
+    if want("e05") {
+        e05();
+    }
+    if want("e06") {
+        e06();
+    }
+    if want("e07") {
+        e07();
+    }
+    if want("e08") {
+        e08();
+    }
+    if want("e09") {
+        e09();
+    }
+    if want("e10") {
+        e10();
+    }
+}

@@ -1,0 +1,175 @@
+//! IPv4 prefixes and netmask arithmetic.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::error::PacketError;
+
+/// An IPv4 network prefix (`address/len`).
+///
+/// MHRP's "home network" and "foreign network" are prefixes; the routing
+/// table in `netstack` matches destinations against them longest-first.
+///
+/// ```rust
+/// use ip::Prefix;
+/// use std::net::Ipv4Addr;
+///
+/// let net: Prefix = "192.168.10.0/24".parse().unwrap();
+/// assert!(net.contains(Ipv4Addr::new(192, 168, 10, 77)));
+/// assert!(!net.contains(Ipv4Addr::new(192, 168, 11, 1)));
+/// assert_eq!(net.broadcast(), Ipv4Addr::new(192, 168, 10, 255));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    network: Ipv4Addr,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, normalizing `addr` to its network address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length must be <= 32");
+        let mask = Prefix::mask_for(len);
+        let network = Ipv4Addr::from(u32::from(addr) & mask);
+        Prefix { network, len }
+    }
+
+    /// A host route (`/32`) for a single address.
+    pub fn host(addr: Ipv4Addr) -> Prefix {
+        Prefix::new(addr, 32)
+    }
+
+    /// The all-zero default route (`0.0.0.0/0`).
+    pub fn default_route() -> Prefix {
+        Prefix::new(Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        self.network
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask as an address (`/24` → `255.255.255.0`).
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(Prefix::mask_for(self.len))
+    }
+
+    /// The directed broadcast address of this network.
+    pub fn broadcast(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.network) | !Prefix::mask_for(self.len))
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Prefix::mask_for(self.len) == u32::from(self.network)
+    }
+
+    /// The `n`-th host address within the prefix (1-based; 0 yields the
+    /// network address itself).
+    pub fn host_at(&self, n: u32) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.network) + n)
+    }
+
+    fn mask_for(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PacketError;
+
+    fn from_str(s: &str) -> Result<Prefix, PacketError> {
+        let (addr, len) = s.split_once('/').ok_or(PacketError::BadField("prefix"))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| PacketError::BadField("prefix address"))?;
+        let len: u8 = len.parse().map_err(|_| PacketError::BadField("prefix length"))?;
+        if len > 32 {
+            return Err(PacketError::BadField("prefix length"));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_to_network_address() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.netmask(), Ipv4Addr::new(255, 255, 0, 0));
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 24);
+        assert!(p.contains(Ipv4Addr::new(10, 1, 0, 0)));
+        assert!(p.contains(Ipv4Addr::new(10, 1, 0, 255)));
+        assert!(!p.contains(Ipv4Addr::new(10, 1, 1, 0)));
+        assert!(!p.contains(Ipv4Addr::new(10, 0, 255, 255)));
+    }
+
+    #[test]
+    fn host_route_contains_only_itself() {
+        let a = Ipv4Addr::new(10, 9, 8, 7);
+        let p = Prefix::host(a);
+        assert!(p.contains(a));
+        assert!(!p.contains(Ipv4Addr::new(10, 9, 8, 6)));
+        assert_eq!(p.len(), 32);
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let p = Prefix::default_route();
+        assert!(p.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(p.contains(Ipv4Addr::UNSPECIFIED));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p: Prefix = "172.16.4.0/22".parse().unwrap();
+        assert_eq!(p.to_string(), "172.16.4.0/22");
+        assert!("300.0.0.0/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn broadcast_and_host_at() {
+        let p = Prefix::new(Ipv4Addr::new(192, 168, 1, 0), 24);
+        assert_eq!(p.broadcast(), Ipv4Addr::new(192, 168, 1, 255));
+        assert_eq!(p.host_at(10), Ipv4Addr::new(192, 168, 1, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn new_rejects_len_over_32() {
+        let _ = Prefix::new(Ipv4Addr::UNSPECIFIED, 33);
+    }
+}

@@ -1,0 +1,163 @@
+//! ARP (RFC 826) for Ethernet/IPv4.
+//!
+//! MHRP leans on ARP in three ways (paper §2/§3):
+//!
+//! * the home agent broadcasts an unsolicited ARP **reply** so that hosts on
+//!   the home network map a departed mobile host's IP to the *home agent's*
+//!   hardware address (interception);
+//! * while the mobile host is away, the home agent answers ARP requests for
+//!   it with **proxy ARP**;
+//! * on returning home the mobile host broadcasts a **gratuitous** ARP
+//!   reply to repair those caches.
+//!
+//! All three are ordinary [`ArpMessage`]s; the policies live in `netstack`
+//! and `mhrp`.
+
+use std::net::Ipv4Addr;
+
+use crate::error::PacketError;
+
+/// A 6-byte hardware (MAC) address as carried in ARP.
+pub type HwAddr = [u8; 6];
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+}
+
+/// An ARP message for IPv4 over 6-byte hardware addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpMessage {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_hw: HwAddr,
+    /// Sender protocol (IP) address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_hw: HwAddr,
+    /// Target protocol (IP) address.
+    pub target_ip: Ipv4Addr,
+}
+
+/// Encoded ARP message size in bytes.
+pub const ARP_LEN: usize = 28;
+
+impl ArpMessage {
+    /// Builds a who-has request for `target_ip`.
+    pub fn request(sender_hw: HwAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> ArpMessage {
+        ArpMessage { op: ArpOp::Request, sender_hw, sender_ip, target_hw: [0; 6], target_ip }
+    }
+
+    /// Builds an is-at reply claiming `sender_ip` is at `sender_hw`,
+    /// addressed to `target`.
+    pub fn reply(
+        sender_hw: HwAddr,
+        sender_ip: Ipv4Addr,
+        target_hw: HwAddr,
+        target_ip: Ipv4Addr,
+    ) -> ArpMessage {
+        ArpMessage { op: ArpOp::Reply, sender_hw, sender_ip, target_hw, target_ip }
+    }
+
+    /// Builds a gratuitous (unsolicited, broadcast) reply advertising that
+    /// `ip` is at `hw` — the cache-repair message of paper §2.
+    pub fn gratuitous(hw: HwAddr, ip: Ipv4Addr) -> ArpMessage {
+        ArpMessage { op: ArpOp::Reply, sender_hw: hw, sender_ip: ip, target_hw: [0xff; 6], target_ip: ip }
+    }
+
+    /// Encodes to the 28-byte RFC 826 layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ARP_LEN);
+        buf.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        buf.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+        buf.push(6); // hlen
+        buf.push(4); // plen
+        let op: u16 = match self.op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        };
+        buf.extend_from_slice(&op.to_be_bytes());
+        buf.extend_from_slice(&self.sender_hw);
+        buf.extend_from_slice(&self.sender_ip.octets());
+        buf.extend_from_slice(&self.target_hw);
+        buf.extend_from_slice(&self.target_ip.octets());
+        buf
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] on truncation or unsupported
+    /// hardware/protocol types.
+    pub fn decode(buf: &[u8]) -> Result<ArpMessage, PacketError> {
+        if buf.len() < ARP_LEN {
+            return Err(PacketError::Truncated);
+        }
+        if u16::from_be_bytes([buf[0], buf[1]]) != 1
+            || u16::from_be_bytes([buf[2], buf[3]]) != 0x0800
+            || buf[4] != 6
+            || buf[5] != 4
+        {
+            return Err(PacketError::BadField("arp types"));
+        }
+        let op = match u16::from_be_bytes([buf[6], buf[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            _ => return Err(PacketError::BadField("arp op")),
+        };
+        let mut sender_hw = [0; 6];
+        sender_hw.copy_from_slice(&buf[8..14]);
+        let sender_ip = Ipv4Addr::new(buf[14], buf[15], buf[16], buf[17]);
+        let mut target_hw = [0; 6];
+        target_hw.copy_from_slice(&buf[18..24]);
+        let target_ip = Ipv4Addr::new(buf[24], buf[25], buf[26], buf[27]);
+        Ok(ArpMessage { op, sender_hw, sender_ip, target_hw, target_ip })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 168, 0, x)
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let m = ArpMessage::request([1; 6], ip(1), ip(2));
+        assert_eq!(ArpMessage::decode(&m.encode()).unwrap(), m);
+        assert_eq!(m.encode().len(), ARP_LEN);
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let m = ArpMessage::reply([1; 6], ip(1), [2; 6], ip(2));
+        assert_eq!(ArpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn gratuitous_targets_itself() {
+        let m = ArpMessage::gratuitous([7; 6], ip(9));
+        assert_eq!(m.sender_ip, m.target_ip);
+        assert_eq!(m.op, ArpOp::Reply);
+        assert_eq!(ArpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(ArpMessage::decode(&[0; 10]), Err(PacketError::Truncated));
+        let mut bytes = ArpMessage::request([0; 6], ip(1), ip(2)).encode();
+        bytes[7] = 9; // bogus op
+        assert_eq!(ArpMessage::decode(&bytes), Err(PacketError::BadField("arp op")));
+        let mut bytes2 = ArpMessage::request([0; 6], ip(1), ip(2)).encode();
+        bytes2[1] = 2; // bogus htype
+        assert_eq!(ArpMessage::decode(&bytes2), Err(PacketError::BadField("arp types")));
+    }
+}

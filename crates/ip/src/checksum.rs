@@ -1,0 +1,77 @@
+//! The Internet checksum (RFC 1071): 16-bit one's-complement sum.
+
+/// Computes the Internet checksum over `data`.
+///
+/// Odd-length buffers are implicitly padded with one zero byte, per
+/// RFC 1071.
+///
+/// ```rust
+/// use ip::checksum::internet_checksum;
+/// // A buffer with its checksum field filled in sums to zero.
+/// let mut hdr = vec![0x45, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0, 0,
+///                    10, 0, 0, 1, 10, 0, 0, 2];
+/// let ck = internet_checksum(&hdr);
+/// hdr[10..12].copy_from_slice(&ck.to_be_bytes());
+/// assert_eq!(internet_checksum(&hdr), 0);
+/// ```
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Verifies a buffer whose checksum field is already populated: the total
+/// must fold to zero.
+pub fn verify(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 sample: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, checksum !0xddf2.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn checksum_then_verify() {
+        let mut buf = vec![1, 2, 3, 4, 0, 0, 5, 6];
+        let ck = internet_checksum(&buf);
+        buf[4..6].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&buf));
+        buf[0] ^= 0xff;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn carry_folding() {
+        // All-0xff data exercises repeated carry folds.
+        let data = [0xff; 64];
+        let ck = internet_checksum(&data);
+        // One's-complement sum of 32 0xffff words is 0xffff; checksum is 0.
+        assert_eq!(ck, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Decode errors shared by all wire formats in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error encountered while decoding a packet from wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is shorter than the fixed header requires.
+    Truncated,
+    /// The IP version field is not 4.
+    BadVersion(u8),
+    /// The IHL or total-length fields are inconsistent with the buffer.
+    BadLength,
+    /// A header checksum did not verify.
+    BadChecksum,
+    /// An option (or option list) is malformed.
+    BadOption,
+    /// A field holds a value the decoder cannot represent.
+    BadField(&'static str),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "packet truncated"),
+            PacketError::BadVersion(v) => write!(f, "unsupported IP version {v}"),
+            PacketError::BadLength => write!(f, "inconsistent length fields"),
+            PacketError::BadChecksum => write!(f, "header checksum mismatch"),
+            PacketError::BadOption => write!(f, "malformed IP option"),
+            PacketError::BadField(name) => write!(f, "invalid value in field `{name}`"),
+        }
+    }
+}
+
+impl Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        assert_eq!(PacketError::Truncated.to_string(), "packet truncated");
+        assert_eq!(PacketError::BadVersion(6).to_string(), "unsupported IP version 6");
+        assert_eq!(PacketError::BadField("ttl").to_string(), "invalid value in field `ttl`");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PacketError>();
+    }
+}

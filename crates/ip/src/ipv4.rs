@@ -1,0 +1,437 @@
+//! The IPv4 header (RFC 791), including options.
+//!
+//! Options matter to this reproduction: the IBM baseline protocol (paper
+//! §7) routes every mobile-host packet through a loose-source-route (LSRR)
+//! option, and the paper's scalability argument against it rests on the
+//! slow-path cost optioned packets impose on routers.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::internet_checksum;
+use crate::error::PacketError;
+
+/// Minimum (option-less) IPv4 header length in bytes.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// Default initial TTL used by hosts in this workspace.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// Option kind byte for loose source and record route.
+pub const OPT_LSRR: u8 = 131;
+
+/// Option kind byte for record route.
+pub const OPT_RR: u8 = 7;
+
+/// A single IPv4 option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ipv4Option {
+    /// No-operation padding (kind 1).
+    Nop,
+    /// Loose source and record route (kind 131). `pointer` is the RFC 791
+    /// byte offset into the option (first route slot is 4).
+    Lsrr {
+        /// RFC 791 pointer: offset of the next source-route slot.
+        pointer: u8,
+        /// The route slots (visited slots hold recorded addresses).
+        route: Vec<Ipv4Addr>,
+    },
+    /// Record route (kind 7).
+    RecordRoute {
+        /// RFC 791 pointer: offset of the next free slot.
+        pointer: u8,
+        /// The route slots.
+        route: Vec<Ipv4Addr>,
+    },
+    /// Any other option, carried opaquely.
+    Unknown {
+        /// The option kind byte.
+        kind: u8,
+        /// The option body (everything after kind and length).
+        data: Vec<u8>,
+    },
+}
+
+impl Ipv4Option {
+    /// Creates an LSRR option with `route` hops still to visit (pointer at
+    /// the first slot).
+    pub fn lsrr(route: Vec<Ipv4Addr>) -> Ipv4Option {
+        Ipv4Option::Lsrr { pointer: 4, route }
+    }
+
+    /// Encoded length in bytes (excluding alignment padding).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Ipv4Option::Nop => 1,
+            Ipv4Option::Lsrr { route, .. } | Ipv4Option::RecordRoute { route, .. } => {
+                3 + 4 * route.len()
+            }
+            Ipv4Option::Unknown { data, .. } => 2 + data.len(),
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Ipv4Option::Nop => out.push(1),
+            Ipv4Option::Lsrr { pointer, route } => {
+                out.push(OPT_LSRR);
+                out.push((3 + 4 * route.len()) as u8);
+                out.push(*pointer);
+                for a in route {
+                    out.extend_from_slice(&a.octets());
+                }
+            }
+            Ipv4Option::RecordRoute { pointer, route } => {
+                out.push(OPT_RR);
+                out.push((3 + 4 * route.len()) as u8);
+                out.push(*pointer);
+                for a in route {
+                    out.extend_from_slice(&a.octets());
+                }
+            }
+            Ipv4Option::Unknown { kind, data } => {
+                out.push(*kind);
+                out.push((2 + data.len()) as u8);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+
+    fn decode_route(body: &[u8]) -> Result<(u8, Vec<Ipv4Addr>), PacketError> {
+        // body = [pointer, addr bytes...]
+        if body.is_empty() || !(body.len() - 1).is_multiple_of(4) {
+            return Err(PacketError::BadOption);
+        }
+        let pointer = body[0];
+        let route = body[1..]
+            .chunks_exact(4)
+            .map(|c| Ipv4Addr::new(c[0], c[1], c[2], c[3]))
+            .collect();
+        Ok((pointer, route))
+    }
+}
+
+/// An IPv4 packet: header fields, options, and an opaque payload.
+///
+/// Fields are public in the C-struct spirit; [`Ipv4Packet::encode`]
+/// computes lengths and checksum, [`Ipv4Packet::decode`] verifies them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Type of service.
+    pub tos: u8,
+    /// Identification (used by traces to follow a packet across tunnels).
+    pub ident: u16,
+    /// Don't-fragment flag. (This workspace never fragments; the flag is
+    /// carried for wire fidelity.)
+    pub dont_fragment: bool,
+    /// Time to live.
+    pub ttl: u8,
+    /// Protocol number (see [`crate::proto`]).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// IP options, in order.
+    pub options: Vec<Ipv4Option>,
+    /// Transport payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Ipv4Packet {
+    /// Creates a packet with default TOS/ident/TTL and no options.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: Vec<u8>) -> Ipv4Packet {
+        Ipv4Packet {
+            tos: 0,
+            ident: 0,
+            dont_fragment: false,
+            ttl: DEFAULT_TTL,
+            protocol,
+            src,
+            dst,
+            options: Vec::new(),
+            payload,
+        }
+    }
+
+    /// Sets the identification field (builder style).
+    pub fn with_ident(mut self, ident: u16) -> Ipv4Packet {
+        self.ident = ident;
+        self
+    }
+
+    /// Sets the TTL (builder style).
+    pub fn with_ttl(mut self, ttl: u8) -> Ipv4Packet {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Appends an option (builder style).
+    pub fn with_option(mut self, opt: Ipv4Option) -> Ipv4Packet {
+        self.options.push(opt);
+        self
+    }
+
+    /// Encoded header length in bytes (20 + padded options).
+    pub fn header_len(&self) -> usize {
+        let opt_len: usize = self.options.iter().map(Ipv4Option::encoded_len).sum();
+        MIN_HEADER_LEN + opt_len.div_ceil(4) * 4
+    }
+
+    /// Total encoded length in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.header_len() + self.payload.len()
+    }
+
+    /// Whether the packet carries any IP option (routers treat optioned
+    /// packets on the slow path — paper §7's argument against LSRR).
+    pub fn has_options(&self) -> bool {
+        !self.options.is_empty()
+    }
+
+    /// Finds the first LSRR option, if any.
+    pub fn lsrr(&self) -> Option<(&u8, &Vec<Ipv4Addr>)> {
+        self.options.iter().find_map(|o| match o {
+            Ipv4Option::Lsrr { pointer, route } => Some((pointer, route)),
+            _ => None,
+        })
+    }
+
+    /// Encodes to wire bytes, computing lengths and the header checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded packet would exceed 65535 bytes or the padded
+    /// options area would exceed 40 bytes (IHL is 4 bits).
+    pub fn encode(&self) -> Vec<u8> {
+        let header_len = self.header_len();
+        assert!(header_len - MIN_HEADER_LEN <= 40, "IPv4 options exceed 40 bytes");
+        let total_len = header_len + self.payload.len();
+        assert!(total_len <= 65535, "IPv4 packet exceeds 65535 bytes");
+
+        let mut buf = Vec::with_capacity(total_len);
+        buf.push(0x40 | (header_len / 4) as u8);
+        buf.push(self.tos);
+        buf.extend_from_slice(&(total_len as u16).to_be_bytes());
+        buf.extend_from_slice(&self.ident.to_be_bytes());
+        let flags: u16 = if self.dont_fragment { 0x4000 } else { 0 };
+        buf.extend_from_slice(&flags.to_be_bytes());
+        buf.push(self.ttl);
+        buf.push(self.protocol);
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&self.dst.octets());
+        for opt in &self.options {
+            opt.encode_into(&mut buf);
+        }
+        // Pad options to the IHL boundary with end-of-list zeros.
+        while buf.len() < header_len {
+            buf.push(0);
+        }
+        let ck = internet_checksum(&buf[..header_len]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Decodes wire bytes, verifying version, lengths and header checksum.
+    ///
+    /// Trailing bytes beyond the IP total length (e.g. link padding) are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] describing the first malformation found.
+    pub fn decode(buf: &[u8]) -> Result<Ipv4Packet, PacketError> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(PacketError::BadVersion(version));
+        }
+        let header_len = usize::from(buf[0] & 0x0f) * 4;
+        if header_len < MIN_HEADER_LEN || buf.len() < header_len {
+            return Err(PacketError::BadLength);
+        }
+        let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total_len < header_len || buf.len() < total_len {
+            return Err(PacketError::BadLength);
+        }
+        if internet_checksum(&buf[..header_len]) != 0 {
+            return Err(PacketError::BadChecksum);
+        }
+        let ident = u16::from_be_bytes([buf[4], buf[5]]);
+        let flags = u16::from_be_bytes([buf[6], buf[7]]);
+        let ttl = buf[8];
+        let protocol = buf[9];
+        let src = Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]);
+        let dst = Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]);
+        let options = decode_options(&buf[MIN_HEADER_LEN..header_len])?;
+        Ok(Ipv4Packet {
+            tos: buf[1],
+            ident,
+            dont_fragment: flags & 0x4000 != 0,
+            ttl,
+            protocol,
+            src,
+            dst,
+            options,
+            payload: buf[header_len..total_len].to_vec(),
+        })
+    }
+}
+
+fn decode_options(mut area: &[u8]) -> Result<Vec<Ipv4Option>, PacketError> {
+    let mut options = Vec::new();
+    while let Some(&kind) = area.first() {
+        match kind {
+            0 => break, // end of option list; remainder is padding
+            1 => {
+                options.push(Ipv4Option::Nop);
+                area = &area[1..];
+            }
+            _ => {
+                if area.len() < 2 {
+                    return Err(PacketError::BadOption);
+                }
+                let len = usize::from(area[1]);
+                if len < 2 || len > area.len() {
+                    return Err(PacketError::BadOption);
+                }
+                let body = &area[2..len];
+                let opt = match kind {
+                    OPT_LSRR => {
+                        let (pointer, route) = Ipv4Option::decode_route(body)?;
+                        Ipv4Option::Lsrr { pointer, route }
+                    }
+                    OPT_RR => {
+                        let (pointer, route) = Ipv4Option::decode_route(body)?;
+                        Ipv4Option::RecordRoute { pointer, route }
+                    }
+                    _ => Ipv4Option::Unknown { kind, data: body.to_vec() },
+                };
+                options.push(opt);
+                area = &area[len..];
+            }
+        }
+    }
+    Ok(options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    #[test]
+    fn encode_decode_round_trip_plain() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![9; 100]).with_ident(77).with_ttl(31);
+        let back = Ipv4Packet::decode(&pkt.encode()).unwrap();
+        assert_eq!(back, pkt);
+        assert_eq!(back.header_len(), 20);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_with_lsrr() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 6, b"xyz".to_vec())
+            .with_option(Ipv4Option::lsrr(vec![a(3), a(4)]));
+        assert!(pkt.has_options());
+        // LSRR option: 3 + 8 = 11 bytes, padded to 12 -> header 32.
+        assert_eq!(pkt.header_len(), 32);
+        let back = Ipv4Packet::decode(&pkt.encode()).unwrap();
+        assert_eq!(back, pkt);
+        let (ptr, route) = back.lsrr().unwrap();
+        assert_eq!(*ptr, 4);
+        assert_eq!(route.len(), 2);
+    }
+
+    #[test]
+    fn nop_and_unknown_options_round_trip() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 1, vec![])
+            .with_option(Ipv4Option::Nop)
+            .with_option(Ipv4Option::Unknown { kind: 42, data: vec![1, 2, 3] })
+            .with_option(Ipv4Option::Nop);
+        let back = Ipv4Packet::decode(&pkt.encode()).unwrap();
+        assert_eq!(back.options, pkt.options);
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![0; 8]);
+        let mut bytes = pkt.encode();
+        bytes[8] ^= 0x01; // flip a TTL bit
+        assert_eq!(Ipv4Packet::decode(&bytes), Err(PacketError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_buffer_fails() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![0; 8]);
+        let bytes = pkt.encode();
+        assert_eq!(Ipv4Packet::decode(&bytes[..10]), Err(PacketError::Truncated));
+        assert_eq!(Ipv4Packet::decode(&bytes[..22]), Err(PacketError::BadLength));
+    }
+
+    #[test]
+    fn wrong_version_fails() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![]);
+        let mut bytes = pkt.encode();
+        bytes[0] = (6 << 4) | (bytes[0] & 0x0f);
+        assert_eq!(Ipv4Packet::decode(&bytes), Err(PacketError::BadVersion(6)));
+    }
+
+    #[test]
+    fn trailing_link_padding_is_ignored() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, b"hi".to_vec());
+        let mut bytes = pkt.encode();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let back = Ipv4Packet::decode(&bytes).unwrap();
+        assert_eq!(back.payload, b"hi");
+    }
+
+    #[test]
+    fn malformed_option_length_fails() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![])
+            .with_option(Ipv4Option::Unknown { kind: 42, data: vec![0; 4] });
+        let mut bytes = pkt.encode();
+        // Option starts at offset 20: kind(42) len(6). Corrupt length to 1.
+        bytes[21] = 1;
+        // Fix checksum so we reach option parsing.
+        bytes[10] = 0;
+        bytes[11] = 0;
+        let ck = internet_checksum(&bytes[..24 + 4]);
+        // header_len is 28 here (20 + 8 padded)
+        let hl = usize::from(bytes[0] & 0xf) * 4;
+        bytes[10] = 0;
+        bytes[11] = 0;
+        let ck2 = internet_checksum(&bytes[..hl]);
+        let _ = ck;
+        bytes[10..12].copy_from_slice(&ck2.to_be_bytes());
+        assert_eq!(Ipv4Packet::decode(&bytes), Err(PacketError::BadOption));
+    }
+
+    #[test]
+    fn wire_len_matches_encoded_len() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![5; 33])
+            .with_option(Ipv4Option::lsrr(vec![a(9)]));
+        assert_eq!(pkt.encode().len(), pkt.wire_len());
+    }
+
+    #[test]
+    fn dont_fragment_flag_round_trips() {
+        let mut pkt = Ipv4Packet::new(a(1), a(2), 17, vec![]);
+        pkt.dont_fragment = true;
+        let back = Ipv4Packet::decode(&pkt.encode()).unwrap();
+        assert!(back.dont_fragment);
+    }
+
+    #[test]
+    #[should_panic(expected = "options exceed 40 bytes")]
+    fn encode_rejects_oversized_options() {
+        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![])
+            .with_option(Ipv4Option::lsrr((0..11).map(a).collect()));
+        let _ = pkt.encode();
+    }
+}

@@ -1,0 +1,69 @@
+//! IPv4 wire formats for the MHRP reproduction, implemented from scratch.
+//!
+//! This crate contains every on-the-wire format shared by the protocol
+//! implementations in this repository:
+//!
+//! * [`ipv4`] — the IPv4 header (RFC 791) including options, with the
+//!   loose-source-route option needed by the IBM LSRR baseline protocol.
+//! * [`icmp`] — ICMP (RFC 792) messages: echo, errors, redirects, the
+//!   router-discovery-style **agent advertisement/solicitation** used by
+//!   MHRP agent discovery (paper §3), and the new **location update**
+//!   message type (paper §4.3).
+//! * [`udp`] — UDP datagrams (RFC 768), carrying the MHRP registration
+//!   control protocol.
+//! * [`arp`] — ARP (RFC 826) requests/replies, including the gratuitous
+//!   and proxy uses MHRP makes of them (paper §2).
+//! * [`addr`] — prefixes and netmask arithmetic.
+//! * [`checksum`] — the Internet checksum.
+//!
+//! Packets are always encoded to and decoded from real byte buffers at
+//! every simulated hop, so header layouts and per-packet overheads measured
+//! by the experiments are bit-accurate.
+//!
+//! ```rust
+//! use ip::ipv4::Ipv4Packet;
+//! use std::net::Ipv4Addr;
+//!
+//! # fn main() -> Result<(), ip::PacketError> {
+//! let pkt = Ipv4Packet::new(
+//!     Ipv4Addr::new(10, 0, 0, 1),
+//!     Ipv4Addr::new(10, 0, 1, 2),
+//!     ip::proto::UDP,
+//!     b"hello".to_vec(),
+//! );
+//! let bytes = pkt.encode();
+//! let back = Ipv4Packet::decode(&bytes)?;
+//! assert_eq!(back.payload, b"hello");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod addr;
+pub mod arp;
+pub mod checksum;
+pub mod error;
+pub mod icmp;
+pub mod ipv4;
+pub mod udp;
+
+pub use addr::Prefix;
+pub use error::PacketError;
+
+/// Well-known IP protocol numbers used across the workspace.
+pub mod proto {
+    /// ICMP (RFC 792).
+    pub const ICMP: u8 = 1;
+    /// IP-in-IP encapsulation (used by the Columbia baseline).
+    pub const IPIP: u8 = 4;
+    /// TCP (RFC 793). Present for realistic traffic payloads only.
+    pub const TCP: u8 = 6;
+    /// UDP (RFC 768).
+    pub const UDP: u8 = 17;
+    /// MHRP encapsulation (paper §4.1). Unassigned in 1994; value chosen by
+    /// this reproduction — see DESIGN.md "Protocol constants chosen".
+    pub const MHRP: u8 = 150;
+    /// Matsushita IPTP tunneling (baseline). Reproduction-chosen value.
+    pub const IPTP: u8 = 151;
+    /// Sony VIP shim (baseline). Reproduction-chosen value.
+    pub const VIP: u8 = 152;
+}

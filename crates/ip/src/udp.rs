@@ -1,0 +1,113 @@
+//! UDP datagrams (RFC 768).
+//!
+//! The MHRP registration/notification control protocol (paper §3) rides on
+//! UDP. The checksum field is transmitted as zero ("not computed"), which
+//! RFC 768 permits for IPv4; integrity in this workspace comes from the IP
+//! header checksum plus the simulator's reliable in-order segments.
+
+use crate::error::PacketError;
+
+/// A UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// UDP header size in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> UdpDatagram {
+        UdpDatagram { src_port, dst_port, payload }
+    }
+
+    /// Total encoded length in bytes.
+    pub fn wire_len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Encodes to wire bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datagram would exceed 65535 bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = self.wire_len();
+        assert!(len <= 65535, "UDP datagram exceeds 65535 bytes");
+        let mut buf = Vec::with_capacity(len);
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&(len as u16).to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum not computed (RFC 768 allows for IPv4)
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Decodes wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::Truncated`] or [`PacketError::BadLength`] on
+    /// malformed input.
+    pub fn decode(buf: &[u8]) -> Result<UdpDatagram, PacketError> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < UDP_HEADER_LEN || len > buf.len() {
+            return Err(PacketError::BadLength);
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            payload: buf[UDP_HEADER_LEN..len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let d = UdpDatagram::new(4321, 434, b"register".to_vec());
+        assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let d = UdpDatagram::new(1, 2, vec![]);
+        assert_eq!(d.wire_len(), 8);
+        assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(UdpDatagram::decode(&[0; 7]), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn bad_length_field() {
+        let mut bytes = UdpDatagram::new(1, 2, vec![5; 4]).encode();
+        bytes[5] = 200; // length longer than the buffer
+        assert_eq!(UdpDatagram::decode(&bytes), Err(PacketError::BadLength));
+        bytes[4] = 0;
+        bytes[5] = 4; // length shorter than a header
+        assert_eq!(UdpDatagram::decode(&bytes), Err(PacketError::BadLength));
+    }
+
+    #[test]
+    fn trailing_padding_ignored() {
+        let d = UdpDatagram::new(9, 10, b"xy".to_vec());
+        let mut bytes = d.encode();
+        bytes.extend_from_slice(&[0; 6]);
+        assert_eq!(UdpDatagram::decode(&bytes).unwrap(), d);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the wire codecs: arbitrary packets round-trip,
+//! and corrupted buffers never decode to a *different* valid packet
+//! silently (the checksum catches single-byte corruption in headers).
+
+use std::net::Ipv4Addr;
+
+use ip::arp::{ArpMessage, ArpOp};
+use ip::icmp::{AgentAdvertisement, IcmpMessage, LocationUpdate, LocationUpdateCode, UnreachableCode};
+use ip::ipv4::{Ipv4Option, Ipv4Packet};
+use ip::udp::UdpDatagram;
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_options() -> impl Strategy<Value = Vec<Ipv4Option>> {
+    // Keep total option bytes <= 40 (the IPv4 limit): at most one route
+    // option with <= 8 hops, plus up to 2 NOPs.
+    (
+        prop::collection::vec(arb_addr(), 0..=8),
+        0usize..3,
+        any::<bool>(),
+    )
+        .prop_map(|(route, nops, use_lsrr)| {
+            let mut opts = vec![Ipv4Option::Nop; nops];
+            if !route.is_empty() {
+                let route_len = route.len() as u8;
+                opts.push(if use_lsrr {
+                    Ipv4Option::Lsrr { pointer: 4, route }
+                } else {
+                    Ipv4Option::RecordRoute { pointer: 4 + 4 * route_len, route }
+                });
+            }
+            opts
+        })
+        .prop_filter("options must fit in 40 bytes", |opts| {
+            opts.iter().map(Ipv4Option::encoded_len).sum::<usize>() <= 40
+        })
+}
+
+prop_compose! {
+    fn arb_packet()(
+        src in arb_addr(),
+        dst in arb_addr(),
+        tos in any::<u8>(),
+        ident in any::<u16>(),
+        df in any::<bool>(),
+        ttl in any::<u8>(),
+        protocol in any::<u8>(),
+        options in arb_options(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) -> Ipv4Packet {
+        Ipv4Packet { tos, ident, dont_fragment: df, ttl, protocol, src, dst, options, payload }
+    }
+}
+
+proptest! {
+    #[test]
+    fn ipv4_round_trip(pkt in arb_packet()) {
+        let bytes = pkt.encode();
+        let back = Ipv4Packet::decode(&bytes).unwrap();
+        prop_assert_eq!(back, pkt.clone());
+        prop_assert_eq!(bytes.len(), pkt.wire_len());
+    }
+
+    #[test]
+    fn ipv4_reencode_is_canonical(pkt in arb_packet()) {
+        let bytes = pkt.encode();
+        let back = Ipv4Packet::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn ipv4_header_corruption_detected(pkt in arb_packet(), byte in 0usize..20, bit in 0u8..8) {
+        let mut bytes = pkt.encode();
+        bytes[byte] ^= 1 << bit;
+        // Any single-bit corruption of the fixed header must not decode to
+        // a packet that passes the checksum with different field values.
+        if let Ok(back) = Ipv4Packet::decode(&bytes) {
+            // The only way decode can still succeed is if the corrupted
+            // field participates in the checksum and compensates — the
+            // Internet checksum cannot compensate a single bit flip.
+            prop_assert_eq!(back, pkt);
+        }
+    }
+
+    #[test]
+    fn udp_round_trip(src in any::<u16>(), dst in any::<u16>(),
+                      payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let d = UdpDatagram::new(src, dst, payload);
+        prop_assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn arp_round_trip(op in prop_oneof![Just(ArpOp::Request), Just(ArpOp::Reply)],
+                      shw in any::<[u8; 6]>(), sip in arb_addr(),
+                      thw in any::<[u8; 6]>(), tip in arb_addr()) {
+        let m = ArpMessage { op, sender_hw: shw, sender_ip: sip, target_hw: thw, target_ip: tip };
+        prop_assert_eq!(ArpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn icmp_echo_round_trip(ident in any::<u16>(), seq in any::<u16>(),
+                            payload in prop::collection::vec(any::<u8>(), 0..128)) {
+        let m = IcmpMessage::EchoRequest { ident, seq, payload };
+        prop_assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn icmp_errors_round_trip(code in 0u8..4, original in prop::collection::vec(any::<u8>(), 0..64)) {
+        let m = IcmpMessage::DestUnreachable {
+            code: match code {
+                0 => UnreachableCode::Net,
+                1 => UnreachableCode::Host,
+                2 => UnreachableCode::Protocol,
+                _ => UnreachableCode::Port,
+            },
+            original,
+        };
+        prop_assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn icmp_location_update_round_trip(mobile in arb_addr(), fa in arb_addr(), code in 0u8..3) {
+        let m = IcmpMessage::LocationUpdate(LocationUpdate {
+            code: match code {
+                0 => LocationUpdateCode::Bind,
+                1 => LocationUpdateCode::AtHome,
+                _ => LocationUpdateCode::Purge,
+            },
+            mobile,
+            foreign_agent: fa,
+        });
+        prop_assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn icmp_advertisement_round_trip(agent in arb_addr(), home in any::<bool>(),
+                                     foreign in any::<bool>(), seq in any::<u16>()) {
+        let m = IcmpMessage::AgentAdvertisement(AgentAdvertisement { agent, home, foreign, seq });
+        prop_assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn icmp_corruption_detected(payload in prop::collection::vec(any::<u8>(), 0..64),
+                                byte_sel in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let m = IcmpMessage::EchoRequest { ident: 1, seq: 2, payload };
+        let mut bytes = m.encode();
+        let idx = byte_sel.index(bytes.len());
+        bytes[idx] ^= 1 << bit;
+        if let Ok(back) = IcmpMessage::decode(&bytes) {
+            prop_assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Ipv4Packet::decode(&bytes);
+        let _ = IcmpMessage::decode(&bytes);
+        let _ = UdpDatagram::decode(&bytes);
+        let _ = ArpMessage::decode(&bytes);
+    }
+}

@@ -1,0 +1,204 @@
+//! The cache-agent role (paper §2, §4.3, §4.5): a finite location cache,
+//! rate-limited location updates, forwarding-path interception, and the
+//! ICMP error reverse path.
+//!
+//! Every MHRP-aware node embeds a [`CacheAgentCore`]: the paper recommends
+//! that "any node functioning as a home agent, foreign agent, or mobile
+//! host should generally also function as a cache agent", and that other
+//! hosts do too.
+
+use std::net::Ipv4Addr;
+
+use ip::icmp::{IcmpMessage, LocationUpdate, LocationUpdateCode};
+use ip::ipv4::Ipv4Packet;
+use ip::proto;
+use netsim::Ctx;
+use netstack::IpStack;
+
+use crate::cache::LocationCache;
+use crate::config::MhrpConfig;
+use crate::rate_limit::UpdateRateLimiter;
+use crate::tunnel;
+
+/// Replaces the embedded original-packet bytes of an ICMP error message.
+fn with_original(msg: &IcmpMessage, original: Vec<u8>) -> IcmpMessage {
+    match msg {
+        IcmpMessage::DestUnreachable { code, .. } => {
+            IcmpMessage::DestUnreachable { code: *code, original }
+        }
+        IcmpMessage::TimeExceeded { .. } => IcmpMessage::TimeExceeded { original },
+        IcmpMessage::Redirect { gateway, .. } => {
+            IcmpMessage::Redirect { gateway: *gateway, original }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Shared cache-agent state and behaviour.
+#[derive(Debug)]
+pub struct CacheAgentCore {
+    /// The finite location cache (§2).
+    pub cache: LocationCache,
+    /// The §4.3 per-destination update rate limiter.
+    pub rate: UpdateRateLimiter,
+    /// Maximum previous-source-list length before truncation (§4.4).
+    pub max_prev_sources: usize,
+    /// §5.3 loop detection; disable to model TTL-only loop decay (E05).
+    pub detect_loops: bool,
+}
+
+impl CacheAgentCore {
+    /// Creates a cache agent from the shared configuration.
+    pub fn new(config: &MhrpConfig) -> CacheAgentCore {
+        CacheAgentCore {
+            cache: LocationCache::new(config.cache_capacity),
+            rate: UpdateRateLimiter::new(config.update_min_interval, config.update_rate_entries),
+            max_prev_sources: config.max_prev_sources,
+            detect_loops: config.detect_loops,
+        }
+    }
+
+    /// Sends a location update about `mobile` to `to`, rate-limited per
+    /// §4.3. Updates to ourselves or to the mobile host itself are
+    /// pointless and suppressed.
+    pub fn send_update(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        to: Ipv4Addr,
+        mobile: Ipv4Addr,
+        foreign_agent: Ipv4Addr,
+        code: LocationUpdateCode,
+    ) {
+        if to.is_unspecified() || to == mobile || stack.is_local_addr(to) {
+            return;
+        }
+        if !self.rate.allow(to, ctx.now()) {
+            ctx.stats().incr("mhrp.updates_rate_limited");
+            return;
+        }
+        ctx.stats().incr("mhrp.updates_sent");
+        let msg =
+            IcmpMessage::LocationUpdate(LocationUpdate { code, mobile, foreign_agent });
+        stack.send_icmp(ctx, to, &msg, None);
+    }
+
+    /// Applies a location update delivered to this node (§4.3).
+    pub fn on_update(&mut self, ctx: &mut Ctx<'_>, update: &LocationUpdate) {
+        ctx.stats().incr("mhrp.updates_received");
+        self.cache.apply_update(update, ctx.now());
+    }
+
+    /// Forwarding-path interception for routers acting as cache agents
+    /// (§4.3, §6.2): on a cache hit for a plain transit packet, the packet
+    /// is encapsulated and tunneled to the cached foreign agent. Location
+    /// updates being *forwarded* are also snooped into the cache. Returns
+    /// the packet when it was *not* consumed (the caller forwards it
+    /// normally), `None` when it was tunneled here.
+    pub fn intercept_forward(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        mut pkt: Ipv4Packet,
+    ) -> Option<Ipv4Packet> {
+        if pkt.protocol == proto::MHRP {
+            return Some(pkt); // transit tunnel traffic routes normally
+        }
+        if pkt.protocol == proto::ICMP {
+            // "Any intermediate router that forwards a location update
+            // message may also cache the address" (§4.3). Updates are
+            // forwarded, not tunneled.
+            if let Ok(IcmpMessage::LocationUpdate(lu)) = IcmpMessage::decode(&pkt.payload) {
+                ctx.stats().incr("mhrp.updates_snooped");
+                self.cache.apply_update(&lu, ctx.now());
+                return Some(pkt);
+            }
+        }
+        let Some(fa) = self.cache.lookup(pkt.dst, ctx.now()) else {
+            return Some(pkt);
+        };
+        let agent = stack.primary_addr();
+        ctx.stats().incr("mhrp.tunneled_by_router_ca");
+        // §4.2: an agent-built header is 12 octets.
+        ctx.stats().add("mhrp.overhead_bytes", 12);
+        tunnel::encapsulate(&mut pkt, agent, fa, false);
+        stack.forward(ctx, pkt);
+        None
+    }
+
+    /// Handles an ICMP *error* delivered to this node when it may be a
+    /// tunnel head (§4.5). Walks the error one hop back along the tunnel
+    /// chain, purging our cache entry, and resends it. Returns `true` if
+    /// the error belonged to the tunnel reverse path (consumed), `false`
+    /// if it is an ordinary error the caller should log.
+    pub fn on_icmp_error(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        msg: &IcmpMessage,
+    ) -> bool {
+        let Some(original) = msg.original() else { return false };
+        // Only errors about packets *we* tunneled concern us: the copied
+        // packet's source must be one of our addresses and it must be MHRP.
+        let Some(partial) = tunnel::parse_partial(original) else { return false };
+        if partial.protocol != proto::MHRP || !stack.is_local_addr(partial.src) {
+            return false;
+        }
+        let self_addr = partial.src;
+        match tunnel::reverse_icmp_original(original, self_addr) {
+            tunnel::ErrorReverse::Resend { next, rebuilt_original, mobile } => {
+                // §4.5: the unreachable may be a router near the *cached*
+                // location, not the mobile host — drop the stale entry.
+                self.cache.remove(mobile);
+                ctx.stats().incr("mhrp.icmp_errors_reversed");
+                let rebuilt = with_original(msg, rebuilt_original);
+                stack.send_icmp(ctx, next, &rebuilt, None);
+                true
+            }
+            tunnel::ErrorReverse::Local { mobile, .. } => {
+                self.cache.remove(mobile);
+                ctx.stats().incr("mhrp.icmp_errors_terminated");
+                // The embedding endpoint logs the error itself.
+                false
+            }
+            tunnel::ErrorReverse::Insufficient { mobile } => {
+                if let Some(m) = mobile {
+                    self.cache.remove(m);
+                }
+                ctx.stats().incr("mhrp.icmp_errors_insufficient");
+                true
+            }
+        }
+    }
+
+    /// Drops all volatile state (reboot).
+    pub fn reboot(&mut self) {
+        self.cache.clear();
+        self.rate.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_original_replaces_payload_bytes() {
+        let msg = IcmpMessage::DestUnreachable {
+            code: ip::icmp::UnreachableCode::Host,
+            original: vec![1, 2, 3],
+        };
+        let out = with_original(&msg, vec![9, 9]);
+        assert_eq!(out.original().unwrap(), &[9, 9]);
+        let te = IcmpMessage::TimeExceeded { original: vec![] };
+        assert_eq!(with_original(&te, vec![5]).original().unwrap(), &[5]);
+    }
+
+    #[test]
+    fn core_construction_respects_config() {
+        let cfg = MhrpConfig { cache_capacity: 3, max_prev_sources: 2, ..Default::default() };
+        let core = CacheAgentCore::new(&cfg);
+        assert_eq!(core.cache.capacity(), 3);
+        assert_eq!(core.max_prev_sources, 2);
+    }
+}

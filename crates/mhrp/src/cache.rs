@@ -1,0 +1,211 @@
+//! The cache agent's finite location cache (paper §2, §4.3).
+//!
+//! Any host or router may cache `mobile host → foreign agent` bindings to
+//! tunnel packets directly, bypassing the home network. The paper stores
+//! these in "the same table ... used already to handle the existing
+//! host-specific ICMP redirect message type" (§4.3); this type models that
+//! table with LRU replacement over a finite capacity (§2 allows "any local
+//! cache replacement policy").
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ip::icmp::{LocationUpdate, LocationUpdateCode};
+use netsim::time::SimTime;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    fa: Ipv4Addr,
+    last_used: SimTime,
+}
+
+/// An LRU cache of mobile-host locations.
+#[derive(Debug)]
+pub struct LocationCache {
+    capacity: usize,
+    entries: HashMap<Ipv4Addr, Entry>,
+}
+
+impl LocationCache {
+    /// Creates a cache holding at most `capacity` bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> LocationCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LocationCache { capacity, entries: HashMap::new() }
+    }
+
+    /// Looks up the foreign agent for `mobile`, refreshing its LRU age.
+    pub fn lookup(&mut self, mobile: Ipv4Addr, now: SimTime) -> Option<Ipv4Addr> {
+        let e = self.entries.get_mut(&mobile)?;
+        e.last_used = now;
+        Some(e.fa)
+    }
+
+    /// Peeks without touching LRU state (for metrics/tests).
+    pub fn peek(&self, mobile: Ipv4Addr) -> Option<Ipv4Addr> {
+        self.entries.get(&mobile).map(|e| e.fa)
+    }
+
+    /// Inserts or replaces the binding for `mobile`, evicting the least
+    /// recently used entry if at capacity.
+    pub fn insert(&mut self, mobile: Ipv4Addr, fa: Ipv4Addr, now: SimTime) {
+        if !self.entries.contains_key(&mobile) && self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(mobile, Entry { fa, last_used: now });
+    }
+
+    /// Removes the binding for `mobile`.
+    pub fn remove(&mut self, mobile: Ipv4Addr) -> Option<Ipv4Addr> {
+        self.entries.remove(&mobile).map(|e| e.fa)
+    }
+
+    /// Applies a received location update (§4.3, §5.3, §6.3): `Bind` with a
+    /// non-zero agent inserts; everything else deletes.
+    pub fn apply_update(&mut self, update: &LocationUpdate, now: SimTime) {
+        match update.code {
+            LocationUpdateCode::Bind if !update.foreign_agent.is_unspecified() => {
+                self.insert(update.mobile, update.foreign_agent, now);
+            }
+            _ => {
+                self.entries.remove(&update.mobile);
+            }
+        }
+    }
+
+    /// Number of cached bindings (state-size metric, E07).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every binding (volatile state on reboot).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut c = LocationCache::new(4);
+        c.insert(a(1), a(100), t(0));
+        assert_eq!(c.lookup(a(1), t(1)), Some(a(100)));
+        assert_eq!(c.remove(a(1)), Some(a(100)));
+        assert_eq!(c.lookup(a(1), t(2)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut c = LocationCache::new(2);
+        c.insert(a(1), a(100), t(0));
+        c.insert(a(2), a(100), t(1));
+        // Touch a(1) so a(2) is the LRU victim.
+        c.lookup(a(1), t(2));
+        c.insert(a(3), a(100), t(3));
+        assert_eq!(c.peek(a(1)), Some(a(100)));
+        assert_eq!(c.peek(a(2)), None);
+        assert_eq!(c.peek(a(3)), Some(a(100)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_existing_does_not_evict() {
+        let mut c = LocationCache::new(2);
+        c.insert(a(1), a(100), t(0));
+        c.insert(a(2), a(100), t(1));
+        c.insert(a(1), a(200), t(2)); // update in place
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(a(1)), Some(a(200)));
+        assert_eq!(c.peek(a(2)), Some(a(100)));
+    }
+
+    #[test]
+    fn apply_update_bind_and_delete() {
+        let mut c = LocationCache::new(4);
+        c.apply_update(
+            &LocationUpdate { code: LocationUpdateCode::Bind, mobile: a(1), foreign_agent: a(9) },
+            t(0),
+        );
+        assert_eq!(c.peek(a(1)), Some(a(9)));
+        c.apply_update(
+            &LocationUpdate {
+                code: LocationUpdateCode::AtHome,
+                mobile: a(1),
+                foreign_agent: Ipv4Addr::UNSPECIFIED,
+            },
+            t(1),
+        );
+        assert_eq!(c.peek(a(1)), None);
+        // Purge also deletes.
+        c.insert(a(2), a(9), t(2));
+        c.apply_update(
+            &LocationUpdate {
+                code: LocationUpdateCode::Purge,
+                mobile: a(2),
+                foreign_agent: Ipv4Addr::UNSPECIFIED,
+            },
+            t(3),
+        );
+        assert_eq!(c.peek(a(2)), None);
+    }
+
+    #[test]
+    fn bind_with_zero_agent_deletes() {
+        // The paper's "special foreign agent address of zero" semantics.
+        let mut c = LocationCache::new(4);
+        c.insert(a(1), a(9), t(0));
+        c.apply_update(
+            &LocationUpdate {
+                code: LocationUpdateCode::Bind,
+                mobile: a(1),
+                foreign_agent: Ipv4Addr::UNSPECIFIED,
+            },
+            t(1),
+        );
+        assert_eq!(c.peek(a(1)), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LocationCache::new(4);
+        c.insert(a(1), a(9), t(0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LocationCache::new(0);
+    }
+}

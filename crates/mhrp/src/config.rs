@@ -1,0 +1,87 @@
+//! Tunable protocol parameters.
+//!
+//! The paper specifies mechanisms but (deliberately) few constants; the
+//! defaults here are recorded in DESIGN.md and every experiment states the
+//! values it uses.
+
+use netsim::time::SimDuration;
+
+/// MHRP protocol configuration, shared by all agent roles on a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MhrpConfig {
+    /// Maximum length of the previous-source-address list before the
+    /// truncation procedure of §4.4 runs. The paper allows "any finite
+    /// maximum".
+    pub max_prev_sources: usize,
+    /// Period between agent advertisements (§3, "periodically multicast").
+    pub advertisement_interval: SimDuration,
+    /// A mobile host declares its agent lost after missing this many
+    /// consecutive advertisements (movement detection, §3).
+    pub advertisement_loss_tolerance: u32,
+    /// Retransmission interval for registration control messages (the
+    /// paper leaves registration reliability unspecified).
+    pub registration_retry: SimDuration,
+    /// Give up after this many registration retransmissions.
+    pub registration_max_retries: u32,
+    /// Capacity of a cache agent's finite location cache (§2: "the
+    /// contents of the (finite) cache space ... maintained by any local
+    /// cache replacement policy"); replacement here is LRU.
+    pub cache_capacity: usize,
+    /// Minimum interval between location updates sent to any single
+    /// destination (§4.3's required rate limiting).
+    pub update_min_interval: SimDuration,
+    /// Size of the LRU list tracking recent update recipients (§4.3).
+    pub update_rate_entries: usize,
+    /// Whether an old foreign agent keeps a "forwarding pointer" cache
+    /// entry for the mobile host's new foreign agent (§2, optional).
+    pub forwarding_pointers: bool,
+    /// On detecting a forwarding loop, tunnel the packet onward to the
+    /// mobile host's home address instead of discarding it (§5.3 allows
+    /// either).
+    pub loop_forward_home: bool,
+    /// Whether a recovering foreign agent verifies a mobile host's
+    /// presence (ARP query) before re-adding it on a home-agent location
+    /// update, instead of "believing the home agent" (§5.2, optional).
+    pub verify_on_recovery: bool,
+    /// Whether the home agent's location database is persisted to stable
+    /// storage surviving reboots (§2: "should also be recorded on disk").
+    pub home_agent_disk: bool,
+    /// §5.3 loop detection via the previous-source list. Disable only to
+    /// model the TTL-only baseline the paper argues against (E05).
+    pub detect_loops: bool,
+}
+
+impl Default for MhrpConfig {
+    fn default() -> MhrpConfig {
+        MhrpConfig {
+            max_prev_sources: 8,
+            advertisement_interval: SimDuration::from_secs(1),
+            advertisement_loss_tolerance: 3,
+            registration_retry: SimDuration::from_millis(500),
+            registration_max_retries: 5,
+            cache_capacity: 64,
+            update_min_interval: SimDuration::from_secs(5),
+            update_rate_entries: 128,
+            forwarding_pointers: true,
+            loop_forward_home: false,
+            verify_on_recovery: false,
+            home_agent_disk: true,
+            detect_loops: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MhrpConfig::default();
+        assert!(c.max_prev_sources >= 1);
+        assert!(c.cache_capacity > 0);
+        assert!(c.advertisement_interval > SimDuration::ZERO);
+        assert!(c.forwarding_pointers);
+        assert!(c.home_agent_disk);
+    }
+}

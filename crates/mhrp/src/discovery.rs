@@ -1,0 +1,121 @@
+//! Agent discovery (paper §3): periodic agent advertisements and
+//! solicitation handling, modeled on ICMP router discovery (RFC 1256).
+//!
+//! Foreign and home agents run an [`Advertiser`] on each network they
+//! serve; mobile hosts listen for advertisements to notice their own
+//! movement, and may multicast a solicitation to find an agent faster.
+
+use ip::icmp::{AgentAdvertisement, IcmpMessage};
+use netsim::time::SimDuration;
+use netsim::{Ctx, IfaceId, TimerToken};
+use netstack::IpStack;
+
+/// Timer tokens with this bit set belong to an [`Advertiser`].
+pub const ADVERT_TIMER_BIT: u64 = 1 << 61;
+
+/// Periodically broadcasts agent advertisements on a set of interfaces.
+#[derive(Debug)]
+pub struct Advertiser {
+    /// Advertise home-agent service.
+    pub home: bool,
+    /// Advertise foreign-agent service.
+    pub foreign: bool,
+    ifaces: Vec<IfaceId>,
+    interval: SimDuration,
+    seq: u16,
+    running: bool,
+}
+
+impl Advertiser {
+    /// Creates an advertiser for `ifaces` with the given service flags.
+    pub fn new(ifaces: Vec<IfaceId>, home: bool, foreign: bool, interval: SimDuration) -> Advertiser {
+        Advertiser { home, foreign, ifaces, interval, seq: 0, running: false }
+    }
+
+    /// Begins periodic advertisement (call from `Node::on_start`).
+    pub fn start(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        self.running = true;
+        self.advertise_all(stack, ctx);
+        ctx.set_timer(self.interval, TimerToken(ADVERT_TIMER_BIT));
+    }
+
+    /// Handles a timer; returns `true` if the token belonged to us.
+    pub fn on_timer(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, token: TimerToken) -> bool {
+        if token.0 & ADVERT_TIMER_BIT == 0 {
+            return false;
+        }
+        if self.running {
+            self.advertise_all(stack, ctx);
+            ctx.set_timer(self.interval, TimerToken(ADVERT_TIMER_BIT));
+        }
+        true
+    }
+
+    /// Responds immediately to a solicitation heard on `iface` (§3).
+    pub fn solicited(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, iface: IfaceId) {
+        if self.ifaces.contains(&iface) {
+            self.advertise_one(stack, ctx, iface);
+        }
+    }
+
+    fn advertise_all(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        for i in 0..self.ifaces.len() {
+            let iface = self.ifaces[i];
+            self.advertise_one(stack, ctx, iface);
+        }
+    }
+
+    fn advertise_one(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, iface: IfaceId) {
+        let Some(ia) = stack.iface_addr(iface) else { return };
+        if !ctx.iface_attached(iface) {
+            return;
+        }
+        self.seq = self.seq.wrapping_add(1);
+        let ad = AgentAdvertisement {
+            agent: ia.addr,
+            home: self.home,
+            foreign: self.foreign,
+            seq: self.seq,
+        };
+        let msg = IcmpMessage::AgentAdvertisement(ad);
+        let ident = stack.next_ident();
+        let pkt = ip::ipv4::Ipv4Packet::new(
+            ia.addr,
+            std::net::Ipv4Addr::BROADCAST,
+            ip::proto::ICMP,
+            msg.encode(),
+        )
+        .with_ident(ident)
+        .with_ttl(1);
+        ctx.stats().incr("mhrp.adverts_sent");
+        stack.send_link_broadcast(ctx, iface, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_bit_disjoint_from_stack_bit() {
+        assert_eq!(ADVERT_TIMER_BIT & netstack::STACK_TIMER_BIT, 0);
+    }
+
+    #[test]
+    fn non_advert_tokens_are_refused() {
+        let mut adv = Advertiser::new(vec![IfaceId(0)], false, true, SimDuration::from_secs(1));
+        // Construct a throwaway world to get a Ctx.
+        let mut w = netsim::World::new(0);
+        struct Probe;
+        impl netsim::Node for Probe {
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: &netsim::Frame) {}
+        }
+        let n = w.add_node(Box::new(Probe));
+        w.add_iface(n, None);
+        let mut stack = IpStack::new(true);
+        w.with_node::<Probe, _>(n, |_, ctx| {
+            assert!(!adv.on_timer(&mut stack, ctx, TimerToken(0)));
+            assert!(adv.on_timer(&mut stack, ctx, TimerToken(ADVERT_TIMER_BIT)));
+        });
+    }
+}

@@ -1,0 +1,184 @@
+//! The MHRP header (paper Figure 3).
+//!
+//! The header sits *between* the IP header and the transport header. Unlike
+//! IP-in-IP encapsulation, MHRP does not prepend a whole new IP header — it
+//! rewrites fields of the existing one and records what it displaced here:
+//!
+//! ```text
+//!  0        8        16                31
+//! +--------+--------+-----------------+
+//! | OrigPr | Count  | MHRP Checksum   |
+//! +--------+--------+-----------------+
+//! | IP Address of Mobile Host         |
+//! +-----------------------------------+
+//! | List of Previous IP Source        |
+//! |   Addresses for this Packet ...   |
+//! +-----------------------------------+
+//! ```
+//!
+//! * 8 octets when built by the original sender (empty list),
+//! * 12 octets when built by a home agent or another cache agent (one
+//!   entry: the original sender),
+//! * +4 octets per re-tunnel (paper §4.4).
+
+use std::net::Ipv4Addr;
+
+use ip::checksum::internet_checksum;
+use ip::PacketError;
+
+/// Fixed part of the MHRP header, in bytes.
+pub const MHRP_FIXED_LEN: usize = 8;
+
+/// The MHRP header carried inside an encapsulated packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MhrpHeader {
+    /// The IP protocol number the packet had before encapsulation.
+    pub orig_protocol: u8,
+    /// The mobile host the packet is ultimately for (the displaced IP
+    /// destination address).
+    pub mobile: Ipv4Addr,
+    /// Previous IP source addresses: the heads of earlier tunnels this
+    /// packet traversed. The first entry (when present) is the original
+    /// sender; each further entry is an out-of-date cache agent (§5.1).
+    pub prev_sources: Vec<Ipv4Addr>,
+}
+
+impl MhrpHeader {
+    /// Creates a header for a freshly encapsulated packet.
+    pub fn new(orig_protocol: u8, mobile: Ipv4Addr) -> MhrpHeader {
+        MhrpHeader { orig_protocol, mobile, prev_sources: Vec::new() }
+    }
+
+    /// Encoded size in bytes: 8 + 4 × count.
+    pub fn encoded_len(&self) -> usize {
+        MHRP_FIXED_LEN + 4 * self.prev_sources.len()
+    }
+
+    /// Encodes the header (checksum computed over the header bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list holds more than 255 addresses (the count field is
+    /// one octet; implementations impose far smaller caps, paper §4.4).
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.prev_sources.len() <= 255, "MHRP previous-source list exceeds 255");
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.push(self.orig_protocol);
+        buf.push(self.prev_sources.len() as u8);
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.mobile.octets());
+        for a in &self.prev_sources {
+            buf.extend_from_slice(&a.octets());
+        }
+        let ck = internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        buf
+    }
+
+    /// Decodes a header from the front of `buf`, returning it and the
+    /// number of bytes it occupied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError`] on truncation or checksum failure.
+    pub fn decode(buf: &[u8]) -> Result<(MhrpHeader, usize), PacketError> {
+        if buf.len() < MHRP_FIXED_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let count = usize::from(buf[1]);
+        let len = MHRP_FIXED_LEN + 4 * count;
+        if buf.len() < len {
+            return Err(PacketError::Truncated);
+        }
+        if internet_checksum(&buf[..len]) != 0 {
+            return Err(PacketError::BadChecksum);
+        }
+        let mobile = Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]);
+        let prev_sources = buf[MHRP_FIXED_LEN..len]
+            .chunks_exact(4)
+            .map(|c| Ipv4Addr::new(c[0], c[1], c[2], c[3]))
+            .collect();
+        Ok((MhrpHeader { orig_protocol: buf[0], mobile, prev_sources }, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    #[test]
+    fn sender_built_header_is_8_octets() {
+        // Paper §4.2: "the length of the constructed MHRP header is only
+        // 8 octets" when built by the original sender.
+        let h = MhrpHeader::new(17, a(7));
+        assert_eq!(h.encoded_len(), 8);
+        assert_eq!(h.encode().len(), 8);
+    }
+
+    #[test]
+    fn agent_built_header_is_12_octets() {
+        // Paper §4.2: one previous-source entry -> 12 octets.
+        let mut h = MhrpHeader::new(6, a(7));
+        h.prev_sources.push(a(1));
+        assert_eq!(h.encode().len(), 12);
+    }
+
+    #[test]
+    fn each_retunnel_adds_4_octets() {
+        // Paper §4.4: "The size of the MHRP header in the packet thus is
+        // increased by 4 bytes."
+        let mut h = MhrpHeader::new(6, a(7));
+        for i in 0..5 {
+            h.prev_sources.push(a(i));
+            assert_eq!(h.encoded_len(), 8 + 4 * (i as usize + 1));
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut h = MhrpHeader::new(17, a(7));
+        h.prev_sources = vec![a(1), a(2), a(3)];
+        let mut bytes = h.encode();
+        bytes.extend_from_slice(b"transport payload");
+        let (back, used) = MhrpHeader::decode(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(used, 20);
+        assert_eq!(&bytes[used..], b"transport payload");
+    }
+
+    #[test]
+    fn golden_bytes_match_figure_3_layout() {
+        // Figure 3: orig protocol, count, checksum, mobile host address,
+        // then the previous-source list.
+        let mut h = MhrpHeader::new(6, Ipv4Addr::new(192, 168, 1, 2));
+        h.prev_sources.push(Ipv4Addr::new(172, 16, 0, 1));
+        let bytes = h.encode();
+        assert_eq!(bytes[0], 6); // orig protocol = TCP
+        assert_eq!(bytes[1], 1); // count
+        assert_eq!(&bytes[4..8], &[192, 168, 1, 2]); // mobile host
+        assert_eq!(&bytes[8..12], &[172, 16, 0, 1]); // previous source
+        // Checksum verifies.
+        assert_eq!(internet_checksum(&bytes), 0);
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let h = MhrpHeader::new(17, a(7));
+        let mut bytes = h.encode();
+        bytes[4] ^= 0xff;
+        assert_eq!(MhrpHeader::decode(&bytes), Err(PacketError::BadChecksum));
+        assert_eq!(MhrpHeader::decode(&bytes[..5]), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn truncated_list_rejected() {
+        let mut h = MhrpHeader::new(17, a(7));
+        h.prev_sources = vec![a(1), a(2)];
+        let bytes = h.encode();
+        assert_eq!(MhrpHeader::decode(&bytes[..12]), Err(PacketError::Truncated));
+    }
+}

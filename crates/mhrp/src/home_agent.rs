@@ -1,0 +1,362 @@
+//! The home agent (paper §2, §3, §5.1, §5.2).
+//!
+//! The home agent lives on each mobile host's home network. It maintains
+//! the authoritative location database (mobile host → current foreign
+//! agent), intercepts packets transmitted on the home network for departed
+//! mobile hosts (via gratuitous/proxy ARP and address capture), tunnels
+//! them to the current foreign agent, and fans out location updates to
+//! every out-of-date cache agent named in an arriving packet's MHRP header.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ip::icmp::LocationUpdateCode;
+use ip::proto;
+use ip::ipv4::Ipv4Packet;
+use netsim::{Ctx, IfaceId};
+use netstack::IpStack;
+
+use crate::agent::CacheAgentCore;
+use crate::messages::ControlMessage;
+use crate::tunnel;
+
+/// The home-agent role state.
+#[derive(Debug)]
+pub struct HomeAgentCore {
+    /// The interface attached to the home network.
+    pub home_iface: IfaceId,
+    /// Replica home agents (§2: an organization "can replicate the home
+    /// agent function on several support hosts"); every binding change is
+    /// synced to them with [`ControlMessage::HaSync`].
+    pub replicas: Vec<Ipv4Addr>,
+    /// Interception style (§2 vs. §3 end): `false` uses gratuitous/proxy
+    /// ARP on the home segment; `true` relies on routing alone ("host-
+    /// specific routes") — correct when this node is the border router of
+    /// a routed home domain, where no other router ARPs for the mobile
+    /// host's address.
+    pub host_route_mode: bool,
+    /// Whether this agent is actively intercepting. A warm-standby
+    /// replica keeps a synced database but does not intercept until
+    /// [`HomeAgentCore::activate`].
+    active: bool,
+    /// Volatile location database: mobile host → current foreign agent.
+    /// Mobile hosts connected at home have no entry.
+    bindings: HashMap<Ipv4Addr, Ipv4Addr>,
+    /// Stable-storage copy surviving reboots (§2: "should also be recorded
+    /// on disk"), when enabled.
+    disk: Option<HashMap<Ipv4Addr, Ipv4Addr>>,
+}
+
+impl HomeAgentCore {
+    /// Creates an active home agent serving the network on `home_iface`.
+    /// `with_disk` enables the §2 stable-storage journal.
+    pub fn new(home_iface: IfaceId, with_disk: bool) -> HomeAgentCore {
+        HomeAgentCore {
+            home_iface,
+            replicas: Vec::new(),
+            host_route_mode: false,
+            active: true,
+            bindings: HashMap::new(),
+            disk: with_disk.then(HashMap::new),
+        }
+    }
+
+    /// Creates a warm-standby replica: it applies [`ControlMessage::HaSync`]
+    /// into its database but intercepts nothing until activated.
+    pub fn new_replica(home_iface: IfaceId, with_disk: bool) -> HomeAgentCore {
+        HomeAgentCore { active: false, ..HomeAgentCore::new(home_iface, with_disk) }
+    }
+
+    /// Whether this agent is actively intercepting.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Promotes a standby replica: arms interception for every binding in
+    /// the (synced) database.
+    pub fn activate(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        self.active = true;
+        ctx.stats().incr("mhrp.ha_activations");
+        let mobiles: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
+        for mobile in mobiles {
+            self.arm(stack, ctx, mobile);
+        }
+    }
+
+    /// Starts intercepting `mobile`'s packets.
+    fn arm(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, mobile: Ipv4Addr) {
+        stack.add_capture(mobile);
+        if !self.host_route_mode {
+            stack.arp.add_proxy(self.home_iface, mobile);
+            // §2: broadcast an ARP "reply" so home-network hosts map the
+            // mobile's IP to our hardware address (retransmitted once for
+            // reliability, as the paper suggests).
+            stack.send_gratuitous_arp(ctx, self.home_iface, mobile);
+            stack.send_gratuitous_arp(ctx, self.home_iface, mobile);
+        }
+    }
+
+    /// Stops intercepting `mobile`'s packets.
+    fn disarm(&mut self, stack: &mut IpStack, mobile: Ipv4Addr) {
+        stack.remove_capture(mobile);
+        stack.arp.remove_proxy(self.home_iface, mobile);
+    }
+
+    fn apply_binding(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        mobile: Ipv4Addr,
+        fa: Ipv4Addr,
+    ) {
+        if fa.is_unspecified() {
+            // §3: "a special foreign agent address of zero" = back home.
+            self.bindings.remove(&mobile);
+            self.disarm(stack, mobile);
+        } else {
+            self.bindings.insert(mobile, fa);
+            if self.active {
+                self.arm(stack, ctx, mobile);
+            }
+        }
+        if let Some(disk) = &mut self.disk {
+            disk.clone_from(&self.bindings);
+        }
+    }
+
+    /// The recorded foreign agent for `mobile` (None = at home).
+    pub fn binding(&self, mobile: Ipv4Addr) -> Option<Ipv4Addr> {
+        self.bindings.get(&mobile).copied()
+    }
+
+    /// Number of away mobile hosts (state-size metric, E07).
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Handles a registration control message addressed to this agent.
+    /// Returns `true` if the message was consumed.
+    pub fn on_control(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        src: Ipv4Addr,
+        msg: &ControlMessage,
+    ) -> bool {
+        let (mobile, fa, seq) = match *msg {
+            ControlMessage::HaRegister { mobile, fa, seq } => (mobile, fa, seq),
+            ControlMessage::HaSync { mobile, fa } => {
+                // §2 replication: apply a peer's binding change silently.
+                ctx.stats().incr("mhrp.ha_syncs_applied");
+                self.apply_binding(stack, ctx, mobile, fa);
+                return true;
+            }
+            _ => return false,
+        };
+        ctx.stats().incr("mhrp.ha_registrations");
+        self.apply_binding(stack, ctx, mobile, fa);
+        // §2: keep replicas' view of the database consistent.
+        let replicas = self.replicas.clone();
+        for replica in replicas {
+            let sync = ControlMessage::HaSync { mobile, fa };
+            stack.send_udp(
+                ctx,
+                replica,
+                crate::messages::MHRP_PORT,
+                crate::messages::MHRP_PORT,
+                sync.encode(),
+            );
+        }
+        let ack = ControlMessage::HaRegisterAck { mobile, seq };
+        let port = crate::messages::MHRP_PORT;
+        let datagram = ip::udp::UdpDatagram::new(port, port, ack.encode());
+        let self_addr = stack
+            .iface_addr(self.home_iface)
+            .map(|ia| ia.addr)
+            .unwrap_or_else(|| stack.primary_addr());
+        let ident = stack.next_ident();
+        let mut pkt = Ipv4Packet::new(self_addr, src, proto::UDP, datagram.encode())
+            .with_ident(ident);
+        // The ack's destination is the mobile host's home address: when the
+        // host is away that address is one *we* capture, so the ack must be
+        // tunneled to the foreign agent like any other packet for it.
+        if let Some(fa) = self.bindings.get(&src).copied() {
+            tunnel::encapsulate(&mut pkt, self_addr, fa, false);
+        }
+        stack.send(ctx, pkt);
+        true
+    }
+
+    /// Handles a packet intercepted on the home network for a departed
+    /// mobile host (delivered via the capture set). Implements §4.2
+    /// (encapsulate and tunnel), §6.1 (location update back to the
+    /// sender), §5.1 (update fan-out for tunneled-to-home packets) and
+    /// §5.2 (foreign agent recovery).
+    pub fn intercept(
+        &mut self,
+        ca: &mut CacheAgentCore,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        mut pkt: Ipv4Packet,
+    ) {
+        let mobile = pkt.dst;
+        let Some(fa) = self.bindings.get(&mobile).copied() else {
+            // Captured but no binding (stale capture): drop.
+            ctx.stats().incr("mhrp.ha_intercept_stale");
+            return;
+        };
+        if pkt.protocol == proto::MHRP {
+            // A packet tunneled to the mobile host's home address (§4.4):
+            // an old foreign agent had no forwarding pointer, or a loop
+            // was dissolved toward home.
+            let Ok((header, _)) = tunnel::parse(&pkt) else {
+                ctx.stats().incr("mhrp.ha_intercept_malformed");
+                return;
+            };
+            ctx.stats().incr("mhrp.ha_retunneled");
+            // §5.1/§5.2: update every node that already handled this
+            // packet — the previous-source list plus the current source.
+            let mut stale: Vec<Ipv4Addr> = header.prev_sources.clone();
+            stale.push(pkt.src);
+            let mut fa_already_handled = false;
+            for node in &stale {
+                if *node == fa {
+                    fa_already_handled = true;
+                }
+                ca.send_update(stack, ctx, *node, mobile, fa, LocationUpdateCode::Bind);
+            }
+            if fa_already_handled {
+                // §5.2: the packet already visited the current foreign
+                // agent (it rebooted and forgot the mobile host). Forwarding
+                // it back would loop; the location update we just sent lets
+                // the foreign agent recover, and we drop this packet.
+                ctx.stats().incr("mhrp.ha_dropped_fa_loop");
+                return;
+            }
+            let self_addr = stack
+                .iface_addr(self.home_iface)
+                .map(|ia| ia.addr)
+                .unwrap_or_else(|| stack.primary_addr());
+            match tunnel::retunnel_opts(&mut pkt, self_addr, fa, ca.max_prev_sources, ca.detect_loops) {
+                Ok(tunnel::Retunnel::Forward { truncation_updates }) => {
+                    ctx.stats().add("mhrp.overhead_bytes", 4);
+                    for node in truncation_updates {
+                        ca.send_update(stack, ctx, node, mobile, fa, LocationUpdateCode::Bind);
+                    }
+                    stack.forward(ctx, pkt);
+                }
+                Ok(tunnel::Retunnel::Loop { members }) => {
+                    ctx.stats().incr("mhrp.loops_detected");
+                    for node in members {
+                        ca.send_update(
+                            stack, ctx, node, mobile,
+                            Ipv4Addr::UNSPECIFIED,
+                            LocationUpdateCode::Purge,
+                        );
+                    }
+                }
+                Err(_) => ctx.stats().incr("mhrp.ha_intercept_malformed"),
+            }
+        } else {
+            // §4.2/§6.1: plain packet from a host with no (valid) cache:
+            // build the MHRP header, tunnel to the foreign agent, and tell
+            // the sender where the mobile host is.
+            ctx.stats().incr("mhrp.ha_tunneled");
+            ctx.stats().add("mhrp.overhead_bytes", 12);
+            let sender = pkt.src;
+            let self_addr = stack
+                .iface_addr(self.home_iface)
+                .map(|ia| ia.addr)
+                .unwrap_or_else(|| stack.primary_addr());
+            tunnel::encapsulate(&mut pkt, self_addr, fa, false);
+            ca.send_update(stack, ctx, sender, mobile, fa, LocationUpdateCode::Bind);
+            stack.forward(ctx, pkt);
+        }
+    }
+
+    /// Reboot: volatile state is lost; the database reloads from disk when
+    /// journaling is enabled (§2), otherwise every mobile host appears to
+    /// be at home until it re-registers. Stale interception from before
+    /// the crash is disarmed, then re-armed for every reloaded binding.
+    pub fn reboot(&mut self, stack: &mut IpStack) {
+        let stale: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
+        for mobile in stale {
+            self.disarm(stack, mobile);
+        }
+        match &self.disk {
+            Some(disk) => self.bindings.clone_from(disk),
+            None => self.bindings.clear(),
+        }
+        if self.active {
+            let reloaded: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
+            for mobile in reloaded {
+                stack.add_capture(mobile);
+                if !self.host_route_mode {
+                    stack.arp.add_proxy(self.home_iface, mobile);
+                }
+            }
+        }
+    }
+
+    /// Forcibly forgets every binding *and* the disk copy (test/failure
+    /// injection helper).
+    pub fn wipe(&mut self, stack: &mut IpStack) {
+        for (&mobile, _) in self.bindings.iter() {
+            stack.remove_capture(mobile);
+            stack.arp.remove_proxy(self.home_iface, mobile);
+        }
+        self.bindings.clear();
+        if let Some(disk) = &mut self.disk {
+            disk.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    #[test]
+    fn disk_survives_reboot_when_enabled() {
+        let mut stack = IpStack::new(true);
+        stack.add_iface(IfaceId(0), a(1), "10.0.0.0/24".parse().unwrap());
+        let mut ha = HomeAgentCore::new(IfaceId(0), true);
+        ha.bindings.insert(a(7), a(100));
+        if let Some(d) = &mut ha.disk {
+            d.insert(a(7), a(100));
+        }
+        ha.reboot(&mut stack);
+        assert_eq!(ha.binding(a(7)), Some(a(100)));
+        assert!(stack.is_captured(a(7)));
+        assert!(stack.arp.is_proxied(IfaceId(0), a(7)));
+    }
+
+    #[test]
+    fn no_disk_means_reboot_forgets() {
+        let mut stack = IpStack::new(true);
+        stack.add_iface(IfaceId(0), a(1), "10.0.0.0/24".parse().unwrap());
+        let mut ha = HomeAgentCore::new(IfaceId(0), false);
+        ha.bindings.insert(a(7), a(100));
+        ha.reboot(&mut stack);
+        assert_eq!(ha.binding(a(7)), None);
+        assert_eq!(ha.binding_count(), 0);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut stack = IpStack::new(true);
+        stack.add_iface(IfaceId(0), a(1), "10.0.0.0/24".parse().unwrap());
+        let mut ha = HomeAgentCore::new(IfaceId(0), true);
+        ha.bindings.insert(a(7), a(100));
+        stack.add_capture(a(7));
+        ha.wipe(&mut stack);
+        assert_eq!(ha.binding(a(7)), None);
+        assert!(!stack.is_captured(a(7)));
+        ha.reboot(&mut stack);
+        assert_eq!(ha.binding(a(7)), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! The registration/notification control protocol (paper §3).
+//!
+//! When a mobile host moves it must notify, in order: the new foreign
+//! agent, its home agent, and (if it did not explicitly disconnect) its old
+//! foreign agent. These notifications ride UDP on [`MHRP_PORT`]. The paper
+//! does not specify a wire format or reliability scheme; this reproduction
+//! uses the small TLV below with acknowledgment + retransmission
+//! (parameters in [`crate::config::MhrpConfig`]).
+
+use std::net::Ipv4Addr;
+
+use ip::PacketError;
+
+/// UDP port for MHRP registration traffic (the port IANA later assigned to
+/// Mobile IP; see DESIGN.md).
+pub const MHRP_PORT: u16 = 434;
+
+/// A control message between mobile hosts and agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// Mobile host → new foreign agent: serve me. Carries the home agent's
+    /// address so the FA could contact it if desired.
+    FaRegister {
+        /// The registering mobile host (its home address).
+        mobile: Ipv4Addr,
+        /// The mobile host's home agent.
+        home_agent: Ipv4Addr,
+    },
+    /// Foreign agent → mobile host: registration accepted.
+    FaRegisterAck {
+        /// The mobile host being acknowledged.
+        mobile: Ipv4Addr,
+    },
+    /// Mobile host → old foreign agent: I have left you. `new_fa` lets the
+    /// old agent keep a forwarding-pointer cache entry (§2); zero means
+    /// the host returned to its home network (no pointer, §6.3).
+    FaDeregister {
+        /// The departing mobile host.
+        mobile: Ipv4Addr,
+        /// Its new foreign agent, or 0.0.0.0.
+        new_fa: Ipv4Addr,
+    },
+    /// Old foreign agent → mobile host: deregistration processed.
+    FaDeregisterAck {
+        /// The mobile host being acknowledged.
+        mobile: Ipv4Addr,
+    },
+    /// Mobile host → home agent: my current foreign agent is `fa`
+    /// (0.0.0.0 = I am connected to my home network, §3).
+    HaRegister {
+        /// The registering mobile host.
+        mobile: Ipv4Addr,
+        /// The serving foreign agent, or 0.0.0.0 when home.
+        fa: Ipv4Addr,
+        /// Sequence number matching request to acknowledgment.
+        seq: u16,
+    },
+    /// Home agent → mobile host: location recorded.
+    HaRegisterAck {
+        /// The mobile host being acknowledged.
+        mobile: Ipv4Addr,
+        /// Echoed sequence number.
+        seq: u16,
+    },
+    /// Foreign agent → local broadcast after reboot: all visiting mobile
+    /// hosts should re-register (§5.2 state recovery).
+    FaRecoveryQuery,
+    /// Home agent → replica home agent: replicate this binding (§2:
+    /// organizations "can replicate the home agent function on several
+    /// support hosts", which "must cooperate to provide a consistent view
+    /// of the database"). `fa` of 0.0.0.0 means the binding was removed.
+    HaSync {
+        /// The mobile host whose binding changed.
+        mobile: Ipv4Addr,
+        /// Its new foreign agent, or 0.0.0.0 when back home.
+        fa: Ipv4Addr,
+    },
+}
+
+impl ControlMessage {
+    /// Encodes to the control-protocol TLV.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(12);
+        match self {
+            ControlMessage::FaRegister { mobile, home_agent } => {
+                buf.push(1);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&home_agent.octets());
+            }
+            ControlMessage::FaRegisterAck { mobile } => {
+                buf.push(2);
+                buf.extend_from_slice(&mobile.octets());
+            }
+            ControlMessage::FaDeregister { mobile, new_fa } => {
+                buf.push(3);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&new_fa.octets());
+            }
+            ControlMessage::FaDeregisterAck { mobile } => {
+                buf.push(4);
+                buf.extend_from_slice(&mobile.octets());
+            }
+            ControlMessage::HaRegister { mobile, fa, seq } => {
+                buf.push(5);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&fa.octets());
+                buf.extend_from_slice(&seq.to_be_bytes());
+            }
+            ControlMessage::HaRegisterAck { mobile, seq } => {
+                buf.push(6);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&seq.to_be_bytes());
+            }
+            ControlMessage::FaRecoveryQuery => buf.push(7),
+            ControlMessage::HaSync { mobile, fa } => {
+                buf.push(8);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&fa.octets());
+            }
+        }
+        buf
+    }
+
+    /// Decodes from control-protocol bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError`] on truncation or unknown message type.
+    pub fn decode(buf: &[u8]) -> Result<ControlMessage, PacketError> {
+        let (&ty, rest) = buf.split_first().ok_or(PacketError::Truncated)?;
+        let need = |n: usize| if rest.len() < n { Err(PacketError::Truncated) } else { Ok(()) };
+        let addr = |b: &[u8]| Ipv4Addr::new(b[0], b[1], b[2], b[3]);
+        Ok(match ty {
+            1 => {
+                need(8)?;
+                ControlMessage::FaRegister { mobile: addr(&rest[..4]), home_agent: addr(&rest[4..8]) }
+            }
+            2 => {
+                need(4)?;
+                ControlMessage::FaRegisterAck { mobile: addr(&rest[..4]) }
+            }
+            3 => {
+                need(8)?;
+                ControlMessage::FaDeregister { mobile: addr(&rest[..4]), new_fa: addr(&rest[4..8]) }
+            }
+            4 => {
+                need(4)?;
+                ControlMessage::FaDeregisterAck { mobile: addr(&rest[..4]) }
+            }
+            5 => {
+                need(10)?;
+                ControlMessage::HaRegister {
+                    mobile: addr(&rest[..4]),
+                    fa: addr(&rest[4..8]),
+                    seq: u16::from_be_bytes([rest[8], rest[9]]),
+                }
+            }
+            6 => {
+                need(6)?;
+                ControlMessage::HaRegisterAck {
+                    mobile: addr(&rest[..4]),
+                    seq: u16::from_be_bytes([rest[4], rest[5]]),
+                }
+            }
+            7 => ControlMessage::FaRecoveryQuery,
+            8 => {
+                need(8)?;
+                ControlMessage::HaSync { mobile: addr(&rest[..4]), fa: addr(&rest[4..8]) }
+            }
+            _ => return Err(PacketError::BadField("control message type")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let msgs = [
+            ControlMessage::FaRegister { mobile: a(1), home_agent: a(2) },
+            ControlMessage::FaRegisterAck { mobile: a(1) },
+            ControlMessage::FaDeregister { mobile: a(1), new_fa: a(3) },
+            ControlMessage::FaDeregister { mobile: a(1), new_fa: Ipv4Addr::UNSPECIFIED },
+            ControlMessage::FaDeregisterAck { mobile: a(1) },
+            ControlMessage::HaRegister { mobile: a(1), fa: a(3), seq: 99 },
+            ControlMessage::HaRegister { mobile: a(1), fa: Ipv4Addr::UNSPECIFIED, seq: 100 },
+            ControlMessage::HaRegisterAck { mobile: a(1), seq: 99 },
+            ControlMessage::FaRecoveryQuery,
+            ControlMessage::HaSync { mobile: a(1), fa: a(3) },
+            ControlMessage::HaSync { mobile: a(1), fa: Ipv4Addr::UNSPECIFIED },
+        ];
+        for m in msgs {
+            assert_eq!(ControlMessage::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(ControlMessage::decode(&[]), Err(PacketError::Truncated));
+        assert_eq!(ControlMessage::decode(&[1, 0, 0]), Err(PacketError::Truncated));
+        assert_eq!(
+            ControlMessage::decode(&[200]),
+            Err(PacketError::BadField("control message type"))
+        );
+    }
+}

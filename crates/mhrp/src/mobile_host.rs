@@ -1,0 +1,562 @@
+//! The mobile host (paper §2, §3, §6).
+//!
+//! A mobile host always uses its home IP address. While visiting a foreign
+//! network it points its default route at the serving foreign agent and
+//! runs the §3 notification sequence on every move: first the new foreign
+//! agent, then the home agent, then the old foreign agent. Returning home
+//! it registers "a special foreign agent address of zero" and repairs its
+//! neighbours' ARP caches with a gratuitous reply.
+//!
+//! The optional §2 mode where a mobile host *is its own foreign agent*
+//! (using a temporary address on the visited network) is supported via
+//! [`MobileHostCore::adopt_own_fa`].
+
+use std::net::Ipv4Addr;
+
+use ip::icmp::{AgentAdvertisement, LocationUpdateCode};
+use ip::ipv4::Ipv4Packet;
+use ip::Prefix;
+use netsim::time::SimTime;
+use netsim::{Ctx, IfaceId, LinkEvent, TimerToken};
+use netstack::route::NextHop;
+use netstack::IpStack;
+
+use crate::agent::CacheAgentCore;
+use crate::config::MhrpConfig;
+use crate::messages::{ControlMessage, MHRP_PORT};
+use crate::tunnel;
+
+/// Timer bit: registration retransmission sweep.
+pub const REG_TIMER_BIT: u64 = 1 << 60;
+/// Timer bit: advertisement watchdog (movement detection).
+pub const WATCH_TIMER_BIT: u64 = 1 << 59;
+/// Timer bit: delayed solicitation after (re)attachment.
+pub const SOLICIT_TIMER_BIT: u64 = 1 << 58;
+
+const REG_KIND_FA: u64 = 1;
+const REG_KIND_HA: u64 = 2;
+const REG_KIND_OLD_FA: u64 = 3;
+
+/// Where the mobile host currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// Connected to the home network.
+    Home,
+    /// Served by a foreign agent at this address.
+    Foreign(Ipv4Addr),
+    /// Acting as its own foreign agent with this temporary address (§2).
+    OwnFa(Ipv4Addr),
+    /// Detached / looking for an agent.
+    Searching,
+}
+
+/// Movement/registration counters for the experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MobilityStats {
+    /// Completed attachment changes.
+    pub moves: u64,
+    /// Home-agent registrations acknowledged.
+    pub ha_registrations_acked: u64,
+    /// Solicitations sent.
+    pub solicits_sent: u64,
+    /// Registrations abandoned after exhausting retries.
+    pub registrations_failed: u64,
+    /// Re-registrations triggered by a foreign agent recovery query (§5.2).
+    pub recovery_reregistrations: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    msg: ControlMessage,
+    dst: Ipv4Addr,
+    retries: u32,
+}
+
+/// The mobile-host protocol engine.
+#[derive(Debug)]
+pub struct MobileHostCore {
+    /// The host's permanent home address (§2: used everywhere, always).
+    pub home_addr: Ipv4Addr,
+    /// The home network prefix.
+    pub home_prefix: Prefix,
+    /// The home agent's address on the home network.
+    pub home_agent: Ipv4Addr,
+    /// The default gateway to use when at home.
+    pub home_gateway: Ipv4Addr,
+    /// The (single) network interface this host roams with.
+    pub iface: IfaceId,
+    /// Current attachment.
+    pub state: Attachment,
+    /// Observation counters.
+    pub stats: MobilityStats,
+    config: MhrpConfig,
+    old_fa: Option<Ipv4Addr>,
+    last_advert: Option<SimTime>,
+    reg_seq: u16,
+    pending_fa: Option<Pending>,
+    pending_ha: Option<Pending>,
+    pending_old_fa: Option<Pending>,
+}
+
+impl MobileHostCore {
+    /// Creates the engine. The host starts [`Attachment::Searching`];
+    /// call [`MobileHostCore::start`] from `Node::on_start` to attach at
+    /// home and arm the watchdog.
+    pub fn new(
+        iface: IfaceId,
+        home_addr: Ipv4Addr,
+        home_prefix: Prefix,
+        home_agent: Ipv4Addr,
+        home_gateway: Ipv4Addr,
+        config: MhrpConfig,
+    ) -> MobileHostCore {
+        MobileHostCore {
+            home_addr,
+            home_prefix,
+            home_agent,
+            home_gateway,
+            iface,
+            state: Attachment::Searching,
+            stats: MobilityStats::default(),
+            config,
+            old_fa: None,
+            last_advert: None,
+            reg_seq: 0,
+            pending_fa: None,
+            pending_ha: None,
+            pending_old_fa: None,
+        }
+    }
+
+    /// Attaches at home (no registration traffic — there is "no penalty
+    /// for a host being mobile capable", §1) and starts the watchdog.
+    pub fn start(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        self.configure_home_stack(stack);
+        self.state = Attachment::Home;
+        self.last_advert = Some(ctx.now());
+        ctx.set_timer(self.config.advertisement_interval, TimerToken(WATCH_TIMER_BIT));
+    }
+
+    fn configure_home_stack(&self, stack: &mut IpStack) {
+        stack.remove_capture(self.home_addr);
+        stack.remove_iface_binding(self.iface);
+        stack.add_iface(self.iface, self.home_addr, self.home_prefix);
+        stack.routes.remove(Prefix::default_route());
+        if !self.home_gateway.is_unspecified() {
+            stack.routes.add(
+                Prefix::default_route(),
+                NextHop::Gateway { iface: self.iface, via: self.home_gateway },
+            );
+        }
+    }
+
+    fn configure_foreign_stack(&self, stack: &mut IpStack, fa: Ipv4Addr) {
+        stack.remove_capture(self.home_addr);
+        stack.remove_iface_binding(self.iface);
+        // Keep the home address bound (we answer ARP for it on the foreign
+        // segment so the foreign agent can deliver to us) but drop the
+        // home connected route: every destination goes via the FA.
+        stack.add_iface(self.iface, self.home_addr, Prefix::host(self.home_addr));
+        stack.arp.clear_iface(self.iface);
+        stack.routes.remove(Prefix::default_route());
+        stack.routes.add(
+            Prefix::default_route(),
+            NextHop::Gateway { iface: self.iface, via: fa },
+        );
+    }
+
+    /// Processes an agent advertisement heard on the local network (§3).
+    pub fn on_advert(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, ad: &AgentAdvertisement) {
+        let now = ctx.now();
+        let from_home_agent = ad.agent == self.home_agent;
+        match self.state {
+            Attachment::Home => {
+                if from_home_agent {
+                    self.last_advert = Some(now);
+                }
+            }
+            Attachment::Foreign(fa) if ad.agent == fa => {
+                self.last_advert = Some(now);
+            }
+            Attachment::Foreign(_) | Attachment::OwnFa(_) | Attachment::Searching => {
+                // Hearing a *different* agent. Home agent wins outright;
+                // a new foreign agent is adopted immediately when we're
+                // searching or own-FA, and on overlap only once the old
+                // agent has gone quiet for an advertisement period.
+                if from_home_agent && ad.home {
+                    self.return_home(stack, ctx);
+                } else if ad.foreign {
+                    let switch = match self.state {
+                        Attachment::Searching | Attachment::OwnFa(_) => true,
+                        Attachment::Foreign(_) => self
+                            .last_advert
+                            .is_none_or(|t| now.since(t) > self.config.advertisement_interval),
+                        Attachment::Home => false,
+                    };
+                    if switch {
+                        self.move_to_foreign(stack, ctx, ad.agent);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles link attach/detach of the roaming interface.
+    pub fn on_link(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, event: LinkEvent) {
+        match event {
+            LinkEvent::Detached => {
+                // Implicit disconnection (§3): carried out of range; we
+                // could not notify anyone beforehand.
+                if let Attachment::Foreign(fa) = self.state {
+                    self.old_fa = Some(fa);
+                }
+                self.state = Attachment::Searching;
+                self.last_advert = None;
+                stack.arp.clear_iface(self.iface);
+            }
+            LinkEvent::Attached => {
+                // Ask for an agent rather than waiting a full period.
+                ctx.set_timer(
+                    self.config.advertisement_interval / 10,
+                    TimerToken(SOLICIT_TIMER_BIT),
+                );
+            }
+        }
+    }
+
+    /// Sends an agent solicitation (§3).
+    pub fn solicit(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        if !ctx.iface_attached(self.iface) {
+            return;
+        }
+        self.stats.solicits_sent += 1;
+        ctx.stats().incr("mhrp.solicits_sent");
+        let msg = ip::icmp::IcmpMessage::AgentSolicitation;
+        let ident = stack.next_ident();
+        let pkt = Ipv4Packet::new(
+            self.home_addr,
+            Ipv4Addr::BROADCAST,
+            ip::proto::ICMP,
+            msg.encode(),
+        )
+        .with_ident(ident)
+        .with_ttl(1);
+        stack.send_link_broadcast(ctx, self.iface, pkt);
+    }
+
+    /// Explicit planned disconnection (§3): notify the home agent first,
+    /// then the old foreign agent, before physically detaching.
+    pub fn explicit_disconnect(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        match self.state {
+            Attachment::Foreign(fa) => {
+                self.register_ha(stack, ctx, Ipv4Addr::UNSPECIFIED);
+                let msg =
+                    ControlMessage::FaDeregister { mobile: self.home_addr, new_fa: Ipv4Addr::UNSPECIFIED };
+                self.pending_old_fa = Some(Pending { msg, dst: fa, retries: 0 });
+                self.send_pending(stack, ctx, REG_KIND_OLD_FA);
+                self.old_fa = None;
+            }
+            Attachment::Home => {
+                self.register_ha(stack, ctx, Ipv4Addr::UNSPECIFIED);
+            }
+            _ => {}
+        }
+        self.state = Attachment::Searching;
+    }
+
+    fn move_to_foreign(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, fa: Ipv4Addr) {
+        if let Attachment::Foreign(prev) = self.state {
+            if prev == fa {
+                return;
+            }
+            self.old_fa = Some(prev);
+        }
+        ctx.stats().incr("mhrp.mh_moves");
+        self.stats.moves += 1;
+        self.configure_foreign_stack(stack, fa);
+        self.state = Attachment::Foreign(fa);
+        self.last_advert = Some(ctx.now());
+        // §3 ordering: new foreign agent first; the rest follows its ack.
+        let msg = ControlMessage::FaRegister { mobile: self.home_addr, home_agent: self.home_agent };
+        self.pending_fa = Some(Pending { msg, dst: fa, retries: 0 });
+        self.send_pending(stack, ctx, REG_KIND_FA);
+    }
+
+    fn return_home(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        if self.state == Attachment::Home {
+            return;
+        }
+        if let Attachment::Foreign(prev) = self.state {
+            self.old_fa = Some(prev);
+        }
+        ctx.stats().incr("mhrp.mh_returns_home");
+        self.stats.moves += 1;
+        self.configure_home_stack(stack);
+        self.state = Attachment::Home;
+        self.last_advert = Some(ctx.now());
+        // §2/§6.3: repair neighbour ARP caches (the home agent answered
+        // for us while we were away), twice for reliability.
+        stack.send_gratuitous_arp(ctx, self.iface, self.home_addr);
+        stack.send_gratuitous_arp(ctx, self.iface, self.home_addr);
+        // §3: register the zero foreign agent address with the home agent.
+        self.register_ha(stack, ctx, Ipv4Addr::UNSPECIFIED);
+    }
+
+    /// Adopts a temporary address and becomes its own foreign agent (§2,
+    /// optional). `temp`/`temp_prefix` come from whatever assignment
+    /// mechanism the visited network offers ("beyond the scope" of the
+    /// paper; scenarios hand one out), `gateway` is that network's router.
+    pub fn adopt_own_fa(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        temp: Ipv4Addr,
+        temp_prefix: Prefix,
+        gateway: Ipv4Addr,
+    ) {
+        if let Attachment::Foreign(prev) = self.state {
+            self.old_fa = Some(prev);
+        }
+        ctx.stats().incr("mhrp.mh_own_fa");
+        self.stats.moves += 1;
+        stack.remove_iface_binding(self.iface);
+        stack.add_iface(self.iface, temp, temp_prefix);
+        // Tunneled packets arrive addressed to `temp`; the inner packets
+        // are for our home address, which we capture.
+        stack.add_capture(self.home_addr);
+        stack.arp.clear_iface(self.iface);
+        stack.routes.remove(Prefix::default_route());
+        stack.routes.add(
+            Prefix::default_route(),
+            NextHop::Gateway { iface: self.iface, via: gateway },
+        );
+        self.state = Attachment::OwnFa(temp);
+        self.last_advert = Some(ctx.now());
+        self.register_ha(stack, ctx, temp);
+    }
+
+    /// Notifies the previous foreign agent of the move (§3's final step),
+    /// handing it the new agent's address for a §2 forwarding pointer.
+    fn notify_old_fa(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        let Some(old) = self.old_fa.take() else { return };
+        let new_fa = match self.state {
+            Attachment::Foreign(fa) => fa,
+            Attachment::OwnFa(t) => t,
+            _ => Ipv4Addr::UNSPECIFIED,
+        };
+        if old != new_fa {
+            let m = ControlMessage::FaDeregister { mobile: self.home_addr, new_fa };
+            self.pending_old_fa = Some(Pending { msg: m, dst: old, retries: 0 });
+            self.send_pending(stack, ctx, REG_KIND_OLD_FA);
+        }
+    }
+
+    fn register_ha(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, fa: Ipv4Addr) {
+        self.reg_seq = self.reg_seq.wrapping_add(1);
+        let msg = ControlMessage::HaRegister { mobile: self.home_addr, fa, seq: self.reg_seq };
+        self.pending_ha = Some(Pending { msg, dst: self.home_agent, retries: 0 });
+        self.send_pending(stack, ctx, REG_KIND_HA);
+    }
+
+    fn send_pending(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, kind: u64) {
+        let pending = match kind {
+            REG_KIND_FA => self.pending_fa,
+            REG_KIND_HA => self.pending_ha,
+            _ => self.pending_old_fa,
+        };
+        let Some(p) = pending else { return };
+        ctx.stats().incr("mhrp.registration_msgs_sent");
+        // Control traffic is sourced from the home address like all our
+        // traffic (§2: the mobile host "always uses only its home address").
+        let datagram = ip::udp::UdpDatagram::new(MHRP_PORT, MHRP_PORT, p.msg.encode());
+        let ident = stack.next_ident();
+        let pkt = Ipv4Packet::new(self.home_addr, p.dst, ip::proto::UDP, datagram.encode())
+            .with_ident(ident);
+        stack.send(ctx, pkt);
+        ctx.set_timer(self.config.registration_retry, TimerToken(REG_TIMER_BIT | kind));
+    }
+
+    /// Handles MHRP timers. Returns `true` if the token was ours.
+    pub fn on_timer(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, token: TimerToken) -> bool {
+        if token.0 & REG_TIMER_BIT != 0 {
+            let kind = token.0 & 0x3;
+            let slot = match kind {
+                REG_KIND_FA => &mut self.pending_fa,
+                REG_KIND_HA => &mut self.pending_ha,
+                _ => &mut self.pending_old_fa,
+            };
+            if let Some(p) = slot {
+                if p.retries >= self.config.registration_max_retries {
+                    *slot = None;
+                    self.stats.registrations_failed += 1;
+                    ctx.stats().incr("mhrp.registrations_failed");
+                    if kind == REG_KIND_HA {
+                        // §3 gates the old-FA notification on the home
+                        // agent's ack; when the home agent is unreachable
+                        // we notify the old foreign agent anyway, so its
+                        // §2 forwarding pointer can bridge the outage.
+                        self.notify_old_fa(stack, ctx);
+                    }
+                } else {
+                    p.retries += 1;
+                    self.send_pending(stack, ctx, kind);
+                }
+            }
+            return true;
+        }
+        if token.0 & WATCH_TIMER_BIT != 0 {
+            // Movement detection (§3): no advertisement from our agent for
+            // `advertisement_loss_tolerance` periods means we have moved.
+            let tolerance = self.config.advertisement_interval
+                * u64::from(self.config.advertisement_loss_tolerance);
+            let stale = self
+                .last_advert
+                .is_none_or(|t| ctx.now().since(t) > tolerance);
+            if stale && !matches!(self.state, Attachment::Searching) {
+                ctx.stats().incr("mhrp.mh_agent_lost");
+                if let Attachment::Foreign(fa) = self.state {
+                    self.old_fa = Some(fa);
+                }
+                self.state = Attachment::Searching;
+                self.solicit(stack, ctx);
+            }
+            ctx.set_timer(self.config.advertisement_interval, TimerToken(WATCH_TIMER_BIT));
+            return true;
+        }
+        if token.0 & SOLICIT_TIMER_BIT != 0 {
+            if matches!(self.state, Attachment::Searching) {
+                self.solicit(stack, ctx);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Handles a registration control message addressed to us (acks and
+    /// recovery queries). Returns `true` if consumed.
+    pub fn on_control(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        msg: &ControlMessage,
+    ) -> bool {
+        match *msg {
+            ControlMessage::FaRegisterAck { mobile } if mobile == self.home_addr => {
+                if self.pending_fa.take().is_some() {
+                    // §3: the new foreign agent is registered; now notify
+                    // the home agent.
+                    if let Attachment::Foreign(fa) = self.state {
+                        self.register_ha(stack, ctx, fa);
+                    }
+                }
+                true
+            }
+            ControlMessage::HaRegisterAck { mobile, seq } if mobile == self.home_addr => {
+                if let Some(p) = self.pending_ha {
+                    if matches!(p.msg, ControlMessage::HaRegister { seq: s, .. } if s == seq) {
+                        self.pending_ha = None;
+                        self.stats.ha_registrations_acked += 1;
+                        // §3: finally notify the old foreign agent (unless
+                        // we already explicitly disconnected from it).
+                        self.notify_old_fa(stack, ctx);
+                    }
+                }
+                true
+            }
+            ControlMessage::FaDeregisterAck { mobile } if mobile == self.home_addr => {
+                self.pending_old_fa = None;
+                true
+            }
+            ControlMessage::FaRecoveryQuery => {
+                // §5.2: our foreign agent rebooted; re-register with it.
+                if let Attachment::Foreign(fa) = self.state {
+                    self.stats.recovery_reregistrations += 1;
+                    ctx.stats().incr("mhrp.mh_recovery_reregs");
+                    let m = ControlMessage::FaRegister {
+                        mobile: self.home_addr,
+                        home_agent: self.home_agent,
+                    };
+                    self.pending_fa = Some(Pending { msg: m, dst: fa, retries: 0 });
+                    self.send_pending(stack, ctx, REG_KIND_FA);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Handles an MHRP-encapsulated packet delivered to this host: either
+    /// we are at home and a stale cache somewhere tunneled it here (§6.3),
+    /// or we are our own foreign agent (§2). Decapsulates, updates the
+    /// stale cache agents, and returns the inner packet for normal local
+    /// delivery.
+    pub fn handle_mhrp_delivery(
+        &mut self,
+        ca: &mut CacheAgentCore,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        mut pkt: Ipv4Packet,
+    ) -> Option<Ipv4Packet> {
+        let outer_src = pkt.src;
+        let header = match tunnel::decapsulate(&mut pkt) {
+            Ok(h) => h,
+            Err(_) => {
+                ctx.stats().incr("mhrp.mh_malformed");
+                return None;
+            }
+        };
+        if header.mobile != self.home_addr {
+            ctx.stats().incr("mhrp.mh_not_for_us");
+            return None;
+        }
+        // §6.3: tell everyone who handled this packet where we really are.
+        let (fa, code) = match self.state {
+            Attachment::Home => (Ipv4Addr::UNSPECIFIED, LocationUpdateCode::AtHome),
+            Attachment::OwnFa(temp) => (temp, LocationUpdateCode::Bind),
+            Attachment::Foreign(fa) => (fa, LocationUpdateCode::Bind),
+            Attachment::Searching => (Ipv4Addr::UNSPECIFIED, LocationUpdateCode::AtHome),
+        };
+        let mut targets = header.prev_sources.clone();
+        targets.push(outer_src);
+        for t in targets {
+            ca.send_update(stack, ctx, t, self.home_addr, fa, code);
+        }
+        ctx.stats().incr("mhrp.mh_decapsulated");
+        Some(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_bits_are_disjoint() {
+        let bits = [
+            REG_TIMER_BIT,
+            WATCH_TIMER_BIT,
+            SOLICIT_TIMER_BIT,
+            crate::discovery::ADVERT_TIMER_BIT,
+            netstack::STACK_TIMER_BIT,
+        ];
+        for (i, a) in bits.iter().enumerate() {
+            for b in bits.iter().skip(i + 1) {
+                assert_eq!(a & b, 0, "timer namespaces overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_is_searching_until_started() {
+        let core = MobileHostCore::new(
+            IfaceId(0),
+            Ipv4Addr::new(10, 1, 0, 7),
+            "10.1.0.0/24".parse().unwrap(),
+            Ipv4Addr::new(10, 1, 0, 1),
+            Ipv4Addr::new(10, 1, 0, 1),
+            MhrpConfig::default(),
+        );
+        assert_eq!(core.state, Attachment::Searching);
+        assert_eq!(core.stats.moves, 0);
+    }
+}

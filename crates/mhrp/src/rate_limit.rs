@@ -1,0 +1,114 @@
+//! Per-destination rate limiting of location updates (paper §4.3).
+//!
+//! "Any host or router that sends location update messages must provide
+//! some mechanism for limiting the rate at which it sends these messages to
+//! any single IP address. For example, a list could be maintained giving
+//! the IP addresses to which updates have been sent and the time at which
+//! an update was last sent to each address. This stored time ... could also
+//! be used to implement LRU replacement of the entries within the list."
+//!
+//! [`UpdateRateLimiter`] is exactly that list.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netsim::time::{SimDuration, SimTime};
+
+/// The §4.3 per-destination update limiter.
+#[derive(Debug)]
+pub struct UpdateRateLimiter {
+    min_interval: SimDuration,
+    capacity: usize,
+    last_sent: HashMap<Ipv4Addr, SimTime>,
+}
+
+impl UpdateRateLimiter {
+    /// Creates a limiter allowing one update per `min_interval` per
+    /// destination, remembering at most `capacity` destinations (LRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(min_interval: SimDuration, capacity: usize) -> UpdateRateLimiter {
+        assert!(capacity > 0, "rate limiter capacity must be positive");
+        UpdateRateLimiter { min_interval, capacity, last_sent: HashMap::new() }
+    }
+
+    /// Returns `true` (and records the send) if an update to `dst` is
+    /// allowed now; `false` if it would exceed the rate.
+    pub fn allow(&mut self, dst: Ipv4Addr, now: SimTime) -> bool {
+        if let Some(&last) = self.last_sent.get(&dst) {
+            if now.since(last) < self.min_interval {
+                return false;
+            }
+        }
+        if !self.last_sent.contains_key(&dst) && self.last_sent.len() >= self.capacity {
+            // LRU replacement keyed by the stored send time, per the paper.
+            if let Some((&victim, _)) = self.last_sent.iter().min_by_key(|(_, &t)| t) {
+                self.last_sent.remove(&victim);
+            }
+        }
+        self.last_sent.insert(dst, now);
+        true
+    }
+
+    /// Number of tracked destinations.
+    pub fn len(&self) -> usize {
+        self.last_sent.len()
+    }
+
+    /// Whether no destination is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.last_sent.is_empty()
+    }
+
+    /// Forgets all history (reboot).
+    pub fn clear(&mut self) {
+        self.last_sent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn enforces_min_interval_per_destination() {
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_millis(100), 8);
+        assert!(rl.allow(a(1), t(0)));
+        assert!(!rl.allow(a(1), t(50)));
+        assert!(rl.allow(a(1), t(100)));
+        // Independent destination unaffected.
+        assert!(rl.allow(a(2), t(50)));
+    }
+
+    #[test]
+    fn lru_eviction_forgets_oldest() {
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_secs(10), 2);
+        assert!(rl.allow(a(1), t(0)));
+        assert!(rl.allow(a(2), t(1)));
+        // a(3) evicts a(1) (oldest send time).
+        assert!(rl.allow(a(3), t(2)));
+        assert_eq!(rl.len(), 2);
+        // a(1) was forgotten, so it is allowed again immediately — the
+        // trade-off the paper accepts for a bounded list.
+        assert!(rl.allow(a(1), t(3)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_secs(10), 2);
+        rl.allow(a(1), t(0));
+        rl.clear();
+        assert!(rl.is_empty());
+        assert!(rl.allow(a(1), t(1)));
+    }
+}

@@ -1,0 +1,545 @@
+//! Packet transformations: encapsulation, re-tunneling, decapsulation
+//! (paper §4), the previous-source-list truncation rule (§4.4), forwarding
+//! loop detection (§5.3), and the ICMP error reverse path (§4.5).
+//!
+//! These are pure functions over [`Ipv4Packet`]s so every rule can be
+//! tested without a simulator; the agent node types in
+//! [`crate::nodes`] apply them and perform the side effects (sending
+//! location updates, forwarding, dropping).
+
+use std::net::Ipv4Addr;
+
+use ip::ipv4::Ipv4Packet;
+use ip::{proto, PacketError};
+
+use crate::header::{MhrpHeader, MHRP_FIXED_LEN};
+
+/// Parses the MHRP header of an encapsulated packet, returning it and the
+/// offset of the transport payload within `pkt.payload`.
+///
+/// # Errors
+///
+/// Returns [`PacketError`] if the packet is not MHRP or the header is
+/// malformed.
+pub fn parse(pkt: &Ipv4Packet) -> Result<(MhrpHeader, usize), PacketError> {
+    if pkt.protocol != proto::MHRP {
+        return Err(PacketError::BadField("protocol is not MHRP"));
+    }
+    MhrpHeader::decode(&pkt.payload)
+}
+
+/// Initial encapsulation (§4.2): inserts the MHRP header and rewrites the
+/// IP header in place, addressing the packet to `fa`.
+///
+/// * `agent` — the node building the header (home agent or cache agent).
+/// * `by_original_sender` — when the sender itself is the cache agent, the
+///   previous-source list stays empty (8-octet header) and the IP source
+///   address is left alone; otherwise the original source is pushed onto
+///   the list (12-octet header) and the IP source becomes `agent`.
+///
+/// # Panics
+///
+/// Panics (debug) if the packet is already MHRP: initial encapsulation of
+/// an encapsulated packet would corrupt it — use [`retunnel`].
+pub fn encapsulate(pkt: &mut Ipv4Packet, agent: Ipv4Addr, fa: Ipv4Addr, by_original_sender: bool) {
+    debug_assert_ne!(pkt.protocol, proto::MHRP, "already encapsulated; use retunnel");
+    let mut header = MhrpHeader::new(pkt.protocol, pkt.dst);
+    if !by_original_sender {
+        header.prev_sources.push(pkt.src);
+        pkt.src = agent;
+    }
+    pkt.protocol = proto::MHRP;
+    pkt.dst = fa;
+    let mut payload = header.encode();
+    payload.extend_from_slice(&pkt.payload);
+    pkt.payload = payload;
+}
+
+/// Decapsulation at the correct foreign agent (§4.4): strips the MHRP
+/// header and reconstructs the original IP header. Returns the stripped
+/// header (whose `prev_sources` the agent must send location updates to,
+/// per §5.1).
+///
+/// The original source address is recovered from the first previous-source
+/// entry when present (it is the original sender unless the list was
+/// truncated en route, §4.4); a sender-built tunnel keeps its IP source
+/// untouched throughout, so nothing needs recovering.
+///
+/// # Errors
+///
+/// Returns [`PacketError`] if the packet is not a valid MHRP packet.
+pub fn decapsulate(pkt: &mut Ipv4Packet) -> Result<MhrpHeader, PacketError> {
+    let (header, used) = parse(pkt)?;
+    pkt.protocol = header.orig_protocol;
+    pkt.dst = header.mobile;
+    if let Some(&orig_src) = header.prev_sources.first() {
+        pkt.src = orig_src;
+    }
+    pkt.payload.drain(..used);
+    Ok(header)
+}
+
+/// The outcome of [`retunnel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Retunnel {
+    /// The packet was rewritten toward the new destination and should be
+    /// forwarded. `truncation_updates` is non-empty when the
+    /// previous-source list overflowed (§4.4): the caller must send each
+    /// listed node a location update pointing at the tunnel target.
+    Forward {
+        /// Out-of-date cache agents flushed from the truncated list.
+        truncation_updates: Vec<Ipv4Addr>,
+    },
+    /// `self_addr` was already on the previous-source list: a forwarding
+    /// loop (§5.3). The caller must send purge updates to every `member`
+    /// and then drop the packet (or tunnel it to the home network, per
+    /// configuration).
+    Loop {
+        /// Every node implicated in the loop.
+        members: Vec<Ipv4Addr>,
+    },
+}
+
+/// Re-tunnels an already-encapsulated packet at `self_addr` (an old
+/// foreign agent or cache agent) toward `new_dst` (§4.4):
+///
+/// 1. loop check: if `self_addr` already appears on the previous-source
+///    list, report [`Retunnel::Loop`] and leave the packet untouched;
+/// 2. append the current IP source (the previous tunnel head) to the list,
+///    running the truncation procedure if it is at `max_list` entries;
+/// 3. set the IP source to `self_addr` and the destination to `new_dst`.
+///
+/// # Errors
+///
+/// Returns [`PacketError`] if the packet is not a valid MHRP packet.
+pub fn retunnel(
+    pkt: &mut Ipv4Packet,
+    self_addr: Ipv4Addr,
+    new_dst: Ipv4Addr,
+    max_list: usize,
+) -> Result<Retunnel, PacketError> {
+    retunnel_opts(pkt, self_addr, new_dst, max_list, true)
+}
+
+/// [`retunnel`] with loop detection made optional. Disabling it models
+/// the pre-MHRP world where only the IP TTL breaks forwarding loops — the
+/// contrast experiment E05 runs (§5.3's congestion argument).
+pub fn retunnel_opts(
+    pkt: &mut Ipv4Packet,
+    self_addr: Ipv4Addr,
+    new_dst: Ipv4Addr,
+    max_list: usize,
+    detect_loops: bool,
+) -> Result<Retunnel, PacketError> {
+    let (mut header, used) = parse(pkt)?;
+    if detect_loops && header.prev_sources.contains(&self_addr) {
+        return Ok(Retunnel::Loop { members: header.prev_sources });
+    }
+    let mut truncation_updates = Vec::new();
+    if header.prev_sources.len() >= max_list {
+        // §4.4: update every listed node and reset the list. One
+        // refinement over the paper's text: the *first* entry is the
+        // displaced original IP source address (§4.2), which the correct
+        // foreign agent needs to reconstruct the packet — flushing it
+        // would corrupt the delivered packet's source. We therefore keep
+        // entry 0 and flush the rest (with a cap of 1 nothing can be
+        // flushed, so no further head is recorded either).
+        if header.prev_sources.len() > 1 {
+            truncation_updates = header.prev_sources.split_off(1);
+        }
+    }
+    if header.prev_sources.len() < max_list {
+        header.prev_sources.push(pkt.src);
+    }
+    pkt.src = self_addr;
+    pkt.dst = new_dst;
+    let mut payload = header.encode();
+    payload.extend_from_slice(&pkt.payload[used..]);
+    pkt.payload = payload;
+    Ok(Retunnel::Forward { truncation_updates })
+}
+
+/// A leniently parsed IP header prefix, for the (possibly truncated)
+/// packet copy inside an ICMP error (§4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialPacket {
+    /// IP source of the copied packet.
+    pub src: Ipv4Addr,
+    /// IP destination of the copied packet.
+    pub dst: Ipv4Addr,
+    /// IP protocol of the copied packet.
+    pub protocol: u8,
+    /// Whatever payload bytes the error carried.
+    pub payload: Vec<u8>,
+}
+
+/// Parses as much of an IP packet as `bytes` contains, without requiring
+/// the full datagram (ICMP errors usually carry only a prefix).
+pub fn parse_partial(bytes: &[u8]) -> Option<PartialPacket> {
+    if bytes.len() < 20 || bytes[0] >> 4 != 4 {
+        return None;
+    }
+    let header_len = usize::from(bytes[0] & 0x0f) * 4;
+    if header_len < 20 || bytes.len() < header_len {
+        return None;
+    }
+    Some(PartialPacket {
+        src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+        dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+        protocol: bytes[9],
+        payload: bytes[header_len..].to_vec(),
+    })
+}
+
+/// The outcome of reversing one tunnel hop of a returned ICMP error
+/// (§4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorReverse {
+    /// Resend the (rewritten) ICMP error to `next`, carrying
+    /// `rebuilt_original` as the packet copy, about mobile host `mobile`.
+    Resend {
+        /// The previous tunnel head (or the original sender).
+        next: Ipv4Addr,
+        /// The packet copy as it looked before this node tunneled it.
+        rebuilt_original: Vec<u8>,
+        /// The mobile host the errored packet was for.
+        mobile: Ipv4Addr,
+    },
+    /// This node was the original sender (sender-built tunnel): the error
+    /// terminates here, rewritten back to the pre-encapsulation packet.
+    Local {
+        /// The packet copy restored to its original, un-tunneled form.
+        rebuilt_original: Vec<u8>,
+        /// The mobile host the errored packet was for.
+        mobile: Ipv4Addr,
+    },
+    /// The error carried too little of the packet to reverse (§4.5: less
+    /// than the MHRP header plus 8 bytes): all the agent can do is purge
+    /// its cache entry for `mobile` (when identifiable) and drop.
+    Insufficient {
+        /// The mobile host, when at least that much could be parsed.
+        mobile: Option<Ipv4Addr>,
+    },
+}
+
+/// Reverses the changes this node (`self_addr`) made to a packet whose
+/// copy came back inside an ICMP error (§4.5).
+///
+/// The copied packet's IP source must be `self_addr` (the error was
+/// addressed to the head of the most recent tunnel — us).
+pub fn reverse_icmp_original(original: &[u8], self_addr: Ipv4Addr) -> ErrorReverse {
+    let Some(partial) = parse_partial(original) else {
+        return ErrorReverse::Insufficient { mobile: None };
+    };
+    if partial.protocol != proto::MHRP {
+        return ErrorReverse::Insufficient { mobile: None };
+    }
+    let Ok((header, used)) = MhrpHeader::decode(&partial.payload) else {
+        return ErrorReverse::Insufficient { mobile: None };
+    };
+    let mobile = header.mobile;
+    // §4.5: we need the whole MHRP header plus 8 bytes of transport to
+    // forward the error meaningfully.
+    if partial.payload.len() < used + 8 {
+        return ErrorReverse::Insufficient { mobile: Some(mobile) };
+    }
+    let transport = &partial.payload[used..];
+    let _ = MHRP_FIXED_LEN;
+    let mut prev = header.prev_sources.clone();
+    match prev.len() {
+        0 => {
+            // Sender-built tunnel: restore the plain packet; error is ours.
+            let rebuilt = Ipv4Packet::new(partial.src, mobile, header.orig_protocol,
+                transport.to_vec());
+            ErrorReverse::Local { rebuilt_original: rebuilt.encode(), mobile }
+        }
+        1 => {
+            // We built the header from a plain packet: restore it and send
+            // the error to the original sender.
+            let sender = prev[0];
+            let rebuilt =
+                Ipv4Packet::new(sender, mobile, header.orig_protocol, transport.to_vec());
+            ErrorReverse::Resend { next: sender, rebuilt_original: rebuilt.encode(), mobile }
+        }
+        _ => {
+            // We re-tunneled: pop ourselves off, restore the previous head
+            // as source and ourselves as destination.
+            let previous_head = prev.pop().expect("len >= 2");
+            let inner = MhrpHeader {
+                orig_protocol: header.orig_protocol,
+                mobile,
+                prev_sources: prev,
+            };
+            let mut payload = inner.encode();
+            payload.extend_from_slice(transport);
+            let rebuilt = Ipv4Packet::new(previous_head, self_addr, proto::MHRP, payload);
+            ErrorReverse::Resend {
+                next: previous_head,
+                rebuilt_original: rebuilt.encode(),
+                mobile,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn plain_packet() -> Ipv4Packet {
+        Ipv4Packet::new(a(1), a(7), proto::UDP, b"12345678payload".to_vec()).with_ttl(60)
+    }
+
+    #[test]
+    fn sender_encapsulation_adds_8_bytes_and_keeps_src() {
+        // §4.2 / §7: "MHRP normally adds only 8 bytes".
+        let mut pkt = plain_packet();
+        let before = pkt.wire_len();
+        encapsulate(&mut pkt, a(1), a(100), true);
+        assert_eq!(pkt.wire_len(), before + 8);
+        assert_eq!(pkt.src, a(1));
+        assert_eq!(pkt.dst, a(100));
+        assert_eq!(pkt.protocol, proto::MHRP);
+    }
+
+    #[test]
+    fn agent_encapsulation_adds_12_bytes_and_rewrites_src() {
+        // §4.2 / §7: "(or 12 bytes)" when built by an agent.
+        let mut pkt = plain_packet();
+        let before = pkt.wire_len();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        assert_eq!(pkt.wire_len(), before + 12);
+        assert_eq!(pkt.src, a(50));
+        let (h, _) = parse(&pkt).unwrap();
+        assert_eq!(h.prev_sources, vec![a(1)]);
+        assert_eq!(h.mobile, a(7));
+        assert_eq!(h.orig_protocol, proto::UDP);
+    }
+
+    #[test]
+    fn encap_decap_round_trip_restores_original() {
+        let original = plain_packet();
+        let mut pkt = original.clone();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        let header = decapsulate(&mut pkt).unwrap();
+        assert_eq!(pkt.src, original.src);
+        assert_eq!(pkt.dst, original.dst);
+        assert_eq!(pkt.protocol, original.protocol);
+        assert_eq!(pkt.payload, original.payload);
+        assert_eq!(header.prev_sources, vec![a(1)]);
+    }
+
+    #[test]
+    fn sender_built_decap_keeps_sender_src() {
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(1), a(100), true);
+        decapsulate(&mut pkt).unwrap();
+        assert_eq!(pkt.src, a(1));
+        assert_eq!(pkt.dst, a(7));
+    }
+
+    #[test]
+    fn retunnel_rewrites_addresses_and_grows_list() {
+        // §4.4's three rewrite steps.
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false); // head=50, dst=100
+        let r = retunnel(&mut pkt, a(100), a(101), 8).unwrap();
+        assert_eq!(r, Retunnel::Forward { truncation_updates: vec![] });
+        assert_eq!(pkt.src, a(100)); // our own address
+        assert_eq!(pkt.dst, a(101)); // the new foreign agent
+        let (h, _) = parse(&pkt).unwrap();
+        assert_eq!(h.prev_sources, vec![a(1), a(50)]);
+    }
+
+    #[test]
+    fn retunnel_adds_4_bytes_each_time() {
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        let mut prev_len = pkt.wire_len();
+        for hop in 0..4u8 {
+            retunnel(&mut pkt, a(100 + hop), a(101 + hop), 8).unwrap();
+            assert_eq!(pkt.wire_len(), prev_len + 4);
+            prev_len = pkt.wire_len();
+        }
+    }
+
+    #[test]
+    fn truncation_flushes_list_and_reports_updates() {
+        // §4.4: at max length, update the listed agents and reset — but
+        // the original sender (entry 0, the displaced IP source) stays,
+        // or the correct FA could no longer reconstruct the packet.
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        retunnel(&mut pkt, a(100), a(101), 2).unwrap(); // list [1, 50]
+        let r = retunnel(&mut pkt, a(101), a(102), 2).unwrap(); // list full
+        match r {
+            Retunnel::Forward { truncation_updates } => {
+                assert_eq!(truncation_updates, vec![a(50)]);
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+        let (h, _) = parse(&pkt).unwrap();
+        // Original sender kept, previous tunnel head appended.
+        assert_eq!(h.prev_sources, vec![a(1), a(100)]);
+    }
+
+    #[test]
+    fn truncation_with_cap_one_preserves_sender_and_stops_recording() {
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false); // list [1]
+        let r = retunnel(&mut pkt, a(100), a(101), 1).unwrap();
+        assert_eq!(r, Retunnel::Forward { truncation_updates: vec![] });
+        let (h, _) = parse(&pkt).unwrap();
+        assert_eq!(h.prev_sources, vec![a(1)], "sender slot must survive");
+        // Decapsulation still reconstructs the true original source.
+        decapsulate(&mut pkt).unwrap();
+        assert_eq!(pkt.src, a(1));
+        assert_eq!(pkt.dst, a(7));
+    }
+
+    #[test]
+    fn loop_detected_when_self_in_list() {
+        // §5.3: a node sees its own address on the list.
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        retunnel(&mut pkt, a(100), a(101), 8).unwrap();
+        retunnel(&mut pkt, a(101), a(100), 8).unwrap(); // back toward 100
+        let before = pkt.clone();
+        let r = retunnel(&mut pkt, a(100), a(101), 8).unwrap();
+        assert_eq!(r, Retunnel::Loop { members: vec![a(1), a(50), a(100)] });
+        // Packet untouched on loop detection.
+        assert_eq!(pkt, before);
+    }
+
+    #[test]
+    fn loop_contraction_with_truncated_list() {
+        // §5.3: detection is guaranteed once the recorded window (the cap
+        // minus the preserved sender slot) covers a full cycle of the
+        // loop. For *smaller* caps the loop is caught only after the
+        // truncation updates re-point loop members — that contraction
+        // needs live caches and is exercised by experiment E05.
+        let loop_nodes = [a(100), a(101), a(102), a(103)];
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), loop_nodes[0], false);
+        let cap = 5; // sender slot + a window covering the 4-node loop
+        let mut detected = false;
+        'outer: for _cycle in 0..8 {
+            for i in 0..loop_nodes.len() {
+                let here = loop_nodes[i];
+                let next = loop_nodes[(i + 1) % loop_nodes.len()];
+                match retunnel(&mut pkt, here, next, cap).unwrap() {
+                    Retunnel::Forward { .. } => {}
+                    Retunnel::Loop { .. } => {
+                        detected = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(detected, "loop must be detected once the window covers a cycle");
+    }
+
+    #[test]
+    fn retunnel_requires_mhrp_packet() {
+        let mut pkt = plain_packet();
+        assert!(retunnel(&mut pkt, a(1), a(2), 8).is_err());
+        assert!(decapsulate(&mut pkt).is_err());
+    }
+
+    #[test]
+    fn reverse_error_at_original_sender() {
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(1), a(100), true);
+        let original = pkt.encode();
+        match reverse_icmp_original(&original, a(1)) {
+            ErrorReverse::Local { rebuilt_original, mobile } => {
+                assert_eq!(mobile, a(7));
+                let rebuilt = Ipv4Packet::decode(&rebuilt_original).unwrap();
+                assert_eq!(rebuilt.src, a(1));
+                assert_eq!(rebuilt.dst, a(7));
+                assert_eq!(rebuilt.protocol, proto::UDP);
+            }
+            other => panic!("expected Local, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_error_at_header_builder_targets_sender() {
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        let original = pkt.encode();
+        match reverse_icmp_original(&original, a(50)) {
+            ErrorReverse::Resend { next, rebuilt_original, mobile } => {
+                assert_eq!(next, a(1));
+                assert_eq!(mobile, a(7));
+                let rebuilt = Ipv4Packet::decode(&rebuilt_original).unwrap();
+                assert_eq!(rebuilt.src, a(1));
+                assert_eq!(rebuilt.dst, a(7));
+                assert_eq!(rebuilt.protocol, proto::UDP);
+            }
+            other => panic!("expected Resend, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_error_at_retunneler_pops_one_hop() {
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        retunnel(&mut pkt, a(100), a(101), 8).unwrap();
+        let original = pkt.encode();
+        match reverse_icmp_original(&original, a(100)) {
+            ErrorReverse::Resend { next, rebuilt_original, mobile } => {
+                assert_eq!(next, a(50)); // the previous tunnel head
+                assert_eq!(mobile, a(7));
+                let rebuilt = Ipv4Packet::decode(&rebuilt_original).unwrap();
+                assert_eq!(rebuilt.src, a(50));
+                assert_eq!(rebuilt.dst, a(100)); // as it arrived at us
+                assert_eq!(rebuilt.protocol, proto::MHRP);
+                let (h, _) = MhrpHeader::decode(&rebuilt.payload).unwrap();
+                assert_eq!(h.prev_sources, vec![a(1)]);
+            }
+            other => panic!("expected Resend, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_error_with_truncated_copy_is_insufficient() {
+        // §4.5: "if less of the original packet is returned ... little can
+        // be done by a cache agent beyond deleting its cache entry".
+        let mut pkt = plain_packet();
+        encapsulate(&mut pkt, a(50), a(100), false);
+        let full = pkt.encode();
+        // Keep IP header (20) + MHRP header (12) + only 4 transport bytes.
+        let truncated = &full[..20 + 12 + 4];
+        match reverse_icmp_original(truncated, a(50)) {
+            ErrorReverse::Insufficient { mobile } => assert_eq!(mobile, Some(a(7))),
+            other => panic!("expected Insufficient, got {other:?}"),
+        }
+        // Garbage and non-MHRP copies are also insufficient.
+        assert_eq!(
+            reverse_icmp_original(&[0u8; 6], a(50)),
+            ErrorReverse::Insufficient { mobile: None }
+        );
+        let plain = plain_packet().encode();
+        assert_eq!(
+            reverse_icmp_original(&plain, a(50)),
+            ErrorReverse::Insufficient { mobile: None }
+        );
+    }
+
+    #[test]
+    fn partial_parse_reads_prefix_only() {
+        let pkt = plain_packet();
+        let bytes = pkt.encode();
+        let partial = parse_partial(&bytes[..24]).unwrap();
+        assert_eq!(partial.src, a(1));
+        assert_eq!(partial.dst, a(7));
+        assert_eq!(partial.protocol, proto::UDP);
+        assert_eq!(partial.payload.len(), 4);
+        assert!(parse_partial(&bytes[..10]).is_none());
+    }
+}

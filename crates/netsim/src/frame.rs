@@ -1,0 +1,98 @@
+//! Link-layer frames carried across segments.
+
+use crate::id::MacAddr;
+
+/// The payload type carried by a [`Frame`], mirroring Ethernet ethertypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// An IPv4 packet (`0x0800`).
+    Ipv4,
+    /// An ARP message (`0x0806`).
+    Arp,
+    /// Any other ethertype, kept for extensibility and tests.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The on-wire 16-bit ethertype value.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses a 16-bit ethertype value.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A link-layer frame: source/destination MAC, ethertype, payload bytes.
+///
+/// Payloads are always fully-encoded wire bytes (e.g. an encoded IPv4
+/// packet), so every hop in the simulator exercises real encode/decode
+/// paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender's MAC address.
+    pub src: MacAddr,
+    /// Destination MAC address (possibly [`MacAddr::BROADCAST`]).
+    pub dst: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+    /// Encoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Link-layer header bytes accounted per frame (dst + src + ethertype),
+/// matching Ethernet II without preamble/FCS.
+pub const LINK_HEADER_BYTES: usize = 14;
+
+impl Frame {
+    /// Creates a unicast frame.
+    pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
+        Frame { src, dst, ethertype, payload }
+    }
+
+    /// Creates a broadcast frame.
+    pub fn broadcast(src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
+        Frame::new(src, MacAddr::BROADCAST, ethertype, payload)
+    }
+
+    /// Total on-wire size in bytes (link header plus payload).
+    pub fn wire_len(&self) -> usize {
+        LINK_HEADER_BYTES + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_round_trips() {
+        for et in [EtherType::Ipv4, EtherType::Arp, EtherType::Other(0x88b5)] {
+            assert_eq!(EtherType::from_u16(et.as_u16()), et);
+        }
+    }
+
+    #[test]
+    fn known_ethertype_values() {
+        assert_eq!(EtherType::Ipv4.as_u16(), 0x0800);
+        assert_eq!(EtherType::Arp.as_u16(), 0x0806);
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn wire_len_includes_link_header() {
+        let f = Frame::broadcast(MacAddr::from_index(1), EtherType::Ipv4, vec![0; 20]);
+        assert_eq!(f.wire_len(), 34);
+        assert!(f.dst.is_broadcast());
+    }
+}

@@ -1,0 +1,102 @@
+//! Identifiers for simulation entities: nodes, segments, interfaces, MACs.
+
+use std::fmt;
+
+/// Identifies a node (host or router) within a [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifies a broadcast segment (an Ethernet-like network) within a
+/// [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub usize);
+
+/// Identifies an interface *local to one node* (its index in the node's
+/// interface list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IfaceId(pub usize);
+
+/// A 48-bit link-layer address.
+///
+/// The [`World`](crate::World) hands out globally unique unicast MACs from a
+/// counter; [`MacAddr::BROADCAST`] addresses every attachment on a segment.
+///
+/// ```rust
+/// use netsim::MacAddr;
+/// assert!(MacAddr::BROADCAST.is_broadcast());
+/// assert_eq!(format!("{}", MacAddr([2, 0, 0, 0, 0, 7])), "02:00:00:00:00:07");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A conventional "no address" placeholder (all zero).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Returns true if this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// Derives the `n`-th locally-administered unicast MAC.
+    pub fn from_index(n: u64) -> MacAddr {
+        let b = n.to_be_bytes();
+        // 0x02 sets the locally-administered bit and keeps unicast (bit 0 = 0).
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+impl fmt::Display for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_from_index_unique_and_unicast() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert!(!a.is_broadcast());
+        // Locally administered, unicast.
+        assert_eq!(a.0[0] & 0x03, 0x02);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", SegmentId(1)), "seg1");
+        assert_eq!(format!("{}", IfaceId(0)), "if0");
+        assert_eq!(format!("{}", MacAddr::BROADCAST), "ff:ff:ff:ff:ff:ff");
+    }
+}

@@ -1,0 +1,124 @@
+//! Global statistics: named counters and time series.
+//!
+//! Counters are cheap and always on; experiments read them at the end of a
+//! run. Time series power the "congestion over time" style figures (E05).
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// A hub of named counters and `(time, value)` series.
+///
+/// ```rust
+/// use netsim::{Stats, SimTime};
+/// let mut s = Stats::new();
+/// s.incr("pkt.sent");
+/// s.add("pkt.bytes", 120);
+/// s.record("queue.depth", SimTime::from_millis(1), 3.0);
+/// assert_eq!(s.counter("pkt.sent"), 1);
+/// assert_eq!(s.counter("pkt.bytes"), 120);
+/// assert_eq!(s.counter("nonexistent"), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl Stats {
+    /// Creates an empty statistics hub.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `amount` to counter `name`.
+    pub fn add(&mut self, name: &str, amount: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += amount;
+    }
+
+    /// Reads counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Appends a `(time, value)` sample to series `name`.
+    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series.entry(name.to_owned()).or_default().push((at, value));
+    }
+
+    /// Reads series `name` (empty slice if never written).
+    pub fn series(&self, name: &str) -> &[(SimTime, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Resets all counters and series.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.series.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("a");
+        s.incr("a");
+        s.add("a", 3);
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("b"), 0);
+    }
+
+    #[test]
+    fn prefix_sum_covers_only_prefix() {
+        let mut s = Stats::new();
+        s.add("seg.0.bytes", 10);
+        s.add("seg.1.bytes", 20);
+        s.add("other", 99);
+        assert_eq!(s.counter_prefix_sum("seg."), 30);
+        assert_eq!(s.counter_prefix_sum("nope."), 0);
+    }
+
+    #[test]
+    fn series_preserve_order() {
+        let mut s = Stats::new();
+        s.record("q", SimTime::from_millis(1), 1.0);
+        s.record("q", SimTime::from_millis(2), 4.0);
+        assert_eq!(s.series("q").len(), 2);
+        assert_eq!(s.series("q")[1].1, 4.0);
+        assert!(s.series("missing").is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = Stats::new();
+        s.incr("x");
+        s.record("y", SimTime::ZERO, 0.0);
+        s.clear();
+        assert_eq!(s.counter("x"), 0);
+        assert!(s.series("y").is_empty());
+        assert_eq!(s.counters().count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Lightweight event tracing for debugging and test assertions.
+//!
+//! Tracing is off by default; when enabled, every [`Tracer::record`] call
+//! stores a [`TraceEvent`]. The detail string is built lazily so disabled
+//! tracing costs almost nothing.
+
+use crate::id::NodeId;
+use crate::time::SimTime;
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// Which node produced it (if any; world-level events have none).
+    pub node: Option<NodeId>,
+    /// A short machine-matchable kind, e.g. `"mhrp.tunnel"`.
+    pub kind: &'static str,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// Collects [`TraceEvent`]s when enabled.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Enables or disables collection.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether collection is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event; `detail` is only invoked when tracing is enabled.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        node: Option<NodeId>,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent { time, node, kind, detail: detail() });
+        }
+    }
+
+    /// All collected events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one kind, in order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Drops all collected events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_skips_detail() {
+        let mut t = Tracer::new();
+        let mut called = false;
+        t.record(SimTime::ZERO, None, "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        t.record(SimTime::from_millis(1), Some(NodeId(0)), "a", || "one".into());
+        t.record(SimTime::from_millis(2), None, "b", || "two".into());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.of_kind("b").count(), 1);
+        assert_eq!(t.events()[0].detail, "one");
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.enabled());
+    }
+}

@@ -1,0 +1,663 @@
+//! The [`World`]: owns every node, segment and the event queue, and drives
+//! the simulation deterministically.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::event::{EventKind, EventQueue};
+use crate::frame::Frame;
+use crate::id::{IfaceId, MacAddr, NodeId, SegmentId};
+use crate::node::{Action, Ctx, IfaceInfo, LinkEvent, Node};
+use crate::segment::{Segment, SegmentParams};
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
+
+/// A scripted world mutation, schedulable on the event queue.
+///
+/// Admin operations model everything "physical" that happens to the network
+/// from outside the protocols: a host being carried to a different network,
+/// a link going down, a router crashing and rebooting.
+pub enum AdminOp {
+    /// Attach interface `iface` of `node` to `segment`.
+    AttachIface {
+        /// The node owning the interface.
+        node: NodeId,
+        /// The interface to attach.
+        iface: IfaceId,
+        /// The segment to attach to.
+        segment: SegmentId,
+    },
+    /// Detach interface `iface` of `node` from whatever segment it is on.
+    DetachIface {
+        /// The node owning the interface.
+        node: NodeId,
+        /// The interface to detach.
+        iface: IfaceId,
+    },
+    /// Detach-then-attach in one step (host movement).
+    MoveIface {
+        /// The node owning the interface.
+        node: NodeId,
+        /// The interface to move.
+        iface: IfaceId,
+        /// The destination segment.
+        segment: SegmentId,
+    },
+    /// Bring a whole segment up or down (backbone link failure).
+    SetSegmentUp {
+        /// The segment to change.
+        segment: SegmentId,
+        /// New state.
+        up: bool,
+    },
+    /// Change a segment's loss rate on the fly.
+    SetSegmentLoss {
+        /// The segment to change.
+        segment: SegmentId,
+        /// New per-receiver loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Reboot a node ([`Node::on_reboot`] fires; volatile state is the
+    /// node's responsibility to discard).
+    Reboot {
+        /// The node to reboot.
+        node: NodeId,
+    },
+    /// Run an arbitrary script against the world.
+    Call(Box<dyn FnOnce(&mut World)>),
+}
+
+impl fmt::Debug for AdminOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdminOp::AttachIface { node, iface, segment } => {
+                write!(f, "AttachIface({node}, {iface}, {segment})")
+            }
+            AdminOp::DetachIface { node, iface } => write!(f, "DetachIface({node}, {iface})"),
+            AdminOp::MoveIface { node, iface, segment } => {
+                write!(f, "MoveIface({node}, {iface}, {segment})")
+            }
+            AdminOp::SetSegmentUp { segment, up } => write!(f, "SetSegmentUp({segment}, {up})"),
+            AdminOp::SetSegmentLoss { segment, loss } => {
+                write!(f, "SetSegmentLoss({segment}, {loss})")
+            }
+            AdminOp::Reboot { node } => write!(f, "Reboot({node})"),
+            AdminOp::Call(_) => write!(f, "Call(<script>)"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IfaceBinding {
+    mac: MacAddr,
+    segment: Option<SegmentId>,
+}
+
+/// The simulation world.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct World {
+    time: SimTime,
+    queue: EventQueue,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    bindings: Vec<Vec<IfaceBinding>>,
+    segments: Vec<Segment>,
+    rng: StdRng,
+    tracer: Tracer,
+    stats: Stats,
+    mac_counter: u64,
+    started: bool,
+}
+
+impl World {
+    /// Creates an empty world whose randomness derives entirely from `seed`.
+    pub fn new(seed: u64) -> World {
+        World {
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            bindings: Vec::new(),
+            segments: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            tracer: Tracer::new(),
+            stats: Stats::new(),
+            mac_counter: 0,
+            started: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Adds a broadcast segment and returns its id.
+    pub fn add_segment(&mut self, params: SegmentParams) -> SegmentId {
+        assert!(
+            (0.0..=1.0).contains(&params.loss),
+            "segment loss must be a probability in [0, 1]"
+        );
+        let id = SegmentId(self.segments.len());
+        self.segments.push(Segment::new(params));
+        id
+    }
+
+    /// Adds a node and returns its id. Interfaces are added separately via
+    /// [`World::add_iface`].
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.bindings.push(Vec::new());
+        id
+    }
+
+    /// Adds an interface to `node`, optionally attached to a segment, and
+    /// returns its node-local id and freshly assigned MAC address.
+    pub fn add_iface(&mut self, node: NodeId, segment: Option<SegmentId>) -> (IfaceId, MacAddr) {
+        let mac = MacAddr::from_index(self.mac_counter);
+        self.mac_counter += 1;
+        let iface = IfaceId(self.bindings[node.0].len());
+        self.bindings[node.0].push(IfaceBinding { mac, segment });
+        if let Some(seg) = segment {
+            self.segments[seg.0].attach(node, iface, mac);
+        }
+        (iface, mac)
+    }
+
+    /// Runs every node's [`Node::on_start`]. Must be called exactly once,
+    /// before [`World::run_until`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "World::start called twice");
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Processes all events up to and including time `t`, then advances the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(self.started, "call World::start before running");
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.time {
+            self.time = t;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.time + d;
+        self.run_until(t);
+    }
+
+    /// Processes the single next event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.at >= self.time, "event queue went backwards");
+        self.time = ev.at;
+        match ev.kind {
+            EventKind::Frame { node, iface, segment, frame } => {
+                // Suppress delivery if the interface moved away mid-flight.
+                let still_here = self
+                    .bindings
+                    .get(node.0)
+                    .and_then(|b| b.get(iface.0))
+                    .is_some_and(|b| b.segment == Some(segment));
+                if still_here {
+                    self.stats.incr("link.frames_delivered");
+                    self.dispatch(node, |n, ctx| n.on_frame(ctx, iface, &frame));
+                } else {
+                    self.stats.incr("link.frames_lost_moved");
+                }
+            }
+            EventKind::Timer { node, token } => {
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::Admin(op) => self.apply_admin(op),
+        }
+        true
+    }
+
+    /// Schedules an [`AdminOp`] at absolute time `at`.
+    pub fn schedule_admin(&mut self, at: SimTime, op: AdminOp) {
+        self.queue.push(at, EventKind::Admin(op));
+    }
+
+    /// Schedules a script callback at absolute time `at`.
+    pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        self.schedule_admin(at, AdminOp::Call(Box::new(f)));
+    }
+
+    /// Immediately moves `iface` of `node` to `segment` (detaching first if
+    /// needed), firing [`Node::on_link`] events.
+    pub fn move_iface(&mut self, node: NodeId, iface: IfaceId, segment: Option<SegmentId>) {
+        let old = self.bindings[node.0][iface.0].segment;
+        if old == segment {
+            return;
+        }
+        if let Some(old_seg) = old {
+            self.segments[old_seg.0].detach(node, iface);
+            self.bindings[node.0][iface.0].segment = None;
+            self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Detached));
+        }
+        if let Some(new_seg) = segment {
+            let mac = self.bindings[node.0][iface.0].mac;
+            self.segments[new_seg.0].attach(node, iface, mac);
+            self.bindings[node.0][iface.0].segment = Some(new_seg);
+            self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Attached));
+        }
+    }
+
+    /// Immediately reboots `node` (fires [`Node::on_reboot`]).
+    pub fn reboot_node(&mut self, node: NodeId) {
+        self.stats.incr("world.reboots");
+        self.dispatch(node, |n, ctx| n.on_reboot(ctx));
+    }
+
+    /// Typed shared access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a node of concrete type `T`.
+    pub fn node<T: 'static>(&self, id: NodeId) -> &T {
+        let node: &dyn Node = self.nodes[id.0].as_deref().expect("node is mid-dispatch");
+        node.as_any().downcast_ref::<T>().expect("node type mismatch")
+    }
+
+    /// Runs `f` with typed mutable access to a node *and* a live [`Ctx`], so
+    /// scenario scripts can make nodes send packets or arm timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a node of concrete type `T`.
+    pub fn with_node<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut out = None;
+        self.dispatch(id, |node, ctx| {
+            let typed = node.as_any_mut().downcast_mut::<T>().expect("node type mismatch");
+            out = Some(f(typed, ctx));
+        });
+        out.expect("with_node closure did not run")
+    }
+
+    /// Global statistics (shared access).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Global statistics (mutable access, for scenario-level metrics).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// The trace collector.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Enables or disables tracing.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Number of events currently queued (useful to observe congestion).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the event queue has drained (nothing more will ever happen
+    /// unless a node or script schedules it).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The segment `iface` of `node` is currently attached to, if any.
+    pub fn iface_segment(&self, node: NodeId, iface: IfaceId) -> Option<SegmentId> {
+        self.bindings[node.0][iface.0].segment
+    }
+
+    /// The MAC address assigned to `iface` of `node`.
+    pub fn iface_mac(&self, node: NodeId, iface: IfaceId) -> MacAddr {
+        self.bindings[node.0][iface.0].mac
+    }
+
+    fn apply_admin(&mut self, op: AdminOp) {
+        match op {
+            AdminOp::AttachIface { node, iface, segment } => {
+                self.move_iface(node, iface, Some(segment));
+            }
+            AdminOp::DetachIface { node, iface } => self.move_iface(node, iface, None),
+            AdminOp::MoveIface { node, iface, segment } => {
+                self.move_iface(node, iface, Some(segment));
+            }
+            AdminOp::SetSegmentUp { segment, up } => self.segments[segment.0].up = up,
+            AdminOp::SetSegmentLoss { segment, loss } => {
+                assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+                self.segments[segment.0].params.loss = loss;
+            }
+            AdminOp::Reboot { node } => self.reboot_node(node),
+            AdminOp::Call(f) => f(self),
+        }
+    }
+
+    fn dispatch(&mut self, node_id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let mut node = self.nodes[node_id.0].take().expect("re-entrant dispatch on one node");
+        let infos: Vec<IfaceInfo> = self.bindings[node_id.0]
+            .iter()
+            .map(|b| IfaceInfo { mac: b.mac, attached: b.segment.is_some() })
+            .collect();
+        let mut ctx = Ctx {
+            now: self.time,
+            node: node_id,
+            ifaces: &infos,
+            actions: Vec::new(),
+            rng: &mut self.rng,
+            tracer: &mut self.tracer,
+            stats: &mut self.stats,
+        };
+        f(node.as_mut(), &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        self.nodes[node_id.0] = Some(node);
+        for action in actions {
+            self.apply_action(node_id, action);
+        }
+    }
+
+    fn apply_action(&mut self, node_id: NodeId, action: Action) {
+        match action {
+            Action::SendFrame { iface, frame } => self.transmit(node_id, iface, frame),
+            Action::SetTimer { delay, token } => {
+                self.queue.push(self.time + delay, EventKind::Timer { node: node_id, token });
+            }
+        }
+    }
+
+    fn transmit(&mut self, node_id: NodeId, iface: IfaceId, frame: Frame) {
+        let Some(binding) = self.bindings[node_id.0].get(iface.0) else {
+            self.stats.incr("link.tx_bad_iface");
+            return;
+        };
+        let Some(seg_id) = binding.segment else {
+            // Transmitting into an unplugged cable.
+            self.stats.incr("link.tx_detached");
+            return;
+        };
+        let seg = &self.segments[seg_id.0];
+        if !seg.up {
+            self.stats.incr("link.tx_segment_down");
+            return;
+        }
+        self.stats.incr("link.frames_sent");
+        self.stats.add("link.bytes_sent", frame.wire_len() as u64);
+        let params = seg.params;
+        let receivers: Vec<(NodeId, IfaceId)> = seg
+            .receivers(node_id, iface, frame.dst)
+            .map(|a| (a.node, a.iface))
+            .collect();
+        for (rx_node, rx_iface) in receivers {
+            if params.loss > 0.0 && self.rng.random::<f64>() < params.loss {
+                self.stats.incr("link.frames_dropped");
+                continue;
+            }
+            let mut delay = params.latency;
+            if params.jitter > SimDuration::ZERO {
+                let j = self.rng.random_range(0..=params.jitter.as_nanos());
+                delay += SimDuration::from_nanos(j);
+            }
+            self.queue.push(
+                self.time + delay,
+                EventKind::Frame {
+                    node: rx_node,
+                    iface: rx_iface,
+                    segment: seg_id,
+                    frame: frame.clone(),
+                },
+            );
+        }
+    }
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("time", &self.time)
+            .field("nodes", &self.nodes.len())
+            .field("segments", &self.segments.len())
+            .field("queued_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::EtherType;
+    use crate::node::TimerToken;
+
+    /// Counts frames; optionally echoes them back.
+    struct Counter {
+        rx: usize,
+        echo: bool,
+        link_events: Vec<(IfaceId, LinkEvent)>,
+        reboots: usize,
+    }
+
+    impl Counter {
+        fn new(echo: bool) -> Counter {
+            Counter { rx: 0, echo, link_events: Vec::new(), reboots: 0 }
+        }
+    }
+
+    impl Node for Counter {
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, frame: &Frame) {
+            self.rx += 1;
+            if self.echo && !frame.dst.is_broadcast() {
+                // avoid infinite ping-pong: only echo broadcasts once
+            }
+            if self.echo && frame.dst.is_broadcast() {
+                let reply =
+                    Frame::new(ctx.mac(iface), frame.src, frame.ethertype, frame.payload.clone());
+                ctx.send_frame(iface, reply);
+            }
+        }
+        fn on_link(&mut self, _ctx: &mut Ctx<'_>, iface: IfaceId, event: LinkEvent) {
+            self.link_events.push((iface, event));
+        }
+        fn on_reboot(&mut self, _ctx: &mut Ctx<'_>) {
+            self.reboots += 1;
+            self.rx = 0;
+        }
+    }
+
+    /// Sends one broadcast at t=1ms.
+    struct Beacon;
+    impl Node for Beacon {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), TimerToken(1));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+            let f = Frame::broadcast(ctx.mac(IfaceId(0)), EtherType::Other(0x1234), vec![0xab]);
+            ctx.send_frame(IfaceId(0), f);
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
+    }
+
+    fn two_node_world() -> (World, NodeId, NodeId) {
+        let mut w = World::new(1);
+        let seg = w.add_segment(SegmentParams::default());
+        let beacon = w.add_node(Box::new(Beacon));
+        w.add_iface(beacon, Some(seg));
+        let counter = w.add_node(Box::new(Counter::new(false)));
+        w.add_iface(counter, Some(seg));
+        (w, beacon, counter)
+    }
+
+    #[test]
+    fn broadcast_delivery_and_latency() {
+        let (mut w, _b, c) = two_node_world();
+        w.start();
+        // Frame sent at 1ms, latency 500us: not delivered at 1.4ms.
+        w.run_until(SimTime::from_micros(1400));
+        assert_eq!(w.node::<Counter>(c).rx, 0);
+        w.run_until(SimTime::from_micros(1501));
+        assert_eq!(w.node::<Counter>(c).rx, 1);
+        assert_eq!(w.stats().counter("link.frames_sent"), 1);
+        assert_eq!(w.stats().counter("link.frames_delivered"), 1);
+    }
+
+    #[test]
+    fn detached_iface_drops_tx_and_rx() {
+        let (mut w, b, c) = two_node_world();
+        w.start();
+        // Detach the receiver before the beacon fires.
+        w.move_iface(c, IfaceId(0), None);
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node::<Counter>(c).rx, 0);
+        assert_eq!(
+            w.node::<Counter>(c).link_events,
+            vec![(IfaceId(0), LinkEvent::Detached)]
+        );
+        // Detach the sender too; its transmission is counted as tx_detached.
+        w.move_iface(b, IfaceId(0), None);
+        w.with_node::<Beacon, _>(b, |n, ctx| n.on_timer(ctx, TimerToken(1)));
+        assert_eq!(w.stats().counter("link.tx_detached"), 1);
+    }
+
+    #[test]
+    fn frame_in_flight_is_lost_if_receiver_moves() {
+        let (mut w, _b, c) = two_node_world();
+        let other = w.add_segment(SegmentParams::default());
+        w.start();
+        // Beacon fires at 1ms; move receiver at 1.2ms (frame lands at 1.5ms).
+        w.run_until(SimTime::from_micros(1200));
+        w.move_iface(c, IfaceId(0), Some(other));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node::<Counter>(c).rx, 0);
+        assert_eq!(w.stats().counter("link.frames_lost_moved"), 1);
+    }
+
+    #[test]
+    fn segment_down_blocks_tx() {
+        let (mut w, _b, c) = two_node_world();
+        w.schedule_admin(
+            SimTime::from_micros(500),
+            AdminOp::SetSegmentUp { segment: SegmentId(0), up: false },
+        );
+        w.start();
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node::<Counter>(c).rx, 0);
+        assert_eq!(w.stats().counter("link.tx_segment_down"), 1);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut w = World::new(9);
+        let seg = w.add_segment(SegmentParams { loss: 1.0, ..Default::default() });
+        let b = w.add_node(Box::new(Beacon));
+        w.add_iface(b, Some(seg));
+        let c = w.add_node(Box::new(Counter::new(false)));
+        w.add_iface(c, Some(seg));
+        w.start();
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node::<Counter>(c).rx, 0);
+        assert_eq!(w.stats().counter("link.frames_dropped"), 1);
+    }
+
+    #[test]
+    fn reboot_fires_handler() {
+        let (mut w, _b, c) = two_node_world();
+        w.start();
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node::<Counter>(c).rx, 1);
+        w.reboot_node(c);
+        assert_eq!(w.node::<Counter>(c).reboots, 1);
+        assert_eq!(w.node::<Counter>(c).rx, 0);
+    }
+
+    #[test]
+    fn scheduled_call_runs_at_time() {
+        let (mut w, _b, _c) = two_node_world();
+        w.start();
+        w.schedule_call(SimTime::from_millis(5), |w| {
+            w.stats_mut().incr("script.ran");
+        });
+        w.run_until(SimTime::from_millis(4));
+        assert_eq!(w.stats().counter("script.ran"), 0);
+        w.run_until(SimTime::from_millis(5));
+        assert_eq!(w.stats().counter("script.ran"), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut w = World::new(seed);
+            let seg = w.add_segment(SegmentParams {
+                loss: 0.5,
+                jitter: SimDuration::from_millis(1),
+                ..Default::default()
+            });
+            let b = w.add_node(Box::new(Beacon));
+            w.add_iface(b, Some(seg));
+            let c = w.add_node(Box::new(Counter::new(false)));
+            w.add_iface(c, Some(seg));
+            w.start();
+            w.run_until(SimTime::from_secs(1));
+            (w.stats().counter("link.frames_delivered"), w.stats().counter("link.frames_dropped"))
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn unicast_echo_round_trip() {
+        let mut w = World::new(3);
+        let seg = w.add_segment(SegmentParams::default());
+        let b = w.add_node(Box::new(Beacon));
+        w.add_iface(b, Some(seg));
+        let e = w.add_node(Box::new(Counter::new(true)));
+        w.add_iface(e, Some(seg));
+        let c2 = w.add_node(Box::new(Counter::new(false)));
+        w.add_iface(c2, Some(seg));
+        w.start();
+        w.run_until(SimTime::from_secs(1));
+        // Echoer got the broadcast and unicast-replied to the beacon only.
+        assert_eq!(w.node::<Counter>(e).rx, 1);
+        // The third node saw only the broadcast, not the unicast echo.
+        assert_eq!(w.node::<Counter>(c2).rx, 1);
+    }
+
+    #[test]
+    fn iface_metadata_accessors() {
+        let (w, b, _c) = two_node_world();
+        assert_eq!(w.iface_segment(b, IfaceId(0)), Some(SegmentId(0)));
+        assert_eq!(w.iface_mac(b, IfaceId(0)), MacAddr::from_index(0));
+        assert_eq!(w.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node type mismatch")]
+    fn typed_access_panics_on_wrong_type() {
+        let (w, b, _c) = two_node_world();
+        let _ = w.node::<Counter>(b);
+    }
+}

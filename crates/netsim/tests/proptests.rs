@@ -1,0 +1,126 @@
+//! Property-based tests of the simulator's core guarantees: determinism,
+//! conservation of frames, and clock monotonicity — under randomized
+//! topologies, parameters and traffic.
+
+use netsim::time::{SimDuration, SimTime};
+use netsim::{Ctx, EtherType, Frame, IfaceId, Node, SegmentParams, TimerToken, World};
+use proptest::prelude::*;
+
+/// A node that broadcasts `count` frames at `interval` and counts
+/// receptions.
+struct Chatter {
+    count: u32,
+    interval: SimDuration,
+    sent: u32,
+    received: u64,
+}
+
+impl Chatter {
+    fn new(count: u32, interval_us: u64) -> Chatter {
+        Chatter {
+            count,
+            interval: SimDuration::from_micros(interval_us.max(1)),
+            sent: 0,
+            received: 0,
+        }
+    }
+}
+
+impl Node for Chatter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.interval, TimerToken(1));
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+        if self.sent < self.count {
+            self.sent += 1;
+            let f = Frame::broadcast(ctx.mac(IfaceId(0)), EtherType::Other(0x7777), vec![0; 16]);
+            ctx.send_frame(IfaceId(0), f);
+            ctx.set_timer(self.interval, TimerToken(1));
+        }
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {
+        self.received += 1;
+    }
+}
+
+fn run_world(seed: u64, nodes: usize, loss: f64, jitter_us: u64, count: u32) -> (u64, u64, u64) {
+    let mut w = World::new(seed);
+    let seg = w.add_segment(SegmentParams {
+        latency: SimDuration::from_micros(100),
+        jitter: SimDuration::from_micros(jitter_us),
+        loss,
+    });
+    let ids: Vec<_> = (0..nodes)
+        .map(|i| {
+            let id = w.add_node(Box::new(Chatter::new(count, 500 + i as u64)));
+            w.add_iface(id, Some(seg));
+            id
+        })
+        .collect();
+    w.start();
+    w.run_until(SimTime::from_secs(60));
+    let total_rx: u64 = ids.iter().map(|&id| w.node::<Chatter>(id).received).sum();
+    (
+        total_rx,
+        w.stats().counter("link.frames_sent"),
+        w.stats().counter("link.frames_dropped"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn identical_seeds_are_bit_identical(seed in any::<u64>(), nodes in 2usize..6,
+                                         loss in 0.0f64..0.9, jitter in 0u64..2_000,
+                                         count in 1u32..20) {
+        let a = run_world(seed, nodes, loss, jitter, count);
+        let b = run_world(seed, nodes, loss, jitter, count);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frames_are_conserved(seed in any::<u64>(), nodes in 2usize..6,
+                            loss in 0.0f64..1.0, count in 1u32..20) {
+        // Every broadcast frame is either delivered or dropped, exactly
+        // once per potential receiver.
+        let (rx, sent, dropped) = run_world(seed, nodes, loss, 0, count);
+        let offered = sent * (nodes as u64 - 1);
+        prop_assert_eq!(rx + dropped, offered, "sent={} rx={} dropped={}", sent, rx, dropped);
+    }
+
+    #[test]
+    fn lossless_delivers_everything(seed in any::<u64>(), nodes in 2usize..6, count in 1u32..20) {
+        let (rx, sent, dropped) = run_world(seed, nodes, 0.0, 1_000, count);
+        prop_assert_eq!(dropped, 0u64);
+        prop_assert_eq!(rx, sent * (nodes as u64 - 1));
+        prop_assert_eq!(sent, u64::from(count) * nodes as u64);
+    }
+}
+
+/// Clock monotonicity under dense same-time events.
+#[test]
+fn clock_never_goes_backwards() {
+    struct Spammer {
+        times: Vec<SimTime>,
+    }
+    impl Node for Spammer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..50 {
+                ctx.set_timer(SimDuration::from_micros(10), TimerToken(0));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+            self.times.push(ctx.now());
+        }
+        fn on_frame(&mut self, _c: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
+    }
+    let mut w = World::new(5);
+    let id = w.add_node(Box::new(Spammer { times: Vec::new() }));
+    w.add_iface(id, None);
+    w.start();
+    w.run_until(SimTime::from_secs(1));
+    let times = &w.node::<Spammer>(id).times;
+    assert_eq!(times.len(), 50);
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}

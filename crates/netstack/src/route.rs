@@ -1,0 +1,177 @@
+//! Longest-prefix-match routing table.
+//!
+//! Host routes (`/32`) and the default route (`/0`) are ordinary entries;
+//! MHRP's "host-specific route" deployment alternative (paper §3) and the
+//! ICMP-redirect-style overrides of §4.3 are both expressible as `/32`
+//! entries pointing at a gateway.
+
+use std::net::Ipv4Addr;
+
+use ip::Prefix;
+use netsim::IfaceId;
+
+/// Where a routed packet goes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextHop {
+    /// The destination is on the directly connected segment of `iface`;
+    /// ARP for the destination itself.
+    Direct {
+        /// The interface the destination is reachable on.
+        iface: IfaceId,
+    },
+    /// Forward via the router `via`, reachable on `iface`.
+    Gateway {
+        /// The interface the gateway is reachable on.
+        iface: IfaceId,
+        /// The gateway's IP address.
+        via: Ipv4Addr,
+    },
+}
+
+/// A longest-prefix-match routing table.
+///
+/// ```rust
+/// use netstack::route::{NextHop, RoutingTable};
+/// use ip::Prefix;
+/// use netsim::IfaceId;
+/// use std::net::Ipv4Addr;
+///
+/// let mut t = RoutingTable::new();
+/// t.add("10.1.0.0/16".parse().unwrap(), NextHop::Direct { iface: IfaceId(0) });
+/// t.add(Prefix::default_route(),
+///       NextHop::Gateway { iface: IfaceId(1), via: Ipv4Addr::new(10, 99, 0, 1) });
+/// // The /16 wins over the default route.
+/// assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 2, 3)),
+///            Some(NextHop::Direct { iface: IfaceId(0) }));
+/// assert!(matches!(t.lookup(Ipv4Addr::new(8, 8, 8, 8)),
+///                  Some(NextHop::Gateway { .. })));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    // Sorted by descending prefix length, so the first match wins.
+    entries: Vec<(Prefix, NextHop)>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> RoutingTable {
+        RoutingTable::default()
+    }
+
+    /// Adds (or replaces) the route for `prefix`.
+    pub fn add(&mut self, prefix: Prefix, next_hop: NextHop) {
+        self.remove(prefix);
+        let pos = self
+            .entries
+            .partition_point(|(p, _)| p.len() >= prefix.len());
+        self.entries.insert(pos, (prefix, next_hop));
+    }
+
+    /// Removes the route for exactly `prefix`. Returns the removed next hop.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<NextHop> {
+        let pos = self.entries.iter().position(|(p, _)| *p == prefix)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<NextHop> {
+        self.entries.iter().find(|(p, _)| p.contains(dst)).map(|(_, nh)| *nh)
+    }
+
+    /// The exact route for `prefix`, if present.
+    pub fn get(&self, prefix: Prefix) -> Option<NextHop> {
+        self.entries.iter().find(|(p, _)| *p == prefix).map(|(_, nh)| *nh)
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(prefix, next_hop)` in decreasing prefix length.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, NextHop)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Removes every route (used when a mobile host detaches).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn direct(i: usize) -> NextHop {
+        NextHop::Direct { iface: IfaceId(i) }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = RoutingTable::new();
+        t.add(p("10.0.0.0/8"), direct(0));
+        t.add(p("10.1.0.0/16"), direct(1));
+        t.add(p("10.1.2.0/24"), direct(2));
+        assert_eq!(t.lookup("10.1.2.3".parse().unwrap()), Some(direct(2)));
+        assert_eq!(t.lookup("10.1.9.1".parse().unwrap()), Some(direct(1)));
+        assert_eq!(t.lookup("10.9.9.9".parse().unwrap()), Some(direct(0)));
+        assert_eq!(t.lookup("11.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn host_route_beats_everything() {
+        let mut t = RoutingTable::new();
+        t.add(p("10.0.0.0/8"), direct(0));
+        t.add(Prefix::host("10.1.2.3".parse().unwrap()), direct(3));
+        assert_eq!(t.lookup("10.1.2.3".parse().unwrap()), Some(direct(3)));
+        assert_eq!(t.lookup("10.1.2.4".parse().unwrap()), Some(direct(0)));
+    }
+
+    #[test]
+    fn default_route_is_last_resort() {
+        let mut t = RoutingTable::new();
+        t.add(Prefix::default_route(), direct(9));
+        t.add(p("10.0.0.0/8"), direct(0));
+        assert_eq!(t.lookup("10.0.0.1".parse().unwrap()), Some(direct(0)));
+        assert_eq!(t.lookup("1.2.3.4".parse().unwrap()), Some(direct(9)));
+    }
+
+    #[test]
+    fn add_replaces_existing() {
+        let mut t = RoutingTable::new();
+        t.add(p("10.0.0.0/8"), direct(0));
+        t.add(p("10.0.0.0/8"), direct(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("10.0.0.1".parse().unwrap()), Some(direct(1)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = RoutingTable::new();
+        t.add(p("10.0.0.0/8"), direct(0));
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(direct(0)));
+        assert_eq!(t.remove(p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+        t.add(p("10.0.0.0/8"), direct(0));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_exact() {
+        let mut t = RoutingTable::new();
+        t.add(p("10.0.0.0/8"), direct(0));
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(direct(0)));
+        assert_eq!(t.get(p("10.0.0.0/16")), None);
+    }
+}

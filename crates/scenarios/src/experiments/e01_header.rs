@@ -1,0 +1,78 @@
+//! **E01 — Figures 2 & 3: the MHRP header.**
+//!
+//! Regenerates the header-size table the paper states in §4.2/§7 and
+//! checks the bit layout of Figure 3 against golden bytes.
+
+use std::net::Ipv4Addr;
+
+use ip::ipv4::Ipv4Packet;
+use ip::proto;
+use mhrp::tunnel;
+use mhrp::MhrpHeader;
+
+/// One row of the header-size table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderRow {
+    /// Who builds the header / what happens to the packet.
+    pub case: &'static str,
+    /// Header bytes the paper states.
+    pub paper_bytes: usize,
+    /// Header bytes measured from the encoder.
+    pub measured_bytes: usize,
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<HeaderRow> {
+    let a = |x: u8| Ipv4Addr::new(10, 0, 0, x);
+    let base = Ipv4Packet::new(a(1), a(7), proto::UDP, vec![0; 32]);
+
+    // Sender-built: empty previous-source list.
+    let mut sender_built = base.clone();
+    tunnel::encapsulate(&mut sender_built, a(1), a(100), true);
+    let sender_overhead = sender_built.wire_len() - base.wire_len();
+
+    // Agent-built: one previous-source entry.
+    let mut agent_built = base.clone();
+    tunnel::encapsulate(&mut agent_built, a(50), a(100), false);
+    let agent_overhead = agent_built.wire_len() - base.wire_len();
+
+    // One re-tunnel: +4.
+    let before = agent_built.wire_len();
+    tunnel::retunnel(&mut agent_built, a(100), a(101), 8).unwrap();
+    let retunnel_delta = agent_built.wire_len() - before;
+
+    vec![
+        HeaderRow { case: "built by original sender (§4.2)", paper_bytes: 8, measured_bytes: sender_overhead },
+        HeaderRow { case: "built by home/cache agent (§4.2)", paper_bytes: 12, measured_bytes: agent_overhead },
+        HeaderRow { case: "growth per re-tunnel (§4.4)", paper_bytes: 4, measured_bytes: retunnel_delta },
+    ]
+}
+
+/// Golden-byte check of the Figure 3 layout. Returns the encoded header.
+pub fn golden_header() -> Vec<u8> {
+    let mut h = MhrpHeader::new(proto::TCP, Ipv4Addr::new(192, 168, 1, 2));
+    h.prev_sources.push(Ipv4Addr::new(172, 16, 0, 1));
+    h.encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_sizes_match_paper() {
+        for row in run() {
+            assert_eq!(row.measured_bytes, row.paper_bytes, "{}", row.case);
+        }
+    }
+
+    #[test]
+    fn golden_layout() {
+        let bytes = golden_header();
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(bytes[0], proto::TCP); // orig protocol
+        assert_eq!(bytes[1], 1); // count
+        assert_eq!(&bytes[4..8], &[192, 168, 1, 2]); // mobile host
+        assert_eq!(&bytes[8..12], &[172, 16, 0, 1]); // previous source
+    }
+}

@@ -1,0 +1,72 @@
+//! **E02 — the §7 per-packet overhead comparison.**
+//!
+//! Runs the identical workload over MHRP and all five baselines and
+//! measures the encapsulation bytes added per data packet. The expected
+//! shape (who costs what) is the §7 table: MHRP 8–12, Sunshine-Postel a
+//! source-route shim, Columbia 24, Sony 28 (on *every* packet), Matsushita
+//! 40, IBM 8 each way.
+
+use crate::metrics::ComparisonRow;
+use crate::shootout::{all_drivers, run_comparison};
+
+/// Number of data packets in the default run.
+pub const DEFAULT_PACKETS: u32 = 20;
+
+/// Runs the comparison over every protocol.
+pub fn run(seed: u64, packets: u32) -> Vec<ComparisonRow> {
+    all_drivers(seed).into_iter().map(|d| run_comparison(d, packets)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_section_7_shape() {
+        let rows = run(7, DEFAULT_PACKETS);
+        let get = |name: &str| -> &ComparisonRow {
+            rows.iter().find(|r| r.protocol.starts_with(name)).expect(name)
+        };
+
+        let mhrp = get("MHRP");
+        let sp = get("Sunshine");
+        let columbia = get("Columbia");
+        let sony = get("Sony");
+        let iptp = get("Matsushita");
+        let lsrr = get("IBM");
+
+        // Everyone delivers the stream in the steady state.
+        for r in &rows {
+            assert!(
+                r.delivery_ratio() >= 0.9,
+                "{} delivered only {}/{}",
+                r.protocol,
+                r.delivered,
+                r.data_packets_sent
+            );
+        }
+
+        // §7 overhead ordering: MHRP (8-12) < Columbia (24) < Sony (28)
+        // < Matsushita (40). The IBM sender-side option is 8 bytes.
+        assert!(mhrp.overhead_per_packet >= 8.0 && mhrp.overhead_per_packet <= 12.0,
+            "MHRP {:.1}", mhrp.overhead_per_packet);
+        assert!((columbia.overhead_per_packet - 24.0).abs() < 0.5, "Columbia {:.1}",
+            columbia.overhead_per_packet);
+        assert!((sony.overhead_per_packet - 28.0).abs() < 0.5, "Sony {:.1}",
+            sony.overhead_per_packet);
+        assert!((iptp.overhead_per_packet - 40.0).abs() < 0.5, "Matsushita {:.1}",
+            iptp.overhead_per_packet);
+        assert!((lsrr.overhead_per_packet - 8.0).abs() < 0.5, "IBM {:.1}",
+            lsrr.overhead_per_packet);
+        assert!((sp.overhead_per_packet - 8.0).abs() < 0.5, "SP {:.1}",
+            sp.overhead_per_packet);
+        assert!(mhrp.overhead_per_packet < columbia.overhead_per_packet);
+        assert!(columbia.overhead_per_packet < sony.overhead_per_packet);
+        assert!(sony.overhead_per_packet < iptp.overhead_per_packet);
+
+        // Route optimization: MHRP's forward path (sender-tunneled) is no
+        // longer than the home-anchored protocols' paths.
+        assert!(mhrp.avg_forward_hops <= columbia.avg_forward_hops + 0.01);
+        assert!(mhrp.avg_forward_hops <= iptp.avg_forward_hops + 0.01);
+    }
+}

@@ -1,0 +1,121 @@
+//! **E03 — §6.1/§6.2: routing path length.**
+//!
+//! Measures the forward-path length (router hops) from S to M in three
+//! MHRP regimes — M at home (plain IP), the first packet to an away M
+//! (via the home agent), and subsequent packets (sender-tunneled) — and
+//! contrasts with a home-anchored baseline (Matsushita forwarding mode,
+//! which can never shortcut).
+
+use netsim::time::{SimDuration, SimTime};
+use mhrp::{Attachment, MhrpHostNode, MobileHostNode};
+
+use crate::shootout::{matsushita_driver, run_comparison, DATA_PORT};
+use crate::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+/// Hop counts measured per regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// Routing regime label.
+    pub regime: &'static str,
+    /// Forward-path router hops.
+    pub hops: u32,
+}
+
+fn mobile_hops(f: &Figure1, after: SimTime) -> Option<u32> {
+    f.world
+        .node::<MobileHostNode>(f.m)
+        .endpoint
+        .log
+        .udp_rx
+        .iter()
+        .filter(|r| r.dst_port == DATA_PORT && r.at >= after)
+        .map(|r| u32::from(64 - r.ttl))
+        .next_back()
+}
+
+/// Runs the MHRP path-length measurements.
+pub fn run(seed: u64) -> Vec<PathResult> {
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: CorrespondentKind::Mhrp,
+        seed,
+        ..Default::default()
+    });
+    let m_addr = f.addrs.m;
+    let mut results = Vec::new();
+
+    // Regime 1: M at home — plain IP routing.
+    f.world.run_until(SimTime::from_secs(2));
+    let t0 = f.world.now();
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![1; 32]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+    results.push(PathResult { regime: "at home (plain IP)", hops: mobile_hops(&f, t0).unwrap_or(0) });
+
+    // Regime 2: first packet to away M — via the home agent.
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+    let t1 = f.world.now();
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![2; 32]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+    results.push(PathResult {
+        regime: "first packet (via home agent)",
+        hops: mobile_hops(&f, t1).unwrap_or(0),
+    });
+
+    // Regime 3: subsequent packets — sender-tunneled directly to the FA.
+    let t2 = f.world.now();
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![3; 32]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+    results.push(PathResult {
+        regime: "subsequent packets (sender tunnel)",
+        hops: mobile_hops(&f, t2).unwrap_or(0),
+    });
+    results
+}
+
+/// The home-anchored contrast: Matsushita forwarding-mode hops.
+pub fn anchored_hops(seed: u64) -> f64 {
+    let mut d = matsushita_driver(seed);
+    // Disable autonomous mode so every packet stays home-anchored.
+    d.world.with_node::<baselines::matsushita::PfsNode, _>(netsim::NodeId(2), |p, _| {
+        p.autonomous_notifications = false;
+    });
+    let row = run_comparison(d, 10);
+    row.avg_forward_hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_elimination_shape() {
+        let rows = run(11);
+        assert_eq!(rows.len(), 3);
+        let at_home = rows[0].hops;
+        let via_home = rows[1].hops;
+        let direct = rows[2].hops;
+        // Figure 1 geometry: home = 2 hops (R1, R2); via home agent =
+        // 3 hops (R1, R2, R3); direct tunnel = 2 hops (R1, R3).
+        assert_eq!(at_home, 2, "at-home hops");
+        assert_eq!(via_home, 3, "via-home hops");
+        assert_eq!(direct, 2, "direct-tunnel hops");
+        assert!(direct < via_home, "route optimization must shorten the path");
+    }
+
+    #[test]
+    fn anchored_baseline_never_shortcuts() {
+        let anchored = anchored_hops(11);
+        let direct = run(11)[2].hops as f64;
+        assert!(
+            anchored > direct,
+            "home-anchored path ({anchored}) must exceed the optimized path ({direct})"
+        );
+    }
+}

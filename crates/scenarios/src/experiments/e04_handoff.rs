@@ -1,0 +1,204 @@
+//! **E04 — §6.3: handoff between foreign agents.**
+//!
+//! S streams UDP to M while M moves from R4's cell (network D) to R5's
+//! (network E). Measured: packets lost in flight, the disruption window
+//! (detach → first delivery at the new attachment), and the location
+//! updates spent converging. Run twice: with the old agent keeping a
+//! §2 forwarding pointer, and without.
+
+use mhrp::{Attachment, MhrpConfig, MhrpHostNode, MhrpRouterNode, MobileHostNode};
+use netsim::time::{SimDuration, SimTime};
+
+use crate::metrics::HandoffResult;
+use crate::shootout::DATA_PORT;
+use crate::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+/// Runs one handoff with the given configuration.
+pub fn run_one(seed: u64, forwarding_pointers: bool, label: &str) -> HandoffResult {
+    let config = MhrpConfig { forwarding_pointers, ..Default::default() };
+    let mut f = Figure1::build(Figure1Options {
+        config,
+        correspondent: CorrespondentKind::Mhrp,
+        seed,
+        ..Default::default()
+    });
+    let m_addr = f.addrs.m;
+
+    // Attach at R4 and prime S's cache.
+    f.world.run_until(SimTime::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![0; 32]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+
+    // Stream at 20 ms spacing; move mid-stream.
+    let updates0 = f.world.stats().counter("mhrp.updates_sent");
+    let mut sent_during_move = 0u64;
+    let move_at = f.world.now() + SimDuration::from_millis(200);
+    let mut moved_at: Option<SimTime> = None;
+    for i in 0..150u32 {
+        if moved_at.is_none() && f.world.now() >= move_at {
+            f.move_m_to_e();
+            moved_at = Some(f.world.now());
+        }
+        f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+            s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![i as u8; 32]);
+        });
+        if moved_at.is_some() {
+            sent_during_move += 1;
+        }
+        f.world.run_for(SimDuration::from_millis(20));
+    }
+    f.world.run_for(SimDuration::from_secs(3));
+
+    let moved_at = moved_at.expect("move happened");
+    let log = &f.world.node::<MobileHostNode>(f.m).endpoint.log;
+    let delivered_during_move = log
+        .udp_rx
+        .iter()
+        .filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at)
+        .count() as u64;
+    let first_after = log
+        .udp_rx
+        .iter()
+        .filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at)
+        .map(|r| r.at)
+        .next();
+    HandoffResult {
+        label: label.to_owned(),
+        sent_during_move,
+        delivered_during_move,
+        disruption_ms: first_after.map(|t| t.since(moved_at).as_millis()).unwrap_or(u64::MAX),
+        location_updates: f.world.stats().counter("mhrp.updates_sent") - updates0,
+    }
+}
+
+/// The scenario forwarding pointers exist for (§2: they are "useful in
+/// maintaining connectivity to a frequently moving mobile host during
+/// periods in which that host's home agent may be temporarily
+/// inaccessible"): M moves from R4 to R5 *while the home agent is cut
+/// off*. With a pointer, R4 re-tunnels straight to R5; without one, R4
+/// can only tunnel toward the unreachable home network.
+pub fn run_ha_partitioned(seed: u64, forwarding_pointers: bool, label: &str) -> HandoffResult {
+    let config = MhrpConfig { forwarding_pointers, ..Default::default() };
+    let mut f = Figure1::build(Figure1Options {
+        config,
+        correspondent: CorrespondentKind::Mhrp,
+        seed,
+        ..Default::default()
+    });
+    let m_addr = f.addrs.m;
+
+    f.world.run_until(SimTime::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+    // Prime S's cache (it will stay stale, pointing at R4).
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![0; 32]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+
+    // The home agent drops off the network entirely.
+    f.world.move_iface(f.r2, netsim::IfaceId(0), None);
+    // M moves to R5. Its home-agent registration fails (retries burn
+    // out); the mobile host then notifies the old foreign agent anyway,
+    // which (when configured) installs the §2 forwarding pointer.
+    f.move_m_to_e();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r5), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(6)); // HA retries expire, old FA notified
+    if forwarding_pointers {
+        assert_eq!(
+            f.world.node::<MhrpRouterNode>(f.r4).ca.cache.peek(m_addr),
+            Some(f.addrs.r5),
+            "forwarding pointer missing after HA-dark move"
+        );
+    }
+
+    // S streams to its stale R4 binding while the HA is dark.
+    let updates0 = f.world.stats().counter("mhrp.updates_sent");
+    let moved_at = f.world.now();
+    let mut sent = 0u64;
+    for i in 0..40u32 {
+        f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+            s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![i as u8; 32]);
+        });
+        sent += 1;
+        f.world.run_for(SimDuration::from_millis(100));
+    }
+    f.world.run_for(SimDuration::from_secs(3));
+
+    let log = &f.world.node::<MobileHostNode>(f.m).endpoint.log;
+    let delivered = log
+        .udp_rx
+        .iter()
+        .filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at)
+        .count() as u64;
+    let first_after = log
+        .udp_rx
+        .iter()
+        .filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at)
+        .map(|r| r.at)
+        .next();
+    HandoffResult {
+        label: label.to_owned(),
+        sent_during_move: sent,
+        delivered_during_move: delivered,
+        disruption_ms: first_after.map(|t| t.since(moved_at).as_millis()).unwrap_or(u64::MAX),
+        location_updates: f.world.stats().counter("mhrp.updates_sent") - updates0,
+    }
+}
+
+/// Runs all configurations.
+pub fn run(seed: u64) -> Vec<HandoffResult> {
+    vec![
+        run_one(seed, true, "with forwarding pointers (§2)"),
+        run_one(seed, false, "without forwarding pointers"),
+        run_ha_partitioned(seed, true, "HA unreachable, with pointer (§2)"),
+        run_ha_partitioned(seed, false, "HA unreachable, without pointer"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_converges_and_pointers_help() {
+        let rows = run(13);
+        let with = &rows[0];
+        let without = &rows[1];
+        // The stream recovers in both configurations.
+        assert!(with.delivered_during_move > 0, "no delivery after move (with pointers)");
+        assert!(without.delivered_during_move > 0, "no delivery after move (without)");
+        // Bounded disruption: attachment detection is ~advertisement
+        // period; allow a generous bound.
+        assert!(with.disruption_ms < 10_000, "disruption {}ms", with.disruption_ms);
+        // Forwarding pointers must not make things worse, and deliver at
+        // least as many in-flight packets.
+        assert!(with.delivered_during_move >= without.delivered_during_move);
+        // Convergence used location updates.
+        assert!(with.location_updates > 0);
+    }
+
+    #[test]
+    fn forwarding_pointers_carry_traffic_while_ha_is_dark() {
+        // §2's stated purpose for the pointer: connectivity while the
+        // home agent is temporarily inaccessible.
+        let with = run_ha_partitioned(19, true, "with");
+        let without = run_ha_partitioned(19, false, "without");
+        assert!(
+            with.delivered_during_move >= with.sent_during_move / 2,
+            "pointer path delivered only {}/{}",
+            with.delivered_during_move,
+            with.sent_during_move
+        );
+        assert_eq!(
+            without.delivered_during_move, 0,
+            "without a pointer and without the HA, nothing should arrive"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! **E06 — §5.2: foreign-agent crash recovery.**
+//!
+//! R4 loses its visitor list. Three recovery paths are measured:
+//!
+//! 1. **reboot + recovery query** — the §5.2 broadcast prompts M to
+//!    re-register immediately;
+//! 2. **silent state loss** — only the main §5.2 mechanism remains: a
+//!    bounced packet reaches the home agent, which sends the foreign
+//!    agent a location update naming itself, re-adding the visitor;
+//! 3. **silent state loss + verification** — same, but the agent issues
+//!    an ARP query instead of believing the home agent outright.
+
+use mhrp::{Attachment, MhrpConfig, MhrpHostNode, MhrpRouterNode, MobileHostNode};
+use netsim::time::{SimDuration, SimTime};
+
+use crate::metrics::RecoveryResult;
+use crate::shootout::DATA_PORT;
+use crate::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+/// How the foreign agent's state is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Full reboot: volatile state lost *and* the §5.2 recovery query is
+    /// broadcast.
+    RebootWithQuery,
+    /// Silent loss: no broadcast; recovery relies on the location-update
+    /// path alone.
+    SilentLoss,
+}
+
+/// Runs one recovery scenario.
+pub fn run_one(seed: u64, mode: CrashMode, verify: bool, label: &str) -> RecoveryResult {
+    let config = MhrpConfig { verify_on_recovery: verify, ..Default::default() };
+    let mut f = Figure1::build(Figure1Options {
+        config,
+        correspondent: CorrespondentKind::Mhrp,
+        seed,
+        ..Default::default()
+    });
+    let m_addr = f.addrs.m;
+
+    f.world.run_until(SimTime::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+    // Prime S's cache.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![0; 16]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+
+    // Crash.
+    let crash_at = f.world.now();
+    match mode {
+        CrashMode::RebootWithQuery => f.world.reboot_node(f.r4),
+        CrashMode::SilentLoss => {
+            f.world.with_node::<MhrpRouterNode, _>(f.r4, |r, _| r.fa.as_mut().unwrap().reboot());
+        }
+    }
+
+    // Stream packets; watch for the visitor entry to reappear and count
+    // losses until delivery resumes.
+    let delivered_before =
+        f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() as u64;
+    let mut recovery_ms = None;
+    let mut sent = 0u64;
+    for i in 0..100u32 {
+        f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+            s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![i as u8; 16]);
+        });
+        sent += 1;
+        f.world.run_for(SimDuration::from_millis(50));
+        if recovery_ms.is_none()
+            && f.world.node::<MhrpRouterNode>(f.r4).fa.as_ref().unwrap().has_visitor(m_addr)
+        {
+            recovery_ms = Some(f.world.now().since(crash_at).as_millis());
+        }
+        if recovery_ms.is_some() {
+            break;
+        }
+    }
+    f.world.run_for(SimDuration::from_secs(3));
+    let delivered_after =
+        f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() as u64;
+    let packets_lost = sent.saturating_sub(delivered_after - delivered_before);
+    RecoveryResult { label: label.to_owned(), recovery_ms, packets_lost }
+}
+
+/// Runs every recovery scenario.
+pub fn run(seed: u64) -> Vec<RecoveryResult> {
+    vec![
+        run_one(seed, CrashMode::RebootWithQuery, false, "reboot + recovery query (§5.2)"),
+        run_one(seed, CrashMode::SilentLoss, false, "silent loss, trust home agent (§5.2)"),
+        run_one(seed, CrashMode::SilentLoss, true, "silent loss, verify by ARP query (§5.2)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_recover() {
+        for row in run(23) {
+            assert!(row.recovery_ms.is_some(), "{} never recovered", row.label);
+            assert!(
+                row.recovery_ms.unwrap() < 10_000,
+                "{} took {}ms",
+                row.label,
+                row.recovery_ms.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_query_is_fastest() {
+        let rows = run(29);
+        let query = rows[0].recovery_ms.unwrap();
+        let trust = rows[1].recovery_ms.unwrap();
+        // The broadcast query recovers without waiting for a data packet
+        // to bounce off the home agent.
+        assert!(query <= trust, "query {query}ms vs trust {trust}ms");
+    }
+}

@@ -1,0 +1,89 @@
+//! **E08 — §4.3: location-update rate limiting.**
+//!
+//! A plain (non-MHRP) correspondent streams packets to an away mobile
+//! host. Every packet is intercepted by the home agent, which would love
+//! to tell the sender where the mobile host is — but the sender never
+//! listens, so §4.3 requires the agent to cap the update rate per
+//! destination.
+
+use mhrp::{Attachment, MhrpConfig};
+use netsim::time::{SimDuration, SimTime};
+use netstack::nodes::HostNode;
+
+use crate::shootout::DATA_PORT;
+use crate::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+/// Rate-limit measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitResult {
+    /// Packets the plain sender transmitted.
+    pub packets_sent: u64,
+    /// Location updates actually sent to it.
+    pub updates_sent: u64,
+    /// Updates suppressed by the §4.3 limiter.
+    pub updates_suppressed: u64,
+}
+
+/// Runs the experiment: `packets` sent over `window_ms` milliseconds with
+/// an update minimum interval of `min_interval_ms`.
+pub fn run(seed: u64, packets: u32, window_ms: u64, min_interval_ms: u64) -> RateLimitResult {
+    let config = MhrpConfig {
+        update_min_interval: SimDuration::from_millis(min_interval_ms),
+        ..Default::default()
+    };
+    let mut f = Figure1::build(Figure1Options {
+        config,
+        correspondent: CorrespondentKind::Plain,
+        r1_cache_agent: false, // keep R1 out of it: every packet hits the HA
+        seed,
+        ..Default::default()
+    });
+    let m_addr = f.addrs.m;
+    f.world.run_until(SimTime::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+
+    let sent0 = f.world.stats().counter("mhrp.updates_sent");
+    let supp0 = f.world.stats().counter("mhrp.updates_rate_limited");
+    let spacing = SimDuration::from_millis(window_ms / u64::from(packets).max(1));
+    for i in 0..packets {
+        f.world.with_node::<HostNode, _>(f.s, |s, ctx| {
+            s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![i as u8; 16]);
+        });
+        f.world.run_for(spacing);
+    }
+    f.world.run_for(SimDuration::from_secs(1));
+    RateLimitResult {
+        packets_sent: u64::from(packets),
+        updates_sent: f.world.stats().counter("mhrp.updates_sent") - sent0,
+        updates_suppressed: f.world.stats().counter("mhrp.updates_rate_limited") - supp0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_are_capped_per_destination() {
+        // 40 packets in 2 s; at most one update per 5 s window may go to S
+        // per emitting agent (home agent + the delivering foreign agent).
+        let r = run(37, 40, 2_000, 5_000);
+        assert_eq!(r.packets_sent, 40);
+        assert!(r.updates_sent <= 3, "updates {}", r.updates_sent);
+        assert!(
+            r.updates_suppressed >= 30,
+            "suppressed only {}",
+            r.updates_suppressed
+        );
+    }
+
+    #[test]
+    fn relaxed_interval_allows_more() {
+        let strict = run(41, 30, 3_000, 10_000);
+        let relaxed = run(41, 30, 3_000, 200);
+        assert!(relaxed.updates_sent > strict.updates_sent);
+        assert!(relaxed.updates_suppressed < strict.updates_suppressed);
+    }
+}

@@ -1,0 +1,135 @@
+//! **E09 — §4.5: ICMP error handling across tunnels.**
+//!
+//! The path to the mobile host's *cached* foreign agent breaks (R4
+//! detaches from network C). The sender's next tunneled packet dies
+//! mid-tunnel; the resulting destination-unreachable must travel back to
+//! the original sender with the packet copy reversed to its
+//! pre-encapsulation form, and the stale cache entries must be purged —
+//! both for a sender-built tunnel (error terminates at S) and an
+//! agent-built one (R1 reverses and re-sends toward plain S).
+
+use mhrp::{Attachment, MhrpHostNode, MhrpRouterNode};
+use netsim::time::{SimDuration, SimTime};
+use netsim::IfaceId;
+use netstack::nodes::HostNode;
+
+use crate::shootout::DATA_PORT;
+use crate::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+/// Result of one error-propagation run.
+#[derive(Debug, Clone)]
+pub struct ErrorPathResult {
+    /// Configuration label.
+    pub label: String,
+    /// ICMP errors the original sender logged.
+    pub sender_errors: u64,
+    /// Whether the stale cache entry was purged.
+    pub cache_purged: bool,
+    /// Tunnel-reverse operations performed by intermediate agents.
+    pub reversals: u64,
+}
+
+fn break_route_to_d(f: &mut Figure1) {
+    // R3 withdraws its route toward R4's network, and R4's own side is
+    // detached; packets for R4 now die at R3 with destination-unreachable.
+    f.world.move_iface(f.r4, IfaceId(0), None);
+    f.world.with_node::<MhrpRouterNode, _>(f.r3, |r, _| {
+        r.stack.routes.remove(crate::topology::net(4));
+        // Route queries for R4's network-C address also fail.
+        r.stack.arp.clear_iface(IfaceId(1));
+    });
+}
+
+fn setup(seed: u64, kind: CorrespondentKind) -> Figure1 {
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: kind,
+        r1_cache_agent: true,
+        seed,
+        ..Default::default()
+    });
+    f.world.run_until(SimTime::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+    f
+}
+
+/// Sender-built tunnel: S itself is the tunnel head; the error terminates
+/// at S after un-rewriting.
+pub fn run_sender_built(seed: u64) -> ErrorPathResult {
+    let mut f = setup(seed, CorrespondentKind::Mhrp);
+    let m_addr = f.addrs.m;
+    // Prime S's cache.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![0; 16]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(f.world.node::<MhrpHostNode>(f.s).ca.cache.peek(m_addr), Some(f.addrs.r4));
+
+    // Break the path to R4: routing at R3 withdraws network D (as a
+    // routing protocol would after a link failure).
+    break_route_to_d(&mut f);
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![1; 16]);
+    });
+    f.world.run_for(SimDuration::from_secs(5));
+
+    let s_node = f.world.node::<MhrpHostNode>(f.s);
+    ErrorPathResult {
+        label: "sender-built tunnel (error terminates at S)".into(),
+        sender_errors: s_node.log().icmp_errors.len() as u64,
+        cache_purged: s_node.ca.cache.peek(m_addr).is_none(),
+        reversals: f.world.stats().counter("mhrp.icmp_errors_reversed"),
+    }
+}
+
+/// Agent-built tunnel: plain S, R1 is the tunnel head; R1 reverses the
+/// error and re-sends it to S.
+pub fn run_agent_built(seed: u64) -> ErrorPathResult {
+    let mut f = setup(seed, CorrespondentKind::Plain);
+    let m_addr = f.addrs.m;
+    // Prime R1's cache via the snooped location update.
+    f.world.with_node::<HostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![0; 16]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(f.world.node::<MhrpRouterNode>(f.r1).ca.cache.peek(m_addr), Some(f.addrs.r4));
+
+    break_route_to_d(&mut f);
+    f.world.with_node::<HostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![1; 16]);
+    });
+    f.world.run_for(SimDuration::from_secs(5));
+
+    ErrorPathResult {
+        label: "agent-built tunnel (R1 reverses, resends to S)".into(),
+        sender_errors: f.world.node::<HostNode>(f.s).log().icmp_errors.len() as u64,
+        cache_purged: f.world.node::<MhrpRouterNode>(f.r1).ca.cache.peek(m_addr).is_none(),
+        reversals: f.world.stats().counter("mhrp.icmp_errors_reversed"),
+    }
+}
+
+/// Runs both configurations.
+pub fn run(seed: u64) -> Vec<ErrorPathResult> {
+    vec![run_sender_built(seed), run_agent_built(seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_built_error_reaches_sender_and_purges() {
+        let r = run_sender_built(43);
+        assert!(r.sender_errors >= 1, "S never saw the error");
+        assert!(r.cache_purged, "stale cache entry survived");
+    }
+
+    #[test]
+    fn agent_built_error_is_reversed_and_forwarded() {
+        let r = run_agent_built(47);
+        assert!(r.reversals >= 1, "R1 never reversed the error");
+        assert!(r.cache_purged, "R1's stale cache entry survived");
+        assert!(r.sender_errors >= 1, "plain S never received the reversed error");
+    }
+}

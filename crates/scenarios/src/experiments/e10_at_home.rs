@@ -1,0 +1,126 @@
+//! **E10 — §1/§8: "no penalty for being mobile capable".**
+//!
+//! A mobile-capable host sitting on its home network must behave exactly
+//! like a plain host: no MHRP header on any packet, no control traffic on
+//! its behalf, no extra hops, and the same round-trip time a plain host
+//! pair achieves on the same topology.
+
+use mhrp::{MhrpHostNode, MobileHostNode};
+use netsim::time::{SimDuration, SimTime};
+use netstack::nodes::HostNode;
+
+use crate::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+/// At-home comparison between the MHRP world and a plain-IP world.
+#[derive(Debug, Clone, Copy)]
+pub struct AtHomeResult {
+    /// RTT of a ping S→M with MHRP software everywhere, M at home (µs).
+    pub mhrp_rtt_us: u64,
+    /// RTT of the same ping between plain hosts (µs).
+    pub plain_rtt_us: u64,
+    /// MHRP data-plane bytes added (must be 0).
+    pub mhrp_overhead_bytes: u64,
+    /// MHRP registration messages sent (must be 0).
+    pub registrations: u64,
+    /// Location updates sent (must be 0).
+    pub updates: u64,
+    /// Reply TTL seen by S in the MHRP world (hop-count evidence).
+    pub mhrp_reply_ttl: u8,
+    /// Reply TTL seen by S in the plain world.
+    pub plain_reply_ttl: u8,
+}
+
+fn measure_mhrp(seed: u64) -> (u64, u8, u64, u64, u64) {
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: CorrespondentKind::Mhrp,
+        seed,
+        ..Default::default()
+    });
+    let m_addr = f.addrs.m;
+    // Warm ARP caches with one ping, then measure the steady-state RTT.
+    f.world.run_until(SimTime::from_secs(2));
+    for _ in 0..2 {
+        f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+            s.ping(ctx, m_addr);
+        });
+        f.world.run_for(SimDuration::from_secs(2));
+    }
+    let s = f.world.node::<MhrpHostNode>(f.s);
+    let reply = *s.log().echo_replies.last().expect("reply");
+    // Sanity: the mobile host really is the MHRP node type.
+    let _ = f.world.node::<MobileHostNode>(f.m);
+    (
+        reply.rtt.as_micros(),
+        reply.ttl,
+        f.world.stats().counter("mhrp.overhead_bytes"),
+        f.world.stats().counter("mhrp.registration_msgs_sent"),
+        f.world.stats().counter("mhrp.updates_sent"),
+    )
+}
+
+fn measure_plain(seed: u64) -> (u64, u8) {
+    // Same physical topology, but S and "M" are plain hosts and the
+    // routers are plain routers.
+    use crate::shootout::{add_plain_router, phys};
+    use crate::topology::{configure_host_s_stack, net, Figure1Addrs};
+    use netsim::IfaceId;
+    use netstack::route::NextHop;
+
+    let addrs = Figure1Addrs::plan();
+    let mut p = phys(seed);
+    for pos in 1..=3 {
+        add_plain_router(&mut p, pos);
+    }
+    let s = p.world.add_node(Box::new(HostNode::new()));
+    p.world.add_iface(s, Some(p.net_a));
+    p.world.with_node::<HostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
+    let m = p.world.add_node(Box::new(HostNode::new()));
+    p.world.add_iface(m, Some(p.net_b));
+    p.world.with_node::<HostNode, _>(m, |h, _| {
+        h.stack.add_iface(IfaceId(0), addrs.m, net(2));
+        h.stack
+            .routes
+            .add(ip::Prefix::default_route(), NextHop::Gateway { iface: IfaceId(0), via: addrs.r2 });
+    });
+    p.world.start();
+    p.world.run_until(SimTime::from_secs(2));
+    for _ in 0..2 {
+        p.world.with_node::<HostNode, _>(s, |h, ctx| {
+            h.ping(ctx, addrs.m);
+        });
+        p.world.run_for(SimDuration::from_secs(2));
+    }
+    let reply = *p.world.node::<HostNode>(s).log().echo_replies.last().expect("reply");
+    (reply.rtt.as_micros(), reply.ttl)
+}
+
+/// Runs the comparison.
+pub fn run(seed: u64) -> AtHomeResult {
+    let (mhrp_rtt_us, mhrp_reply_ttl, overhead, regs, updates) = measure_mhrp(seed);
+    let (plain_rtt_us, plain_reply_ttl) = measure_plain(seed);
+    AtHomeResult {
+        mhrp_rtt_us,
+        plain_rtt_us,
+        mhrp_overhead_bytes: overhead,
+        registrations: regs,
+        updates,
+        mhrp_reply_ttl,
+        plain_reply_ttl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_penalty_at_home() {
+        let r = run(53);
+        assert_eq!(r.mhrp_overhead_bytes, 0, "MHRP added bytes at home");
+        assert_eq!(r.registrations, 0, "registrations at home");
+        assert_eq!(r.updates, 0, "updates at home");
+        // Identical hop count and identical steady-state RTT.
+        assert_eq!(r.mhrp_reply_ttl, r.plain_reply_ttl);
+        assert_eq!(r.mhrp_rtt_us, r.plain_rtt_us);
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per reproduced experiment (DESIGN.md's E01–E10 index).
+
+pub mod e01_header;
+pub mod e02_overhead;
+pub mod e03_path;
+pub mod e04_handoff;
+pub mod e05_loops;
+pub mod e06_recovery;
+pub mod e07_scalability;
+pub mod e08_rate_limit;
+pub mod e09_icmp_errors;
+pub mod e10_at_home;

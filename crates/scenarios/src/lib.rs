@@ -1,0 +1,17 @@
+//! Topologies, workloads, metrics and experiments for the MHRP
+//! reproduction.
+//!
+//! * [`topology`] — the paper's Figure 1 internetwork and the shared
+//!   address/route plan every protocol variant uses.
+//! * [`shootout`] — MHRP and the five §7 baselines on identical physical
+//!   topology and workload.
+//! * [`metrics`] — the result records the experiments emit.
+//! * [`experiments`] — one module per reproduced table/figure (see
+//!   DESIGN.md's per-experiment index and EXPERIMENTS.md for results).
+//! * [`report`] — plain-text table rendering for the `report` binary.
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod shootout;
+pub mod topology;

@@ -1,0 +1,124 @@
+//! Result records produced by the experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the §7-style protocol comparison (experiments E02/E03/E07).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Data packets the correspondent sent to the mobile host.
+    pub data_packets_sent: u64,
+    /// Data packets the mobile host received.
+    pub delivered: u64,
+    /// Encapsulation bytes added across all data packets.
+    pub overhead_bytes: u64,
+    /// Average encapsulation overhead per *sent* data packet.
+    pub overhead_per_packet: f64,
+    /// Average forward-path length in router hops (from received TTLs).
+    pub avg_forward_hops: f64,
+    /// Protocol control messages exchanged during the run.
+    pub control_messages: u64,
+    /// Paper §7 figure for comparison (bytes/packet), where stated.
+    pub paper_overhead: &'static str,
+}
+
+impl ComparisonRow {
+    /// Delivery ratio in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.data_packets_sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.data_packets_sent as f64
+        }
+    }
+}
+
+/// One point of a scalability series (experiment E07).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityPoint {
+    /// Protocol name.
+    pub protocol: String,
+    /// Number of mobile hosts in the run.
+    pub mobiles: usize,
+    /// Control messages per completed move, averaged.
+    pub control_msgs_per_move: f64,
+    /// Largest single-node protocol state (entries) anywhere in the
+    /// network — the "global database" smell.
+    pub max_node_state: usize,
+    /// Temporary addresses consumed (0 for protocols that need none).
+    pub temp_addrs_used: usize,
+}
+
+/// One point of the loop-robustness series (experiment E05).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopPoint {
+    /// Simulated milliseconds since the loop formed.
+    pub at_ms: u64,
+    /// Packets circulating in the loop at that instant.
+    pub circulating: u64,
+}
+
+/// Outcome of a handoff run (experiment E04).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HandoffResult {
+    /// Label of the configuration measured.
+    pub label: String,
+    /// Packets sent during the disruption window.
+    pub sent_during_move: u64,
+    /// Of those, packets that still reached the mobile host.
+    pub delivered_during_move: u64,
+    /// Milliseconds from physical detach to the first packet delivered at
+    /// the new attachment.
+    pub disruption_ms: u64,
+    /// Location updates emitted while converging.
+    pub location_updates: u64,
+}
+
+/// Outcome of a foreign-agent crash-recovery run (experiment E06).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryResult {
+    /// Label of the configuration measured.
+    pub label: String,
+    /// Milliseconds from the crash until the visitor entry existed again.
+    pub recovery_ms: Option<u64>,
+    /// Data packets lost between crash and recovery.
+    pub packets_lost: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        let row = ComparisonRow {
+            protocol: "x".into(),
+            data_packets_sent: 0,
+            delivered: 0,
+            overhead_bytes: 0,
+            overhead_per_packet: 0.0,
+            avg_forward_hops: 0.0,
+            control_messages: 0,
+            paper_overhead: "-",
+        };
+        assert_eq!(row.delivery_ratio(), 0.0);
+        let row2 = ComparisonRow { data_packets_sent: 10, delivered: 9, ..row };
+        assert!((row2.delivery_ratio() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_are_serializable_types() {
+        fn assert_ser<T: Serialize>() {}
+        fn assert_de<T: for<'de> Deserialize<'de>>() {}
+        assert_ser::<ComparisonRow>(); // borrows a &'static str; serialize-only
+        assert_ser::<ScalabilityPoint>();
+        assert_de::<ScalabilityPoint>();
+        assert_ser::<LoopPoint>();
+        assert_de::<LoopPoint>();
+        assert_ser::<HandoffResult>();
+        assert_de::<HandoffResult>();
+        assert_ser::<RecoveryResult>();
+        assert_de::<RecoveryResult>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Plain-text table rendering for the `report` binary and EXPERIMENTS.md.
+
+/// Renders an aligned plain-text table.
+///
+/// ```rust
+/// let t = scenarios::report::table(
+///     &["proto", "overhead"],
+///     vec![vec!["MHRP".into(), "8".into()], vec!["Sony VIP".into(), "28".into()]],
+/// );
+/// assert!(t.contains("MHRP"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn table(headers: &[&str], rows: Vec<Vec<String>>) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str("| ");
+            out.push_str(cell);
+            out.push_str(&" ".repeat(widths[i] - cell.len() + 1));
+        }
+        out.push_str("|\n");
+    };
+    sep(&mut out);
+    line(&mut out, &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>());
+    sep(&mut out);
+    for row in &rows {
+        line(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = table(&["a", "bbbb"], vec![vec!["xxxxx".into(), "y".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let _ = table(&["a", "b"], vec![vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn f2_formats() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f2(12.5), "12.50");
+    }
+}

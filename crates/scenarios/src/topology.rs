@@ -1,0 +1,382 @@
+//! Topology builders, starting with the paper's Figure 1.
+//!
+//! ```text
+//!        Network A          Network B (home of M)      Network C
+//!        S ──┐                  M(home) ──┐            ┌── R4 ─ Network D (wireless)
+//!            R1 ─── backbone ─── R2 ───────┘   ┌── R3 ─┤
+//!            └──────────────────┴──────────────┘       └── R5 ─ Network E (wireless)
+//! ```
+//!
+//! `R2` is M's home agent; `R4` and `R5` are foreign agents on the
+//! wireless networks D and E (E appears in §6.3 when M moves from R4 to
+//! R5). `S` is the correspondent host on network A, either a plain 1994
+//! host or an MHRP-capable one. `R1` (and optionally `R3`) can act as
+//! cache agents for the hosts behind them (§6.2).
+
+use std::net::Ipv4Addr;
+
+use ip::Prefix;
+use mhrp::{MhrpConfig, MhrpHostNode, MhrpRouterNode, MobileHostNode};
+use netsim::time::SimDuration;
+use netsim::{IfaceId, NodeId, SegmentId, SegmentParams, World};
+use netstack::nodes::HostNode;
+use netstack::route::NextHop;
+
+/// The address plan of the Figure 1 internetwork.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure1Addrs {
+    /// S, the correspondent host on network A.
+    pub s: Ipv4Addr,
+    /// M, the mobile host homed on network B.
+    pub m: Ipv4Addr,
+    /// R1's network-A address (the first-hop cache agent for S).
+    pub r1: Ipv4Addr,
+    /// R2's network-B address (M's home agent).
+    pub r2: Ipv4Addr,
+    /// R3's network-C address.
+    pub r3: Ipv4Addr,
+    /// R4's network-D address (foreign agent on D).
+    pub r4: Ipv4Addr,
+    /// R5's network-E address (foreign agent on E).
+    pub r5: Ipv4Addr,
+    /// Network B's prefix (M's home network).
+    pub home_prefix: Prefix,
+}
+
+/// Which node type plays the correspondent host `S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrespondentKind {
+    /// A plain 1994 host: ignores location updates; relies on its
+    /// first-hop router (`R1`) if that router is a cache agent.
+    Plain,
+    /// An MHRP-capable host: caches locations and tunnels its own packets
+    /// (§6.2's expected common case).
+    Mhrp,
+}
+
+/// Options for [`Figure1::build`].
+#[derive(Debug, Clone)]
+pub struct Figure1Options {
+    /// The protocol configuration shared by every MHRP node.
+    pub config: MhrpConfig,
+    /// What kind of host S is.
+    pub correspondent: CorrespondentKind,
+    /// Whether R1 examines forwarded packets as a cache agent (§6.2's
+    /// support for networks of unmodified hosts).
+    pub r1_cache_agent: bool,
+    /// Link latency of the wired segments.
+    pub wired_latency: SimDuration,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for Figure1Options {
+    fn default() -> Figure1Options {
+        Figure1Options {
+            config: MhrpConfig::default(),
+            correspondent: CorrespondentKind::Mhrp,
+            r1_cache_agent: true,
+            wired_latency: SimDuration::from_micros(500),
+            seed: 42,
+        }
+    }
+}
+
+/// The built Figure 1 world with handles to every node and segment.
+#[derive(Debug)]
+pub struct Figure1 {
+    /// The simulation world (started).
+    pub world: World,
+    /// Correspondent host S.
+    pub s: NodeId,
+    /// Mobile host M.
+    pub m: NodeId,
+    /// Router R1 (network A).
+    pub r1: NodeId,
+    /// Router R2 (network B, home agent).
+    pub r2: NodeId,
+    /// Router R3 (network C).
+    pub r3: NodeId,
+    /// Router R4 (foreign agent, network D).
+    pub r4: NodeId,
+    /// Router R5 (foreign agent, network E).
+    pub r5: NodeId,
+    /// The backbone segment.
+    pub backbone: SegmentId,
+    /// Network A (S's network).
+    pub net_a: SegmentId,
+    /// Network B (M's home network).
+    pub net_b: SegmentId,
+    /// Network C.
+    pub net_c: SegmentId,
+    /// Network D (wireless, served by R4).
+    pub net_d: SegmentId,
+    /// Network E (wireless, served by R5).
+    pub net_e: SegmentId,
+    /// The address plan.
+    pub addrs: Figure1Addrs,
+    /// Which kind of correspondent was built.
+    pub correspondent: CorrespondentKind,
+}
+
+impl Figure1Addrs {
+    /// The canonical Figure 1 address plan.
+    pub fn plan() -> Figure1Addrs {
+        Figure1Addrs {
+            s: Ipv4Addr::new(10, 1, 0, 10),
+            m: Ipv4Addr::new(10, 2, 0, 77),
+            r1: Ipv4Addr::new(10, 1, 0, 1),
+            r2: Ipv4Addr::new(10, 2, 0, 1),
+            r3: Ipv4Addr::new(10, 3, 0, 1),
+            r4: Ipv4Addr::new(10, 4, 0, 1),
+            r5: Ipv4Addr::new(10, 5, 0, 1),
+            home_prefix: Prefix::new(Ipv4Addr::new(10, 2, 0, 0), 24),
+        }
+    }
+}
+
+/// The `/24` prefix of network `n` in the canonical address plan
+/// (`10.n.0.0/24`; network 0 is the backbone).
+pub fn net(n: u8) -> Prefix {
+    Prefix::new(Ipv4Addr::new(10, n, 0, 0), 24)
+}
+
+/// Router `r`'s address on the backbone (`10.0.0.r`).
+pub fn backbone_addr(r: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, r)
+}
+
+/// Installs the canonical Figure 1 interface addresses and static routes
+/// for router position `1..=5` into `stack`. Every protocol variant of
+/// the topology shares this plan, so the §7 comparisons run over
+/// *identical* routing.
+///
+/// Positions: 1–3 are the backbone routers for networks A–C (iface 0 =
+/// backbone, iface 1 = stub network); 4 and 5 connect network C (iface 0)
+/// to the wireless networks D and E (iface 1).
+///
+/// # Panics
+///
+/// Panics if `position` is not in `1..=5`.
+pub fn configure_router_stack(stack: &mut netstack::IpStack, position: u8) {
+    use netstack::route::NextHop as NH;
+    let a = Figure1Addrs::plan();
+    match position {
+        1 => {
+            stack.add_iface(IfaceId(0), backbone_addr(1), net(0));
+            stack.add_iface(IfaceId(1), a.r1, net(1));
+            stack.routes.add(net(2), NH::Gateway { iface: IfaceId(0), via: backbone_addr(2) });
+            for n in 3..=5 {
+                stack.routes.add(net(n), NH::Gateway { iface: IfaceId(0), via: backbone_addr(3) });
+            }
+        }
+        2 => {
+            stack.add_iface(IfaceId(0), backbone_addr(2), net(0));
+            stack.add_iface(IfaceId(1), a.r2, net(2));
+            stack.routes.add(net(1), NH::Gateway { iface: IfaceId(0), via: backbone_addr(1) });
+            for n in 3..=5 {
+                stack.routes.add(net(n), NH::Gateway { iface: IfaceId(0), via: backbone_addr(3) });
+            }
+        }
+        3 => {
+            stack.add_iface(IfaceId(0), backbone_addr(3), net(0));
+            stack.add_iface(IfaceId(1), a.r3, net(3));
+            stack.routes.add(net(1), NH::Gateway { iface: IfaceId(0), via: backbone_addr(1) });
+            stack.routes.add(net(2), NH::Gateway { iface: IfaceId(0), via: backbone_addr(2) });
+            stack.routes.add(net(4), NH::Gateway { iface: IfaceId(1), via: Ipv4Addr::new(10, 3, 0, 4) });
+            stack.routes.add(net(5), NH::Gateway { iface: IfaceId(1), via: Ipv4Addr::new(10, 3, 0, 5) });
+        }
+        4 => {
+            stack.add_iface(IfaceId(0), Ipv4Addr::new(10, 3, 0, 4), net(3));
+            stack.add_iface(IfaceId(1), a.r4, net(4));
+            stack.routes.add(Prefix::default_route(), NH::Gateway { iface: IfaceId(0), via: a.r3 });
+        }
+        5 => {
+            stack.add_iface(IfaceId(0), Ipv4Addr::new(10, 3, 0, 5), net(3));
+            stack.add_iface(IfaceId(1), a.r5, net(5));
+            stack.routes.add(Prefix::default_route(), NH::Gateway { iface: IfaceId(0), via: a.r3 });
+        }
+        other => panic!("router position {other} is not in 1..=5"),
+    }
+}
+
+/// Installs the interface/default-route plan for the correspondent host S
+/// on network A.
+pub fn configure_host_s_stack(stack: &mut netstack::IpStack) {
+    let a = Figure1Addrs::plan();
+    stack.add_iface(IfaceId(0), a.s, net(1));
+    stack
+        .routes
+        .add(Prefix::default_route(), NextHop::Gateway { iface: IfaceId(0), via: a.r1 });
+}
+
+impl Figure1 {
+    /// Builds (and starts) the Figure 1 world. M begins at home on
+    /// network B.
+    pub fn build(opts: Figure1Options) -> Figure1 {
+        let addrs = Figure1Addrs::plan();
+        let mut w = World::new(opts.seed);
+        let wired = SegmentParams::with_latency(opts.wired_latency);
+        let backbone = w.add_segment(wired);
+        let net_a = w.add_segment(wired);
+        let net_b = w.add_segment(wired);
+        let net_c = w.add_segment(wired);
+        let net_d = w.add_segment(SegmentParams::wireless());
+        let net_e = w.add_segment(SegmentParams::wireless());
+
+        // --- R1: backbone <-> network A (cache agent for S's network) ---
+        let r1 = w.add_node(Box::new(MhrpRouterNode::new(opts.config.clone())));
+        w.add_iface(r1, Some(backbone)); // iface 0
+        w.add_iface(r1, Some(net_a)); // iface 1
+        w.with_node::<MhrpRouterNode, _>(r1, |r, _| {
+            r.cache_enabled = opts.r1_cache_agent;
+            configure_router_stack(&mut r.stack, 1);
+        });
+
+        // --- R2: backbone <-> network B; home agent, advertises on B ---
+        let r2 = w.add_node(Box::new(
+            MhrpRouterNode::new(opts.config.clone())
+                .with_home_agent(IfaceId(1))
+                .with_advertiser(vec![IfaceId(1)]),
+        ));
+        w.add_iface(r2, Some(backbone));
+        w.add_iface(r2, Some(net_b));
+        w.with_node::<MhrpRouterNode, _>(r2, |r, _| {
+            configure_router_stack(&mut r.stack, 2);
+        });
+
+        // --- R3: backbone <-> network C ---
+        let r3 = w.add_node(Box::new(MhrpRouterNode::new(opts.config.clone())));
+        w.add_iface(r3, Some(backbone));
+        w.add_iface(r3, Some(net_c));
+        w.with_node::<MhrpRouterNode, _>(r3, |r, _| {
+            configure_router_stack(&mut r.stack, 3);
+        });
+
+        // --- R4: network C <-> network D (wireless); foreign agent on D ---
+        let r4 = w.add_node(Box::new(
+            MhrpRouterNode::new(opts.config.clone())
+                .with_foreign_agent(IfaceId(1))
+                .with_advertiser(vec![IfaceId(1)]),
+        ));
+        w.add_iface(r4, Some(net_c));
+        w.add_iface(r4, Some(net_d));
+        w.with_node::<MhrpRouterNode, _>(r4, |r, _| {
+            configure_router_stack(&mut r.stack, 4);
+        });
+
+        // --- R5: network C <-> network E (wireless); foreign agent on E ---
+        let r5 = w.add_node(Box::new(
+            MhrpRouterNode::new(opts.config.clone())
+                .with_foreign_agent(IfaceId(1))
+                .with_advertiser(vec![IfaceId(1)]),
+        ));
+        w.add_iface(r5, Some(net_c));
+        w.add_iface(r5, Some(net_e));
+        w.with_node::<MhrpRouterNode, _>(r5, |r, _| {
+            configure_router_stack(&mut r.stack, 5);
+        });
+
+        // --- S: correspondent host on network A ---
+        let s = match opts.correspondent {
+            CorrespondentKind::Plain => {
+                let s = w.add_node(Box::new(HostNode::new()));
+                w.add_iface(s, Some(net_a));
+                w.with_node::<HostNode, _>(s, |h, _| {
+                    configure_host_s_stack(&mut h.stack);
+                });
+                s
+            }
+            CorrespondentKind::Mhrp => {
+                let s = w.add_node(Box::new(MhrpHostNode::new(&opts.config)));
+                w.add_iface(s, Some(net_a));
+                w.with_node::<MhrpHostNode, _>(s, |h, _| {
+                    configure_host_s_stack(&mut h.stack);
+                });
+                s
+            }
+        };
+
+        // --- M: the mobile host, at home on network B ---
+        let m = w.add_node(Box::new(MobileHostNode::new(
+            addrs.m,
+            addrs.home_prefix,
+            addrs.r2,
+            addrs.r2,
+            opts.config.clone(),
+        )));
+        w.add_iface(m, Some(net_b));
+
+        w.start();
+        Figure1 {
+            world: w,
+            s,
+            m,
+            r1,
+            r2,
+            r3,
+            r4,
+            r5,
+            backbone,
+            net_a,
+            net_b,
+            net_c,
+            net_d,
+            net_e,
+            addrs,
+            correspondent: opts.correspondent,
+        }
+    }
+
+    /// Physically carries M to network D (R4's wireless cell).
+    pub fn move_m_to_d(&mut self) {
+        self.world.move_iface(self.m, IfaceId(0), Some(self.net_d));
+    }
+
+    /// Physically carries M to network E (R5's wireless cell, §6.3).
+    pub fn move_m_to_e(&mut self) {
+        self.world.move_iface(self.m, IfaceId(0), Some(self.net_e));
+    }
+
+    /// Brings M back to its home network B.
+    pub fn move_m_home(&mut self) {
+        self.world.move_iface(self.m, IfaceId(0), Some(self.net_b));
+    }
+
+    /// Detaches M entirely (out of every cell's range).
+    pub fn detach_m(&mut self) {
+        self.world.move_iface(self.m, IfaceId(0), None);
+    }
+
+    /// Convenience: run until M's attachment state equals `want`, with a
+    /// deadline. Returns `true` on success.
+    pub fn run_until_attached(&mut self, want: mhrp::Attachment, deadline: SimDuration) -> bool {
+        let end = self.world.now() + deadline;
+        loop {
+            if self.world.node::<MobileHostNode>(self.m).core.state == want {
+                return true;
+            }
+            if self.world.now() >= end {
+                return false;
+            }
+            let step = SimDuration::from_millis(50);
+            self.world.run_for(step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_m_starts_home() {
+        let f = Figure1::build(Figure1Options::default());
+        assert_eq!(
+            f.world.node::<MobileHostNode>(f.m).core.state,
+            mhrp::Attachment::Home
+        );
+        assert_eq!(f.world.node_count(), 7);
+        assert_eq!(f.addrs.m, Ipv4Addr::new(10, 2, 0, 77));
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end tests of each baseline protocol's *distinctive* behaviour —
+//! the §7 properties the comparison hinges on.
+
+use baselines::matsushita::MatsushitaHostNode;
+use baselines::sony_vip::VipRouterNode;
+use baselines::sunshine_postel::{SpHostNode, SpMobileNode};
+use netsim::time::{SimDuration, SimTime};
+use scenarios::shootout::{
+    columbia_driver, ibm_lsrr_driver, matsushita_driver, mhrp_driver, run_comparison,
+    sony_vip_driver, sunshine_postel_driver, Driver,
+};
+
+fn settle_move_to_d(d: &mut Driver) {
+    d.world.run_until(SimTime::from_secs(3));
+    d.move_m_to_d();
+    d.world.run_until(SimTime::from_secs(12));
+}
+
+#[test]
+fn sunshine_postel_requeries_after_stale_forwarder() {
+    let mut d = sunshine_postel_driver(71);
+    settle_move_to_d(&mut d);
+    // Deliver one packet via the D forwarder (queries the directory).
+    d.send_data(vec![1; 16]);
+    d.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.mobile_received().len(), 1);
+    // M moves to E; the sender's cached forwarder (D) is stale. The old
+    // forwarder's lease lapses, it answers host-unreachable, the sender
+    // re-queries the directory and retransmits from its buffer.
+    d.move_m_to_e();
+    d.world.run_for(SimDuration::from_secs(6)); // lease expiry + re-registration
+    d.send_data(vec![2; 16]);
+    d.world.run_for(SimDuration::from_secs(8));
+    let received = d.mobile_received();
+    assert!(
+        received.len() >= 2,
+        "retransmission after re-query failed: got {}",
+        received.len()
+    );
+    assert!(d.world.stats().counter("sp.unreachable_returned") >= 1);
+    assert!(d.world.stats().counter("sp.requery_after_unreachable") >= 1);
+}
+
+#[test]
+fn columbia_uses_multicast_query_then_caches() {
+    let mut d = columbia_driver(73);
+    settle_move_to_d(&mut d);
+    // First packet: home MSR cache miss -> multicast query to all peers.
+    d.send_data(vec![1; 16]);
+    d.world.run_for(SimDuration::from_secs(2));
+    let rounds = d.world.stats().counter("columbia.query_rounds");
+    let msgs = d.world.stats().counter("columbia.query_messages");
+    assert!(rounds >= 1, "no query round");
+    assert_eq!(msgs, rounds * 2, "each round multicasts to both peer MSRs");
+    // Second packet: served from the MSR cache, no new round.
+    d.send_data(vec![2; 16]);
+    d.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.world.stats().counter("columbia.query_rounds"), rounds);
+    assert_eq!(d.mobile_received().len(), 2);
+}
+
+#[test]
+fn sony_flood_miss_leaves_stale_cache_and_recovers_via_error() {
+    let mut d = sony_vip_driver(79);
+    // R1 (the sender's first-hop) misses every flood: its observational
+    // cache goes stale after each move — §7's "some may remain".
+    d.world.with_node::<VipRouterNode, _>(netsim::NodeId(0), |r, _| {
+        r.flood_apply_prob = 0.0;
+    });
+    settle_move_to_d(&mut d);
+    // M -> S primes S's (and R1's) caches with M's temp address on D.
+    d.send_from_mobile(vec![0; 16]);
+    d.world.run_for(SimDuration::from_secs(1));
+    d.send_data(vec![1; 16]);
+    d.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.mobile_received().len(), 1);
+    // Move to E: flood invalidation runs but R1 ignores it.
+    d.move_m_to_e();
+    d.world.run_for(SimDuration::from_secs(8));
+    assert!(d.world.stats().counter("vip.flood_missed") >= 1, "flood miss not modeled");
+    // Fast-forward the D-side router's ARP expiry for the departed host
+    // (the simulator's segments otherwise swallow frames to a dead MAC
+    // silently, as real Ethernet does until the ARP entry times out).
+    d.world.with_node::<VipRouterNode, _>(netsim::NodeId(3), |r, _| {
+        r.stack.arp.clear_iface(netsim::IfaceId(1));
+    });
+    // S sends; the stale physical address dies; errors purge caches and
+    // within a few retries the home path heals delivery.
+    for i in 0..6 {
+        d.send_data(vec![i; 16]);
+        d.world.run_for(SimDuration::from_secs(3));
+    }
+    assert!(
+        d.mobile_received().len() >= 2,
+        "delivery never recovered after flood miss: {}",
+        d.mobile_received().len()
+    );
+    assert!(d.world.stats().counter("vip.cache_purges") >= 1);
+}
+
+#[test]
+fn matsushita_autonomous_mode_engages_and_falls_back() {
+    let mut d = matsushita_driver(83);
+    settle_move_to_d(&mut d);
+    // First packet goes via the PFS, which notifies the sender.
+    d.send_data(vec![1; 16]);
+    d.world.run_for(SimDuration::from_secs(2));
+    assert!(d.world.stats().counter("iptp.forwarded") >= 1);
+    assert!(d.world.stats().counter("iptp.autonomous_enabled") >= 1);
+    // Second packet is tunneled directly by the sender.
+    d.send_data(vec![2; 16]);
+    d.world.run_for(SimDuration::from_secs(2));
+    assert!(d.world.stats().counter("iptp.autonomous_sent") >= 1);
+    assert_eq!(d.mobile_received().len(), 2);
+    // After a move the cached temporary address is stale; the unreachable
+    // error drops the sender back to forwarding mode.
+    d.move_m_to_e();
+    d.world.run_for(SimDuration::from_secs(8));
+    // ARP expiry for the departed host on network D (see the Sony test).
+    d.world.with_node::<baselines::matsushita::IptpAgentNode, _>(netsim::NodeId(3), |r, _| {
+        r.stack.arp.clear_iface(netsim::IfaceId(1));
+    });
+    for i in 0..4 {
+        d.send_data(vec![10 + i; 16]);
+        d.world.run_for(SimDuration::from_secs(3));
+    }
+    assert!(
+        d.world.stats().counter("iptp.fallback_to_forwarding") >= 1,
+        "no fallback after stale temp address"
+    );
+    assert!(d.mobile_received().len() >= 3, "delivery never recovered");
+    // The node-type probe used by E03 stays valid.
+    let _ = d.world.node::<MatsushitaHostNode>(netsim::NodeId(5));
+}
+
+#[test]
+fn ibm_broken_peer_loses_everything_correct_peer_does_not() {
+    let correct = run_comparison(ibm_lsrr_driver(89, false, SimDuration::ZERO), 10);
+    assert_eq!(correct.delivered, 10);
+    let broken = run_comparison(ibm_lsrr_driver(89, true, SimDuration::ZERO), 10);
+    // §7: a peer that does not reverse the recorded route sends replies
+    // (and fresh packets) to the mobile host's home, where nothing
+    // forwards them.
+    assert_eq!(broken.delivered, 0, "broken peer should deliver nothing");
+}
+
+#[test]
+fn ibm_slow_path_penalty_inflates_latency() {
+    // The same single packet with and without the per-router option
+    // penalty — the §7 "cannot use the fast path" argument as measured
+    // transit latency.
+    let transit = |penalty_ms: u64| -> SimDuration {
+        let mut d = ibm_lsrr_driver(97, false, SimDuration::from_millis(penalty_ms));
+        settle_move_to_d(&mut d);
+        d.send_from_mobile(vec![0; 8]); // prime the reverse route
+        d.world.run_for(SimDuration::from_secs(1));
+        let sent_at = d.world.now();
+        d.send_data(vec![1; 16]);
+        d.world.run_for(SimDuration::from_secs(5));
+        let rx = d.mobile_received();
+        assert_eq!(rx.len(), 1, "penalty {penalty_ms}ms run lost the packet");
+        rx[0].0.since(sent_at)
+    };
+    let fast = transit(0);
+    let slow = transit(10);
+    // The reply path S->BS crosses the two plain backbone routers with a
+    // 10 ms penalty each (plus queueing on the forward leg).
+    assert!(
+        slow >= fast + SimDuration::from_millis(20),
+        "slow path {slow} not ≥ fast {fast} + 20ms"
+    );
+}
+
+#[test]
+fn every_protocol_delivers_at_home_too() {
+    // Before any movement, plain routing must work under every protocol
+    // (their at-home cost differs — Sony pays its 28 bytes even here).
+    for mut d in [
+        mhrp_driver(101),
+        sunshine_postel_driver(101),
+        columbia_driver(101),
+        sony_vip_driver(101),
+        matsushita_driver(101),
+        ibm_lsrr_driver(101, false, SimDuration::ZERO),
+    ] {
+        d.world.run_until(SimTime::from_secs(3));
+        let name = d.name;
+        d.send_from_mobile(vec![9; 8]); // prime reverse routes (IBM)
+        d.world.run_for(SimDuration::from_secs(1));
+        d.send_data(vec![1; 16]);
+        d.world.run_for(SimDuration::from_secs(3));
+        assert_eq!(d.mobile_received().len(), 1, "{name} failed at home");
+    }
+    // Sony's at-home overhead is its §7 distinguishing cost.
+    let mut sony = sony_vip_driver(103);
+    sony.world.run_until(SimTime::from_secs(3));
+    let before = sony.world.stats().counter("vip.overhead_bytes");
+    sony.send_data(vec![1; 16]);
+    sony.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(sony.world.stats().counter("vip.overhead_bytes") - before, 28);
+}
+
+#[test]
+fn sp_directory_is_a_single_point_of_knowledge() {
+    let mut d = sunshine_postel_driver(107);
+    settle_move_to_d(&mut d);
+    d.send_data(vec![1; 16]);
+    d.world.run_for(SimDuration::from_secs(2));
+    // Every location fact flowed through node 5 (the directory).
+    let dir = d.world.node::<baselines::sunshine_postel::SpDirectoryNode>(netsim::NodeId(5));
+    assert!(dir.db_size() >= 1);
+    assert!(d.world.stats().counter("sp.db_queries") >= 1);
+    // Node-type probes for the S/M endpoints stay valid.
+    let _ = d.world.node::<SpHostNode>(netsim::NodeId(6));
+    let _ = d.world.node::<SpMobileNode>(netsim::NodeId(7));
+}

@@ -1,0 +1,392 @@
+//! End-to-end MHRP protocol tests on the paper's Figure 1 internetwork,
+//! following the walkthroughs of §6.
+
+use mhrp::{Attachment, MhrpHostNode, MhrpRouterNode, MobileHostNode};
+use netsim::time::{SimDuration, SimTime};
+use netstack::nodes::HostNode;
+use scenarios::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+fn settle(f: &mut Figure1, secs: u64) {
+    let t = f.world.now() + SimDuration::from_secs(secs);
+    f.world.run_until(t);
+}
+
+/// Carry M to network D and wait for the full §3 registration sequence.
+fn move_m_to_d_and_register(f: &mut Figure1) {
+    f.move_m_to_d();
+    assert!(
+        f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)),
+        "M failed to attach to R4"
+    );
+    settle(f, 3); // let FA/HA registration acks and deregistrations finish
+    let r4 = f.world.node::<MhrpRouterNode>(f.r4);
+    assert!(r4.fa.as_ref().unwrap().has_visitor(f.addrs.m), "R4 has no visitor entry");
+    let r2 = f.world.node::<MhrpRouterNode>(f.r2);
+    assert_eq!(
+        r2.ha.as_ref().unwrap().binding(f.addrs.m),
+        Some(f.addrs.r4),
+        "home agent binding missing"
+    );
+}
+
+#[test]
+fn m_at_home_pings_work_with_zero_mhrp_traffic() {
+    // §1/§8: "no penalty for being mobile capable" — E10's core claim.
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    let m_addr = f.addrs.m;
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 2);
+    assert_eq!(f.world.node::<MhrpHostNode>(f.s).log().echo_replies.len(), 1);
+    let stats = f.world.stats();
+    assert_eq!(stats.counter("mhrp.ha_tunneled"), 0);
+    assert_eq!(stats.counter("mhrp.tunneled_by_sender"), 0);
+    assert_eq!(stats.counter("mhrp.updates_sent"), 0);
+    assert_eq!(stats.counter("mhrp.registration_msgs_sent"), 0);
+}
+
+#[test]
+fn first_packet_via_home_agent_then_direct_tunnel() {
+    // §6.1 + §6.2: the initial packet is intercepted by R2 and tunneled to
+    // R4; the location update lets S tunnel subsequent packets itself.
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+
+    let m_addr = f.addrs.m;
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    {
+        let s = f.world.node::<MhrpHostNode>(f.s);
+        assert_eq!(s.log().echo_replies.len(), 1, "first ping must be answered");
+        // The home agent's location update primed S's cache.
+        assert_eq!(s.ca.cache.peek(m_addr), Some(f.addrs.r4), "S cache not primed");
+    }
+    assert_eq!(f.world.stats().counter("mhrp.ha_tunneled"), 1);
+
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    let s = f.world.node::<MhrpHostNode>(f.s);
+    assert_eq!(s.log().echo_replies.len(), 2, "second ping must be answered");
+    // The second ping went sender-tunneled, not through the home agent.
+    assert_eq!(f.world.stats().counter("mhrp.tunneled_by_sender"), 1);
+    assert_eq!(f.world.stats().counter("mhrp.ha_tunneled"), 1);
+}
+
+#[test]
+fn udp_flow_reaches_mobile_on_foreign_net_and_back() {
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+    let m_addr = f.addrs.m;
+    let s_addr = f.addrs.s;
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, 5000, 7, b"to the road warrior".to_vec());
+    });
+    settle(&mut f, 3);
+    {
+        let m = f.world.node::<MobileHostNode>(f.m);
+        assert_eq!(m.log().udp_rx.len(), 1);
+        assert_eq!(m.log().udp_rx[0].payload, b"to the road warrior");
+    }
+    // The echo service answered from M's home address back to S.
+    let s = f.world.node::<MhrpHostNode>(f.s);
+    assert_eq!(s.log().udp_rx.len(), 1);
+    assert_eq!(s.log().udp_rx[0].src, m_addr);
+    let _ = s_addr;
+}
+
+#[test]
+fn moving_m_between_foreign_agents_converges_caches() {
+    // §6.3: M moves from R4 to R5; the next packet from S chases the
+    // forwarding pointer and S's cache is updated to R5.
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+    let m_addr = f.addrs.m;
+
+    // Prime S's cache via one ping.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert_eq!(f.world.node::<MhrpHostNode>(f.s).ca.cache.peek(m_addr), Some(f.addrs.r4));
+
+    // M moves to R5's cell.
+    f.move_m_to_e();
+    assert!(
+        f.run_until_attached(Attachment::Foreign(f.addrs.r5), SimDuration::from_secs(10)),
+        "M failed to attach to R5"
+    );
+    settle(&mut f, 3);
+    // The old FA kept a forwarding pointer.
+    assert_eq!(
+        f.world.node::<MhrpRouterNode>(f.r4).ca.cache.peek(m_addr),
+        Some(f.addrs.r5),
+        "R4 forwarding pointer missing"
+    );
+
+    // Next ping from S: tunneled to R4 (stale), re-tunneled to R5,
+    // delivered; R5 sends S a location update.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    let s = f.world.node::<MhrpHostNode>(f.s);
+    assert_eq!(s.log().echo_replies.len(), 2, "ping after move must be answered");
+    assert_eq!(s.ca.cache.peek(m_addr), Some(f.addrs.r5), "S cache must converge to R5");
+    assert!(f.world.stats().counter("mhrp.fa_forward_pointer_used") >= 1);
+}
+
+#[test]
+fn returning_home_clears_caches_and_restores_plain_routing() {
+    // §6.3 second half: M returns home; S's next packet bounces off R4 to
+    // the home network, M itself answers with an "at home" update, and
+    // traffic reverts to plain IP.
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+    let m_addr = f.addrs.m;
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert_eq!(f.world.node::<MhrpHostNode>(f.s).ca.cache.peek(m_addr), Some(f.addrs.r4));
+
+    f.move_m_home();
+    assert!(
+        f.run_until_attached(Attachment::Home, SimDuration::from_secs(10)),
+        "M failed to re-attach at home"
+    );
+    settle(&mut f, 3);
+    // Home agent binding cleared; R4 dropped the visitor without keeping a
+    // forwarding pointer (§6.3: "R4 does not create a forwarding pointer").
+    assert_eq!(f.world.node::<MhrpRouterNode>(f.r2).ha.as_ref().unwrap().binding(m_addr), None);
+    assert!(!f.world.node::<MhrpRouterNode>(f.r4).fa.as_ref().unwrap().has_visitor(m_addr));
+    assert_eq!(f.world.node::<MhrpRouterNode>(f.r4).ca.cache.peek(m_addr), None);
+
+    // S still has a stale cache entry pointing at R4. The next ping chases
+    // it: R4 -> home -> delivered to M at home; M's location update clears
+    // S's cache.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    {
+        let s = f.world.node::<MhrpHostNode>(f.s);
+        assert_eq!(s.log().echo_replies.len(), 2, "ping after return-home must be answered");
+        assert_eq!(s.ca.cache.peek(m_addr), None, "S cache must be cleared by at-home update");
+    }
+
+    // And the ping after that is plain IP end to end.
+    let tunneled_before = f.world.stats().counter("mhrp.tunneled_by_sender");
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert_eq!(f.world.node::<MhrpHostNode>(f.s).log().echo_replies.len(), 3);
+    assert_eq!(f.world.stats().counter("mhrp.tunneled_by_sender"), tunneled_before);
+}
+
+#[test]
+fn plain_host_served_by_first_hop_cache_agent_router() {
+    // §6.2: "A local network of hosts that do not yet support MHRP may
+    // also be supported by a single cache agent functioning in the IP
+    // router that connects that local network to the rest of the
+    // Internet" — R1 tunnels on behalf of plain S.
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: CorrespondentKind::Plain,
+        r1_cache_agent: true,
+        ..Default::default()
+    });
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+    let m_addr = f.addrs.m;
+
+    // First ping: via home agent. R1 forwards the location update R2 sends
+    // toward S and snoops it into its own cache (§4.3).
+    f.world.with_node::<HostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert_eq!(f.world.node::<HostNode>(f.s).log().echo_replies.len(), 1);
+    assert_eq!(
+        f.world.node::<MhrpRouterNode>(f.r1).ca.cache.peek(m_addr),
+        Some(f.addrs.r4),
+        "R1 must snoop the forwarded location update"
+    );
+    // Plain S ignored the update (unknown ICMP type).
+    assert!(f.world.node::<HostNode>(f.s).log().icmp_ignored >= 1);
+
+    // Second ping: R1 intercepts on the forwarding path and tunnels.
+    f.world.with_node::<HostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert_eq!(f.world.node::<HostNode>(f.s).log().echo_replies.len(), 2);
+    assert!(f.world.stats().counter("mhrp.tunneled_by_router_ca") >= 1);
+    assert_eq!(f.world.stats().counter("mhrp.ha_tunneled"), 1);
+}
+
+#[test]
+fn foreign_agent_reboot_recovers_via_home_agent_updates() {
+    // §5.2: R4 reboots and forgets M. The recovery query makes M
+    // re-register; even without it, a packet bounced to the home agent
+    // triggers a location update that re-adds the visitor.
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+    let m_addr = f.addrs.m;
+
+    f.world.reboot_node(f.r4);
+    assert!(!f.world.node::<MhrpRouterNode>(f.r4).fa.as_ref().unwrap().has_visitor(m_addr));
+
+    // The §5.2 broadcast recovery query prompts M to re-register quickly.
+    settle(&mut f, 3);
+    assert!(
+        f.world.node::<MhrpRouterNode>(f.r4).fa.as_ref().unwrap().has_visitor(m_addr),
+        "recovery query should re-register M"
+    );
+    assert!(f.world.stats().counter("mhrp.fa_recovery_queries") >= 1);
+    assert!(f.world.stats().counter("mhrp.mh_recovery_reregs") >= 1);
+
+    // Connectivity works again.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert_eq!(f.world.node::<MhrpHostNode>(f.s).log().echo_replies.len(), 1);
+}
+
+#[test]
+fn foreign_agent_reboot_recovers_even_without_reregistration() {
+    // §5.2's main mechanism: suppress the recovery-query path by dropping
+    // the broadcast (detach M during the reboot instant is complex;
+    // instead we wipe R4's visitor list silently via a scripted call) and
+    // verify the home-agent update path alone re-adds the visitor.
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+    let m_addr = f.addrs.m;
+
+    // Silently lose the visitor state (no broadcast, no M notification).
+    f.world.with_node::<MhrpRouterNode, _>(f.r4, |r, _| {
+        r.fa.as_mut().unwrap().reboot();
+    });
+    assert!(!f.world.node::<MhrpRouterNode>(f.r4).fa.as_ref().unwrap().has_visitor(m_addr));
+
+    // S (cache already primed? no — prime it first via the HA path).
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 5);
+    // The flow: S -> home agent -> tunnel to R4 -> R4 has no visitor and no
+    // pointer -> tunnels to home -> home agent sees R4 already handled it,
+    // drops the packet and sends R4 a location update naming R4 itself ->
+    // R4 re-adds M. The *ping itself* may be lost; connectivity must
+    // recover for the next one.
+    assert!(
+        f.world.node::<MhrpRouterNode>(f.r4).fa.as_ref().unwrap().has_visitor(m_addr),
+        "home-agent update must re-add the visitor"
+    );
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert!(
+        !f.world.node::<MhrpHostNode>(f.s).log().echo_replies.is_empty(),
+        "connectivity must recover after FA state loss"
+    );
+}
+
+#[test]
+fn mobility_stats_track_moves() {
+    let mut f = Figure1::build(Figure1Options::default());
+    settle(&mut f, 2);
+    move_m_to_d_and_register(&mut f);
+    f.move_m_to_e();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r5), SimDuration::from_secs(10)));
+    f.move_m_home();
+    assert!(f.run_until_attached(Attachment::Home, SimDuration::from_secs(10)));
+    settle(&mut f, 2);
+    let m = f.world.node::<MobileHostNode>(f.m);
+    assert_eq!(m.core.stats.moves, 3);
+    assert!(m.core.stats.ha_registrations_acked >= 3);
+    assert_eq!(m.core.stats.registrations_failed, 0);
+    assert!(f.world.now() < SimTime::from_secs(120));
+}
+
+#[test]
+fn truncation_updates_fire_in_live_multihop_chase() {
+    // §4.4 truncation, live: with a previous-source list capped at one
+    // entry, a packet chasing M through two stale hops (S -> R4 -> R5 ->
+    // home) overflows the list; the truncating agent must flush location
+    // updates to the listed nodes, and delivery must still converge.
+    let mut f = Figure1::build(Figure1Options {
+        config: mhrp::MhrpConfig { max_prev_sources: 1, ..Default::default() },
+        ..Default::default()
+    });
+    let m_addr = f.addrs.m;
+    settle(&mut f, 2);
+
+    // M: home -> D (prime S's cache) -> E -> home again.
+    move_m_to_d_and_register(&mut f);
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 3);
+    assert_eq!(f.world.node::<MhrpHostNode>(f.s).ca.cache.peek(m_addr), Some(f.addrs.r4));
+    f.move_m_to_e();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r5), SimDuration::from_secs(10)));
+    settle(&mut f, 3);
+    f.move_m_home();
+    assert!(f.run_until_attached(Attachment::Home, SimDuration::from_secs(10)));
+    settle(&mut f, 3);
+
+    // S's stale cache still points at R4; R4's pointer points at R5; R5
+    // tunnels home. Two re-tunnels against a one-entry list = truncation.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 5);
+    let s = f.world.node::<MhrpHostNode>(f.s);
+    assert_eq!(s.log().echo_replies.len(), 2, "chase must still deliver");
+    // Convergence: after M's at-home update, subsequent traffic is plain.
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    settle(&mut f, 5);
+    let s = f.world.node::<MhrpHostNode>(f.s);
+    assert_eq!(s.log().echo_replies.len(), 3);
+    assert_eq!(s.ca.cache.peek(m_addr), None, "cache must converge to empty at home");
+}
+
+#[test]
+fn solicitation_beats_waiting_for_periodic_advertisement() {
+    // §3: "mobile hosts may wait to hear the next periodic advertisement
+    // message, or may optionally multicast an agent solicitation". Our
+    // hosts solicit ~100 ms after attaching; attachment must complete
+    // well inside one 1 s advertisement period.
+    let mut f = Figure1::build(Figure1Options { seed: 5150, ..Default::default() });
+    settle(&mut f, 2);
+    // Move just *after* an advertisement went out, so a passive host
+    // would wait nearly a full period.
+    let moved_at = f.world.now();
+    f.move_m_to_d();
+    assert!(f.run_until_attached(
+        Attachment::Foreign(f.addrs.r4),
+        SimDuration::from_secs(5)
+    ));
+    let took = f.world.now().since(moved_at);
+    assert!(
+        took < SimDuration::from_millis(900),
+        "attachment took {took}, solicitation should beat the 1 s period"
+    );
+    assert!(f.world.stats().counter("mhrp.solicits_sent") >= 1);
+}

@@ -1,0 +1,67 @@
+//! Robustness drill (paper §5): crash the foreign agent, poison caches
+//! into a forwarding loop, and break the tunnel path — then watch MHRP's
+//! recovery machinery clean each mess up.
+//!
+//! ```text
+//! cargo run --example failure_drill
+//! ```
+
+use mhrp_suite::prelude::*;
+use scenarios::experiments::{e05_loops, e06_recovery, e09_icmp_errors};
+
+fn main() {
+    println!("== Failure drill: §5 robustness mechanisms ==\n");
+
+    println!("--- §5.2 foreign-agent crash ---");
+    for r in e06_recovery::run(2026) {
+        match r.recovery_ms {
+            Some(ms) => println!(
+                "  {}: visitor list rebuilt {ms} ms after the crash ({} packet(s) lost)",
+                r.label, r.packets_lost
+            ),
+            None => println!("  {}: NEVER RECOVERED", r.label),
+        }
+    }
+
+    println!("\n--- §5.3 forwarding loop (two agents pointing at each other) ---");
+    for o in e05_loops::run(2026, 20) {
+        println!(
+            "  {}: {} loop(s) detected, {} tunnel transits burned",
+            o.label, o.loops_detected, o.tunnel_transits
+        );
+    }
+    println!("  loop contraction with a truncated list (§5.3):");
+    for (n, cap) in [(4usize, 8usize), (6, 3), (8, 4)] {
+        println!(
+            "    loop of {n}, list cap {cap}: detected after {} transits",
+            e05_loops::contraction_transits(n, cap)
+        );
+    }
+
+    println!("\n--- §4.5 ICMP errors across tunnels ---");
+    for r in e09_icmp_errors::run(2026) {
+        println!(
+            "  {}: sender saw {} error(s); stale cache purged: {}",
+            r.label, r.sender_errors, r.cache_purged
+        );
+    }
+
+    println!("\n--- §2 home-agent disk journal survives a reboot ---");
+    let mut f = Figure1::build(Figure1Options::default());
+    let m_addr = f.addrs.m;
+    f.world.run_until(SimTime::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+    f.world.reboot_node(f.r2);
+    let binding = f.world.node::<MhrpRouterNode>(f.r2).ha.as_ref().unwrap().binding(m_addr);
+    println!("  home agent rebooted; binding reloaded from disk: {binding:?}");
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.ping(ctx, m_addr);
+    });
+    f.world.run_for(SimDuration::from_secs(3));
+    println!(
+        "  ping through the rebooted home agent: {} reply(ies)",
+        f.world.node::<MhrpHostNode>(f.s).log().echo_replies.len()
+    );
+}

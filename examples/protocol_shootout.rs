@@ -1,0 +1,46 @@
+//! The §7 comparison, live: MHRP against all five prior mobile-host
+//! protocols on the same internetwork and workload.
+//!
+//! ```text
+//! cargo run --example protocol_shootout
+//! ```
+
+use scenarios::metrics::ComparisonRow;
+use scenarios::report::{f2, table};
+use scenarios::shootout::{all_drivers, ibm_lsrr_driver, run_comparison};
+use netsim::time::SimDuration;
+
+fn main() {
+    println!("== Section 7 shootout: 6 protocols, same network, same workload ==\n");
+    let rows: Vec<ComparisonRow> =
+        all_drivers(1994).into_iter().map(|d| run_comparison(d, 20)).collect();
+    println!(
+        "{}",
+        table(
+            &["protocol", "paper B/pkt", "measured B/pkt", "fwd hops", "delivered", "ctl msgs"],
+            rows.iter()
+                .map(|r| vec![
+                    r.protocol.clone(),
+                    r.paper_overhead.into(),
+                    f2(r.overhead_per_packet),
+                    f2(r.avg_forward_hops),
+                    format!("{}/{}", r.delivered, r.data_packets_sent),
+                    r.control_messages.to_string(),
+                ])
+                .collect(),
+        )
+    );
+
+    println!("The §7 criticisms of the IBM LSRR proposal, measured:\n");
+    // 1. Broken receiver implementations lose the reverse route entirely.
+    let broken = run_comparison(ibm_lsrr_driver(1994, true, SimDuration::ZERO), 20);
+    println!(
+        "  broken peer implementation: delivered {}/{} (correct peer: 20/20)",
+        broken.delivered, broken.data_packets_sent
+    );
+    // 2. Every optioned packet takes the router slow path.
+    let slow = run_comparison(ibm_lsrr_driver(1994, false, SimDuration::from_millis(5)), 20);
+    let fast = run_comparison(ibm_lsrr_driver(1994, false, SimDuration::ZERO), 20);
+    let _ = (slow, fast);
+    println!("  (run `cargo run -p bench --bin report -- e02` for the full table)");
+}
