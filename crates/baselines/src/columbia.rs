@@ -22,7 +22,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::udp::UdpDatagram;
 use ip::{proto, PacketError, Prefix};
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
 use netstack::nodes::Endpoint;
 use netstack::route::NextHop;
 use netstack::{IpStack, StackEvent};
@@ -135,7 +135,12 @@ impl ColumbiaMessage {
 }
 
 /// Wraps `inner` in an IP-in-IP tunnel from `src` to `dst` (24 bytes).
-pub fn ipip_encapsulate(inner: &Ipv4Packet, src: Ipv4Addr, dst: Ipv4Addr, ident: u16) -> Ipv4Packet {
+pub fn ipip_encapsulate(
+    inner: &Ipv4Packet,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ident: u16,
+) -> Ipv4Packet {
     let mut payload = Vec::with_capacity(IPIP_SHIM_LEN + inner.wire_len());
     payload.extend_from_slice(&[0x4d, 0x49, 0x50, 0x00]); // "MIP\0" campus shim
     payload.extend_from_slice(&inner.encode());
@@ -174,6 +179,10 @@ pub struct MsrNode {
     msr_cache: HashMap<Ipv4Addr, Ipv4Addr>,
     popup_bindings: HashMap<Ipv4Addr, Ipv4Addr>,
     pending: HashMap<Ipv4Addr, Vec<Ipv4Packet>>,
+    // Per-data-packet counters, cached to keep tunneling free of name
+    // hashing.
+    tunneled: Counter,
+    overhead_bytes: Counter,
 }
 
 impl MsrNode {
@@ -188,6 +197,8 @@ impl MsrNode {
             msr_cache: HashMap::new(),
             popup_bindings: HashMap::new(),
             pending: HashMap::new(),
+            tunneled: Counter::new("columbia.tunneled"),
+            overhead_bytes: Counter::new("columbia.overhead_bytes"),
         }
     }
 
@@ -216,8 +227,8 @@ impl MsrNode {
     }
 
     fn tunnel_to(&mut self, ctx: &mut Ctx<'_>, target: Ipv4Addr, inner: &Ipv4Packet) {
-        ctx.stats().incr("columbia.tunneled");
-        ctx.stats().add("columbia.overhead_bytes", IPIP_OVERHEAD as u64);
+        self.tunneled.incr(ctx.stats());
+        self.overhead_bytes.add(ctx.stats(), IPIP_OVERHEAD as u64);
         let ident = self.stack.next_ident();
         let mut outer = ipip_encapsulate(inner, self.self_addr(), target, ident);
         // The MSR is a router hop for the tunneled packet.
@@ -276,8 +287,7 @@ impl MsrNode {
             }
             ColumbiaMessage::MsrQuery { mobile } => {
                 if self.has_visitor(mobile, ctx.now()) {
-                    let reply =
-                        ColumbiaMessage::MsrQueryReply { mobile, msr: self.self_addr() };
+                    let reply = ColumbiaMessage::MsrQueryReply { mobile, msr: self.self_addr() };
                     self.stack.send_udp(ctx, src, CONTROL_PORT, CONTROL_PORT, reply.encode());
                 }
             }
@@ -404,8 +414,8 @@ impl ColumbiaMobileNode {
             let reg = ColumbiaMessage::MsrRegister { mobile: self.home_addr };
             let d = UdpDatagram::new(CONTROL_PORT, CONTROL_PORT, reg.encode());
             let ident = self.stack.next_ident();
-            let pkt = Ipv4Packet::new(self.home_addr, msr, proto::UDP, d.encode())
-                .with_ident(ident);
+            let pkt =
+                Ipv4Packet::new(self.home_addr, msr, proto::UDP, d.encode()).with_ident(ident);
             self.stack.send_direct(ctx, self.iface, pkt);
             return;
         }
@@ -415,10 +425,9 @@ impl ColumbiaMobileNode {
         self.stack.add_iface(self.iface, self.home_addr, Prefix::host(self.home_addr));
         self.stack.arp.clear_iface(self.iface);
         self.stack.routes.remove(Prefix::default_route());
-        self.stack.routes.add(
-            Prefix::default_route(),
-            NextHop::Gateway { iface: self.iface, via: msr },
-        );
+        self.stack
+            .routes
+            .add(Prefix::default_route(), NextHop::Gateway { iface: self.iface, via: msr });
         self.current_msr = Some(msr);
         ctx.stats().incr("columbia.mobile_moves");
         let reg = ColumbiaMessage::MsrRegister { mobile: self.home_addr };
@@ -445,10 +454,9 @@ impl ColumbiaMobileNode {
         self.stack.add_capture(self.home_addr);
         self.stack.arp.clear_iface(self.iface);
         self.stack.routes.remove(Prefix::default_route());
-        self.stack.routes.add(
-            Prefix::default_route(),
-            NextHop::Gateway { iface: self.iface, via: gateway },
-        );
+        self.stack
+            .routes
+            .add(Prefix::default_route(), NextHop::Gateway { iface: self.iface, via: gateway });
         ctx.stats().incr("columbia.popups");
         let reg = ColumbiaMessage::PopupRegister { mobile: self.home_addr, temp };
         self.stack.send_udp(ctx, self.home_msr, CONTROL_PORT, CONTROL_PORT, reg.encode());

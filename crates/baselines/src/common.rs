@@ -51,10 +51,7 @@ impl Beacon {
         if buf.len() < 8 {
             return Err(PacketError::Truncated);
         }
-        Ok(Beacon {
-            protocol: buf[0],
-            agent: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]),
-        })
+        Ok(Beacon { protocol: buf[0], agent: Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]) })
     }
 }
 

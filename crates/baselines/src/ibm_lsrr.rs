@@ -28,7 +28,7 @@ use ip::ipv4::{Ipv4Option, Ipv4Packet};
 use ip::udp::UdpDatagram;
 use ip::{proto, PacketError, Prefix};
 use netsim::time::SimDuration;
-use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
 use netstack::nodes::Endpoint;
 use netstack::route::NextHop;
 use netstack::{IpStack, StackEvent};
@@ -226,6 +226,10 @@ pub struct LsrrHostNode {
     /// Whether this host's LSRR implementation is broken.
     pub broken: bool,
     reverse_routes: HashMap<Ipv4Addr, Vec<Ipv4Addr>>,
+    // Per-data-packet counters, cached to keep source-routed sends free
+    // of name hashing.
+    source_routed: Counter,
+    overhead_bytes: Counter,
 }
 
 impl LsrrHostNode {
@@ -236,6 +240,8 @@ impl LsrrHostNode {
             endpoint: Endpoint::new(),
             broken,
             reverse_routes: HashMap::new(),
+            source_routed: Counter::new("lsrr.host_source_routed"),
+            overhead_bytes: Counter::new("lsrr.overhead_bytes"),
         }
     }
 
@@ -250,8 +256,8 @@ impl LsrrHostNode {
         if !self.broken {
             if let Some(route) = self.reverse_routes.get(&pkt.dst) {
                 if let Some(&first) = route.first() {
-                    ctx.stats().incr("lsrr.host_source_routed");
-                    ctx.stats().add("lsrr.overhead_bytes", LSRR_OPTION_BYTES as u64);
+                    self.source_routed.incr(ctx.stats());
+                    self.overhead_bytes.add(ctx.stats(), LSRR_OPTION_BYTES as u64);
                     let final_dst = pkt.dst;
                     pkt.dst = first;
                     pkt.options.push(Ipv4Option::lsrr(vec![final_dst]));
@@ -364,6 +370,8 @@ pub struct LsrrMobileNode {
     /// The current base station, if visiting.
     pub base_station: Option<Ipv4Addr>,
     iface: IfaceId,
+    sent_via_bs: Counter,
+    overhead_bytes: Counter,
 }
 
 impl LsrrMobileNode {
@@ -377,6 +385,8 @@ impl LsrrMobileNode {
             home_gateway,
             base_station: None,
             iface: IfaceId(0),
+            sent_via_bs: Counter::new("lsrr.mobile_sent_via_bs"),
+            overhead_bytes: Counter::new("lsrr.overhead_bytes"),
         }
     }
 
@@ -389,10 +399,9 @@ impl LsrrMobileNode {
         self.stack.add_iface(self.iface, self.home_addr, Prefix::host(self.home_addr));
         self.stack.arp.clear_iface(self.iface);
         self.stack.routes.remove(Prefix::default_route());
-        self.stack.routes.add(
-            Prefix::default_route(),
-            NextHop::Gateway { iface: self.iface, via: bs },
-        );
+        self.stack
+            .routes
+            .add(Prefix::default_route(), NextHop::Gateway { iface: self.iface, via: bs });
         self.base_station = Some(bs);
         let reg = LsrrMessage::Register { mobile: self.home_addr };
         let d = UdpDatagram::new(CONTROL_PORT, CONTROL_PORT, reg.encode());
@@ -406,8 +415,8 @@ impl LsrrMobileNode {
     /// host's base station and include an LSRR option").
     pub fn send_data(&mut self, ctx: &mut Ctx<'_>, mut pkt: Ipv4Packet) {
         if let Some(bs) = self.base_station {
-            ctx.stats().incr("lsrr.mobile_sent_via_bs");
-            ctx.stats().add("lsrr.overhead_bytes", LSRR_OPTION_BYTES as u64);
+            self.sent_via_bs.incr(ctx.stats());
+            self.overhead_bytes.add(ctx.stats(), LSRR_OPTION_BYTES as u64);
             let final_dst = pkt.dst;
             pkt.dst = bs;
             pkt.options.push(Ipv4Option::lsrr(vec![final_dst]));

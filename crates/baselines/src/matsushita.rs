@@ -22,7 +22,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::udp::UdpDatagram;
 use ip::{proto, PacketError, Prefix};
 use netsim::time::SimDuration;
-use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
 use netstack::nodes::Endpoint;
 use netstack::route::NextHop;
 use netstack::{IpStack, StackEvent};
@@ -141,7 +141,12 @@ impl IptpMessage {
 
 /// Wraps `inner` in an IPTP tunnel (new outer IP header + 20-byte IPTP
 /// header: 40 bytes total).
-pub fn iptp_encapsulate(inner: &Ipv4Packet, src: Ipv4Addr, dst: Ipv4Addr, ident: u16) -> Ipv4Packet {
+pub fn iptp_encapsulate(
+    inner: &Ipv4Packet,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ident: u16,
+) -> Ipv4Packet {
     let mut payload = Vec::with_capacity(IPTP_HEADER_LEN + inner.wire_len());
     payload.extend_from_slice(&inner.dst.octets()); // ultimate destination
     payload.extend_from_slice(&inner.src.octets()); // original source
@@ -179,6 +184,10 @@ pub struct PfsNode {
     pub autonomous_notifications: bool,
     bindings: HashMap<Ipv4Addr, Ipv4Addr>,
     notified: HashSet<(Ipv4Addr, Ipv4Addr)>,
+    // Per-forwarded-packet counters, cached to keep tunneling free of
+    // name hashing.
+    forwarded: Counter,
+    overhead_bytes: Counter,
 }
 
 impl PfsNode {
@@ -190,6 +199,8 @@ impl PfsNode {
             autonomous_notifications: true,
             bindings: HashMap::new(),
             notified: HashSet::new(),
+            forwarded: Counter::new("iptp.forwarded"),
+            overhead_bytes: Counter::new("iptp.overhead_bytes"),
         }
     }
 
@@ -218,19 +229,23 @@ impl Node for PfsNode {
                             ctx.stats().incr("iptp.no_binding");
                             continue;
                         };
-                        ctx.stats().incr("iptp.forwarded");
-                        ctx.stats().add("iptp.overhead_bytes", IPTP_OVERHEAD as u64);
+                        self.forwarded.incr(ctx.stats());
+                        self.overhead_bytes.add(ctx.stats(), IPTP_OVERHEAD as u64);
                         let sender = pkt.src;
                         let ident = self.stack.next_ident();
                         let mut outer = iptp_encapsulate(&pkt, self.self_addr(), temp, ident);
                         // The PFS is a router hop for the tunneled packet.
                         outer.ttl = outer.ttl.saturating_sub(1);
                         self.stack.send(ctx, outer);
-                        if self.autonomous_notifications
-                            && self.notified.insert((sender, mobile))
-                        {
+                        if self.autonomous_notifications && self.notified.insert((sender, mobile)) {
                             let n = IptpMessage::TempNotify { mobile, temp };
-                            self.stack.send_udp(ctx, sender, CONTROL_PORT, CONTROL_PORT, n.encode());
+                            self.stack.send_udp(
+                                ctx,
+                                sender,
+                                CONTROL_PORT,
+                                CONTROL_PORT,
+                                n.encode(),
+                            );
                         }
                         continue;
                     }
@@ -430,10 +445,9 @@ impl MatsushitaMobileNode {
         self.stack.add_capture(self.home_addr);
         self.stack.arp.clear_iface(self.iface);
         self.stack.routes.remove(Prefix::default_route());
-        self.stack.routes.add(
-            Prefix::default_route(),
-            NextHop::Gateway { iface: self.iface, via: gateway },
-        );
+        self.stack
+            .routes
+            .add(Prefix::default_route(), NextHop::Gateway { iface: self.iface, via: gateway });
         let reg = IptpMessage::PfsRegister { mobile: self.home_addr, temp };
         self.stack.send_udp(ctx, self.pfs, CONTROL_PORT, CONTROL_PORT, reg.encode());
     }

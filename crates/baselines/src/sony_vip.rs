@@ -25,7 +25,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::udp::UdpDatagram;
 use ip::{proto, PacketError, Prefix};
 use netsim::time::SimDuration;
-use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
 use netstack::nodes::Endpoint;
 use netstack::route::NextHop;
 use netstack::{IpStack, StackEvent};
@@ -295,10 +295,9 @@ impl VipRouterNode {
                     .iface_addr(self.local_iface)
                     .map(|ia| ia.addr)
                     .unwrap_or(Ipv4Addr::UNSPECIFIED);
-                let pkt =
-                    Ipv4Packet::new(self_addr, Ipv4Addr::BROADCAST, proto::UDP, d.encode())
-                        .with_ident(ident)
-                        .with_ttl(1);
+                let pkt = Ipv4Packet::new(self_addr, Ipv4Addr::BROADCAST, proto::UDP, d.encode())
+                    .with_ident(ident)
+                    .with_ttl(1);
                 self.stack.send_link_broadcast(ctx, self.local_iface, pkt);
             }
             VipMessage::HomeRegister { vip, phys } => {
@@ -312,7 +311,13 @@ impl VipRouterNode {
         }
     }
 
-    fn handle_flood(&mut self, ctx: &mut Ctx<'_>, vip: Ipv4Addr, seq: u16, _from: Option<Ipv4Addr>) {
+    fn handle_flood(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vip: Ipv4Addr,
+        seq: u16,
+        _from: Option<Ipv4Addr>,
+    ) {
         if !self.seen_floods.insert((vip, seq)) {
             return;
         }
@@ -374,8 +379,7 @@ impl Node for VipRouterNode {
                                         let hl = usize::from(original[0] & 0xf) * 4;
                                         if original.len() >= hl + 4 {
                                             let b = &original[hl..hl + 4];
-                                            let vip =
-                                                Ipv4Addr::new(b[0], b[1], b[2], b[3]);
+                                            let vip = Ipv4Addr::new(b[0], b[1], b[2], b[3]);
                                             if self.cache.remove(&vip).is_some() {
                                                 ctx.stats().incr("vip.router_cache_purges");
                                             }
@@ -439,6 +443,21 @@ impl Node for VipRouterNode {
 struct VipEndpoint {
     vip: Ipv4Addr,
     cache: HashMap<Ipv4Addr, Ipv4Addr>,
+    // Per-data-packet counters, cached to keep the send path free of
+    // name hashing.
+    data_sent: Counter,
+    overhead_bytes: Counter,
+}
+
+impl VipEndpoint {
+    fn new(vip: Ipv4Addr) -> VipEndpoint {
+        VipEndpoint {
+            vip,
+            cache: HashMap::new(),
+            data_sent: Counter::new("vip.data_sent"),
+            overhead_bytes: Counter::new("vip.overhead_bytes"),
+        }
+    }
 }
 
 impl VipEndpoint {
@@ -450,8 +469,8 @@ impl VipEndpoint {
         mut pkt: Ipv4Packet,
     ) {
         let phys_dst = self.cache.get(&pkt.dst).copied().unwrap_or(pkt.dst);
-        ctx.stats().add("vip.overhead_bytes", VIP_SHIM_LEN as u64);
-        ctx.stats().incr("vip.data_sent");
+        self.overhead_bytes.add(ctx.stats(), VIP_SHIM_LEN as u64);
+        self.data_sent.incr(ctx.stats());
         vip_encapsulate(&mut pkt, phys_src, phys_dst);
         stack.send(ctx, pkt);
     }
@@ -502,7 +521,7 @@ impl VipHostNode {
         VipHostNode {
             stack: IpStack::new(false),
             endpoint: Endpoint::new(),
-            vip: VipEndpoint { vip, cache: HashMap::new() },
+            vip: VipEndpoint::new(vip),
         }
     }
 
@@ -542,7 +561,8 @@ impl VipHostNode {
                         IcmpMessage::decode(&plain.payload)
                     {
                         let reply = IcmpMessage::EchoReply { ident, seq, payload };
-                        let rp = Ipv4Packet::new(self.vip.vip, plain.src, proto::ICMP, reply.encode());
+                        let rp =
+                            Ipv4Packet::new(self.vip.vip, plain.src, proto::ICMP, reply.encode());
                         let phys_src = self.stack.primary_addr();
                         self.vip.send(&mut self.stack, ctx, phys_src, rp);
                         return;
@@ -553,7 +573,8 @@ impl VipHostNode {
             proto::UDP => {
                 if let Ok(d) = UdpDatagram::decode(&pkt.payload) {
                     if d.dst_port == CONTROL_PORT {
-                        if let Ok(VipMessage::Misdelivery { vip }) = VipMessage::decode(&d.payload) {
+                        if let Ok(VipMessage::Misdelivery { vip }) = VipMessage::decode(&d.payload)
+                        {
                             self.vip.handle_error_or_notice(ctx, vip);
                         }
                         return;
@@ -640,7 +661,7 @@ impl VipMobileNode {
             home_router,
             home_gateway,
             phys: vip,
-            vip: VipEndpoint { vip, cache: HashMap::new() },
+            vip: VipEndpoint::new(vip),
             move_seq: 0,
             iface: IfaceId(0),
             awaiting_temp: false,
@@ -679,8 +700,8 @@ impl VipMobileNode {
         self.current_agent = Some(agent);
         let msg = VipMessage::TempRequest { vip: self.vip.vip };
         let d = UdpDatagram::new(CONTROL_PORT, CONTROL_PORT, msg.encode());
-        let pkt = Ipv4Packet::new(self.vip.vip, Ipv4Addr::BROADCAST, proto::UDP, d.encode())
-            .with_ttl(1);
+        let pkt =
+            Ipv4Packet::new(self.vip.vip, Ipv4Addr::BROADCAST, proto::UDP, d.encode()).with_ttl(1);
         self.stack.send_link_broadcast(ctx, self.iface, pkt);
     }
 
@@ -692,10 +713,9 @@ impl VipMobileNode {
         self.stack.add_iface(self.iface, temp, Prefix::new(temp, prefix_len));
         self.stack.arp.clear_iface(self.iface);
         self.stack.routes.remove(Prefix::default_route());
-        self.stack.routes.add(
-            Prefix::default_route(),
-            NextHop::Gateway { iface: self.iface, via: gateway },
-        );
+        self.stack
+            .routes
+            .add(Prefix::default_route(), NextHop::Gateway { iface: self.iface, via: gateway });
         // Register home and start the invalidation flood there.
         self.move_seq = self.move_seq.wrapping_add(1);
         let reg = VipMessage::HomeRegister { vip: self.vip.vip, phys: temp };

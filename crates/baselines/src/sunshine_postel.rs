@@ -25,7 +25,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::udp::UdpDatagram;
 use ip::{proto, PacketError, Prefix};
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
 use netstack::nodes::Endpoint;
 use netstack::route::NextHop;
 use netstack::{IpStack, StackEvent};
@@ -208,8 +208,7 @@ impl Node for SpDirectoryNode {
                 }
                 Ok(SpMessage::Query { mobile }) => {
                     ctx.stats().incr("sp.db_queries");
-                    let forwarder =
-                        self.db.get(&mobile).copied().unwrap_or(Ipv4Addr::UNSPECIFIED);
+                    let forwarder = self.db.get(&mobile).copied().unwrap_or(Ipv4Addr::UNSPECIFIED);
                     let resp = SpMessage::Response { mobile, forwarder };
                     self.stack.send_udp(ctx, pkt.src, CONTROL_PORT, CONTROL_PORT, resp.encode());
                 }
@@ -391,8 +390,8 @@ impl SpMobileNode {
         let reg = SpMessage::FwdRegister { mobile: self.home_addr };
         let d = UdpDatagram::new(CONTROL_PORT, CONTROL_PORT, reg.encode());
         let ident = self.stack.next_ident();
-        let pkt = Ipv4Packet::new(self.home_addr, forwarder, proto::UDP, d.encode())
-            .with_ident(ident);
+        let pkt =
+            Ipv4Packet::new(self.home_addr, forwarder, proto::UDP, d.encode()).with_ident(ident);
         self.stack.send_direct(ctx, self.iface, pkt);
     }
 }
@@ -450,6 +449,10 @@ pub struct SpHostNode {
     bindings: HashMap<Ipv4Addr, Ipv4Addr>, // dst -> forwarder (0 = plain)
     pending: HashMap<Ipv4Addr, Vec<Ipv4Packet>>,
     recent: HashMap<Ipv4Addr, Vec<Ipv4Packet>>,
+    // Per-data-packet counters, cached to keep the send path free of
+    // name hashing.
+    via_forwarder: Counter,
+    overhead_bytes: Counter,
 }
 
 /// How many recently sent packets are kept per destination for
@@ -466,6 +469,8 @@ impl SpHostNode {
             bindings: HashMap::new(),
             pending: HashMap::new(),
             recent: HashMap::new(),
+            via_forwarder: Counter::new("sp.data_via_forwarder"),
+            overhead_bytes: Counter::new("sp.overhead_bytes"),
         }
     }
 
@@ -480,8 +485,8 @@ impl SpHostNode {
             Some(&fwd) => {
                 self.remember(dst, &pkt);
                 let mut pkt = pkt;
-                ctx.stats().incr("sp.data_via_forwarder");
-                ctx.stats().add("sp.overhead_bytes", SP_SHIM_LEN as u64);
+                self.via_forwarder.incr(ctx.stats());
+                self.overhead_bytes.add(ctx.stats(), SP_SHIM_LEN as u64);
                 encapsulate(&mut pkt, fwd);
                 self.stack.send(ctx, pkt);
             }
@@ -541,9 +546,7 @@ impl Node for SpHostNode {
                                 SpMessage::decode(&d.payload)
                             {
                                 self.bindings.insert(mobile, forwarder);
-                                for queued in
-                                    self.pending.remove(&mobile).unwrap_or_default()
-                                {
+                                for queued in self.pending.remove(&mobile).unwrap_or_default() {
                                     self.send_data(ctx, queued);
                                 }
                             }
@@ -557,8 +560,7 @@ impl Node for SpHostNode {
                     // binding, re-query, retransmit the recent window.
                     if let Ok(msg) = IcmpMessage::decode(&pkt.payload) {
                         if let Some(original) = msg.original() {
-                            if original.len() >= 20 + SP_SHIM_LEN && original[9] == PROTO_SPFWD
-                            {
+                            if original.len() >= 20 + SP_SHIM_LEN && original[9] == PROTO_SPFWD {
                                 let hl = usize::from(original[0] & 0xf) * 4;
                                 if original.len() >= hl + 8 {
                                     let b = &original[hl + 4..hl + 8];

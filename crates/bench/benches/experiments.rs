@@ -16,14 +16,14 @@ fn bench_experiments(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
     g.bench_function("e01_header_table", |b| b.iter(|| black_box(e01_header::run())));
-    g.bench_function("e02_overhead_mhrp_only", |b| {
-        b.iter(|| run_comparison(mhrp_driver(1), 10))
-    });
+    g.bench_function("e02_overhead_mhrp_only", |b| b.iter(|| run_comparison(mhrp_driver(1), 10)));
     g.bench_function("e03_path_lengths", |b| b.iter(|| black_box(e03_path::run(1))));
     g.bench_function("e04_handoff", |b| {
         b.iter(|| black_box(e04_handoff::run_one(1, true, "bench")))
     });
-    g.bench_function("e05_loops_detected", |b| b.iter(|| black_box(e05_loops::run_one(1, true, 10))));
+    g.bench_function("e05_loops_detected", |b| {
+        b.iter(|| black_box(e05_loops::run_one(1, true, 10)))
+    });
     g.bench_function("e06_recovery_query", |b| {
         b.iter(|| {
             black_box(e06_recovery::run_one(
@@ -50,9 +50,7 @@ fn bench_experiments(c: &mut Criterion) {
 fn bench_full_shootout(c: &mut Criterion) {
     let mut g = c.benchmark_group("shootout");
     g.sample_size(10);
-    g.bench_function("e02_all_protocols", |b| {
-        b.iter(|| black_box(e02_overhead::run(1, 10)))
-    });
+    g.bench_function("e02_all_protocols", |b| b.iter(|| black_box(e02_overhead::run(1, 10))));
     g.finish();
 }
 

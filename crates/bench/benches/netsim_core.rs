@@ -1,0 +1,26 @@
+//! Criterion benches of the raw `netsim` event loop — the substrate
+//! whose per-event cost bounds every experiment's scale. Same workloads
+//! as the `simcore` binary (`BENCH_simcore.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::simworlds::{broadcast_fanout, timer_churn, unicast_pingpong};
+
+fn bench_netsim_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_core");
+    g.sample_size(10);
+    g.bench_function("broadcast_fanout_32n_256B", |b| {
+        b.iter(|| black_box(broadcast_fanout(1, 32, 256, 500)))
+    });
+    g.bench_function("unicast_pingpong_16pairs_256B", |b| {
+        b.iter(|| black_box(unicast_pingpong(1, 16, 256, 500)))
+    });
+    g.bench_function("timer_churn_32n_8chains", |b| {
+        b.iter(|| black_box(timer_churn(1, 32, 8, 500)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim_core);
+criterion_main!(benches);

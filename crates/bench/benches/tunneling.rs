@@ -24,7 +24,7 @@ fn tunneled(prev: usize) -> Ipv4Packet {
 fn bench_retunnel(c: &mut Criterion) {
     for prev in [1usize, 4, 8] {
         let pkt = tunneled(prev);
-        c.bench_function(&format!("retunnel_list_{prev}"), |b| {
+        c.bench_function(format!("retunnel_list_{prev}"), |b| {
             b.iter_batched(
                 || pkt.clone(),
                 |mut p| {

@@ -35,9 +35,7 @@ fn bench_mhrp_header(c: &mut Criterion) {
 
 fn bench_checksum(c: &mut Criterion) {
     let data = vec![0xa5u8; 1500];
-    c.bench_function("internet_checksum_1500B", |b| {
-        b.iter(|| internet_checksum(black_box(&data)))
-    });
+    c.bench_function("internet_checksum_1500B", |b| b.iter(|| internet_checksum(black_box(&data))));
 }
 
 fn bench_icmp(c: &mut Criterion) {

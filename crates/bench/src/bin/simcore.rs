@@ -1,0 +1,86 @@
+//! `simcore` — measures raw simulator event throughput and emits the
+//! machine-readable JSON recorded in `BENCH_simcore.json`, giving every
+//! PR a comparable perf trajectory for the `netsim` hot path.
+//!
+//! ```text
+//! cargo run --release -p bench --bin simcore            # print JSON
+//! cargo run --release -p bench --bin simcore -- --out BENCH_simcore.json
+//! ```
+//!
+//! Each workload runs several times; the best run is reported (minimum
+//! wall time — standard practice for throughput benches, since noise is
+//! strictly additive).
+
+use bench::simworlds::{broadcast_fanout, timer_churn, unicast_pingpong, Throughput};
+
+const RUNS: usize = 5;
+const SEED: u64 = 1994;
+
+struct Case {
+    name: &'static str,
+    detail: String,
+    best: Throughput,
+}
+
+fn best_of(runs: usize, f: impl Fn() -> Throughput) -> Throughput {
+    (0..runs)
+        .map(|_| f())
+        .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+        .expect("at least one run")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(p.clone()),
+            None => {
+                eprintln!("error: --out requires a file path");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
+    let cases = [
+        Case {
+            name: "broadcast_fanout",
+            detail: "32 nodes, 256B payload, 1ms beacons, 2s simulated".into(),
+            best: best_of(RUNS, || broadcast_fanout(SEED, 32, 256, 2_000)),
+        },
+        Case {
+            name: "unicast_pingpong",
+            detail: "16 pairs, 256B payload, 2s simulated".into(),
+            best: best_of(RUNS, || unicast_pingpong(SEED, 16, 256, 2_000)),
+        },
+        Case {
+            name: "timer_churn",
+            detail: "32 nodes x 8 timer chains, 2s simulated".into(),
+            best: best_of(RUNS, || timer_churn(SEED, 32, 8, 2_000)),
+        },
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"simcore\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"events\": {}, \
+             \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            c.name,
+            c.detail,
+            c.best.events,
+            c.best.wall_seconds,
+            c.best.events_per_sec(),
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,1 +1,9 @@
 //! Shared helpers for the benchmark harness (see the `report` binary).
+//!
+//! [`simworlds`] holds the simulator-throughput workloads driven both by
+//! the criterion bench (`benches/netsim_core.rs`) and by the `simcore`
+//! binary that emits machine-readable `BENCH_simcore.json`, so the
+//! interactive numbers and the committed perf trajectory always measure
+//! the same worlds.
+
+pub mod simworlds;

@@ -23,7 +23,11 @@ fn e01() {
         table(
             &["case", "paper (bytes)", "measured (bytes)"],
             rows.iter()
-                .map(|r| vec![r.case.into(), r.paper_bytes.to_string(), r.measured_bytes.to_string()])
+                .map(|r| vec![
+                    r.case.into(),
+                    r.paper_bytes.to_string(),
+                    r.measured_bytes.to_string()
+                ])
                 .collect(),
         )
     );
@@ -214,7 +218,11 @@ fn e10() {
             &["metric", "MHRP world", "plain-IP world"],
             vec![
                 vec!["ping RTT (us)".into(), r.mhrp_rtt_us.to_string(), r.plain_rtt_us.to_string()],
-                vec!["reply TTL".into(), r.mhrp_reply_ttl.to_string(), r.plain_reply_ttl.to_string()],
+                vec![
+                    "reply TTL".into(),
+                    r.mhrp_reply_ttl.to_string(),
+                    r.plain_reply_ttl.to_string()
+                ],
                 vec!["MHRP overhead bytes".into(), r.mhrp_overhead_bytes.to_string(), "-".into()],
                 vec!["registrations".into(), r.registrations.to_string(), "-".into()],
                 vec!["location updates".into(), r.updates.to_string(), "-".into()],

@@ -1,0 +1,183 @@
+//! Raw-simulator throughput workloads (no IP stack, no protocols): these
+//! isolate the `netsim` event loop itself, the substrate every MHRP
+//! experiment runs on. Three shapes stress the three hot paths:
+//!
+//! * **broadcast_fanout** — N nodes on one segment, each periodically
+//!   broadcasting a payload; every send fans out to N−1 receivers, so the
+//!   run is dominated by payload sharing and receiver collection.
+//! * **unicast_pingpong** — node pairs bouncing a frame back and forth
+//!   forever; the steady-state per-delivered-frame cost (the path that
+//!   must be allocation-free).
+//! * **timer_churn** — nodes re-arming timer chains with no frames at
+//!   all; isolates queue and dispatch overhead.
+
+use netsim::time::{SimDuration, SimTime};
+use netsim::{Ctx, EtherType, Frame, IfaceId, Node, SegmentParams, TimerToken, World};
+
+/// Result of one throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Events the world processed (frames + timers + admin).
+    pub events: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+}
+
+impl Throughput {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.wall_seconds
+        }
+    }
+}
+
+/// A node that broadcasts `payload_len` zero bytes every `interval` and
+/// counts receptions.
+struct Broadcaster {
+    interval: SimDuration,
+    payload_len: usize,
+    received: u64,
+}
+
+impl Node for Broadcaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.interval, TimerToken(0));
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+        let f = Frame::broadcast(
+            ctx.mac(IfaceId(0)),
+            EtherType::Other(0xbeef),
+            vec![0u8; self.payload_len],
+        );
+        ctx.send_frame(IfaceId(0), f);
+        ctx.set_timer(self.interval, TimerToken(0));
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {
+        self.received += 1;
+    }
+}
+
+/// A node that returns every received frame to its sender. One node of a
+/// pair starts the rally on a timer.
+struct PingPong {
+    serve: bool,
+    peer_payload: usize,
+    exchanged: u64,
+}
+
+impl Node for PingPong {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.serve {
+            ctx.set_timer(SimDuration::from_micros(10), TimerToken(0));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+        let f = Frame::broadcast(
+            ctx.mac(IfaceId(0)),
+            EtherType::Other(0xb0b0),
+            vec![0u8; self.peer_payload],
+        );
+        ctx.send_frame(IfaceId(0), f);
+    }
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, frame: &Frame) {
+        self.exchanged += 1;
+        let reply = Frame::new(ctx.mac(iface), frame.src, frame.ethertype, frame.payload.clone());
+        ctx.send_frame(iface, reply);
+    }
+}
+
+/// A node keeping `fanout` timer chains alive forever.
+struct TimerSpinner {
+    fanout: u64,
+    fired: u64,
+}
+
+impl Node for TimerSpinner {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for t in 0..self.fanout {
+            ctx.set_timer(SimDuration::from_micros(50 + t), TimerToken(t));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: TimerToken) {
+        self.fired += 1;
+        ctx.set_timer(SimDuration::from_micros(50 + t.0), t);
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
+}
+
+fn timed(mut world: World, sim_duration: SimDuration) -> Throughput {
+    world.start();
+    let start = std::time::Instant::now();
+    world.run_until(SimTime::ZERO + sim_duration);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    Throughput { events: world.events_processed(), wall_seconds }
+}
+
+/// Broadcast-heavy world: `nodes` broadcasters of `payload_len`-byte
+/// frames at 1 ms intervals on one shared segment, run for `sim_ms` of
+/// simulated time.
+pub fn broadcast_fanout(seed: u64, nodes: usize, payload_len: usize, sim_ms: u64) -> Throughput {
+    let mut w = World::new(seed);
+    let seg = w.add_segment(SegmentParams::default());
+    for _ in 0..nodes {
+        let id = w.add_node(Box::new(Broadcaster {
+            interval: SimDuration::from_millis(1),
+            payload_len,
+            received: 0,
+        }));
+        w.add_iface(id, Some(seg));
+    }
+    timed(w, SimDuration::from_millis(sim_ms))
+}
+
+/// Unicast-heavy world: `pairs` isolated two-node segments, each rallying
+/// one `payload_len`-byte frame continuously, run for `sim_ms`.
+pub fn unicast_pingpong(seed: u64, pairs: usize, payload_len: usize, sim_ms: u64) -> Throughput {
+    let mut w = World::new(seed);
+    for _ in 0..pairs {
+        let seg = w.add_segment(SegmentParams::default());
+        let a =
+            w.add_node(Box::new(PingPong { serve: true, peer_payload: payload_len, exchanged: 0 }));
+        w.add_iface(a, Some(seg));
+        let b = w.add_node(Box::new(PingPong {
+            serve: false,
+            peer_payload: payload_len,
+            exchanged: 0,
+        }));
+        w.add_iface(b, Some(seg));
+    }
+    timed(w, SimDuration::from_millis(sim_ms))
+}
+
+/// Timer-only world: `nodes` spinners each keeping `fanout` timer chains
+/// alive, run for `sim_ms`. No frames at all.
+pub fn timer_churn(seed: u64, nodes: usize, fanout: u64, sim_ms: u64) -> Throughput {
+    let mut w = World::new(seed);
+    for _ in 0..nodes {
+        let id = w.add_node(Box::new(TimerSpinner { fanout, fired: 0 }));
+        w.add_iface(id, None);
+    }
+    timed(w, SimDuration::from_millis(sim_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_process_events() {
+        assert!(broadcast_fanout(1, 4, 64, 50).events > 0);
+        assert!(unicast_pingpong(1, 2, 64, 50).events > 0);
+        assert!(timer_churn(1, 2, 4, 50).events > 0);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_in_event_count() {
+        let a = broadcast_fanout(7, 8, 128, 100).events;
+        let b = broadcast_fanout(7, 8, 128, 100).events;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal, self-contained benchmark harness.
+//!
+//! A local stand-in for the subset of the `criterion` crate API used by
+//! this workspace (the build environment has no crates.io access). It
+//! keeps the authoring surface — `Criterion`, `benchmark_group`,
+//! `Bencher::iter`/`iter_batched`, `criterion_group!`/`criterion_main!` —
+//! and reports min/median/max wall-clock time per iteration in plain
+//! text. There is no statistical regression testing or HTML output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured wall-clock per sample; fast routines are batched
+/// until one sample takes at least this long.
+const TARGET_SAMPLE: Duration = Duration::from_micros(200);
+
+/// How the measurement routine's per-iteration setup cost is amortized.
+/// Only a hint in real criterion; ignored here beyond API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: setup cost is negligible per batch.
+    SmallInput,
+    /// Large input: batches are kept short.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Collected nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, batching iterations so each sample is long enough
+    /// to measure reliably.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch calibration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let batch = if once >= TARGET_SAMPLE {
+            1
+        } else {
+            (TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as usize
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_and_report(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { sample_size, samples: Vec::new() };
+    f(&mut b);
+    let mut s = b.samples;
+    if s.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    s.sort_by(|a, b| a.total_cmp(b));
+    let min = s[0];
+    let med = s[s.len() / 2];
+    let max = s[s.len() - 1];
+    println!("{name:<40} time: [{} {} {}]", fmt_ns(min), fmt_ns(med), fmt_ns(max));
+}
+
+/// The harness entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark (config-style,
+    /// by value, for `criterion_group!` config expressions).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        run_and_report(name.as_ref(), self.sample_size, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        BenchmarkGroup { sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark inside the group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        run_and_report(name.as_ref(), self.sample_size, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either the simple or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group unless the
+/// harness was invoked by `cargo test` (which only checks that benches
+/// still build and run; `--test` mode runs nothing, matching criterion).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("tiny", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn group_api_works() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("in_group", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

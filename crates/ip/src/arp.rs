@@ -67,7 +67,13 @@ impl ArpMessage {
     /// Builds a gratuitous (unsolicited, broadcast) reply advertising that
     /// `ip` is at `hw` — the cache-repair message of paper §2.
     pub fn gratuitous(hw: HwAddr, ip: Ipv4Addr) -> ArpMessage {
-        ArpMessage { op: ArpOp::Reply, sender_hw: hw, sender_ip: ip, target_hw: [0xff; 6], target_ip: ip }
+        ArpMessage {
+            op: ArpOp::Reply,
+            sender_hw: hw,
+            sender_ip: ip,
+            target_hw: [0xff; 6],
+            target_ip: ip,
+        }
     }
 
     /// Encodes to the 28-byte RFC 826 layout.

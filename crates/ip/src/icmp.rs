@@ -419,8 +419,7 @@ mod tests {
 
     #[test]
     fn corrupt_checksum_rejected() {
-        let mut bytes =
-            IcmpMessage::EchoRequest { ident: 1, seq: 2, payload: vec![] }.encode();
+        let mut bytes = IcmpMessage::EchoRequest { ident: 1, seq: 2, payload: vec![] }.encode();
         bytes[4] ^= 0xff;
         assert_eq!(IcmpMessage::decode(&bytes), Err(PacketError::BadChecksum));
     }
@@ -434,11 +433,8 @@ mod tests {
     #[test]
     fn is_error_classification() {
         assert!(IcmpMessage::TimeExceeded { original: vec![] }.is_error());
-        assert!(IcmpMessage::DestUnreachable {
-            code: UnreachableCode::Net,
-            original: vec![]
-        }
-        .is_error());
+        assert!(IcmpMessage::DestUnreachable { code: UnreachableCode::Net, original: vec![] }
+            .is_error());
         assert!(!IcmpMessage::EchoRequest { ident: 0, seq: 0, payload: vec![] }.is_error());
         assert!(!IcmpMessage::AgentSolicitation.is_error());
     }

@@ -102,10 +102,8 @@ impl Ipv4Option {
             return Err(PacketError::BadOption);
         }
         let pointer = body[0];
-        let route = body[1..]
-            .chunks_exact(4)
-            .map(|c| Ipv4Addr::new(c[0], c[1], c[2], c[3]))
-            .collect();
+        let route =
+            body[1..].chunks_exact(4).map(|c| Ipv4Addr::new(c[0], c[1], c[2], c[3])).collect();
         Ok((pointer, route))
     }
 }
@@ -414,8 +412,8 @@ mod tests {
 
     #[test]
     fn wire_len_matches_encoded_len() {
-        let pkt = Ipv4Packet::new(a(1), a(2), 17, vec![5; 33])
-            .with_option(Ipv4Option::lsrr(vec![a(9)]));
+        let pkt =
+            Ipv4Packet::new(a(1), a(2), 17, vec![5; 33]).with_option(Ipv4Option::lsrr(vec![a(9)]));
         assert_eq!(pkt.encode().len(), pkt.wire_len());
     }
 

@@ -5,7 +5,9 @@
 use std::net::Ipv4Addr;
 
 use ip::arp::{ArpMessage, ArpOp};
-use ip::icmp::{AgentAdvertisement, IcmpMessage, LocationUpdate, LocationUpdateCode, UnreachableCode};
+use ip::icmp::{
+    AgentAdvertisement, IcmpMessage, LocationUpdate, LocationUpdateCode, UnreachableCode,
+};
 use ip::ipv4::{Ipv4Option, Ipv4Packet};
 use ip::udp::UdpDatagram;
 use proptest::prelude::*;
@@ -17,11 +19,7 @@ fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
 fn arb_options() -> impl Strategy<Value = Vec<Ipv4Option>> {
     // Keep total option bytes <= 40 (the IPv4 limit): at most one route
     // option with <= 8 hops, plus up to 2 NOPs.
-    (
-        prop::collection::vec(arb_addr(), 0..=8),
-        0usize..3,
-        any::<bool>(),
-    )
+    (prop::collection::vec(arb_addr(), 0..=8), 0usize..3, any::<bool>())
         .prop_map(|(route, nops, use_lsrr)| {
             let mut opts = vec![Ipv4Option::Nop; nops];
             if !route.is_empty() {

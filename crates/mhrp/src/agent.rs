@@ -12,7 +12,7 @@ use std::net::Ipv4Addr;
 use ip::icmp::{IcmpMessage, LocationUpdate, LocationUpdateCode};
 use ip::ipv4::Ipv4Packet;
 use ip::proto;
-use netsim::Ctx;
+use netsim::{Counter, Ctx};
 use netstack::IpStack;
 
 use crate::cache::LocationCache;
@@ -34,6 +34,31 @@ fn with_original(msg: &IcmpMessage, original: Vec<u8>) -> IcmpMessage {
     }
 }
 
+/// Cached [`Counter`] handles for the cache agent's per-packet counters
+/// (everything bumped on the tunneling/update fast paths).
+#[derive(Debug)]
+pub(crate) struct CaCounters {
+    pub(crate) tunneled_by_sender: Counter,
+    tunneled_by_router: Counter,
+    pub(crate) overhead_bytes: Counter,
+    updates_sent: Counter,
+    updates_received: Counter,
+    updates_snooped: Counter,
+}
+
+impl CaCounters {
+    const fn new() -> CaCounters {
+        CaCounters {
+            tunneled_by_sender: Counter::new("mhrp.tunneled_by_sender"),
+            tunneled_by_router: Counter::new("mhrp.tunneled_by_router_ca"),
+            overhead_bytes: Counter::new("mhrp.overhead_bytes"),
+            updates_sent: Counter::new("mhrp.updates_sent"),
+            updates_received: Counter::new("mhrp.updates_received"),
+            updates_snooped: Counter::new("mhrp.updates_snooped"),
+        }
+    }
+}
+
 /// Shared cache-agent state and behaviour.
 #[derive(Debug)]
 pub struct CacheAgentCore {
@@ -45,6 +70,7 @@ pub struct CacheAgentCore {
     pub max_prev_sources: usize,
     /// §5.3 loop detection; disable to model TTL-only loop decay (E05).
     pub detect_loops: bool,
+    pub(crate) counters: CaCounters,
 }
 
 impl CacheAgentCore {
@@ -55,6 +81,7 @@ impl CacheAgentCore {
             rate: UpdateRateLimiter::new(config.update_min_interval, config.update_rate_entries),
             max_prev_sources: config.max_prev_sources,
             detect_loops: config.detect_loops,
+            counters: CaCounters::new(),
         }
     }
 
@@ -77,15 +104,14 @@ impl CacheAgentCore {
             ctx.stats().incr("mhrp.updates_rate_limited");
             return;
         }
-        ctx.stats().incr("mhrp.updates_sent");
-        let msg =
-            IcmpMessage::LocationUpdate(LocationUpdate { code, mobile, foreign_agent });
+        self.counters.updates_sent.incr(ctx.stats());
+        let msg = IcmpMessage::LocationUpdate(LocationUpdate { code, mobile, foreign_agent });
         stack.send_icmp(ctx, to, &msg, None);
     }
 
     /// Applies a location update delivered to this node (§4.3).
     pub fn on_update(&mut self, ctx: &mut Ctx<'_>, update: &LocationUpdate) {
-        ctx.stats().incr("mhrp.updates_received");
+        self.counters.updates_received.incr(ctx.stats());
         self.cache.apply_update(update, ctx.now());
     }
 
@@ -109,7 +135,7 @@ impl CacheAgentCore {
             // message may also cache the address" (§4.3). Updates are
             // forwarded, not tunneled.
             if let Ok(IcmpMessage::LocationUpdate(lu)) = IcmpMessage::decode(&pkt.payload) {
-                ctx.stats().incr("mhrp.updates_snooped");
+                self.counters.updates_snooped.incr(ctx.stats());
                 self.cache.apply_update(&lu, ctx.now());
                 return Some(pkt);
             }
@@ -118,9 +144,9 @@ impl CacheAgentCore {
             return Some(pkt);
         };
         let agent = stack.primary_addr();
-        ctx.stats().incr("mhrp.tunneled_by_router_ca");
+        self.counters.tunneled_by_router.incr(ctx.stats());
         // §4.2: an agent-built header is 12 octets.
-        ctx.stats().add("mhrp.overhead_bytes", 12);
+        self.counters.overhead_bytes.add(ctx.stats(), 12);
         tunnel::encapsulate(&mut pkt, agent, fa, false);
         stack.forward(ctx, pkt);
         None

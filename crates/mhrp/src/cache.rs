@@ -53,9 +53,7 @@ impl LocationCache {
     /// recently used entry if at capacity.
     pub fn insert(&mut self, mobile: Ipv4Addr, fa: Ipv4Addr, now: SimTime) {
         if !self.entries.contains_key(&mobile) && self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) =
-                self.entries.iter().min_by_key(|(_, e)| e.last_used)
-            {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
                 self.entries.remove(&victim);
             }
         }

@@ -28,7 +28,12 @@ pub struct Advertiser {
 
 impl Advertiser {
     /// Creates an advertiser for `ifaces` with the given service flags.
-    pub fn new(ifaces: Vec<IfaceId>, home: bool, foreign: bool, interval: SimDuration) -> Advertiser {
+    pub fn new(
+        ifaces: Vec<IfaceId>,
+        home: bool,
+        foreign: bool,
+        interval: SimDuration,
+    ) -> Advertiser {
         Advertiser { home, foreign, ifaces, interval, seq: 0, running: false }
     }
 

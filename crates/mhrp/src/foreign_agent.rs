@@ -11,7 +11,7 @@ use std::net::Ipv4Addr;
 
 use ip::icmp::{LocationUpdate, LocationUpdateCode};
 use ip::ipv4::Ipv4Packet;
-use netsim::{Ctx, IfaceId};
+use netsim::{Counter, Ctx, IfaceId};
 use netstack::IpStack;
 
 use crate::agent::CacheAgentCore;
@@ -39,6 +39,10 @@ pub struct ForeignAgentCore {
     pub verify_on_recovery: bool,
     visitors: HashMap<Ipv4Addr, Visitor>,
     pending_verify: HashSet<Ipv4Addr>,
+    // Per-data-packet counters, cached so tunnel delivery stays free of
+    // name hashing.
+    delivered: Counter,
+    tunneled_home: Counter,
 }
 
 impl ForeignAgentCore {
@@ -50,6 +54,8 @@ impl ForeignAgentCore {
             verify_on_recovery: config.verify_on_recovery,
             visitors: HashMap::new(),
             pending_verify: HashSet::new(),
+            delivered: Counter::new("mhrp.fa_delivered"),
+            tunneled_home: Counter::new("mhrp.fa_tunneled_home"),
         }
     }
 
@@ -64,10 +70,7 @@ impl ForeignAgentCore {
     }
 
     fn self_addr(&self, stack: &IpStack) -> Ipv4Addr {
-        stack
-            .iface_addr(self.local_iface)
-            .map(|ia| ia.addr)
-            .unwrap_or_else(|| stack.primary_addr())
+        stack.iface_addr(self.local_iface).map(|ia| ia.addr).unwrap_or_else(|| stack.primary_addr())
     }
 
     fn control_packet(
@@ -155,7 +158,7 @@ impl ForeignAgentCore {
             }
             match tunnel::decapsulate(&mut pkt) {
                 Ok(_) => {
-                    ctx.stats().incr("mhrp.fa_delivered");
+                    self.delivered.incr(ctx.stats());
                     stack.send_direct(ctx, self.local_iface, pkt);
                 }
                 Err(_) => ctx.stats().incr("mhrp.fa_malformed"),
@@ -171,15 +174,20 @@ impl ForeignAgentCore {
             None => {
                 // Tunnel to the mobile host's home IP address; the home
                 // agent intercepts it there.
-                ctx.stats().incr("mhrp.fa_tunneled_home");
+                self.tunneled_home.incr(ctx.stats());
                 mobile
             }
         };
         let self_addr = self.self_addr(stack);
-        match tunnel::retunnel_opts(&mut pkt, self_addr, new_dst, ca.max_prev_sources, ca.detect_loops)
-        {
+        match tunnel::retunnel_opts(
+            &mut pkt,
+            self_addr,
+            new_dst,
+            ca.max_prev_sources,
+            ca.detect_loops,
+        ) {
             Ok(tunnel::Retunnel::Forward { truncation_updates }) => {
-                ctx.stats().add("mhrp.overhead_bytes", 4); // §4.4: +4 per re-tunnel
+                ca.counters.overhead_bytes.add(ctx.stats(), 4); // §4.4: +4 per re-tunnel
                 for node in truncation_updates {
                     ca.send_update(stack, ctx, node, mobile, new_dst, LocationUpdateCode::Bind);
                 }
@@ -190,7 +198,10 @@ impl ForeignAgentCore {
                 ctx.stats().incr("mhrp.loops_detected");
                 for node in members {
                     ca.send_update(
-                        stack, ctx, node, mobile,
+                        stack,
+                        ctx,
+                        node,
+                        mobile,
                         Ipv4Addr::UNSPECIFIED,
                         LocationUpdateCode::Purge,
                     );

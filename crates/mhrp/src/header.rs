@@ -161,7 +161,7 @@ mod tests {
         assert_eq!(bytes[1], 1); // count
         assert_eq!(&bytes[4..8], &[192, 168, 1, 2]); // mobile host
         assert_eq!(&bytes[8..12], &[172, 16, 0, 1]); // previous source
-        // Checksum verifies.
+                                                     // Checksum verifies.
         assert_eq!(internet_checksum(&bytes), 0);
     }
 

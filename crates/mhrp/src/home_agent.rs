@@ -11,9 +11,9 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ip::icmp::LocationUpdateCode;
-use ip::proto;
 use ip::ipv4::Ipv4Packet;
-use netsim::{Ctx, IfaceId};
+use ip::proto;
+use netsim::{Counter, Ctx, IfaceId};
 use netstack::IpStack;
 
 use crate::agent::CacheAgentCore;
@@ -45,6 +45,9 @@ pub struct HomeAgentCore {
     /// Stable-storage copy surviving reboots (§2: "should also be recorded
     /// on disk"), when enabled.
     disk: Option<HashMap<Ipv4Addr, Ipv4Addr>>,
+    // Per-intercepted-packet counter, cached so the tunnel fast path
+    // stays free of name hashing.
+    tunneled: Counter,
 }
 
 impl HomeAgentCore {
@@ -58,6 +61,7 @@ impl HomeAgentCore {
             active: true,
             bindings: HashMap::new(),
             disk: with_disk.then(HashMap::new),
+            tunneled: Counter::new("mhrp.ha_tunneled"),
         }
     }
 
@@ -175,8 +179,8 @@ impl HomeAgentCore {
             .map(|ia| ia.addr)
             .unwrap_or_else(|| stack.primary_addr());
         let ident = stack.next_ident();
-        let mut pkt = Ipv4Packet::new(self_addr, src, proto::UDP, datagram.encode())
-            .with_ident(ident);
+        let mut pkt =
+            Ipv4Packet::new(self_addr, src, proto::UDP, datagram.encode()).with_ident(ident);
         // The ack's destination is the mobile host's home address: when the
         // host is away that address is one *we* capture, so the ack must be
         // tunneled to the foreign agent like any other packet for it.
@@ -237,9 +241,15 @@ impl HomeAgentCore {
                 .iface_addr(self.home_iface)
                 .map(|ia| ia.addr)
                 .unwrap_or_else(|| stack.primary_addr());
-            match tunnel::retunnel_opts(&mut pkt, self_addr, fa, ca.max_prev_sources, ca.detect_loops) {
+            match tunnel::retunnel_opts(
+                &mut pkt,
+                self_addr,
+                fa,
+                ca.max_prev_sources,
+                ca.detect_loops,
+            ) {
                 Ok(tunnel::Retunnel::Forward { truncation_updates }) => {
-                    ctx.stats().add("mhrp.overhead_bytes", 4);
+                    ca.counters.overhead_bytes.add(ctx.stats(), 4);
                     for node in truncation_updates {
                         ca.send_update(stack, ctx, node, mobile, fa, LocationUpdateCode::Bind);
                     }
@@ -249,7 +259,10 @@ impl HomeAgentCore {
                     ctx.stats().incr("mhrp.loops_detected");
                     for node in members {
                         ca.send_update(
-                            stack, ctx, node, mobile,
+                            stack,
+                            ctx,
+                            node,
+                            mobile,
                             Ipv4Addr::UNSPECIFIED,
                             LocationUpdateCode::Purge,
                         );
@@ -261,8 +274,8 @@ impl HomeAgentCore {
             // §4.2/§6.1: plain packet from a host with no (valid) cache:
             // build the MHRP header, tunnel to the foreign agent, and tell
             // the sender where the mobile host is.
-            ctx.stats().incr("mhrp.ha_tunneled");
-            ctx.stats().add("mhrp.overhead_bytes", 12);
+            self.tunneled.incr(ctx.stats());
+            ca.counters.overhead_bytes.add(ctx.stats(), 12);
             let sender = pkt.src;
             let self_addr = stack
                 .iface_addr(self.home_iface)

@@ -133,7 +133,10 @@ impl ControlMessage {
         Ok(match ty {
             1 => {
                 need(8)?;
-                ControlMessage::FaRegister { mobile: addr(&rest[..4]), home_agent: addr(&rest[4..8]) }
+                ControlMessage::FaRegister {
+                    mobile: addr(&rest[..4]),
+                    home_agent: addr(&rest[4..8]),
+                }
             }
             2 => {
                 need(4)?;

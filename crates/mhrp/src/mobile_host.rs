@@ -159,10 +159,7 @@ impl MobileHostCore {
         stack.add_iface(self.iface, self.home_addr, Prefix::host(self.home_addr));
         stack.arp.clear_iface(self.iface);
         stack.routes.remove(Prefix::default_route());
-        stack.routes.add(
-            Prefix::default_route(),
-            NextHop::Gateway { iface: self.iface, via: fa },
-        );
+        stack.routes.add(Prefix::default_route(), NextHop::Gateway { iface: self.iface, via: fa });
     }
 
     /// Processes an agent advertisement heard on the local network (§3).
@@ -233,14 +230,10 @@ impl MobileHostCore {
         ctx.stats().incr("mhrp.solicits_sent");
         let msg = ip::icmp::IcmpMessage::AgentSolicitation;
         let ident = stack.next_ident();
-        let pkt = Ipv4Packet::new(
-            self.home_addr,
-            Ipv4Addr::BROADCAST,
-            ip::proto::ICMP,
-            msg.encode(),
-        )
-        .with_ident(ident)
-        .with_ttl(1);
+        let pkt =
+            Ipv4Packet::new(self.home_addr, Ipv4Addr::BROADCAST, ip::proto::ICMP, msg.encode())
+                .with_ident(ident)
+                .with_ttl(1);
         stack.send_link_broadcast(ctx, self.iface, pkt);
     }
 
@@ -250,8 +243,10 @@ impl MobileHostCore {
         match self.state {
             Attachment::Foreign(fa) => {
                 self.register_ha(stack, ctx, Ipv4Addr::UNSPECIFIED);
-                let msg =
-                    ControlMessage::FaDeregister { mobile: self.home_addr, new_fa: Ipv4Addr::UNSPECIFIED };
+                let msg = ControlMessage::FaDeregister {
+                    mobile: self.home_addr,
+                    new_fa: Ipv4Addr::UNSPECIFIED,
+                };
                 self.pending_old_fa = Some(Pending { msg, dst: fa, retries: 0 });
                 self.send_pending(stack, ctx, REG_KIND_OLD_FA);
                 self.old_fa = None;
@@ -277,7 +272,8 @@ impl MobileHostCore {
         self.state = Attachment::Foreign(fa);
         self.last_advert = Some(ctx.now());
         // §3 ordering: new foreign agent first; the rest follows its ack.
-        let msg = ControlMessage::FaRegister { mobile: self.home_addr, home_agent: self.home_agent };
+        let msg =
+            ControlMessage::FaRegister { mobile: self.home_addr, home_agent: self.home_agent };
         self.pending_fa = Some(Pending { msg, dst: fa, retries: 0 });
         self.send_pending(stack, ctx, REG_KIND_FA);
     }
@@ -326,10 +322,9 @@ impl MobileHostCore {
         stack.add_capture(self.home_addr);
         stack.arp.clear_iface(self.iface);
         stack.routes.remove(Prefix::default_route());
-        stack.routes.add(
-            Prefix::default_route(),
-            NextHop::Gateway { iface: self.iface, via: gateway },
-        );
+        stack
+            .routes
+            .add(Prefix::default_route(), NextHop::Gateway { iface: self.iface, via: gateway });
         self.state = Attachment::OwnFa(temp);
         self.last_advert = Some(ctx.now());
         self.register_ha(stack, ctx, temp);
@@ -409,9 +404,7 @@ impl MobileHostCore {
             // `advertisement_loss_tolerance` periods means we have moved.
             let tolerance = self.config.advertisement_interval
                 * u64::from(self.config.advertisement_loss_tolerance);
-            let stale = self
-                .last_advert
-                .is_none_or(|t| ctx.now().since(t) > tolerance);
+            let stale = self.last_advert.is_none_or(|t| ctx.now().since(t) > tolerance);
             if stale && !matches!(self.state, Attachment::Searching) {
                 ctx.stats().incr("mhrp.mh_agent_lost");
                 if let Attachment::Foreign(fa) = self.state {

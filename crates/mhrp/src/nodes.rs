@@ -86,12 +86,8 @@ impl MhrpRouterNode {
     pub fn with_advertiser(mut self, ifaces: Vec<IfaceId>) -> MhrpRouterNode {
         let home = self.ha.is_some();
         let foreign = self.fa.is_some();
-        self.advertiser = Some(Advertiser::new(
-            ifaces,
-            home,
-            foreign,
-            self.config.advertisement_interval,
-        ));
+        self.advertiser =
+            Some(Advertiser::new(ifaces, home, foreign, self.config.advertisement_interval));
         self
     }
 
@@ -223,11 +219,8 @@ impl Node for MhrpRouterNode {
             // reconnection".
             let iface = fa.local_iface;
             let Some(ia) = self.stack.iface_addr(iface) else { return };
-            let datagram = UdpDatagram::new(
-                MHRP_PORT,
-                MHRP_PORT,
-                ControlMessage::FaRecoveryQuery.encode(),
-            );
+            let datagram =
+                UdpDatagram::new(MHRP_PORT, MHRP_PORT, ControlMessage::FaRecoveryQuery.encode());
             let ident = self.stack.next_ident();
             let pkt = Ipv4Packet::new(ia.addr, Ipv4Addr::BROADCAST, proto::UDP, datagram.encode())
                 .with_ident(ident)
@@ -255,10 +248,9 @@ fn deliver_mhrp_host(
                     ca.on_update(ctx, lu);
                     return;
                 }
-                m if m.is_error()
-                    && ca.on_icmp_error(stack, ctx, m) => {
-                        return;
-                    }
+                m if m.is_error() && ca.on_icmp_error(stack, ctx, m) => {
+                    return;
+                }
                 _ => {}
             }
         }
@@ -275,9 +267,9 @@ fn send_with_cache(
     mut pkt: Ipv4Packet,
 ) {
     if let Some(fa) = ca.cache.lookup(pkt.dst, ctx.now()) {
-        ctx.stats().incr("mhrp.tunneled_by_sender");
+        ca.counters.tunneled_by_sender.incr(ctx.stats());
         // §4.2: a sender-built header is 8 octets.
-        ctx.stats().add("mhrp.overhead_bytes", 8);
+        ca.counters.overhead_bytes.add(ctx.stats(), 8);
         let src = pkt.src;
         tunnel::encapsulate(&mut pkt, src, fa, true);
     }

@@ -249,35 +249,27 @@ pub fn reverse_icmp_original(original: &[u8], self_addr: Ipv4Addr) -> ErrorRever
     match prev.len() {
         0 => {
             // Sender-built tunnel: restore the plain packet; error is ours.
-            let rebuilt = Ipv4Packet::new(partial.src, mobile, header.orig_protocol,
-                transport.to_vec());
+            let rebuilt =
+                Ipv4Packet::new(partial.src, mobile, header.orig_protocol, transport.to_vec());
             ErrorReverse::Local { rebuilt_original: rebuilt.encode(), mobile }
         }
         1 => {
             // We built the header from a plain packet: restore it and send
             // the error to the original sender.
             let sender = prev[0];
-            let rebuilt =
-                Ipv4Packet::new(sender, mobile, header.orig_protocol, transport.to_vec());
+            let rebuilt = Ipv4Packet::new(sender, mobile, header.orig_protocol, transport.to_vec());
             ErrorReverse::Resend { next: sender, rebuilt_original: rebuilt.encode(), mobile }
         }
         _ => {
             // We re-tunneled: pop ourselves off, restore the previous head
             // as source and ourselves as destination.
             let previous_head = prev.pop().expect("len >= 2");
-            let inner = MhrpHeader {
-                orig_protocol: header.orig_protocol,
-                mobile,
-                prev_sources: prev,
-            };
+            let inner =
+                MhrpHeader { orig_protocol: header.orig_protocol, mobile, prev_sources: prev };
             let mut payload = inner.encode();
             payload.extend_from_slice(transport);
             let rebuilt = Ipv4Packet::new(previous_head, self_addr, proto::MHRP, payload);
-            ErrorReverse::Resend {
-                next: previous_head,
-                rebuilt_original: rebuilt.encode(),
-                mobile,
-            }
+            ErrorReverse::Resend { next: previous_head, rebuilt_original: rebuilt.encode(), mobile }
         }
     }
 }

@@ -19,6 +19,8 @@ pub(crate) enum EventKind {
     Timer { node: NodeId, token: TimerToken },
     /// A scripted world operation executes.
     Admin(AdminOp),
+    /// Periodic queue-depth sample (see `World::set_queue_sampling`).
+    SampleQueue,
 }
 
 pub(crate) struct ScheduledEvent {
@@ -43,10 +45,7 @@ impl PartialOrd for ScheduledEvent {
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the earliest event on top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -1,5 +1,8 @@
 //! Link-layer frames carried across segments.
 
+use std::ops::Deref;
+use std::sync::Arc;
+
 use crate::id::MacAddr;
 
 /// The payload type carried by a [`Frame`], mirroring Ethernet ethertypes.
@@ -33,11 +36,114 @@ impl EtherType {
     }
 }
 
+/// Immutable, cheaply-clonable frame payload bytes.
+///
+/// Broadcast fan-out and store-and-forward hops clone frames once per
+/// receiver; sharing the bytes behind an `Arc` makes each clone a
+/// refcount bump instead of a deep copy. Immutability is what makes the
+/// sharing sound: a node that wants to alter a payload builds a new one
+/// (`Payload::from(vec)`), it can never mutate bytes another in-flight
+/// frame is reading.
+///
+/// Derefs to `&[u8]`, so decoding call sites (`decode(&frame.payload)`)
+/// are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// An empty payload (no allocation).
+    pub fn empty() -> Payload {
+        Payload(Arc::from(&[][..]))
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the bytes into a fresh mutable `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// How many frames currently share these bytes (diagnostics/tests).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Payload {
+        Payload(Arc::from(&v[..]))
+    }
+}
+
+impl FromIterator<u8> for Payload {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Payload {
+        Payload(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.0 == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
 /// A link-layer frame: source/destination MAC, ethertype, payload bytes.
 ///
 /// Payloads are always fully-encoded wire bytes (e.g. an encoded IPv4
 /// packet), so every hop in the simulator exercises real encode/decode
-/// paths.
+/// paths. Cloning a frame shares the payload (see [`Payload`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Sender's MAC address.
@@ -46,8 +152,8 @@ pub struct Frame {
     pub dst: MacAddr,
     /// Payload type.
     pub ethertype: EtherType,
-    /// Encoded payload bytes.
-    pub payload: Vec<u8>,
+    /// Encoded payload bytes (shared, immutable).
+    pub payload: Payload,
 }
 
 /// Link-layer header bytes accounted per frame (dst + src + ethertype),
@@ -56,12 +162,17 @@ pub const LINK_HEADER_BYTES: usize = 14;
 
 impl Frame {
     /// Creates a unicast frame.
-    pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
-        Frame { src, dst, ethertype, payload }
+    pub fn new(
+        src: MacAddr,
+        dst: MacAddr,
+        ethertype: EtherType,
+        payload: impl Into<Payload>,
+    ) -> Frame {
+        Frame { src, dst, ethertype, payload: payload.into() }
     }
 
     /// Creates a broadcast frame.
-    pub fn broadcast(src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
+    pub fn broadcast(src: MacAddr, ethertype: EtherType, payload: impl Into<Payload>) -> Frame {
         Frame::new(src, MacAddr::BROADCAST, ethertype, payload)
     }
 
@@ -94,5 +205,28 @@ mod tests {
         let f = Frame::broadcast(MacAddr::from_index(1), EtherType::Ipv4, vec![0; 20]);
         assert_eq!(f.wire_len(), 34);
         assert!(f.dst.is_broadcast());
+    }
+
+    #[test]
+    fn cloned_frames_share_payload_bytes() {
+        let f = Frame::broadcast(MacAddr::from_index(1), EtherType::Ipv4, vec![7; 64]);
+        assert_eq!(f.payload.ref_count(), 1);
+        let clones: Vec<Frame> = (0..10).map(|_| f.clone()).collect();
+        assert_eq!(f.payload.ref_count(), 11);
+        for c in &clones {
+            assert_eq!(c.payload, f.payload);
+            assert!(std::ptr::eq(c.payload.as_slice(), f.payload.as_slice()));
+        }
+    }
+
+    #[test]
+    fn payload_compares_with_plain_byte_types() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        assert_eq!(p, vec![1u8, 2, 3]);
+        assert_eq!(p, [1u8, 2, 3]);
+        assert_eq!(p, &[1u8, 2, 3][..]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_vec(), vec![1, 2, 3]);
+        assert!(Payload::empty().is_empty());
     }
 }

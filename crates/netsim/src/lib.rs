@@ -64,11 +64,12 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
+pub use frame::Payload;
 pub use frame::{EtherType, Frame};
 pub use id::{IfaceId, MacAddr, NodeId, SegmentId};
 pub use node::{AsAny, Ctx, LinkEvent, Node, TimerToken};
 pub use segment::SegmentParams;
-pub use stats::Stats;
+pub use stats::{metric, Counter, MetricId, SeriesId, Stats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, Tracer};
 pub use world::{AdminOp, World};

@@ -107,20 +107,16 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone_but_sender() {
         let s = seg_with_three();
-        let rx: Vec<_> = s
-            .receivers(NodeId(0), IfaceId(0), MacAddr::BROADCAST)
-            .map(|a| a.node)
-            .collect();
+        let rx: Vec<_> =
+            s.receivers(NodeId(0), IfaceId(0), MacAddr::BROADCAST).map(|a| a.node).collect();
         assert_eq!(rx, vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]
     fn unicast_reaches_only_matching_mac() {
         let s = seg_with_three();
-        let rx: Vec<_> = s
-            .receivers(NodeId(0), IfaceId(0), MacAddr::from_index(2))
-            .map(|a| a.node)
-            .collect();
+        let rx: Vec<_> =
+            s.receivers(NodeId(0), IfaceId(0), MacAddr::from_index(2)).map(|a| a.node).collect();
         assert_eq!(rx, vec![NodeId(2)]);
     }
 
@@ -129,10 +125,8 @@ mod tests {
         let mut s = seg_with_three();
         s.detach(NodeId(1), IfaceId(0));
         assert_eq!(s.attachments.len(), 2);
-        let rx: Vec<_> = s
-            .receivers(NodeId(0), IfaceId(0), MacAddr::BROADCAST)
-            .map(|a| a.node)
-            .collect();
+        let rx: Vec<_> =
+            s.receivers(NodeId(0), IfaceId(0), MacAddr::BROADCAST).map(|a| a.node).collect();
         assert_eq!(rx, vec![NodeId(2)]);
     }
 

@@ -1,11 +1,104 @@
-//! Global statistics: named counters and time series.
+//! Global statistics: named counters and time series, interned for the
+//! hot path.
 //!
-//! Counters are cheap and always on; experiments read them at the end of a
-//! run. Time series power the "congestion over time" style figures (E05).
+//! Counters live in a dense `Vec<u64>` indexed by [`MetricId`]; series in
+//! a dense `Vec` indexed by [`SeriesId`]. Names are interned once (the
+//! only allocation a counter ever costs) and the world's per-event
+//! counters are pre-registered as the constants in [`metric`], so the
+//! event loop updates them by direct index with no hashing at all.
+//!
+//! The string API (`incr`/`add`/`counter`/`record`) remains for cold
+//! paths and tests; it costs one hash lookup and allocates only the first
+//! time a name is seen.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::HashMap;
 
 use crate::time::SimTime;
+
+/// Dense handle for a counter, issued by [`Stats::metric`].
+///
+/// Ids are only meaningful for the [`Stats`] that issued them — except
+/// the pre-registered constants in [`metric`], which are valid for every
+/// `Stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(pub(crate) u32);
+
+/// Dense handle for a time series, issued by [`Stats::series_metric`].
+///
+/// Same validity rule as [`MetricId`]; the constants in [`metric`] are
+/// universal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeriesId(pub(crate) u32);
+
+/// Pre-registered ids for the counters and series the simulator core
+/// updates on every event, plus their names for the string API.
+pub mod metric {
+    use super::{MetricId, SeriesId};
+
+    /// Frames accepted onto a segment.
+    pub const LINK_FRAMES_SENT: MetricId = MetricId(0);
+    /// Payload + link-header bytes accepted onto a segment.
+    pub const LINK_BYTES_SENT: MetricId = MetricId(1);
+    /// Frames delivered to a receiver's `on_frame`.
+    pub const LINK_FRAMES_DELIVERED: MetricId = MetricId(2);
+    /// Frames lost to per-receiver random loss.
+    pub const LINK_FRAMES_DROPPED: MetricId = MetricId(3);
+    /// Frames suppressed because the receiver moved away mid-flight.
+    pub const LINK_FRAMES_LOST_MOVED: MetricId = MetricId(4);
+    /// Transmissions out of an interface id the node does not have.
+    pub const LINK_TX_BAD_IFACE: MetricId = MetricId(5);
+    /// Transmissions out of a detached interface.
+    pub const LINK_TX_DETACHED: MetricId = MetricId(6);
+    /// Transmissions onto a segment that is administratively down.
+    pub const LINK_TX_SEGMENT_DOWN: MetricId = MetricId(7);
+    /// Node reboots executed.
+    pub const WORLD_REBOOTS: MetricId = MetricId(8);
+
+    /// Names backing the pre-registered counters, in id order.
+    pub(super) const COUNTER_NAMES: [&str; 9] = [
+        "link.frames_sent",
+        "link.bytes_sent",
+        "link.frames_delivered",
+        "link.frames_dropped",
+        "link.frames_lost_moved",
+        "link.tx_bad_iface",
+        "link.tx_detached",
+        "link.tx_segment_down",
+        "world.reboots",
+    ];
+
+    /// Event-queue depth samples (see `World::set_queue_sampling`).
+    pub const SIM_QUEUE_DEPTH: SeriesId = SeriesId(0);
+
+    /// Names backing the pre-registered series, in id order.
+    pub(super) const SERIES_NAMES: [&str; 1] = ["sim.queue_depth"];
+}
+
+/// String-name interner: `Box<str>` keys shared with a dense name table.
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    ids: HashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Id for `name`, interning it on first sight (the only allocation).
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(Box::from(name));
+        self.ids.insert(Box::from(name), id);
+        id
+    }
+
+    /// Allocation-free lookup of an already-interned name.
+    fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+}
 
 /// A hub of named counters and `(time, value)` series.
 ///
@@ -19,16 +112,94 @@ use crate::time::SimTime;
 /// assert_eq!(s.counter("pkt.bytes"), 120);
 /// assert_eq!(s.counter("nonexistent"), 0);
 /// ```
-#[derive(Debug, Default, Clone)]
+///
+/// Hot paths intern once and use the id API:
+///
+/// ```rust
+/// use netsim::Stats;
+/// let mut s = Stats::new();
+/// let id = s.metric("pkt.sent");
+/// for _ in 0..1000 {
+///     s.add_id(id, 1); // direct index, no hashing, no allocation
+/// }
+/// assert_eq!(s.counter("pkt.sent"), 1000);
+/// ```
+#[derive(Debug, Clone)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
-    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+    counter_names: Interner,
+    counters: Vec<u64>,
+    series_names: Interner,
+    series: Vec<Vec<(SimTime, f64)>>,
+}
+
+impl Default for Stats {
+    fn default() -> Stats {
+        Stats::new()
+    }
 }
 
 impl Stats {
-    /// Creates an empty statistics hub.
+    /// Creates a statistics hub with the [`metric`] constants
+    /// pre-registered.
     pub fn new() -> Stats {
-        Stats::default()
+        let mut s = Stats {
+            counter_names: Interner::default(),
+            counters: Vec::new(),
+            series_names: Interner::default(),
+            series: Vec::new(),
+        };
+        for name in metric::COUNTER_NAMES {
+            s.metric(name);
+        }
+        for name in metric::SERIES_NAMES {
+            s.series_metric(name);
+        }
+        s
+    }
+
+    /// Interns counter `name`, returning its dense id. Idempotent.
+    pub fn metric(&mut self, name: &str) -> MetricId {
+        let id = self.counter_names.intern(name);
+        if id as usize >= self.counters.len() {
+            self.counters.resize(id as usize + 1, 0);
+        }
+        MetricId(id)
+    }
+
+    /// Interns series `name`, returning its dense id. Idempotent.
+    pub fn series_metric(&mut self, name: &str) -> SeriesId {
+        let id = self.series_names.intern(name);
+        if id as usize >= self.series.len() {
+            self.series.resize(id as usize + 1, Vec::new());
+        }
+        SeriesId(id)
+    }
+
+    /// Increments counter `id` by one (direct index, allocation-free).
+    #[inline]
+    pub fn incr_id(&mut self, id: MetricId) {
+        self.counters[id.0 as usize] += 1;
+    }
+
+    /// Adds `amount` to counter `id` (direct index, allocation-free).
+    #[inline]
+    pub fn add_id(&mut self, id: MetricId, amount: u64) {
+        self.counters[id.0 as usize] += amount;
+    }
+
+    /// Reads counter `id`.
+    #[inline]
+    pub fn counter_id(&self, id: MetricId) -> u64 {
+        self.counters[id.0 as usize]
+    }
+
+    /// Appends a `(time, value)` sample to series `id`.
+    ///
+    /// Allocation-free apart from the series buffer's own amortized
+    /// growth.
+    #[inline]
+    pub fn record_id(&mut self, id: SeriesId, at: SimTime, value: f64) {
+        self.series[id.0 as usize].push((at, value));
     }
 
     /// Increments counter `name` by one.
@@ -36,44 +207,141 @@ impl Stats {
         self.add(name, 1);
     }
 
-    /// Adds `amount` to counter `name`.
+    /// Adds `amount` to counter `name` (one hash lookup; allocates only
+    /// the first time `name` is seen).
     pub fn add(&mut self, name: &str, amount: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += amount;
+        let id = self.metric(name);
+        self.counters[id.0 as usize] += amount;
     }
 
-    /// Reads counter `name` (0 if never written).
+    /// Reads counter `name` (0 if never written). Allocation-free.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_names.get(name).map(|id| self.counters[id as usize]).unwrap_or(0)
     }
 
     /// Sum of every counter whose name starts with `prefix`.
+    /// Allocation-free.
     pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
-        self.counters
-            .range(prefix.to_owned()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
+        self.counter_names
+            .names
+            .iter()
+            .zip(&self.counters)
+            .filter(|(name, _)| name.starts_with(prefix))
             .map(|(_, v)| *v)
             .sum()
     }
 
-    /// Appends a `(time, value)` sample to series `name`.
+    /// Appends a `(time, value)` sample to series `name` (one hash
+    /// lookup; allocates only the first time `name` is seen).
     pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series.entry(name.to_owned()).or_default().push((at, value));
+        let id = self.series_metric(name);
+        self.series[id.0 as usize].push((at, value));
     }
 
     /// Reads series `name` (empty slice if never written).
+    /// Allocation-free.
     pub fn series(&self, name: &str) -> &[(SimTime, f64)] {
-        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.series_names.get(name).map(|id| self.series[id as usize].as_slice()).unwrap_or(&[])
     }
 
-    /// Iterates over all counters in name order.
+    /// Reads series `id`.
+    pub fn series_by_id(&self, id: SeriesId) -> &[(SimTime, f64)] {
+        &self.series[id.0 as usize]
+    }
+
+    /// Iterates over all *written* (nonzero) counters in name order.
+    ///
+    /// Counters that were merely registered but never incremented are
+    /// skipped, so pre-registration does not clutter reports.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut entries: Vec<(&str, u64)> = self
+            .counter_names
+            .names
+            .iter()
+            .zip(&self.counters)
+            .filter(|(_, v)| **v != 0)
+            .map(|(name, v)| (&**name, *v))
+            .collect();
+        entries.sort_unstable_by_key(|(name, _)| *name);
+        entries.into_iter()
     }
 
-    /// Resets all counters and series.
+    /// Adds every counter and appends every series of `other` into
+    /// `self`, matching by name — for combining per-run statistics in
+    /// experiments that simulate several worlds.
+    pub fn merge(&mut self, other: &Stats) {
+        for (name, value) in other.counter_names.names.iter().zip(&other.counters) {
+            if *value != 0 {
+                let id = self.metric(name);
+                self.counters[id.0 as usize] += value;
+            }
+        }
+        for (name, samples) in other.series_names.names.iter().zip(&other.series) {
+            if !samples.is_empty() {
+                let id = self.series_metric(name);
+                self.series[id.0 as usize].extend_from_slice(samples);
+            }
+        }
+    }
+
+    /// Resets all counter values and series samples. Interned names (and
+    /// thus issued ids) remain valid.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.series.clear();
+        self.counters.fill(0);
+        for s in &mut self.series {
+            s.clear();
+        }
+    }
+}
+
+/// A lazily-interned counter handle for caching inside a node.
+///
+/// Nodes that bump the same counter on every packet construct one of
+/// these once (`const`-constructible) and call [`Counter::add`]; the
+/// first call interns the name, later calls are a direct index.
+///
+/// The cached id is only valid for one [`Stats`] instance, which holds
+/// because a node lives in exactly one world. The `Cell` makes the type
+/// `!Sync`, so it cannot be placed in a `static` and shared across
+/// worlds by accident.
+#[derive(Debug, Default)]
+pub struct Counter {
+    name: &'static str,
+    id: Cell<Option<MetricId>>,
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Counter {
+        // The clone may be installed in a different world; drop the
+        // cached id rather than carry one that indexes foreign Stats.
+        Counter::new(self.name)
+    }
+}
+
+impl Counter {
+    /// Creates a handle for `name` (nothing is interned yet).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, id: Cell::new(None) }
+    }
+
+    /// Adds `amount`, interning the name on first use.
+    #[inline]
+    pub fn add(&self, stats: &mut Stats, amount: u64) {
+        let id = match self.id.get() {
+            Some(id) => id,
+            None => {
+                let id = stats.metric(self.name);
+                self.id.set(Some(id));
+                id
+            }
+        };
+        stats.add_id(id, amount);
+    }
+
+    /// Increments by one, interning the name on first use.
+    #[inline]
+    pub fn incr(&self, stats: &mut Stats) {
+        self.add(stats, 1);
     }
 }
 
@@ -120,5 +388,70 @@ mod tests {
         assert_eq!(s.counter("x"), 0);
         assert!(s.series("y").is_empty());
         assert_eq!(s.counters().count(), 0);
+    }
+
+    #[test]
+    fn ids_survive_clear() {
+        let mut s = Stats::new();
+        let id = s.metric("x");
+        s.add_id(id, 5);
+        s.clear();
+        s.add_id(id, 2);
+        assert_eq!(s.counter("x"), 2);
+    }
+
+    #[test]
+    fn interned_and_string_apis_agree() {
+        let mut s = Stats::new();
+        let id = s.metric("both.ways");
+        s.add_id(id, 7);
+        s.add("both.ways", 3);
+        assert_eq!(s.counter("both.ways"), 10);
+        assert_eq!(s.counter_id(id), 10);
+        // Pre-registered core ids resolve to their documented names.
+        s.add_id(metric::LINK_FRAMES_SENT, 2);
+        assert_eq!(s.counter("link.frames_sent"), 2);
+        s.record_id(metric::SIM_QUEUE_DEPTH, SimTime::from_millis(1), 9.0);
+        assert_eq!(s.series("sim.queue_depth"), &[(SimTime::from_millis(1), 9.0)]);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order_and_skip_zero() {
+        let mut s = Stats::new();
+        s.incr("b.two");
+        s.incr("a.one");
+        let names: Vec<&str> = s.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn merge_combines_counters_and_series() {
+        let mut a = Stats::new();
+        a.add("shared", 1);
+        a.add("only_a", 5);
+        a.record("s", SimTime::from_millis(1), 1.0);
+        let mut b = Stats::new();
+        b.add("shared", 2);
+        b.add("only_b", 7);
+        b.record("s", SimTime::from_millis(2), 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("shared"), 3);
+        assert_eq!(a.counter("only_a"), 5);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.series("s").len(), 2);
+    }
+
+    #[test]
+    fn counter_handle_caches_id() {
+        let c = Counter::new("handle.hits");
+        let mut s = Stats::new();
+        c.incr(&mut s);
+        c.add(&mut s, 4);
+        assert_eq!(s.counter("handle.hits"), 5);
+        // A clone starts uncached, so it is safe in another world.
+        let c2 = c.clone();
+        let mut s2 = Stats::new();
+        c2.incr(&mut s2);
+        assert_eq!(s2.counter("handle.hits"), 1);
     }
 }

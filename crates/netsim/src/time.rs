@@ -79,9 +79,7 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`.
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("SimTime::since: `earlier` is later than `self`"),
+            self.0.checked_sub(earlier.0).expect("SimTime::since: `earlier` is later than `self`"),
         )
     }
 
@@ -260,10 +258,7 @@ mod tests {
 
     #[test]
     fn mul_f64_rounds() {
-        assert_eq!(
-            SimDuration::from_nanos(10).mul_f64(0.25),
-            SimDuration::from_nanos(3)
-        );
+        assert_eq!(SimDuration::from_nanos(10).mul_f64(0.25), SimDuration::from_nanos(3));
         assert_eq!(SimDuration::from_secs(2).mul_f64(0.5), SimDuration::from_secs(1));
     }
 

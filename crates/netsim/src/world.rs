@@ -11,7 +11,7 @@ use crate::frame::Frame;
 use crate::id::{IfaceId, MacAddr, NodeId, SegmentId};
 use crate::node::{Action, Ctx, IfaceInfo, LinkEvent, Node};
 use crate::segment::{Segment, SegmentParams};
-use crate::stats::Stats;
+use crate::stats::{metric, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
 
@@ -110,6 +110,15 @@ pub struct World {
     stats: Stats,
     mac_counter: u64,
     started: bool,
+    events_processed: u64,
+    queue_sample_every: Option<SimDuration>,
+    // Scratch buffers reused across events so the steady-state hot path
+    // (dispatch + transmit) allocates nothing. Taken with `mem::take`, so
+    // an unexpected nested use degrades to a fresh allocation instead of
+    // corrupting the outer call.
+    iface_scratch: Vec<IfaceInfo>,
+    action_scratch: Vec<Action>,
+    rx_scratch: Vec<(NodeId, IfaceId)>,
 }
 
 impl World {
@@ -126,6 +135,11 @@ impl World {
             stats: Stats::new(),
             mac_counter: 0,
             started: false,
+            events_processed: 0,
+            queue_sample_every: None,
+            iface_scratch: Vec::new(),
+            action_scratch: Vec::new(),
+            rx_scratch: Vec::new(),
         }
     }
 
@@ -136,10 +150,7 @@ impl World {
 
     /// Adds a broadcast segment and returns its id.
     pub fn add_segment(&mut self, params: SegmentParams) -> SegmentId {
-        assert!(
-            (0.0..=1.0).contains(&params.loss),
-            "segment loss must be a probability in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&params.loss), "segment loss must be a probability in [0, 1]");
         let id = SegmentId(self.segments.len());
         self.segments.push(Segment::new(params));
         id
@@ -208,6 +219,7 @@ impl World {
         let Some(ev) = self.queue.pop() else { return false };
         debug_assert!(ev.at >= self.time, "event queue went backwards");
         self.time = ev.at;
+        self.events_processed += 1;
         match ev.kind {
             EventKind::Frame { node, iface, segment, frame } => {
                 // Suppress delivery if the interface moved away mid-flight.
@@ -217,18 +229,49 @@ impl World {
                     .and_then(|b| b.get(iface.0))
                     .is_some_and(|b| b.segment == Some(segment));
                 if still_here {
-                    self.stats.incr("link.frames_delivered");
+                    self.stats.incr_id(metric::LINK_FRAMES_DELIVERED);
                     self.dispatch(node, |n, ctx| n.on_frame(ctx, iface, &frame));
                 } else {
-                    self.stats.incr("link.frames_lost_moved");
+                    self.stats.incr_id(metric::LINK_FRAMES_LOST_MOVED);
                 }
             }
             EventKind::Timer { node, token } => {
                 self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::Admin(op) => self.apply_admin(op),
+            EventKind::SampleQueue => {
+                // The sample event itself was already popped, so `queue_len`
+                // reflects only real pending work at this instant.
+                if let Some(every) = self.queue_sample_every {
+                    let depth = self.queue.len() as f64;
+                    self.stats.record_id(metric::SIM_QUEUE_DEPTH, self.time, depth);
+                    self.queue.push(self.time + every, EventKind::SampleQueue);
+                }
+            }
         }
         true
+    }
+
+    /// Samples [`World::queue_len`] into the `sim.queue_depth` stats series
+    /// every `interval`, starting one interval from now. Pass `None` to stop
+    /// (an already-scheduled sample fires once more, records nothing further
+    /// and does not reschedule).
+    ///
+    /// Note that while sampling is active the event queue never drains, so
+    /// bound runs with [`World::run_until`]/[`World::run_for`] rather than
+    /// looping on [`World::step`].
+    pub fn set_queue_sampling(&mut self, interval: Option<SimDuration>) {
+        let was_on = self.queue_sample_every.is_some();
+        assert!(
+            interval.is_none_or(|d| d > SimDuration::ZERO),
+            "queue sampling interval must be positive"
+        );
+        self.queue_sample_every = interval;
+        if let Some(every) = interval {
+            if !was_on {
+                self.queue.push(self.time + every, EventKind::SampleQueue);
+            }
+        }
     }
 
     /// Schedules an [`AdminOp`] at absolute time `at`.
@@ -263,7 +306,7 @@ impl World {
 
     /// Immediately reboots `node` (fires [`Node::on_reboot`]).
     pub fn reboot_node(&mut self, node: NodeId) {
-        self.stats.incr("world.reboots");
+        self.stats.incr_id(metric::WORLD_REBOOTS);
         self.dispatch(node, |n, ctx| n.on_reboot(ctx));
     }
 
@@ -321,6 +364,13 @@ impl World {
         self.queue.len()
     }
 
+    /// Total events processed since the world was created (frames, timers
+    /// and admin operations). The bench harness divides this by wall time
+    /// to report simulator throughput.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Whether the event queue has drained (nothing more will ever happen
     /// unless a node or script schedules it).
     pub fn is_idle(&self) -> bool {
@@ -363,24 +413,35 @@ impl World {
 
     fn dispatch(&mut self, node_id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
         let mut node = self.nodes[node_id.0].take().expect("re-entrant dispatch on one node");
-        let infos: Vec<IfaceInfo> = self.bindings[node_id.0]
-            .iter()
-            .map(|b| IfaceInfo { mac: b.mac, attached: b.segment.is_some() })
-            .collect();
+        let mut infos = std::mem::take(&mut self.iface_scratch);
+        infos.clear();
+        infos.extend(
+            self.bindings[node_id.0]
+                .iter()
+                .map(|b| IfaceInfo { mac: b.mac, attached: b.segment.is_some() }),
+        );
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        actions.clear();
         let mut ctx = Ctx {
             now: self.time,
             node: node_id,
             ifaces: &infos,
-            actions: Vec::new(),
+            actions,
             rng: &mut self.rng,
             tracer: &mut self.tracer,
             stats: &mut self.stats,
         };
         f(node.as_mut(), &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
+        let mut actions = ctx.actions;
         self.nodes[node_id.0] = Some(node);
-        for action in actions {
+        self.iface_scratch = infos;
+        for action in actions.drain(..) {
             self.apply_action(node_id, action);
+        }
+        // Keep the larger buffer in case an action's own dispatch (e.g. a
+        // link event) replaced the scratch while we were draining.
+        if actions.capacity() > self.action_scratch.capacity() {
+            self.action_scratch = actions;
         }
     }
 
@@ -395,29 +456,30 @@ impl World {
 
     fn transmit(&mut self, node_id: NodeId, iface: IfaceId, frame: Frame) {
         let Some(binding) = self.bindings[node_id.0].get(iface.0) else {
-            self.stats.incr("link.tx_bad_iface");
+            self.stats.incr_id(metric::LINK_TX_BAD_IFACE);
             return;
         };
         let Some(seg_id) = binding.segment else {
             // Transmitting into an unplugged cable.
-            self.stats.incr("link.tx_detached");
+            self.stats.incr_id(metric::LINK_TX_DETACHED);
             return;
         };
         let seg = &self.segments[seg_id.0];
         if !seg.up {
-            self.stats.incr("link.tx_segment_down");
+            self.stats.incr_id(metric::LINK_TX_SEGMENT_DOWN);
             return;
         }
-        self.stats.incr("link.frames_sent");
-        self.stats.add("link.bytes_sent", frame.wire_len() as u64);
+        self.stats.incr_id(metric::LINK_FRAMES_SENT);
+        self.stats.add_id(metric::LINK_BYTES_SENT, frame.wire_len() as u64);
         let params = seg.params;
-        let receivers: Vec<(NodeId, IfaceId)> = seg
-            .receivers(node_id, iface, frame.dst)
-            .map(|a| (a.node, a.iface))
-            .collect();
-        for (rx_node, rx_iface) in receivers {
+        let mut receivers = std::mem::take(&mut self.rx_scratch);
+        receivers.clear();
+        receivers.extend(
+            self.segments[seg_id.0].receivers(node_id, iface, frame.dst).map(|a| (a.node, a.iface)),
+        );
+        for &(rx_node, rx_iface) in &receivers {
             if params.loss > 0.0 && self.rng.random::<f64>() < params.loss {
-                self.stats.incr("link.frames_dropped");
+                self.stats.incr_id(metric::LINK_FRAMES_DROPPED);
                 continue;
             }
             let mut delay = params.latency;
@@ -425,6 +487,8 @@ impl World {
                 let j = self.rng.random_range(0..=params.jitter.as_nanos());
                 delay += SimDuration::from_nanos(j);
             }
+            // Cloning shares the payload bytes: per-receiver cost is a
+            // refcount bump plus the fixed-size header.
             self.queue.push(
                 self.time + delay,
                 EventKind::Frame {
@@ -435,6 +499,8 @@ impl World {
                 },
             );
         }
+        receivers.clear();
+        self.rx_scratch = receivers;
     }
 }
 
@@ -534,10 +600,7 @@ mod tests {
         w.move_iface(c, IfaceId(0), None);
         w.run_until(SimTime::from_secs(1));
         assert_eq!(w.node::<Counter>(c).rx, 0);
-        assert_eq!(
-            w.node::<Counter>(c).link_events,
-            vec![(IfaceId(0), LinkEvent::Detached)]
-        );
+        assert_eq!(w.node::<Counter>(c).link_events, vec![(IfaceId(0), LinkEvent::Detached)]);
         // Detach the sender too; its transmission is counted as tx_detached.
         w.move_iface(b, IfaceId(0), None);
         w.with_node::<Beacon, _>(b, |n, ctx| n.on_timer(ctx, TimerToken(1)));
@@ -659,5 +722,41 @@ mod tests {
     fn typed_access_panics_on_wrong_type() {
         let (w, b, _c) = two_node_world();
         let _ = w.node::<Counter>(b);
+    }
+
+    #[test]
+    fn queue_sampling_records_series_at_interval() {
+        let (mut w, _b, _c) = two_node_world();
+        w.set_queue_sampling(Some(SimDuration::from_millis(100)));
+        w.start();
+        w.run_until(SimTime::from_millis(450));
+        let samples = w.stats().series("sim.queue_depth");
+        // First sample one interval after arming: t = 100, 200, 300, 400 ms.
+        assert_eq!(samples.len(), 4);
+        for (i, &(at, depth)) in samples.iter().enumerate() {
+            assert_eq!(at, SimTime::from_millis(100 * (i as u64 + 1)));
+            // Depth excludes the just-popped sampler event itself.
+            assert!(depth >= 0.0, "depth = {depth}");
+        }
+        // Turning sampling off stops recording (one stale event may still
+        // fire, but it records nothing).
+        w.set_queue_sampling(None);
+        w.run_until(SimTime::from_millis(1000));
+        assert_eq!(w.stats().series("sim.queue_depth").len(), 4);
+    }
+
+    #[test]
+    fn queue_sampling_reenable_does_not_double_schedule() {
+        let (mut w, _b, _c) = two_node_world();
+        w.set_queue_sampling(Some(SimDuration::from_millis(100)));
+        // Re-arming with a new interval must not stack a second sampler:
+        // the already-scheduled event (t=100) fires once, then the new
+        // cadence takes over (t=300). A stacked sampler would also record
+        // at t=200 and t=400.
+        w.set_queue_sampling(Some(SimDuration::from_millis(200)));
+        w.start();
+        w.run_until(SimTime::from_millis(450));
+        let times: Vec<_> = w.stats().series("sim.queue_depth").iter().map(|s| s.0).collect();
+        assert_eq!(times, vec![SimTime::from_millis(100), SimTime::from_millis(300)]);
     }
 }

@@ -1,0 +1,110 @@
+//! Proves the unicast delivery hot path is allocation-free at steady
+//! state: after warmup, ping-ponging a shared-payload frame between two
+//! nodes performs **zero** heap allocations per delivered frame.
+//!
+//! This is the acceptance tripwire for the zero-allocation refactor:
+//! interned metric counters (no name hashing or map growth), `Payload`
+//! clones that are refcount bumps, and `World` scratch buffers that are
+//! reused across `dispatch`/`transmit` calls. A regression in any of
+//! those shows up here as a nonzero allocation count.
+//!
+//! The counter is thread-local: the simulator is single-threaded, and
+//! the libtest harness's own threads (progress reporting, timers) must
+//! not pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use netsim::time::{SimDuration, SimTime};
+use netsim::{Ctx, EtherType, Frame, IfaceId, Node, SegmentParams, World};
+
+/// Counts every allocation (and growth-realloc) made by the *current
+/// thread*. Deallocations are free and not counted.
+struct CountingAlloc;
+
+thread_local! {
+    // const-initialized: accessing it never itself allocates, and
+    // Cell<u64> has no destructor to register.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+const ET: EtherType = EtherType::Other(0x0f0f);
+
+/// Echoes every received frame back to its sender, reusing the payload
+/// (an `Arc` refcount bump, not a copy). The kickoff node sends one
+/// broadcast on start; after that every frame is unicast.
+struct Pinger {
+    kickoff: bool,
+}
+
+impl Node for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.kickoff {
+            let f = Frame::broadcast(ctx.mac(IfaceId(0)), ET, vec![0xA5; 32]);
+            ctx.send_frame(IfaceId(0), f);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, f: &Frame) {
+        let reply = Frame::new(ctx.mac(IfaceId(0)), f.src, ET, f.payload.clone());
+        ctx.send_frame(IfaceId(0), reply);
+    }
+}
+
+#[test]
+fn unicast_steady_state_allocates_nothing() {
+    let mut w = World::new(7);
+    let seg = w.add_segment(SegmentParams::with_latency(SimDuration::from_micros(100)));
+    for kickoff in [true, false] {
+        let id = w.add_node(Box::new(Pinger { kickoff }));
+        w.add_iface(id, Some(seg));
+    }
+    w.start();
+
+    // Warmup: the kickoff broadcast, payload creation, scratch-buffer and
+    // event-queue capacity growth, and metric-id registration all happen
+    // here.
+    w.run_until(SimTime::from_millis(50));
+    let delivered_before = w.stats().counter("link.frames_delivered");
+    let allocs_before = thread_allocs();
+
+    // Measured window: pure unicast ping-pong.
+    w.run_until(SimTime::from_millis(450));
+
+    let allocs = thread_allocs() - allocs_before;
+    let delivered = w.stats().counter("link.frames_delivered") - delivered_before;
+    assert!(delivered >= 1000, "expected a busy window, delivered only {delivered}");
+    assert_eq!(allocs, 0, "hot path allocated {allocs} times across {delivered} deliveries");
+}

@@ -60,11 +60,7 @@ fn run_world(seed: u64, nodes: usize, loss: f64, jitter_us: u64, count: u32) -> 
     w.start();
     w.run_until(SimTime::from_secs(60));
     let total_rx: u64 = ids.iter().map(|&id| w.node::<Chatter>(id).received).sum();
-    (
-        total_rx,
-        w.stats().counter("link.frames_sent"),
-        w.stats().counter("link.frames_dropped"),
-    )
+    (total_rx, w.stats().counter("link.frames_sent"), w.stats().counter("link.frames_dropped"))
 }
 
 proptest! {

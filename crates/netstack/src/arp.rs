@@ -115,20 +115,15 @@ impl ArpModule {
             slot.cache.insert(msg.sender_ip, MacAddr(msg.sender_hw));
             if let Some(entry) = slot.pending.remove(&msg.sender_ip) {
                 let mac = MacAddr(msg.sender_hw);
-                outcome.flushed =
-                    entry.packets.into_iter().map(|p| (mac, p)).collect();
+                outcome.flushed = entry.packets.into_iter().map(|p| (mac, p)).collect();
             }
         }
         if msg.op == ArpOp::Request {
             let for_us = our_addr == Some(msg.target_ip);
             let proxied = slot.proxy.contains(&msg.target_ip);
             if for_us || proxied {
-                outcome.reply = Some(ArpMessage::reply(
-                    our_mac.0,
-                    msg.target_ip,
-                    msg.sender_hw,
-                    msg.sender_ip,
-                ));
+                outcome.reply =
+                    Some(ArpMessage::reply(our_mac.0, msg.target_ip, msg.sender_hw, msg.sender_ip));
             }
         }
         outcome

@@ -61,9 +61,7 @@ impl RoutingTable {
     /// Adds (or replaces) the route for `prefix`.
     pub fn add(&mut self, prefix: Prefix, next_hop: NextHop) {
         self.remove(prefix);
-        let pos = self
-            .entries
-            .partition_point(|(p, _)| p.len() >= prefix.len());
+        let pos = self.entries.partition_point(|(p, _)| p.len() >= prefix.len());
         self.entries.insert(pos, (prefix, next_hop));
     }
 

@@ -22,7 +22,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::udp::UdpDatagram;
 use ip::{proto, Prefix};
 use netsim::time::SimDuration;
-use netsim::{Ctx, EtherType, Frame, IfaceId, MacAddr, TimerToken};
+use netsim::{Counter, Ctx, EtherType, Frame, IfaceId, MacAddr, TimerToken};
 
 use crate::arp::ArpModule;
 use crate::route::{NextHop, RoutingTable};
@@ -66,6 +66,39 @@ pub enum StackEvent {
     },
 }
 
+/// Cached [`Counter`] handles for the stack's per-packet statistics.
+///
+/// Every received or transmitted packet bumps several of these; caching
+/// the interned ids here keeps the steady-state path free of name
+/// hashing. Sound because a stack lives inside exactly one node, and a
+/// node inside exactly one world.
+#[derive(Debug)]
+struct StackCounters {
+    rx: Counter,
+    delivered: Counter,
+    forwarded: Counter,
+    originated: Counter,
+    slow_path: Counter,
+    tx: Counter,
+    tx_bytes: Counter,
+    sent_direct: Counter,
+}
+
+impl StackCounters {
+    const fn new() -> StackCounters {
+        StackCounters {
+            rx: Counter::new("ip.rx"),
+            delivered: Counter::new("ip.delivered"),
+            forwarded: Counter::new("ip.forwarded"),
+            originated: Counter::new("ip.originated"),
+            slow_path: Counter::new("ip.slow_path"),
+            tx: Counter::new("ip.tx"),
+            tx_bytes: Counter::new("ip.tx_bytes"),
+            sent_direct: Counter::new("ip.sent_direct"),
+        }
+    }
+}
+
 /// The IPv4 engine for one node.
 #[derive(Debug)]
 pub struct IpStack {
@@ -80,6 +113,7 @@ pub struct IpStack {
     ident: u16,
     timer_seq: u64,
     arp_timers: HashMap<u64, (IfaceId, Ipv4Addr)>,
+    counters: StackCounters,
 }
 
 impl IpStack {
@@ -97,6 +131,7 @@ impl IpStack {
             ident: 0,
             timer_seq: 0,
             arp_timers: HashMap::new(),
+            counters: StackCounters::new(),
         }
     }
 
@@ -156,12 +191,7 @@ impl IpStack {
     ///
     /// Panics if no interface has an address.
     pub fn primary_addr(&self) -> Ipv4Addr {
-        self.ifaces
-            .iter()
-            .flatten()
-            .next()
-            .expect("stack has no configured interface")
-            .addr
+        self.ifaces.iter().flatten().next().expect("stack has no configured interface").addr
     }
 
     /// Starts accepting local delivery for `addr` even though it is not
@@ -230,12 +260,12 @@ impl IpStack {
     }
 
     fn classify(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Ipv4Packet) -> Vec<StackEvent> {
-        ctx.stats().incr("ip.rx");
+        self.counters.rx.incr(ctx.stats());
         let dst = pkt.dst;
         let is_broadcast = dst == Ipv4Addr::BROADCAST
             || self.ifaces.iter().flatten().any(|ia| ia.prefix.broadcast() == dst);
         if is_broadcast || self.is_local_addr(dst) || self.capture.contains(&dst) {
-            ctx.stats().incr("ip.delivered");
+            self.counters.delivered.incr(ctx.stats());
             return vec![StackEvent::Deliver { pkt, iface }];
         }
         if self.forwarding {
@@ -252,34 +282,37 @@ impl IpStack {
         if pkt.has_options() {
             // Optioned packets take the router's slow path — the load the
             // paper holds against the IBM LSRR proposal (§7).
-            ctx.stats().incr("ip.slow_path");
+            self.counters.slow_path.incr(ctx.stats());
         }
         if pkt.ttl <= 1 {
             ctx.stats().incr("ip.ttl_expired");
             let original = pkt.encode();
-            self.send_icmp_error(ctx, &pkt, IcmpMessage::TimeExceeded {
-                original: error_original(&original, self.icmp_error_limit),
-            });
+            self.send_icmp_error(
+                ctx,
+                &pkt,
+                IcmpMessage::TimeExceeded {
+                    original: error_original(&original, self.icmp_error_limit),
+                },
+            );
             return;
         }
         pkt.ttl -= 1;
-        ctx.stats().incr("ip.forwarded");
+        self.counters.forwarded.incr(ctx.stats());
         self.route_and_tx(ctx, pkt, true);
     }
 
     /// Transmits a packet originated by this node (no TTL decrement; no
     /// ICMP error generation back to ourselves — failures are counted).
     pub fn send(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet) {
-        ctx.stats().incr("ip.originated");
+        self.counters.originated.incr(ctx.stats());
         self.route_and_tx(ctx, pkt, false);
     }
 
     /// Broadcasts `pkt` on `iface` at the link layer (used for agent
     /// advertisements and solicitations).
     pub fn send_link_broadcast(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Ipv4Packet) {
-        ctx.stats().incr("ip.originated");
-        let frame =
-            Frame::broadcast(ctx.mac(iface), EtherType::Ipv4, pkt.encode());
+        self.counters.originated.incr(ctx.stats());
+        let frame = Frame::broadcast(ctx.mac(iface), EtherType::Ipv4, pkt.encode());
         ctx.send_frame(iface, frame);
     }
 
@@ -324,12 +357,7 @@ impl IpStack {
     /// Sends an ICMP *error* about `offending` back to its source, subject
     /// to the RFC 1122 suppression rules (never about an ICMP error, a
     /// broadcast, or an unspecified source).
-    pub fn send_icmp_error(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        offending: &Ipv4Packet,
-        msg: IcmpMessage,
-    ) {
+    pub fn send_icmp_error(&mut self, ctx: &mut Ctx<'_>, offending: &Ipv4Packet, msg: IcmpMessage) {
         debug_assert!(msg.is_error(), "send_icmp_error requires an error message");
         if offending.src.is_unspecified() || offending.src.is_broadcast() {
             return;
@@ -351,10 +379,14 @@ impl IpStack {
     /// Convenience: the standard "host unreachable" error for `offending`.
     pub fn send_host_unreachable(&mut self, ctx: &mut Ctx<'_>, offending: &Ipv4Packet) {
         let original = offending.encode();
-        self.send_icmp_error(ctx, offending, IcmpMessage::DestUnreachable {
-            code: UnreachableCode::Host,
-            original: error_original(&original, self.icmp_error_limit),
-        });
+        self.send_icmp_error(
+            ctx,
+            offending,
+            IcmpMessage::DestUnreachable {
+                code: UnreachableCode::Host,
+                original: error_original(&original, self.icmp_error_limit),
+            },
+        );
     }
 
     /// Handles stack-owned timers. Returns `true` if the token was ours.
@@ -408,10 +440,14 @@ impl IpStack {
                 if transit {
                     let original = pkt.encode();
                     let limit = self.icmp_error_limit;
-                    self.send_icmp_error(ctx, &pkt, IcmpMessage::DestUnreachable {
-                        code: UnreachableCode::Net,
-                        original: error_original(&original, limit),
-                    });
+                    self.send_icmp_error(
+                        ctx,
+                        &pkt,
+                        IcmpMessage::DestUnreachable {
+                            code: UnreachableCode::Net,
+                            original: error_original(&original, limit),
+                        },
+                    );
                 }
             }
             Some(NextHop::Direct { iface }) => {
@@ -449,8 +485,8 @@ impl IpStack {
     }
 
     fn tx_frame(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, dst: MacAddr, pkt: &Ipv4Packet) {
-        ctx.stats().incr("ip.tx");
-        ctx.stats().add("ip.tx_bytes", pkt.wire_len() as u64);
+        self.counters.tx.incr(ctx.stats());
+        self.counters.tx_bytes.add(ctx.stats(), pkt.wire_len() as u64);
         ctx.send_frame(iface, Frame::new(ctx.mac(iface), dst, EtherType::Ipv4, pkt.encode()));
     }
 
@@ -460,7 +496,7 @@ impl IpStack {
     /// mobile host (paper §2: the visitor's address is from a *different*
     /// network, so normal routing would send it toward the home network).
     pub fn send_direct(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Ipv4Packet) {
-        ctx.stats().incr("ip.sent_direct");
+        self.counters.sent_direct.incr(ctx.stats());
         let dst = pkt.dst;
         self.tx_via(ctx, iface, dst, pkt);
     }
@@ -497,10 +533,7 @@ mod tests {
         assert!(s.is_local_addr(a(1)));
         assert!(!s.is_local_addr(a(2)));
         assert_eq!(s.primary_addr(), a(1));
-        assert_eq!(
-            s.routes.lookup(a(9)),
-            Some(NextHop::Direct { iface: IfaceId(0) })
-        );
+        assert_eq!(s.routes.lookup(a(9)), Some(NextHop::Direct { iface: IfaceId(0) }));
         s.remove_iface_binding(IfaceId(0));
         assert!(!s.is_local_addr(a(1)));
         assert_eq!(s.routes.lookup(a(9)), None);

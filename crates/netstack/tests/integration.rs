@@ -46,16 +46,14 @@ fn build_chain(n_routers: usize, seed: u64) -> Chain {
             r.stack.add_iface(IfaceId(1), addr(i + 1, 2), prefix(i + 1));
             // Static routes: everything to the left via iface 0, right via 1.
             for net in 0..i {
-                r.stack.routes.add(prefix(net), NextHop::Gateway {
-                    iface: IfaceId(0),
-                    via: addr(i, 2),
-                });
+                r.stack
+                    .routes
+                    .add(prefix(net), NextHop::Gateway { iface: IfaceId(0), via: addr(i, 2) });
             }
             for net in (i + 2)..=(n_routers as u8) {
-                r.stack.routes.add(prefix(net), NextHop::Gateway {
-                    iface: IfaceId(1),
-                    via: addr(i + 1, 1),
-                });
+                r.stack
+                    .routes
+                    .add(prefix(net), NextHop::Gateway { iface: IfaceId(1), via: addr(i + 1, 1) });
             }
         });
         routers.push(id);
@@ -65,10 +63,9 @@ fn build_chain(n_routers: usize, seed: u64) -> Chain {
     w.add_iface(host_a, Some(segments[0]));
     w.with_node::<HostNode, _>(host_a, |h, _| {
         h.stack.add_iface(IfaceId(0), addr(0, 10), prefix(0));
-        h.stack.routes.add(Prefix::default_route(), NextHop::Gateway {
-            iface: IfaceId(0),
-            via: addr(0, 1),
-        });
+        h.stack
+            .routes
+            .add(Prefix::default_route(), NextHop::Gateway { iface: IfaceId(0), via: addr(0, 1) });
     });
 
     let host_b = w.add_node(Box::new(HostNode::new()));
@@ -76,10 +73,10 @@ fn build_chain(n_routers: usize, seed: u64) -> Chain {
     w.with_node::<HostNode, _>(host_b, |h, _| {
         let last = n_routers as u8;
         h.stack.add_iface(IfaceId(0), addr(last, 10), prefix(last));
-        h.stack.routes.add(Prefix::default_route(), NextHop::Gateway {
-            iface: IfaceId(0),
-            via: addr(last, 2),
-        });
+        h.stack.routes.add(
+            Prefix::default_route(),
+            NextHop::Gateway { iface: IfaceId(0), via: addr(last, 2) },
+        );
     });
 
     w.start();
@@ -145,8 +142,13 @@ fn ttl_expiry_generates_time_exceeded() {
     // Send a UDP packet with TTL 2: dies at the second router.
     c.world.with_node::<HostNode, _>(c.host_a, |h, ctx| {
         let src = h.stack.primary_addr();
-        let pkt = Ipv4Packet::new(src, dst, ip::proto::UDP,
-            ip::udp::UdpDatagram::new(1, 2, vec![0; 8]).encode()).with_ttl(2);
+        let pkt = Ipv4Packet::new(
+            src,
+            dst,
+            ip::proto::UDP,
+            ip::udp::UdpDatagram::new(1, 2, vec![0; 8]).encode(),
+        )
+        .with_ttl(2);
         h.stack.send(ctx, pkt);
     });
     c.world.run_until(SimTime::from_secs(2));
@@ -279,9 +281,13 @@ fn option_packets_take_the_slow_path() {
     // Optioned packet (record route) — UDP so we can spot it at the server.
     c.world.with_node::<HostNode, _>(c.host_a, |h, ctx| {
         let src = h.stack.primary_addr();
-        let pkt = Ipv4Packet::new(src, dst, ip::proto::UDP,
-            ip::udp::UdpDatagram::new(5, 5, vec![1]).encode())
-            .with_option(Ipv4Option::RecordRoute { pointer: 4, route: vec![Ipv4Addr::UNSPECIFIED; 4] });
+        let pkt = Ipv4Packet::new(
+            src,
+            dst,
+            ip::proto::UDP,
+            ip::udp::UdpDatagram::new(5, 5, vec![1]).encode(),
+        )
+        .with_option(Ipv4Option::RecordRoute { pointer: 4, route: vec![Ipv4Addr::UNSPECIFIED; 4] });
         h.stack.send(ctx, pkt);
     });
     let t_sent = c.world.now();
@@ -318,10 +324,10 @@ fn segment_down_kills_connectivity_and_recovers() {
     let mut c = build_chain(1, 11);
     let dst = addr(1, 10);
     let mid = c.segments[1];
-    c.world.schedule_admin(SimTime::from_millis(1), netsim::AdminOp::SetSegmentUp {
-        segment: mid,
-        up: false,
-    });
+    c.world.schedule_admin(
+        SimTime::from_millis(1),
+        netsim::AdminOp::SetSegmentUp { segment: mid, up: false },
+    );
     c.world.run_until(SimTime::from_millis(10));
     c.world.with_node::<HostNode, _>(c.host_a, |h, ctx| {
         h.ping(ctx, dst);
@@ -330,10 +336,7 @@ fn segment_down_kills_connectivity_and_recovers() {
     assert_eq!(c.world.node::<HostNode>(c.host_a).log().echo_replies.len(), 0);
     // Bring it back; ping again (the router's ARP entry for the host may
     // need re-resolution, which happens transparently).
-    c.world.schedule_admin(c.world.now(), netsim::AdminOp::SetSegmentUp {
-        segment: mid,
-        up: true,
-    });
+    c.world.schedule_admin(c.world.now(), netsim::AdminOp::SetSegmentUp { segment: mid, up: true });
     c.world.run_for(SimDuration::from_millis(10));
     c.world.with_node::<HostNode, _>(c.host_a, |h, ctx| {
         h.ping(ctx, dst);

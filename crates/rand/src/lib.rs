@@ -1,0 +1,263 @@
+//! Minimal, self-contained pseudo-random number generation.
+//!
+//! This crate is a local stand-in for the subset of the `rand` crate API
+//! the workspace uses. The build environment has no access to crates.io,
+//! and the simulator only needs a *deterministic*, seedable generator —
+//! cryptographic quality and OS entropy are explicitly out of scope.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, the standard
+//! construction recommended by its authors. Determinism contract: for a
+//! given seed, the sequence of values is stable across runs, platforms
+//! and releases of this workspace (simulation results are compared
+//! bit-for-bit across runs).
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed, expanding it to the
+    /// full internal state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers available on every generator.
+///
+/// Mirrors the `rand::Rng`/`RngExt` surface used by this workspace:
+/// `random::<T>()` for full-range primitives and `random_range` for
+/// integer ranges.
+pub trait RngExt {
+    /// The next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Samples uniformly from `range` (empty ranges panic).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// Samples `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+/// Types samplable uniformly over their whole domain (unit interval for
+/// floats).
+pub trait Standard {
+    /// Derives a sample from 64 raw bits.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+impl Standard for u32 {
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+impl Standard for u16 {
+    fn sample(bits: u64) -> u16 {
+        (bits >> 48) as u16
+    }
+}
+impl Standard for u8 {
+    fn sample(bits: u64) -> u8 {
+        (bits >> 56) as u8
+    }
+}
+impl Standard for usize {
+    fn sample(bits: u64) -> usize {
+        bits as usize
+    }
+}
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits >> 63 != 0
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one uniformly distributed element; `next` yields raw bits.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+/// Unbiased bounded sampling via rejection (Lemire-style widening is not
+/// needed at simulator scale; rejection keeps the arithmetic obvious).
+fn bounded(span: u64, next: &mut dyn FnMut() -> u64) -> u64 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` that fits in u64, for rejection.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let raw = next();
+        if raw < zone {
+            return raw % span;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(span, next) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: every raw draw is already uniform.
+                    return start.wrapping_add(next() as $t);
+                }
+                start + bounded(span + 1, next) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(next()) * (self.end - self.start)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Not the cryptographic ChaCha generator the real `rand` crate uses
+    /// for its `StdRng` — the simulator needs speed and determinism only.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 state expansion, as recommended for seeding xoshiro.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be uncorrelated, {same} collisions");
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let x = rng.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(0u64..=5);
+            assert!(y <= 5);
+            let z = rng.random_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&z));
+        }
+        // Inclusive ranges can produce their upper bound.
+        let mut saw_max = false;
+        for _ in 0..200 {
+            if rng.random_range(0u8..=3) == 3 {
+                saw_max = true;
+            }
+        }
+        assert!(saw_max);
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

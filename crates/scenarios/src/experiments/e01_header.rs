@@ -42,9 +42,21 @@ pub fn run() -> Vec<HeaderRow> {
     let retunnel_delta = agent_built.wire_len() - before;
 
     vec![
-        HeaderRow { case: "built by original sender (§4.2)", paper_bytes: 8, measured_bytes: sender_overhead },
-        HeaderRow { case: "built by home/cache agent (§4.2)", paper_bytes: 12, measured_bytes: agent_overhead },
-        HeaderRow { case: "growth per re-tunnel (§4.4)", paper_bytes: 4, measured_bytes: retunnel_delta },
+        HeaderRow {
+            case: "built by original sender (§4.2)",
+            paper_bytes: 8,
+            measured_bytes: sender_overhead,
+        },
+        HeaderRow {
+            case: "built by home/cache agent (§4.2)",
+            paper_bytes: 12,
+            measured_bytes: agent_overhead,
+        },
+        HeaderRow {
+            case: "growth per re-tunnel (§4.4)",
+            paper_bytes: 4,
+            measured_bytes: retunnel_delta,
+        },
     ]
 }
 

@@ -48,18 +48,32 @@ mod tests {
 
         // §7 overhead ordering: MHRP (8-12) < Columbia (24) < Sony (28)
         // < Matsushita (40). The IBM sender-side option is 8 bytes.
-        assert!(mhrp.overhead_per_packet >= 8.0 && mhrp.overhead_per_packet <= 12.0,
-            "MHRP {:.1}", mhrp.overhead_per_packet);
-        assert!((columbia.overhead_per_packet - 24.0).abs() < 0.5, "Columbia {:.1}",
-            columbia.overhead_per_packet);
-        assert!((sony.overhead_per_packet - 28.0).abs() < 0.5, "Sony {:.1}",
-            sony.overhead_per_packet);
-        assert!((iptp.overhead_per_packet - 40.0).abs() < 0.5, "Matsushita {:.1}",
-            iptp.overhead_per_packet);
-        assert!((lsrr.overhead_per_packet - 8.0).abs() < 0.5, "IBM {:.1}",
-            lsrr.overhead_per_packet);
-        assert!((sp.overhead_per_packet - 8.0).abs() < 0.5, "SP {:.1}",
-            sp.overhead_per_packet);
+        assert!(
+            mhrp.overhead_per_packet >= 8.0 && mhrp.overhead_per_packet <= 12.0,
+            "MHRP {:.1}",
+            mhrp.overhead_per_packet
+        );
+        assert!(
+            (columbia.overhead_per_packet - 24.0).abs() < 0.5,
+            "Columbia {:.1}",
+            columbia.overhead_per_packet
+        );
+        assert!(
+            (sony.overhead_per_packet - 28.0).abs() < 0.5,
+            "Sony {:.1}",
+            sony.overhead_per_packet
+        );
+        assert!(
+            (iptp.overhead_per_packet - 40.0).abs() < 0.5,
+            "Matsushita {:.1}",
+            iptp.overhead_per_packet
+        );
+        assert!(
+            (lsrr.overhead_per_packet - 8.0).abs() < 0.5,
+            "IBM {:.1}",
+            lsrr.overhead_per_packet
+        );
+        assert!((sp.overhead_per_packet - 8.0).abs() < 0.5, "SP {:.1}", sp.overhead_per_packet);
         assert!(mhrp.overhead_per_packet < columbia.overhead_per_packet);
         assert!(columbia.overhead_per_packet < sony.overhead_per_packet);
         assert!(sony.overhead_per_packet < iptp.overhead_per_packet);

@@ -6,8 +6,8 @@
 //! contrasts with a home-anchored baseline (Matsushita forwarding mode,
 //! which can never shortcut).
 
-use netsim::time::{SimDuration, SimTime};
 use mhrp::{Attachment, MhrpHostNode, MobileHostNode};
+use netsim::time::{SimDuration, SimTime};
 
 use crate::shootout::{matsushita_driver, run_comparison, DATA_PORT};
 use crate::topology::{CorrespondentKind, Figure1, Figure1Options};
@@ -50,7 +50,8 @@ pub fn run(seed: u64) -> Vec<PathResult> {
         s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![1; 32]);
     });
     f.world.run_for(SimDuration::from_secs(2));
-    results.push(PathResult { regime: "at home (plain IP)", hops: mobile_hops(&f, t0).unwrap_or(0) });
+    results
+        .push(PathResult { regime: "at home (plain IP)", hops: mobile_hops(&f, t0).unwrap_or(0) });
 
     // Regime 2: first packet to away M — via the home agent.
     f.move_m_to_d();

@@ -56,11 +56,8 @@ pub fn run_one(seed: u64, forwarding_pointers: bool, label: &str) -> HandoffResu
 
     let moved_at = moved_at.expect("move happened");
     let log = &f.world.node::<MobileHostNode>(f.m).endpoint.log;
-    let delivered_during_move = log
-        .udp_rx
-        .iter()
-        .filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at)
-        .count() as u64;
+    let delivered_during_move =
+        log.udp_rx.iter().filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at).count() as u64;
     let first_after = log
         .udp_rx
         .iter()
@@ -132,11 +129,8 @@ pub fn run_ha_partitioned(seed: u64, forwarding_pointers: bool, label: &str) -> 
     f.world.run_for(SimDuration::from_secs(3));
 
     let log = &f.world.node::<MobileHostNode>(f.m).endpoint.log;
-    let delivered = log
-        .udp_rx
-        .iter()
-        .filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at)
-        .count() as u64;
+    let delivered =
+        log.udp_rx.iter().filter(|r| r.dst_port == DATA_PORT && r.at >= moved_at).count() as u64;
     let first_after = log
         .udp_rx
         .iter()

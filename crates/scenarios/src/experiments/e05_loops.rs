@@ -93,8 +93,7 @@ pub fn run_one(seed: u64, detect: bool, packets: u32) -> LoopOutcome {
     LoopOutcome {
         label: if detect { "MHRP list detection (§5.3)" } else { "TTL-only decay" }.to_owned(),
         loops_detected: f.world.stats().counter("mhrp.loops_detected"),
-        tunnel_transits: f.world.stats().counter("mhrp.fa_forward_pointer_used")
-            - transits_before,
+        tunnel_transits: f.world.stats().counter("mhrp.fa_forward_pointer_used") - transits_before,
         series,
     }
 }
@@ -113,9 +112,7 @@ pub fn run(seed: u64, packets: u32) -> Vec<LoopOutcome> {
 pub fn contraction_transits(n: usize, cap: usize) -> u32 {
     use ip::ipv4::Ipv4Packet;
     let addr = |i: usize| Ipv4Addr::new(10, 9, 0, (i + 1) as u8);
-    let index = |a: Ipv4Addr| -> Option<usize> {
-        (0..n).find(|&i| addr(i) == a)
-    };
+    let index = |a: Ipv4Addr| -> Option<usize> { (0..n).find(|&i| addr(i) == a) };
     // Each agent's poisoned cache entry: agent i -> agent (i+1) % n.
     let mut cache: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
     let mut pkt = Ipv4Packet::new(
@@ -168,10 +165,8 @@ mod tests {
             with.tunnel_transits
         );
         // The TTL-only forwarding load stays elevated across the series.
-        let late_load: u64 =
-            without.series.iter().rev().take(5).map(|p| p.circulating).sum();
-        let detected_late: u64 =
-            with.series.iter().rev().take(5).map(|p| p.circulating).sum();
+        let late_load: u64 = without.series.iter().rev().take(5).map(|p| p.circulating).sum();
+        let detected_late: u64 = with.series.iter().rev().take(5).map(|p| p.circulating).sum();
         assert!(late_load > detected_late, "late load {late_load} vs {detected_late}");
     }
 

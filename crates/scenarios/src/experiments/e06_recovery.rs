@@ -60,8 +60,7 @@ pub fn run_one(seed: u64, mode: CrashMode, verify: bool, label: &str) -> Recover
 
     // Stream packets; watch for the visitor entry to reappear and count
     // losses until delivery resumes.
-    let delivered_before =
-        f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() as u64;
+    let delivered_before = f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() as u64;
     let mut recovery_ms = None;
     let mut sent = 0u64;
     for i in 0..100u32 {
@@ -80,8 +79,7 @@ pub fn run_one(seed: u64, mode: CrashMode, verify: bool, label: &str) -> Recover
         }
     }
     f.world.run_for(SimDuration::from_secs(3));
-    let delivered_after =
-        f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() as u64;
+    let delivered_after = f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() as u64;
     let packets_lost = sent.saturating_sub(delivered_after - delivered_before);
     RecoveryResult { label: label.to_owned(), recovery_ms, packets_lost }
 }

@@ -16,10 +16,10 @@
 
 use std::net::Ipv4Addr;
 
-use baselines::sony_vip::{VipMobileNode, VipRouterNode};
-use baselines::sunshine_postel::{SpDirectoryNode, SpForwarderNode, SpHostNode, SpMobileNode};
 use baselines::columbia::{ColumbiaMobileNode, MsrNode};
 use baselines::common::TempAddrPool;
+use baselines::sony_vip::{VipMobileNode, VipRouterNode};
+use baselines::sunshine_postel::{SpDirectoryNode, SpForwarderNode, SpHostNode, SpMobileNode};
 use mhrp::{MhrpConfig, MhrpRouterNode, MobileHostNode};
 use netsim::time::{SimDuration, SimTime};
 use netsim::{IfaceId, NodeId, SegmentId};
@@ -38,11 +38,10 @@ fn run_moves(p: &mut Phys, mobiles: &[NodeId], target: SegmentId) {
     p.world.run_until(SimTime::from_secs(2));
     for (i, &m) in mobiles.iter().enumerate() {
         let at = p.world.now() + SimDuration::from_millis(300 * (i as u64 + 1));
-        p.world.schedule_admin(at, netsim::AdminOp::MoveIface {
-            node: m,
-            iface: IfaceId(0),
-            segment: target,
-        });
+        p.world.schedule_admin(
+            at,
+            netsim::AdminOp::MoveIface { node: m, iface: IfaceId(0), segment: target },
+        );
     }
     let horizon = p.world.now() + SimDuration::from_secs(10 + mobiles.len() as u64);
     p.world.run_until(horizon);
@@ -86,10 +85,8 @@ pub fn mhrp_point(seed: u64, n: usize) -> ScalabilityPoint {
     p.world.start();
     let net_d = p.net_d;
     run_moves(&mut p, &mobiles, net_d);
-    let moves: u64 = mobiles
-        .iter()
-        .map(|&m| p.world.node::<MobileHostNode>(m).core.stats.moves)
-        .sum();
+    let moves: u64 =
+        mobiles.iter().map(|&m| p.world.node::<MobileHostNode>(m).core.stats.moves).sum();
     let ctl = 2 * p.world.stats().counter("mhrp.registration_msgs_sent")
         + p.world.stats().counter("mhrp.updates_sent");
     let ha_state = p.world.node::<MhrpRouterNode>(r2).ha.as_ref().unwrap().binding_count();
@@ -185,11 +182,8 @@ pub fn columbia_point(seed: u64, n: usize) -> ScalabilityPoint {
     let mut mobiles = Vec::new();
     for i in 0..n {
         p.world.with_node::<MsrNode, _>(msrs[0], |r, _| r.add_home_mobile(mobile_addr(i)));
-        let m = p.world.add_node(Box::new(ColumbiaMobileNode::new(
-            mobile_addr(i),
-            net(2),
-            addrs.r2,
-        )));
+        let m =
+            p.world.add_node(Box::new(ColumbiaMobileNode::new(mobile_addr(i), net(2), addrs.r2)));
         p.world.add_iface(m, Some(p.net_b));
         mobiles.push(m);
     }
@@ -270,11 +264,8 @@ pub fn sony_point(seed: u64, n: usize) -> ScalabilityPoint {
         + stats.counter("vip.home_registrations")
         + stats.counter("vip.flood_messages");
     let moves = stats.counter("vip.mobile_moves");
-    let max_cache = routers
-        .iter()
-        .map(|&id| p.world.node::<VipRouterNode>(id).cache_len())
-        .max()
-        .unwrap_or(0);
+    let max_cache =
+        routers.iter().map(|&id| p.world.node::<VipRouterNode>(id).cache_len()).max().unwrap_or(0);
     ScalabilityPoint {
         protocol: "Sony VIP".into(),
         mobiles: n,
@@ -313,13 +304,19 @@ mod tests {
         // MHRP per-move control cost stays ~constant as N grows.
         let mhrp2 = find("MHRP", 2).control_msgs_per_move;
         let mhrp6 = find("MHRP", 6).control_msgs_per_move;
-        assert!((mhrp6 - mhrp2).abs() < 0.5 * mhrp2.max(1.0),
-            "MHRP per-move cost moved {mhrp2} -> {mhrp6}");
+        assert!(
+            (mhrp6 - mhrp2).abs() < 0.5 * mhrp2.max(1.0),
+            "MHRP per-move cost moved {mhrp2} -> {mhrp6}"
+        );
 
         // Sony's flood makes each move cost at least the router count.
         let sony6 = find("Sony", 6);
-        assert!(sony6.control_msgs_per_move > mhrp6 + 3.0,
-            "Sony {} vs MHRP {}", sony6.control_msgs_per_move, mhrp6);
+        assert!(
+            sony6.control_msgs_per_move > mhrp6 + 3.0,
+            "Sony {} vs MHRP {}",
+            sony6.control_msgs_per_move,
+            mhrp6
+        );
 
         // Only Sony consumed temporary addresses.
         assert!(sony6.temp_addrs_used >= 6);

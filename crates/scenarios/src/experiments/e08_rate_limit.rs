@@ -72,11 +72,7 @@ mod tests {
         let r = run(37, 40, 2_000, 5_000);
         assert_eq!(r.packets_sent, 40);
         assert!(r.updates_sent <= 3, "updates {}", r.updates_sent);
-        assert!(
-            r.updates_suppressed >= 30,
-            "suppressed only {}",
-            r.updates_suppressed
-        );
+        assert!(r.updates_suppressed >= 30, "suppressed only {}", r.updates_suppressed);
     }
 
     #[test]

@@ -78,9 +78,10 @@ fn measure_plain(seed: u64) -> (u64, u8) {
     p.world.add_iface(m, Some(p.net_b));
     p.world.with_node::<HostNode, _>(m, |h, _| {
         h.stack.add_iface(IfaceId(0), addrs.m, net(2));
-        h.stack
-            .routes
-            .add(ip::Prefix::default_route(), NextHop::Gateway { iface: IfaceId(0), via: addrs.r2 });
+        h.stack.routes.add(
+            ip::Prefix::default_route(),
+            NextHop::Gateway { iface: IfaceId(0), via: addrs.r2 },
+        );
     });
     p.world.start();
     p.world.run_until(SimTime::from_secs(2));

@@ -15,11 +15,11 @@
 use std::net::Ipv4Addr;
 
 use baselines::columbia::{ColumbiaMobileNode, MsrNode};
+use baselines::common::TempAddrPool;
 use baselines::ibm_lsrr::{BaseStationNode, LsrrHostNode, LsrrMobileNode};
 use baselines::matsushita::{IptpAgentNode, MatsushitaHostNode, MatsushitaMobileNode, PfsNode};
 use baselines::sony_vip::{VipHostNode, VipMobileNode, VipRouterNode};
 use baselines::sunshine_postel::{SpDirectoryNode, SpForwarderNode, SpHostNode, SpMobileNode};
-use baselines::common::TempAddrPool;
 use mhrp::{MhrpHostNode, MobileHostNode};
 use netsim::time::{SimDuration, SimTime};
 use netsim::{IfaceId, NodeId, SegmentId, SegmentParams, World};
@@ -27,8 +27,8 @@ use netstack::nodes::RouterNode;
 
 use crate::metrics::ComparisonRow;
 use crate::topology::{
-    backbone_addr, configure_host_s_stack, configure_router_stack, net, CorrespondentKind,
-    Figure1, Figure1Addrs, Figure1Options,
+    backbone_addr, configure_host_s_stack, configure_router_stack, net, CorrespondentKind, Figure1,
+    Figure1Addrs, Figure1Options,
 };
 
 /// UDP port used by the data stream (no echo service listens there, so
@@ -150,11 +150,7 @@ pub fn add_plain_router(p: &mut Phys, position: u8) -> NodeId {
 }
 
 fn udp_filter(log: &netstack::EndpointLog) -> Vec<(SimTime, u8)> {
-    log.udp_rx
-        .iter()
-        .filter(|r| r.dst_port == DATA_PORT)
-        .map(|r| (r.at, r.ttl))
-        .collect()
+    log.udp_rx.iter().filter(|r| r.dst_port == DATA_PORT).map(|r| (r.at, r.ttl)).collect()
 }
 
 /// Builds the MHRP driver (reusing the Figure 1 topology).
@@ -182,9 +178,7 @@ pub fn mhrp_driver(seed: u64) -> Driver {
             });
         }),
         send_m_to_s: Box::new(move |w, dst, payload| {
-            w.with_node::<MobileHostNode, _>(m, |h, ctx| {
-                h.send_udp(ctx, dst, 5002, 5002, payload)
-            });
+            w.with_node::<MobileHostNode, _>(m, |h, ctx| h.send_udp(ctx, dst, 5002, 5002, payload));
         }),
         mobile_rx: Box::new(move |w| udp_filter(&w.node::<MobileHostNode>(m).endpoint.log)),
         // Registrations + acks (2x sends) + location updates.
@@ -225,9 +219,7 @@ pub fn sunshine_postel_driver(seed: u64) -> Driver {
     let s = p.world.add_node(Box::new(SpHostNode::new(dir_addr)));
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<SpHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p
-        .world
-        .add_node(Box::new(SpMobileNode::new(addrs.m, net(2), addrs.r2, dir_addr)));
+    let m = p.world.add_node(Box::new(SpMobileNode::new(addrs.m, net(2), addrs.r2, dir_addr)));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -290,11 +282,8 @@ pub fn columbia_driver(seed: u64) -> Driver {
     // S is a *plain* host: Columbia demands nothing from correspondents.
     let s = p.world.add_node(Box::new(netstack::HostNode::new()));
     p.world.add_iface(s, Some(p.net_a));
-    p.world
-        .with_node::<netstack::HostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p
-        .world
-        .add_node(Box::new(ColumbiaMobileNode::new(addrs.m, net(2), addrs.r2)));
+    p.world.with_node::<netstack::HostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
+    let m = p.world.add_node(Box::new(ColumbiaMobileNode::new(addrs.m, net(2), addrs.r2)));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -336,8 +325,7 @@ pub fn sony_vip_driver(seed: u64) -> Driver {
     // All five routers speak VIP; R4/R5 assign temporary addresses.
     let router_addrs = [addrs.r1, addrs.r2, addrs.r3, addrs.r4, addrs.r5];
     let mut ids = Vec::new();
-    for (pos, local) in [(1u8, p.net_a), (2, p.net_b), (3, p.net_c), (4, p.net_d), (5, p.net_e)]
-    {
+    for (pos, local) in [(1u8, p.net_a), (2, p.net_b), (3, p.net_c), (4, p.net_d), (5, p.net_e)] {
         let id = p.world.add_node(Box::new(VipRouterNode::new(IfaceId(1))));
         let first = if pos <= 3 { p.backbone } else { p.net_c };
         p.world.add_iface(id, Some(first));
@@ -345,8 +333,7 @@ pub fn sony_vip_driver(seed: u64) -> Driver {
         p.world.with_node::<VipRouterNode, _>(id, |r, _| {
             configure_router_stack(&mut r.stack, pos);
             let self_addr = router_addrs[usize::from(pos) - 1];
-            r.flood_peers =
-                router_addrs.iter().copied().filter(|a| *a != self_addr).collect();
+            r.flood_peers = router_addrs.iter().copied().filter(|a| *a != self_addr).collect();
             if pos >= 4 {
                 r.pool = Some(TempAddrPool::new(net(pos), 100, 32));
             }
@@ -356,9 +343,7 @@ pub fn sony_vip_driver(seed: u64) -> Driver {
     let s = p.world.add_node(Box::new(VipHostNode::new(addrs.s)));
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<VipHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p
-        .world
-        .add_node(Box::new(VipMobileNode::new(addrs.m, net(2), addrs.r2, addrs.r2)));
+    let m = p.world.add_node(Box::new(VipMobileNode::new(addrs.m, net(2), addrs.r2, addrs.r2)));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -377,9 +362,7 @@ pub fn sony_vip_driver(seed: u64) -> Driver {
             });
         }),
         send_m_to_s: Box::new(move |w, dst, payload| {
-            w.with_node::<VipMobileNode, _>(m, |h, ctx| {
-                h.send_udp(ctx, dst, 5002, 5002, payload)
-            });
+            w.with_node::<VipMobileNode, _>(m, |h, ctx| h.send_udp(ctx, dst, 5002, 5002, payload));
         }),
         mobile_rx: Box::new(move |w| udp_filter(&w.node::<VipMobileNode>(m).endpoint.log)),
         // Temp handshakes (2/move) + home registrations + the flood +
@@ -411,19 +394,13 @@ pub fn matsushita_driver(seed: u64) -> Driver {
         let id = p.world.add_node(Box::new(IptpAgentNode::new(IfaceId(1), pool)));
         p.world.add_iface(id, Some(p.net_c));
         p.world.add_iface(id, Some(seg));
-        p.world
-            .with_node::<IptpAgentNode, _>(id, |r, _| configure_router_stack(&mut r.stack, pos));
+        p.world.with_node::<IptpAgentNode, _>(id, |r, _| configure_router_stack(&mut r.stack, pos));
     }
     let s = p.world.add_node(Box::new(MatsushitaHostNode::new()));
     p.world.add_iface(s, Some(p.net_a));
-    p.world
-        .with_node::<MatsushitaHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p.world.add_node(Box::new(MatsushitaMobileNode::new(
-        addrs.m,
-        net(2),
-        addrs.r2,
-        addrs.r2,
-    )));
+    p.world.with_node::<MatsushitaHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
+    let m =
+        p.world.add_node(Box::new(MatsushitaMobileNode::new(addrs.m, net(2), addrs.r2, addrs.r2)));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -466,8 +443,7 @@ pub fn ibm_lsrr_driver(seed: u64, broken_s: bool, slow_path_penalty: SimDuration
     let addrs = Figure1Addrs::plan();
     for pos in 1..=3 {
         let id = add_plain_router(&mut p, pos);
-        p.world
-            .with_node::<RouterNode, _>(id, |r, _| r.option_penalty = slow_path_penalty);
+        p.world.with_node::<RouterNode, _>(id, |r, _| r.option_penalty = slow_path_penalty);
     }
     for (pos, seg) in [(4u8, p.net_d), (5, p.net_e)] {
         let id = p.world.add_node(Box::new(BaseStationNode::new(IfaceId(1))));
@@ -479,9 +455,7 @@ pub fn ibm_lsrr_driver(seed: u64, broken_s: bool, slow_path_penalty: SimDuration
     let s = p.world.add_node(Box::new(LsrrHostNode::new(broken_s)));
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<LsrrHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p
-        .world
-        .add_node(Box::new(LsrrMobileNode::new(addrs.m, net(2), addrs.r2)));
+    let m = p.world.add_node(Box::new(LsrrMobileNode::new(addrs.m, net(2), addrs.r2)));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -500,9 +474,7 @@ pub fn ibm_lsrr_driver(seed: u64, broken_s: bool, slow_path_penalty: SimDuration
             });
         }),
         send_m_to_s: Box::new(move |w, dst, payload| {
-            w.with_node::<LsrrMobileNode, _>(m, |h, ctx| {
-                h.send_udp(ctx, dst, 5002, 5002, payload)
-            });
+            w.with_node::<LsrrMobileNode, _>(m, |h, ctx| h.send_udp(ctx, dst, 5002, 5002, payload));
         }),
         mobile_rx: Box::new(move |w| udp_filter(&w.node::<LsrrMobileNode>(m).endpoint.log)),
         control_messages: Box::new(|w| w.stats().counter("lsrr.registrations")),

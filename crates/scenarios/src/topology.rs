@@ -183,8 +183,12 @@ pub fn configure_router_stack(stack: &mut netstack::IpStack, position: u8) {
             stack.add_iface(IfaceId(1), a.r3, net(3));
             stack.routes.add(net(1), NH::Gateway { iface: IfaceId(0), via: backbone_addr(1) });
             stack.routes.add(net(2), NH::Gateway { iface: IfaceId(0), via: backbone_addr(2) });
-            stack.routes.add(net(4), NH::Gateway { iface: IfaceId(1), via: Ipv4Addr::new(10, 3, 0, 4) });
-            stack.routes.add(net(5), NH::Gateway { iface: IfaceId(1), via: Ipv4Addr::new(10, 3, 0, 5) });
+            stack
+                .routes
+                .add(net(4), NH::Gateway { iface: IfaceId(1), via: Ipv4Addr::new(10, 3, 0, 4) });
+            stack
+                .routes
+                .add(net(5), NH::Gateway { iface: IfaceId(1), via: Ipv4Addr::new(10, 3, 0, 5) });
         }
         4 => {
             stack.add_iface(IfaceId(0), Ipv4Addr::new(10, 3, 0, 4), net(3));
@@ -205,9 +209,7 @@ pub fn configure_router_stack(stack: &mut netstack::IpStack, position: u8) {
 pub fn configure_host_s_stack(stack: &mut netstack::IpStack) {
     let a = Figure1Addrs::plan();
     stack.add_iface(IfaceId(0), a.s, net(1));
-    stack
-        .routes
-        .add(Prefix::default_route(), NextHop::Gateway { iface: IfaceId(0), via: a.r1 });
+    stack.routes.add(Prefix::default_route(), NextHop::Gateway { iface: IfaceId(0), via: a.r1 });
 }
 
 impl Figure1 {
@@ -372,10 +374,7 @@ mod tests {
     #[test]
     fn builds_and_m_starts_home() {
         let f = Figure1::build(Figure1Options::default());
-        assert_eq!(
-            f.world.node::<MobileHostNode>(f.m).core.state,
-            mhrp::Attachment::Home
-        );
+        assert_eq!(f.world.node::<MobileHostNode>(f.m).core.state, mhrp::Attachment::Home);
         assert_eq!(f.world.node_count(), 7);
         assert_eq!(f.addrs.m, Ipv4Addr::new(10, 2, 0, 77));
     }

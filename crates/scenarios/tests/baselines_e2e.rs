@@ -32,11 +32,7 @@ fn sunshine_postel_requeries_after_stale_forwarder() {
     d.send_data(vec![2; 16]);
     d.world.run_for(SimDuration::from_secs(8));
     let received = d.mobile_received();
-    assert!(
-        received.len() >= 2,
-        "retransmission after re-query failed: got {}",
-        received.len()
-    );
+    assert!(received.len() >= 2, "retransmission after re-query failed: got {}", received.len());
     assert!(d.world.stats().counter("sp.unreachable_returned") >= 1);
     assert!(d.world.stats().counter("sp.requery_after_unreachable") >= 1);
 }

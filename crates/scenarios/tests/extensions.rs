@@ -28,9 +28,9 @@ fn replica_home_agent_takes_over_after_primary_loss() {
     // per §2: an MHRP router node with only the home-agent role, not in
     // the forwarding path).
     let replica_addr = Ipv4Addr::new(10, 2, 0, 2);
-    let replica = f.world.add_node(Box::new(
-        MhrpRouterNode::new(MhrpConfig::default()).with_home_agent(IfaceId(0)),
-    ));
+    let replica = f
+        .world
+        .add_node(Box::new(MhrpRouterNode::new(MhrpConfig::default()).with_home_agent(IfaceId(0))));
     f.world.add_iface(replica, Some(f.net_b));
     f.world.with_node::<MhrpRouterNode, _>(replica, |r, _| {
         r.stack.add_iface(IfaceId(0), replica_addr, net(2));
@@ -39,8 +39,7 @@ fn replica_home_agent_takes_over_after_primary_loss() {
             netstack::route::NextHop::Gateway { iface: IfaceId(0), via: f.addrs.r2 },
         );
         // Demote to standby and wire the primary to sync to it.
-        *r.ha.as_mut().unwrap() =
-            mhrp::HomeAgentCore::new_replica(IfaceId(0), false);
+        *r.ha.as_mut().unwrap() = mhrp::HomeAgentCore::new_replica(IfaceId(0), false);
     });
     f.world.with_node::<MhrpRouterNode, _>(f.r2, |r, _| {
         r.ha.as_mut().unwrap().replicas.push(replica_addr);
@@ -66,10 +65,7 @@ fn replica_home_agent_takes_over_after_primary_loss() {
         let stack = &mut r.stack;
         r.ha.as_mut().unwrap().wipe(stack);
     });
-    assert_eq!(
-        f.world.node::<MhrpRouterNode>(f.r2).ha.as_ref().unwrap().binding(m_addr),
-        None
-    );
+    assert_eq!(f.world.node::<MhrpRouterNode>(f.r2).ha.as_ref().unwrap().binding(m_addr), None);
 
     // Operations promotes the replica; it arms interception from its
     // synced database.
@@ -115,12 +111,7 @@ fn host_route_mode_intercepts_without_arp_tricks() {
 
     // No ARP games were played on the home segment...
     assert_eq!(f.world.stats().counter("arp.gratuitous_sent"), 0);
-    assert!(!f
-        .world
-        .node::<MhrpRouterNode>(f.r2)
-        .stack
-        .arp
-        .is_proxied(IfaceId(1), m_addr));
+    assert!(!f.world.node::<MhrpRouterNode>(f.r2).stack.arp.is_proxied(IfaceId(1), m_addr));
 
     // ...yet remote traffic is intercepted (it crosses R2, the border
     // router) and tunneled as usual.

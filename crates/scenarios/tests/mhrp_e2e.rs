@@ -379,10 +379,7 @@ fn solicitation_beats_waiting_for_periodic_advertisement() {
     // would wait nearly a full period.
     let moved_at = f.world.now();
     f.move_m_to_d();
-    assert!(f.run_until_attached(
-        Attachment::Foreign(f.addrs.r4),
-        SimDuration::from_secs(5)
-    ));
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(5)));
     let took = f.world.now().since(moved_at);
     assert!(
         took < SimDuration::from_millis(900),

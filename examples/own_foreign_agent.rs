@@ -55,10 +55,7 @@ fn main() {
         ),
         None => println!("no reply!"),
     }
-    println!(
-        "self-decapsulated packets: {}",
-        f.world.stats().counter("mhrp.mh_decapsulated")
-    );
+    println!("self-decapsulated packets: {}", f.world.stats().counter("mhrp.mh_decapsulated"));
     println!("S's cache now points at M's temporary address: {:?}", s.ca.cache.peek(m_addr));
 
     // And the second ping goes directly (sender-tunneled to `temp`).

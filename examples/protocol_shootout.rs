@@ -5,10 +5,10 @@
 //! cargo run --example protocol_shootout
 //! ```
 
+use netsim::time::SimDuration;
 use scenarios::metrics::ComparisonRow;
 use scenarios::report::{f2, table};
 use scenarios::shootout::{all_drivers, ibm_lsrr_driver, run_comparison};
-use netsim::time::SimDuration;
 
 fn main() {
     println!("== Section 7 shootout: 6 protocols, same network, same workload ==\n");

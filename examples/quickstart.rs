@@ -62,10 +62,7 @@ fn main() {
     println!("\nThe second ping is tunneled by S itself (8-byte MHRP header),");
     println!("skipping the home network entirely (§6.2):");
     ping_and_report(&mut f, "  sender-tunneled");
-    println!(
-        "  sender tunnels so far: {}",
-        f.world.stats().counter("mhrp.tunneled_by_sender")
-    );
+    println!("  sender tunnels so far: {}", f.world.stats().counter("mhrp.tunneled_by_sender"));
 
     println!("\nM returns home; it repairs ARP caches and deregisters (§6.3):");
     f.move_m_home();

@@ -24,11 +24,10 @@ fn main() {
             "cell E" => net_e,
             _ => net_b,
         };
-        f.world.schedule_admin(SimTime::from_secs(at), AdminOp::MoveIface {
-            node: m,
-            iface: IfaceId(0),
-            segment: seg,
-        });
+        f.world.schedule_admin(
+            SimTime::from_secs(at),
+            AdminOp::MoveIface { node: m, iface: IfaceId(0), segment: seg },
+        );
     }
 
     // A 30-second stream at 50 ms spacing, sent to the *home* address the

@@ -2,9 +2,7 @@
 //! paper makes in §4–§7, asserted against the measured reproduction.
 //! These are the regression gate for EXPERIMENTS.md.
 
-use scenarios::experiments::{
-    e01_header, e02_overhead, e05_loops, e08_rate_limit, e10_at_home,
-};
+use scenarios::experiments::{e01_header, e02_overhead, e05_loops, e08_rate_limit, e10_at_home};
 
 #[test]
 fn claim_header_is_8_or_12_bytes_plus_4_per_retunnel() {

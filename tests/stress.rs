@@ -1,8 +1,8 @@
 //! Stress and edge-case integration tests across the whole stack:
 //! many mobile hosts, rapid movement, loss, and concurrent failures.
 
-use mhrp_suite::prelude::*;
 use mhrp::MobileHostNode;
+use mhrp_suite::prelude::*;
 use scenarios::topology::net;
 
 /// Builds Figure 1 plus `extra` additional mobile hosts on network B.
@@ -57,10 +57,10 @@ fn lossy_wireless_still_registers_via_retransmission() {
     // 20% loss on the wireless cell: registration control messages are
     // retransmitted until acknowledged (our documented §3 choice).
     let (mut f, _) = figure1_with_mobiles(103, 0);
-    f.world.schedule_admin(SimTime::from_millis(1), AdminOp::SetSegmentLoss {
-        segment: f.net_d,
-        loss: 0.2,
-    });
+    f.world.schedule_admin(
+        SimTime::from_millis(1),
+        AdminOp::SetSegmentLoss { segment: f.net_d, loss: 0.2 },
+    );
     f.world.run_until(SimTime::from_secs(2));
     f.move_m_to_d();
     assert!(
@@ -130,10 +130,7 @@ fn explicit_disconnect_cleans_up_before_departure() {
     f.world.run_for(SimDuration::from_secs(2));
     // The home agent now records M as "at home" (binding removed) and the
     // old foreign agent dropped the visitor.
-    assert_eq!(
-        f.world.node::<MhrpRouterNode>(f.r2).ha.as_ref().unwrap().binding(m_addr),
-        None
-    );
+    assert_eq!(f.world.node::<MhrpRouterNode>(f.r2).ha.as_ref().unwrap().binding(m_addr), None);
     assert!(!f.world.node::<MhrpRouterNode>(f.r4).fa.as_ref().unwrap().has_visitor(m_addr));
 }
 
