@@ -6,16 +6,29 @@
 //! ```
 //!
 //! Output is the plain-text form of the tables recorded in EXPERIMENTS.md.
+//!
+//! Every experiment also runs a set of *shape checks* — the qualitative
+//! claims its table is supposed to exhibit (the same invariants pinned in
+//! `tests/paper_claims.rs`). A failed check is reported on stderr and the
+//! binary exits non-zero, so CI catches a run whose numbers no longer
+//! support the paper's claims.
 
 use scenarios::experiments::{
     e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
-    e08_rate_limit, e09_icmp_errors, e10_at_home,
+    e08_rate_limit, e09_icmp_errors, e10_at_home, e11_flapping, e12_partition,
 };
 use scenarios::report::{f2, table};
 
 const SEED: u64 = 1994;
 
-fn e01() {
+/// Records a failed shape check.
+fn check(failures: &mut Vec<String>, experiment: &str, ok: bool, claim: &str) {
+    if !ok {
+        failures.push(format!("{experiment}: {claim}"));
+    }
+}
+
+fn e01(failures: &mut Vec<String>) {
     println!("\n== E01 — Figures 2/3: MHRP header sizes and layout ==");
     let rows = e01_header::run();
     println!(
@@ -33,9 +46,17 @@ fn e01() {
     );
     let golden = e01_header::golden_header();
     println!("golden header bytes: {golden:02x?}");
+    for r in &rows {
+        check(
+            failures,
+            "e01",
+            r.measured_bytes == r.paper_bytes,
+            &format!("{}: measured {} B != paper {} B", r.case, r.measured_bytes, r.paper_bytes),
+        );
+    }
 }
 
-fn e02() {
+fn e02(failures: &mut Vec<String>) {
     println!("\n== E02 — §7: per-packet overhead comparison ==");
     let rows = e02_overhead::run(SEED, e02_overhead::DEFAULT_PACKETS);
     println!(
@@ -54,9 +75,12 @@ fn e02() {
                 .collect(),
         )
     );
+    for r in &rows {
+        check(failures, "e02", r.delivered > 0, &format!("{} delivered nothing", r.protocol));
+    }
 }
 
-fn e03() {
+fn e03(failures: &mut Vec<String>) {
     println!("\n== E03 — §6.1/§6.2: routing path length ==");
     let rows = e03_path::run(SEED);
     println!(
@@ -70,9 +94,13 @@ fn e03() {
         "home-anchored contrast (Matsushita forwarding mode): {} hops",
         f2(e03_path::anchored_hops(SEED))
     );
+    check(failures, "e03", !rows.is_empty(), "no path-length rows");
+    for r in &rows {
+        check(failures, "e03", r.hops > 0, &format!("{}: zero hops", r.regime));
+    }
 }
 
-fn e04() {
+fn e04(failures: &mut Vec<String>) {
     println!("\n== E04 — §6.3: handoff between foreign agents ==");
     let rows = e04_handoff::run(SEED);
     println!(
@@ -94,9 +122,29 @@ fn e04() {
                 .collect(),
         )
     );
+    // The §2 forwarding pointer must visibly matter: both the mid-stream
+    // outage rows and the long-partition rows diverge.
+    check(
+        failures,
+        "e04",
+        rows[0].delivered_during_move > rows[1].delivered_during_move,
+        "with-pointer row does not beat without-pointer row during the HA outage",
+    );
+    check(
+        failures,
+        "e04",
+        rows[2].delivered_during_move >= rows[2].sent_during_move / 2,
+        "pointer failed to carry the stream while the HA was dark",
+    );
+    check(
+        failures,
+        "e04",
+        rows[3].delivered_during_move == 0,
+        "pointerless HA-dark row unexpectedly delivered",
+    );
 }
 
-fn e05() {
+fn e05(failures: &mut Vec<String>) {
     println!("\n== E05 — §5.3: routing-loop robustness ==");
     let rows = e05_loops::run(SEED, 20);
     println!(
@@ -127,9 +175,15 @@ fn e05() {
                 .collect(),
         )
     );
+    check(
+        failures,
+        "e05",
+        rows.iter().any(|r| r.loops_detected > 0),
+        "no configuration detected a loop",
+    );
 }
 
-fn e06() {
+fn e06(failures: &mut Vec<String>) {
     println!("\n== E06 — §5.2: foreign-agent crash recovery ==");
     let rows = e06_recovery::run(SEED);
     println!(
@@ -145,9 +199,12 @@ fn e06() {
                 .collect(),
         )
     );
+    for r in &rows {
+        check(failures, "e06", r.recovery_ms.is_some(), &format!("{} never recovered", r.label));
+    }
 }
 
-fn e07() {
+fn e07(failures: &mut Vec<String>) {
     println!("\n== E07 — §7: scalability with mobile-host population ==");
     let points = e07_scalability::run(SEED, &[1, 2, 4, 8]);
     println!(
@@ -166,9 +223,10 @@ fn e07() {
                 .collect(),
         )
     );
+    check(failures, "e07", !points.is_empty(), "no scalability points");
 }
 
-fn e08() {
+fn e08(failures: &mut Vec<String>) {
     println!("\n== E08 — §4.3: location-update rate limiting ==");
     let rows: Vec<(u64, e08_rate_limit::RateLimitResult)> = [200u64, 1_000, 5_000]
         .iter()
@@ -188,9 +246,15 @@ fn e08() {
                 .collect(),
         )
     );
+    check(
+        failures,
+        "e08",
+        rows.last().is_some_and(|(_, r)| r.updates_suppressed > 0),
+        "widest interval suppressed nothing",
+    );
 }
 
-fn e09() {
+fn e09(failures: &mut Vec<String>) {
     println!("\n== E09 — §4.5: ICMP error reverse path ==");
     let rows = e09_icmp_errors::run(SEED);
     println!(
@@ -207,9 +271,15 @@ fn e09() {
                 .collect(),
         )
     );
+    check(
+        failures,
+        "e09",
+        rows.iter().any(|r| r.reversals > 0),
+        "no configuration reversed an ICMP error",
+    );
 }
 
-fn e10() {
+fn e10(failures: &mut Vec<String>) {
     println!("\n== E10 — §1/§8: zero penalty at home ==");
     let r = e10_at_home::run(SEED);
     println!(
@@ -229,6 +299,90 @@ fn e10() {
             ],
         )
     );
+    check(failures, "e10", r.mhrp_overhead_bytes == 0, "MHRP added overhead at home");
+    check(failures, "e10", r.mhrp_rtt_us == r.plain_rtt_us, "MHRP changed the at-home RTT");
+}
+
+fn e11(failures: &mut Vec<String>) {
+    println!("\n== E11 — registration under flapping links ==");
+    let rows = e11_flapping::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["schedule", "attach (ms)", "reg msgs", "reg failed", "solicits", "delivered"],
+            rows.iter()
+                .map(|r| vec![
+                    r.label.clone(),
+                    r.attach_ms.map(|v| v.to_string()).unwrap_or_else(|| "never".into()),
+                    r.registration_msgs.to_string(),
+                    r.registrations_failed.to_string(),
+                    r.solicits.to_string(),
+                    format!("{}/{}", r.delivered, r.sent),
+                ])
+                .collect(),
+        )
+    );
+    for r in &rows {
+        check(failures, "e11", r.attached, &format!("{}: M never attached", r.label));
+        check(failures, "e11", r.delivered > 0, &format!("{}: nothing delivered", r.label));
+    }
+    check(
+        failures,
+        "e11",
+        rows[1].attach_ms >= rows[0].attach_ms,
+        "flapping link attached no later than the stable link",
+    );
+    check(
+        failures,
+        "e11",
+        rows[1].registration_msgs >= rows[0].registration_msgs,
+        "flapping link spent no extra registration traffic",
+    );
+}
+
+fn e12(failures: &mut Vec<String>) {
+    println!("\n== E12 — partition and heal: cache reconvergence ==");
+    let rows = e12_partition::run(SEED);
+    println!(
+        "{}",
+        table(
+            &[
+                "configuration",
+                "partition (ms)",
+                "probes",
+                "pointer at heal",
+                "reconverge (ms)",
+                "delivered after heal",
+                "HA reconverged",
+                "cache corrected",
+            ],
+            rows.iter()
+                .map(|r| vec![
+                    r.label.clone(),
+                    r.partition_ms.to_string(),
+                    r.probes_sent.to_string(),
+                    r.pointer_at_heal.to_string(),
+                    r.reconverge_ms.map(|v| v.to_string()).unwrap_or_else(|| "never".into()),
+                    format!("{}/{}", r.delivered_after_heal, r.sent_after_heal),
+                    r.ha_reconverged.to_string(),
+                    r.cache_corrected.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    for r in &rows {
+        check(failures, "e12", r.probes_sent > 0, &format!("{}: no probes sent", r.label));
+        check(failures, "e12", r.ha_reconverged, &format!("{}: HA never reconverged", r.label));
+        check(
+            failures,
+            "e12",
+            r.delivered_after_heal >= r.sent_after_heal / 2,
+            &format!("{}: post-heal delivery below half", r.label),
+        );
+        check(failures, "e12", r.cache_corrected, &format!("{}: S's cache stayed stale", r.label));
+    }
+    check(failures, "e12", rows[0].pointer_at_heal, "pointer row held no pointer at heal");
+    check(failures, "e12", !rows[1].pointer_at_heal, "pointerless row held a pointer");
 }
 
 fn main() {
@@ -236,34 +390,50 @@ fn main() {
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(name));
     println!("MHRP reproduction report (seed {SEED}) — paper: Johnson, ICDCS 1994");
+    let mut failures = Vec::new();
     if want("e01") {
-        e01();
+        e01(&mut failures);
     }
     if want("e02") {
-        e02();
+        e02(&mut failures);
     }
     if want("e03") {
-        e03();
+        e03(&mut failures);
     }
     if want("e04") {
-        e04();
+        e04(&mut failures);
     }
     if want("e05") {
-        e05();
+        e05(&mut failures);
     }
     if want("e06") {
-        e06();
+        e06(&mut failures);
     }
     if want("e07") {
-        e07();
+        e07(&mut failures);
     }
     if want("e08") {
-        e08();
+        e08(&mut failures);
     }
     if want("e09") {
-        e09();
+        e09(&mut failures);
     }
     if want("e10") {
-        e10();
+        e10(&mut failures);
+    }
+    if want("e11") {
+        e11(&mut failures);
+    }
+    if want("e12") {
+        e12(&mut failures);
+    }
+    if failures.is_empty() {
+        println!("\nall shape checks passed");
+    } else {
+        eprintln!("\n{} shape check(s) FAILED:", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
     }
 }

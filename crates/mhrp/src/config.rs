@@ -18,11 +18,20 @@ pub struct MhrpConfig {
     /// A mobile host declares its agent lost after missing this many
     /// consecutive advertisements (movement detection, §3).
     pub advertisement_loss_tolerance: u32,
-    /// Retransmission interval for registration control messages (the
-    /// paper leaves registration reliability unspecified).
+    /// Initial retransmission interval for registration control messages
+    /// (the paper leaves registration reliability unspecified).
     pub registration_retry: SimDuration,
     /// Give up after this many registration retransmissions.
     pub registration_max_retries: u32,
+    /// Multiplier applied to the retransmission interval after every
+    /// retry (exponential backoff; `1.0` restores the fixed-interval
+    /// behaviour).
+    pub registration_backoff: f64,
+    /// Upper bound on the backed-off retransmission interval. This is
+    /// also the cadence of the low-rate *probes* a mobile host keeps
+    /// sending to an unreachable home agent after exhausting its retries,
+    /// so registration reconverges when a partition heals.
+    pub registration_retry_cap: SimDuration,
     /// Capacity of a cache agent's finite location cache (§2: "the
     /// contents of the (finite) cache space ... maintained by any local
     /// cache replacement policy"); replacement here is LRU.
@@ -59,6 +68,8 @@ impl Default for MhrpConfig {
             advertisement_loss_tolerance: 3,
             registration_retry: SimDuration::from_millis(500),
             registration_max_retries: 5,
+            registration_backoff: 2.0,
+            registration_retry_cap: SimDuration::from_secs(2),
             cache_capacity: 64,
             update_min_interval: SimDuration::from_secs(5),
             update_rate_entries: 128,
@@ -81,6 +92,8 @@ mod tests {
         assert!(c.max_prev_sources >= 1);
         assert!(c.cache_capacity > 0);
         assert!(c.advertisement_interval > SimDuration::ZERO);
+        assert!(c.registration_backoff >= 1.0);
+        assert!(c.registration_retry_cap >= c.registration_retry);
         assert!(c.forwarding_pointers);
         assert!(c.home_agent_disk);
     }

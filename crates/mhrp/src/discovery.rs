@@ -24,6 +24,11 @@ pub struct Advertiser {
     interval: SimDuration,
     seq: u16,
     running: bool,
+    /// Bumped on every [`Advertiser::start`]; the low byte of the timer
+    /// token carries it, so a pre-crash advertisement chain is dropped as
+    /// stale after a reboot restarts the advertiser (instead of the node
+    /// advertising at twice the rate).
+    epoch: u64,
 }
 
 impl Advertiser {
@@ -34,14 +39,21 @@ impl Advertiser {
         foreign: bool,
         interval: SimDuration,
     ) -> Advertiser {
-        Advertiser { home, foreign, ifaces, interval, seq: 0, running: false }
+        Advertiser { home, foreign, ifaces, interval, seq: 0, running: false, epoch: 0 }
     }
 
-    /// Begins periodic advertisement (call from `Node::on_start`).
+    /// Begins periodic advertisement (call from `Node::on_start`, and
+    /// again from `Node::on_reboot` — restarting opens a fresh timer
+    /// epoch, so any chain armed before a crash dies quietly).
     pub fn start(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
         self.running = true;
+        self.epoch = self.epoch.wrapping_add(1);
         self.advertise_all(stack, ctx);
-        ctx.set_timer(self.interval, TimerToken(ADVERT_TIMER_BIT));
+        ctx.set_timer(self.interval, self.token());
+    }
+
+    fn token(&self) -> TimerToken {
+        TimerToken(ADVERT_TIMER_BIT | (self.epoch & 0xff))
     }
 
     /// Handles a timer; returns `true` if the token belonged to us.
@@ -49,9 +61,13 @@ impl Advertiser {
         if token.0 & ADVERT_TIMER_BIT == 0 {
             return false;
         }
+        if token.0 & 0xff != self.epoch & 0xff {
+            // Stale chain from before the last restart.
+            return true;
+        }
         if self.running {
             self.advertise_all(stack, ctx);
-            ctx.set_timer(self.interval, TimerToken(ADVERT_TIMER_BIT));
+            ctx.set_timer(self.interval, self.token());
         }
         true
     }

@@ -44,6 +44,8 @@
 //! Figure 1 walked end-to-end; the `scenarios` crate builds that topology
 //! with one call.
 
+#![deny(missing_docs)]
+
 pub mod agent;
 pub mod cache;
 pub mod config;

@@ -63,6 +63,13 @@ pub struct MobilityStats {
     pub registrations_failed: u64,
     /// Re-registrations triggered by a foreign agent recovery query (§5.2).
     pub recovery_reregistrations: u64,
+    /// Low-rate probes sent to an unreachable home agent after the normal
+    /// retries were exhausted (reconvergence after partitions).
+    pub registration_probes: u64,
+    /// Times a dark foreign agent forced a fallback to home-agent routing.
+    pub fa_dark_fallbacks: u64,
+    /// Crash/reboot recoveries (volatile state lost, discovery restarted).
+    pub reboots: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +77,16 @@ struct Pending {
     msg: ControlMessage,
     dst: Ipv4Addr,
     retries: u32,
+    /// Retries exhausted; the failure has been counted and any §3
+    /// follow-ups ran. Home-agent registrations keep probing at
+    /// `registration_retry_cap` cadence in this state.
+    gave_up: bool,
+}
+
+impl Pending {
+    fn new(msg: ControlMessage, dst: Ipv4Addr) -> Pending {
+        Pending { msg, dst, retries: 0, gave_up: false }
+    }
 }
 
 /// The mobile-host protocol engine.
@@ -96,6 +113,10 @@ pub struct MobileHostCore {
     pending_fa: Option<Pending>,
     pending_ha: Option<Pending>,
     pending_old_fa: Option<Pending>,
+    /// Bumped on every (re)start so periodic timers armed before a crash
+    /// are recognisably stale after the reboot (the low byte of the
+    /// watchdog token carries it).
+    epoch: u64,
 }
 
 impl MobileHostCore {
@@ -125,6 +146,7 @@ impl MobileHostCore {
             pending_fa: None,
             pending_ha: None,
             pending_old_fa: None,
+            epoch: 0,
         }
     }
 
@@ -134,7 +156,44 @@ impl MobileHostCore {
         self.configure_home_stack(stack);
         self.state = Attachment::Home;
         self.last_advert = Some(ctx.now());
-        ctx.set_timer(self.config.advertisement_interval, TimerToken(WATCH_TIMER_BIT));
+        self.epoch = self.epoch.wrapping_add(1);
+        ctx.set_timer(self.config.advertisement_interval, self.watch_token());
+    }
+
+    /// Recovers from a crash that wiped all volatile protocol state
+    /// (pending registrations, agent bindings, pending timers). The host
+    /// restarts discovery from scratch: it cannot know where it is, so it
+    /// searches, re-arms its watchdog under a fresh epoch and solicits an
+    /// agent shortly after coming back up.
+    pub fn on_reboot(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        self.stats.reboots += 1;
+        ctx.stats().incr("mhrp.mh_reboots");
+        self.pending_fa = None;
+        self.pending_ha = None;
+        self.pending_old_fa = None;
+        self.old_fa = None;
+        self.last_advert = None;
+        self.state = Attachment::Searching;
+        self.configure_home_stack(stack);
+        self.epoch = self.epoch.wrapping_add(1);
+        ctx.set_timer(self.config.advertisement_interval, self.watch_token());
+        ctx.set_timer(self.config.advertisement_interval / 10, TimerToken(SOLICIT_TIMER_BIT));
+    }
+
+    /// The current watchdog token; the low byte carries the epoch so a
+    /// pre-crash watchdog chain dies instead of doubling up post-reboot.
+    fn watch_token(&self) -> TimerToken {
+        TimerToken(WATCH_TIMER_BIT | (self.epoch & 0xff))
+    }
+
+    /// Retransmission delay before attempt `retries + 1`: exponential
+    /// backoff from `registration_retry`, capped at
+    /// `registration_retry_cap`.
+    fn retry_delay(&self, retries: u32) -> netsim::time::SimDuration {
+        let base = self.config.registration_retry.as_micros() as f64;
+        let factor = self.config.registration_backoff.powi(retries.min(32) as i32);
+        let capped = (base * factor).min(self.config.registration_retry_cap.as_micros() as f64);
+        netsim::time::SimDuration::from_micros(capped as u64)
     }
 
     fn configure_home_stack(&self, stack: &mut IpStack) {
@@ -247,7 +306,7 @@ impl MobileHostCore {
                     mobile: self.home_addr,
                     new_fa: Ipv4Addr::UNSPECIFIED,
                 };
-                self.pending_old_fa = Some(Pending { msg, dst: fa, retries: 0 });
+                self.pending_old_fa = Some(Pending::new(msg, fa));
                 self.send_pending(stack, ctx, REG_KIND_OLD_FA);
                 self.old_fa = None;
             }
@@ -274,7 +333,7 @@ impl MobileHostCore {
         // §3 ordering: new foreign agent first; the rest follows its ack.
         let msg =
             ControlMessage::FaRegister { mobile: self.home_addr, home_agent: self.home_agent };
-        self.pending_fa = Some(Pending { msg, dst: fa, retries: 0 });
+        self.pending_fa = Some(Pending::new(msg, fa));
         self.send_pending(stack, ctx, REG_KIND_FA);
     }
 
@@ -341,7 +400,7 @@ impl MobileHostCore {
         };
         if old != new_fa {
             let m = ControlMessage::FaDeregister { mobile: self.home_addr, new_fa };
-            self.pending_old_fa = Some(Pending { msg: m, dst: old, retries: 0 });
+            self.pending_old_fa = Some(Pending::new(m, old));
             self.send_pending(stack, ctx, REG_KIND_OLD_FA);
         }
     }
@@ -349,8 +408,16 @@ impl MobileHostCore {
     fn register_ha(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, fa: Ipv4Addr) {
         self.reg_seq = self.reg_seq.wrapping_add(1);
         let msg = ControlMessage::HaRegister { mobile: self.home_addr, fa, seq: self.reg_seq };
-        self.pending_ha = Some(Pending { msg, dst: self.home_agent, retries: 0 });
+        self.pending_ha = Some(Pending::new(msg, self.home_agent));
         self.send_pending(stack, ctx, REG_KIND_HA);
+    }
+
+    fn store_pending(&mut self, kind: u64, value: Option<Pending>) {
+        match kind {
+            REG_KIND_FA => self.pending_fa = value,
+            REG_KIND_HA => self.pending_ha = value,
+            _ => self.pending_old_fa = value,
+        }
     }
 
     fn send_pending(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, kind: u64) {
@@ -368,38 +435,77 @@ impl MobileHostCore {
         let pkt = Ipv4Packet::new(self.home_addr, p.dst, ip::proto::UDP, datagram.encode())
             .with_ident(ident);
         stack.send(ctx, pkt);
-        ctx.set_timer(self.config.registration_retry, TimerToken(REG_TIMER_BIT | kind));
+        ctx.set_timer(self.retry_delay(p.retries), TimerToken(REG_TIMER_BIT | kind));
     }
 
     /// Handles MHRP timers. Returns `true` if the token was ours.
     pub fn on_timer(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, token: TimerToken) -> bool {
         if token.0 & REG_TIMER_BIT != 0 {
             let kind = token.0 & 0x3;
-            let slot = match kind {
-                REG_KIND_FA => &mut self.pending_fa,
-                REG_KIND_HA => &mut self.pending_ha,
-                _ => &mut self.pending_old_fa,
+            let pending = match kind {
+                REG_KIND_FA => self.pending_fa,
+                REG_KIND_HA => self.pending_ha,
+                _ => self.pending_old_fa,
             };
-            if let Some(p) = slot {
-                if p.retries >= self.config.registration_max_retries {
-                    *slot = None;
-                    self.stats.registrations_failed += 1;
-                    ctx.stats().incr("mhrp.registrations_failed");
-                    if kind == REG_KIND_HA {
+            let Some(mut p) = pending else { return true };
+            if p.retries < self.config.registration_max_retries {
+                p.retries += 1;
+                self.store_pending(kind, Some(p));
+                self.send_pending(stack, ctx, kind);
+                return true;
+            }
+            match kind {
+                REG_KIND_HA => {
+                    // The home agent may be on the far side of a
+                    // partition: count the failure once, run the §3
+                    // follow-ups, then keep probing at the capped cadence
+                    // so registration reconverges when the partition
+                    // heals.
+                    if !p.gave_up {
+                        p.gave_up = true;
+                        self.pending_ha = Some(p);
+                        self.stats.registrations_failed += 1;
+                        ctx.stats().incr("mhrp.registrations_failed");
                         // §3 gates the old-FA notification on the home
                         // agent's ack; when the home agent is unreachable
                         // we notify the old foreign agent anyway, so its
                         // §2 forwarding pointer can bridge the outage.
                         self.notify_old_fa(stack, ctx);
                     }
-                } else {
-                    p.retries += 1;
+                    self.stats.registration_probes += 1;
+                    ctx.stats().incr("mhrp.registration_probes");
                     self.send_pending(stack, ctx, kind);
+                }
+                REG_KIND_FA => {
+                    self.pending_fa = None;
+                    self.stats.registrations_failed += 1;
+                    ctx.stats().incr("mhrp.registrations_failed");
+                    // The foreign agent stayed dark. Degrade gracefully:
+                    // abandon it, fall back to plain home-agent routing
+                    // (register the zero FA, §3) and go looking for a
+                    // live agent.
+                    if let Attachment::Foreign(_) = self.state {
+                        self.stats.fa_dark_fallbacks += 1;
+                        ctx.stats().incr("mhrp.fa_dark_fallbacks");
+                        self.state = Attachment::Searching;
+                        self.register_ha(stack, ctx, Ipv4Addr::UNSPECIFIED);
+                        self.solicit(stack, ctx);
+                    }
+                }
+                _ => {
+                    self.pending_old_fa = None;
+                    self.stats.registrations_failed += 1;
+                    ctx.stats().incr("mhrp.registrations_failed");
                 }
             }
             return true;
         }
         if token.0 & WATCH_TIMER_BIT != 0 {
+            if token.0 & 0xff != self.epoch & 0xff {
+                // A watchdog from before the last crash/restart; let the
+                // stale chain die (the fresh epoch has its own).
+                return true;
+            }
             // Movement detection (§3): no advertisement from our agent for
             // `advertisement_loss_tolerance` periods means we have moved.
             let tolerance = self.config.advertisement_interval
@@ -413,7 +519,7 @@ impl MobileHostCore {
                 self.state = Attachment::Searching;
                 self.solicit(stack, ctx);
             }
-            ctx.set_timer(self.config.advertisement_interval, TimerToken(WATCH_TIMER_BIT));
+            ctx.set_timer(self.config.advertisement_interval, self.watch_token());
             return true;
         }
         if token.0 & SOLICIT_TIMER_BIT != 0 {
@@ -469,7 +575,7 @@ impl MobileHostCore {
                         mobile: self.home_addr,
                         home_agent: self.home_agent,
                     };
-                    self.pending_fa = Some(Pending { msg: m, dst: fa, retries: 0 });
+                    self.pending_fa = Some(Pending::new(m, fa));
                     self.send_pending(stack, ctx, REG_KIND_FA);
                 }
                 true

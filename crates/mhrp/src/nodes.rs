@@ -209,6 +209,11 @@ impl Node for MhrpRouterNode {
         for i in 0..8 {
             self.stack.arp.clear_iface(IfaceId(i));
         }
+        if let Some(adv) = &mut self.advertiser {
+            // Pending timers died with the crash; restart the periodic
+            // advertisement chain under a fresh epoch.
+            adv.start(&mut self.stack, ctx);
+        }
         if let Some(ha) = &mut self.ha {
             ha.reboot(&mut self.stack);
         }
@@ -479,9 +484,10 @@ impl Node for MobileHostNode {
         }
     }
 
-    fn on_reboot(&mut self, _ctx: &mut Ctx<'_>) {
+    fn on_reboot(&mut self, ctx: &mut Ctx<'_>) {
         self.ca.reboot();
         self.endpoint.clear_outstanding();
         self.stack.arp.clear_iface(self.core.iface);
+        self.core.on_reboot(&mut self.stack, ctx);
     }
 }

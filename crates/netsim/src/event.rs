@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::faults::FaultOp;
 use crate::frame::Frame;
 use crate::id::{IfaceId, NodeId, SegmentId};
 use crate::node::TimerToken;
@@ -19,6 +20,8 @@ pub(crate) enum EventKind {
     Timer { node: NodeId, token: TimerToken },
     /// A scripted world operation executes.
     Admin(AdminOp),
+    /// A scheduled fault fires (see `World::install_faults`).
+    Fault(FaultOp),
     /// Periodic queue-depth sample (see `World::set_queue_sampling`).
     SampleQueue,
 }

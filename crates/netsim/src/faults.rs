@@ -1,0 +1,357 @@
+//! Deterministic, schedule-driven fault injection.
+//!
+//! A [`FaultPlan`] is an ordered list of `(time, FaultOp)` pairs. Installing
+//! a plan ([`crate::World::install_faults`]) compiles every entry onto the
+//! world's single event queue, so faults interleave with frames, timers and
+//! admin operations under the same total `(time, seq)` order. The same seed
+//! plus the same plan therefore reproduces a byte-identical run — every
+//! trace event, every counter.
+//!
+//! The operations cover the failure modes the paper's §5 robustness
+//! mechanisms are designed around:
+//!
+//! * **Link flaps and partitions** — [`FaultOp::SegmentDown`] /
+//!   [`FaultOp::SegmentUp`], with the [`FaultPlan::flap`] and
+//!   [`FaultPlan::partition`] conveniences.
+//! * **Latency spikes and loss changes** — [`FaultOp::LatencySpike`],
+//!   [`FaultOp::SetSegmentLatency`], [`FaultOp::SetSegmentLoss`].
+//! * **Payload corruption** — [`FaultOp::SetSegmentCorruption`] flips one
+//!   random bit per affected frame copy, which downstream IPv4 header or
+//!   UDP checksums then catch (`ip.rx_malformed`).
+//! * **Node crashes with state loss** — [`FaultOp::Crash`] takes a node
+//!   dark (frames and timers addressed to it are dropped) and reboots it
+//!   after the outage via [`crate::Node::on_reboot`]; pending timers do
+//!   *not* survive, so nodes must re-arm from `on_reboot`.
+//! * **Advertisement suppression** — [`FaultOp::MuteBroadcasts`] drops
+//!   broadcast frames transmitted by one interface (a jammed beacon
+//!   channel), without affecting unicast forwarding.
+//!
+//! # Example
+//!
+//! ```rust
+//! use netsim::faults::{FaultOp, FaultPlan};
+//! use netsim::time::{SimDuration, SimTime};
+//! use netsim::SegmentId;
+//!
+//! let plan = FaultPlan::new()
+//!     .flap(
+//!         SegmentId(0),
+//!         SimTime::from_secs(1),
+//!         SimDuration::from_millis(500),
+//!         SimDuration::from_millis(500),
+//!         4,
+//!     )
+//!     .op(SimTime::from_secs(10), FaultOp::SetSegmentLoss {
+//!         segment: SegmentId(0),
+//!         loss: 0.2,
+//!     });
+//! assert_eq!(plan.len(), 9);
+//! ```
+
+use std::fmt;
+
+use crate::id::{IfaceId, NodeId, SegmentId};
+use crate::time::{SimDuration, SimTime};
+
+/// One injectable fault, applied at a scheduled instant.
+///
+/// Every variant is a pure value (`Clone + PartialEq`), so plans can be
+/// generated, compared and replayed — the foundation of the golden
+/// determinism tests and the property tests over random plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOp {
+    /// Take a segment down: transmissions onto it are dropped
+    /// (`link.tx_segment_down`). One half of a link flap or partition.
+    SegmentDown {
+        /// The segment to take down.
+        segment: SegmentId,
+    },
+    /// Bring a segment back up (flap recovery / partition heal).
+    SegmentUp {
+        /// The segment to restore.
+        segment: SegmentId,
+    },
+    /// Change a segment's per-receiver loss probability.
+    SetSegmentLoss {
+        /// The segment to change.
+        segment: SegmentId,
+        /// New loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Set a segment's base latency outright.
+    SetSegmentLatency {
+        /// The segment to change.
+        segment: SegmentId,
+        /// The new base one-way latency.
+        latency: SimDuration,
+    },
+    /// Add `extra` to a segment's latency for `duration`, then restore the
+    /// previous value (a congestion spike). The restore is scheduled on
+    /// the event queue when the spike is applied.
+    LatencySpike {
+        /// The segment to slow down.
+        segment: SegmentId,
+        /// Additional latency during the spike.
+        extra: SimDuration,
+        /// How long the spike lasts.
+        duration: SimDuration,
+    },
+    /// Set a segment's per-receiver payload-corruption probability. Each
+    /// affected frame copy gets exactly one random bit flipped
+    /// (`link.frames_corrupted`), which IPv4/UDP checksums make visible
+    /// at the receiver. `0.0` disables corruption again.
+    SetSegmentCorruption {
+        /// The segment to corrupt.
+        segment: SegmentId,
+        /// Corruption probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Detach an interface from its segment (cable pulled / host carried
+    /// out of range).
+    DetachIface {
+        /// The node owning the interface.
+        node: NodeId,
+        /// The interface to detach.
+        iface: IfaceId,
+    },
+    /// Attach an interface to a segment (cable restored).
+    AttachIface {
+        /// The node owning the interface.
+        node: NodeId,
+        /// The interface to attach.
+        iface: IfaceId,
+        /// The segment to attach to.
+        segment: SegmentId,
+    },
+    /// Crash a node for `down_for`: while down it receives no frames and
+    /// no timers (its pending timers are consumed and dropped — volatile
+    /// state is lost), then [`crate::Node::on_reboot`] fires and the node
+    /// must rebuild from whatever it considers stable storage.
+    Crash {
+        /// The node to crash.
+        node: NodeId,
+        /// Length of the outage before the automatic reboot.
+        down_for: SimDuration,
+    },
+    /// Reboot a node immediately (fires [`crate::Node::on_reboot`]; also
+    /// ends a [`FaultOp::Crash`] outage early).
+    Reboot {
+        /// The node to reboot.
+        node: NodeId,
+    },
+    /// Drop every *broadcast* frame transmitted by `(node, iface)` —
+    /// agent advertisements, ARP requests, recovery queries — while
+    /// leaving unicast traffic untouched (a jammed beacon channel).
+    MuteBroadcasts {
+        /// The node whose broadcasts are suppressed.
+        node: NodeId,
+        /// The interface to mute.
+        iface: IfaceId,
+    },
+    /// Stop suppressing broadcasts from `(node, iface)`.
+    UnmuteBroadcasts {
+        /// The node to restore.
+        node: NodeId,
+        /// The interface to restore.
+        iface: IfaceId,
+    },
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOp::SegmentDown { segment } => write!(f, "segment-down {segment}"),
+            FaultOp::SegmentUp { segment } => write!(f, "segment-up {segment}"),
+            FaultOp::SetSegmentLoss { segment, loss } => write!(f, "set-loss {segment} {loss}"),
+            FaultOp::SetSegmentLatency { segment, latency } => {
+                write!(f, "set-latency {segment} {}us", latency.as_micros())
+            }
+            FaultOp::LatencySpike { segment, extra, duration } => {
+                write!(
+                    f,
+                    "latency-spike {segment} +{}us for {}us",
+                    extra.as_micros(),
+                    duration.as_micros()
+                )
+            }
+            FaultOp::SetSegmentCorruption { segment, probability } => {
+                write!(f, "set-corruption {segment} {probability}")
+            }
+            FaultOp::DetachIface { node, iface } => write!(f, "detach {node} {iface}"),
+            FaultOp::AttachIface { node, iface, segment } => {
+                write!(f, "attach {node} {iface} {segment}")
+            }
+            FaultOp::Crash { node, down_for } => {
+                write!(f, "crash {node} for {}us", down_for.as_micros())
+            }
+            FaultOp::Reboot { node } => write!(f, "reboot {node}"),
+            FaultOp::MuteBroadcasts { node, iface } => write!(f, "mute-bcast {node} {iface}"),
+            FaultOp::UnmuteBroadcasts { node, iface } => write!(f, "unmute-bcast {node} {iface}"),
+        }
+    }
+}
+
+/// An ordered schedule of timed [`FaultOp`]s.
+///
+/// Built with the chainable constructors below, then handed to
+/// [`crate::World::install_faults`], which pushes every entry onto the
+/// event queue. Entries do not need to be added in time order; the queue
+/// orders them. Installing the same plan into two worlds built with the
+/// same seed yields byte-identical runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    ops: Vec<(SimTime, FaultOp)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds one operation at an absolute time.
+    pub fn op(mut self, at: SimTime, op: FaultOp) -> FaultPlan {
+        self.ops.push((at, op));
+        self
+    }
+
+    /// Adds a link flap: `cycles` repetitions of (down at `first_down +
+    /// k*(down_for+up_for)`, up again `down_for` later). The final cycle
+    /// also comes back up, so the plan leaves the segment up.
+    pub fn flap(
+        mut self,
+        segment: SegmentId,
+        first_down: SimTime,
+        down_for: SimDuration,
+        up_for: SimDuration,
+        cycles: u32,
+    ) -> FaultPlan {
+        let mut at = first_down;
+        for _ in 0..cycles {
+            self.ops.push((at, FaultOp::SegmentDown { segment }));
+            self.ops.push((at + down_for, FaultOp::SegmentUp { segment }));
+            at = at + down_for + up_for;
+        }
+        self
+    }
+
+    /// Adds a partition window: the segment goes down at `from` and heals
+    /// at `heal_at`.
+    pub fn partition(mut self, segment: SegmentId, from: SimTime, heal_at: SimTime) -> FaultPlan {
+        assert!(heal_at > from, "partition must heal after it starts");
+        self.ops.push((from, FaultOp::SegmentDown { segment }));
+        self.ops.push((heal_at, FaultOp::SegmentUp { segment }));
+        self
+    }
+
+    /// Adds a crash-with-reboot: the node goes dark at `at` and reboots
+    /// `down_for` later.
+    pub fn crash(mut self, node: NodeId, at: SimTime, down_for: SimDuration) -> FaultPlan {
+        self.ops.push((at, FaultOp::Crash { node, down_for }));
+        self
+    }
+
+    /// Adds a broadcast-suppression window on `(node, iface)` from `from`
+    /// to `until`.
+    pub fn mute_window(
+        mut self,
+        node: NodeId,
+        iface: IfaceId,
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultPlan {
+        assert!(until > from, "mute window must end after it starts");
+        self.ops.push((from, FaultOp::MuteBroadcasts { node, iface }));
+        self.ops.push((until, FaultOp::UnmuteBroadcasts { node, iface }));
+        self
+    }
+
+    /// The scheduled operations, in insertion order.
+    pub fn ops(&self) -> &[(SimTime, FaultOp)] {
+        &self.ops
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The time of the latest scheduled operation (accounting for crash
+    /// reboots that fire `down_for` after their crash), or
+    /// [`SimTime::ZERO`] for an empty plan. Useful for "run until the plan
+    /// has fully played out" loops.
+    pub fn end(&self) -> SimTime {
+        self.ops
+            .iter()
+            .map(|(at, op)| match op {
+                FaultOp::Crash { down_for, .. } => *at + *down_for,
+                FaultOp::LatencySpike { duration, .. } => *at + *duration,
+                _ => *at,
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flap_emits_paired_ops_and_ends_up() {
+        let plan = FaultPlan::new().flap(
+            SegmentId(2),
+            SimTime::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(300),
+            3,
+        );
+        assert_eq!(plan.len(), 6);
+        let ops = plan.ops();
+        assert_eq!(ops[0], (SimTime::from_secs(1), FaultOp::SegmentDown { segment: SegmentId(2) }));
+        assert_eq!(
+            ops[1],
+            (SimTime::from_millis(1200), FaultOp::SegmentUp { segment: SegmentId(2) })
+        );
+        // Last op restores the segment.
+        assert!(matches!(ops[5].1, FaultOp::SegmentUp { .. }));
+        assert_eq!(plan.end(), SimTime::from_millis(2200));
+    }
+
+    #[test]
+    fn end_accounts_for_crash_outage_and_spike_duration() {
+        let plan =
+            FaultPlan::new().crash(NodeId(1), SimTime::from_secs(5), SimDuration::from_secs(3)).op(
+                SimTime::from_secs(6),
+                FaultOp::LatencySpike {
+                    segment: SegmentId(0),
+                    extra: SimDuration::from_millis(50),
+                    duration: SimDuration::from_secs(4),
+                },
+            );
+        assert_eq!(plan.end(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn plans_are_comparable_values() {
+        let a =
+            FaultPlan::new().partition(SegmentId(0), SimTime::from_secs(1), SimTime::from_secs(2));
+        let b =
+            FaultPlan::new().partition(SegmentId(0), SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = b.clone().op(SimTime::from_secs(3), FaultOp::Reboot { node: NodeId(0) });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let op = FaultOp::Crash { node: NodeId(3), down_for: SimDuration::from_secs(2) };
+        assert_eq!(op.to_string(), "crash n3 for 2000000us");
+    }
+}

@@ -53,8 +53,19 @@
 //! world.run_until(SimTime::from_secs(1));
 //! assert_eq!(world.node::<Probe>(probe).got, 1);
 //! ```
+//!
+//! # Fault injection
+//!
+//! The [`faults`] module adds a deterministic fault layer on top of the
+//! admin operations: a [`faults::FaultPlan`] of timed [`faults::FaultOp`]s
+//! (link flaps, partitions, latency spikes, payload corruption, node
+//! crashes with state loss, broadcast suppression) compiled onto the same
+//! event queue via [`World::install_faults`].
+
+#![deny(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod frame;
 pub mod id;
 pub mod node;
@@ -64,6 +75,7 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
+pub use faults::{FaultOp, FaultPlan};
 pub use frame::Payload;
 pub use frame::{EtherType, Frame};
 pub use id::{IfaceId, MacAddr, NodeId, SegmentId};

@@ -15,6 +15,11 @@ pub struct SegmentParams {
     pub jitter: SimDuration,
     /// Independent per-receiver probability in `[0, 1]` that a frame is lost.
     pub loss: f64,
+    /// Independent per-receiver probability in `[0, 1]` that a delivered
+    /// frame has one random payload bit flipped (fault injection; see
+    /// [`crate::faults::FaultOp::SetSegmentCorruption`]). Corrupted copies
+    /// still arrive — IPv4/UDP checksums make the damage visible.
+    pub corrupt: f64,
 }
 
 impl Default for SegmentParams {
@@ -23,6 +28,7 @@ impl Default for SegmentParams {
             latency: SimDuration::from_micros(500),
             jitter: SimDuration::ZERO,
             loss: 0.0,
+            corrupt: 0.0,
         }
     }
 }
@@ -38,7 +44,7 @@ impl SegmentParams {
         SegmentParams {
             latency: SimDuration::from_millis(2),
             jitter: SimDuration::from_millis(1),
-            loss: 0.0,
+            ..SegmentParams::default()
         }
     }
 }

@@ -54,9 +54,21 @@ pub mod metric {
     pub const LINK_TX_SEGMENT_DOWN: MetricId = MetricId(7);
     /// Node reboots executed.
     pub const WORLD_REBOOTS: MetricId = MetricId(8);
+    /// Delivered frame copies that had a bit flipped by fault injection.
+    pub const LINK_FRAMES_CORRUPTED: MetricId = MetricId(9);
+    /// Fault operations applied from installed `FaultPlan`s.
+    pub const FAULT_OPS_APPLIED: MetricId = MetricId(10);
+    /// Frames that arrived at a crashed (down) node and were discarded.
+    pub const FAULT_FRAMES_DROPPED_NODE_DOWN: MetricId = MetricId(11);
+    /// Timers that fired on a crashed (down) node and were discarded.
+    pub const FAULT_TIMERS_DROPPED_NODE_DOWN: MetricId = MetricId(12);
+    /// Broadcast transmissions suppressed by `FaultOp::MuteBroadcasts`.
+    pub const FAULT_TX_MUTED: MetricId = MetricId(13);
+    /// Node crashes injected (`FaultOp::Crash`).
+    pub const FAULT_CRASHES: MetricId = MetricId(14);
 
     /// Names backing the pre-registered counters, in id order.
-    pub(super) const COUNTER_NAMES: [&str; 9] = [
+    pub(super) const COUNTER_NAMES: [&str; 15] = [
         "link.frames_sent",
         "link.bytes_sent",
         "link.frames_delivered",
@@ -66,6 +78,12 @@ pub mod metric {
         "link.tx_detached",
         "link.tx_segment_down",
         "world.reboots",
+        "link.frames_corrupted",
+        "fault.ops_applied",
+        "fault.frames_dropped_node_down",
+        "fault.timers_dropped_node_down",
+        "fault.tx_muted",
+        "fault.crashes",
     ];
 
     /// Event-queue depth samples (see `World::set_queue_sampling`).

@@ -1,13 +1,15 @@
 //! The [`World`]: owns every node, segment and the event queue, and drives
 //! the simulation deterministically.
 
+use std::collections::HashSet;
 use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::event::{EventKind, EventQueue};
-use crate::frame::Frame;
+use crate::faults::{FaultOp, FaultPlan};
+use crate::frame::{Frame, Payload};
 use crate::id::{IfaceId, MacAddr, NodeId, SegmentId};
 use crate::node::{Action, Ctx, IfaceInfo, LinkEvent, Node};
 use crate::segment::{Segment, SegmentParams};
@@ -112,6 +114,12 @@ pub struct World {
     started: bool,
     events_processed: u64,
     queue_sample_every: Option<SimDuration>,
+    // Fault-injection state (see the `faults` module): crashed nodes
+    // receive neither frames nor timers until their scheduled reboot;
+    // muted (node, iface) pairs have their broadcast transmissions
+    // suppressed.
+    down_nodes: Vec<bool>,
+    muted_broadcasts: HashSet<(NodeId, IfaceId)>,
     // Scratch buffers reused across events so the steady-state hot path
     // (dispatch + transmit) allocates nothing. Taken with `mem::take`, so
     // an unexpected nested use degrades to a fresh allocation instead of
@@ -137,6 +145,8 @@ impl World {
             started: false,
             events_processed: 0,
             queue_sample_every: None,
+            down_nodes: Vec::new(),
+            muted_broadcasts: HashSet::new(),
             iface_scratch: Vec::new(),
             action_scratch: Vec::new(),
             rx_scratch: Vec::new(),
@@ -151,6 +161,10 @@ impl World {
     /// Adds a broadcast segment and returns its id.
     pub fn add_segment(&mut self, params: SegmentParams) -> SegmentId {
         assert!((0.0..=1.0).contains(&params.loss), "segment loss must be a probability in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&params.corrupt),
+            "segment corruption must be a probability in [0, 1]"
+        );
         let id = SegmentId(self.segments.len());
         self.segments.push(Segment::new(params));
         id
@@ -162,6 +176,7 @@ impl World {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
         self.bindings.push(Vec::new());
+        self.down_nodes.push(false);
         id
     }
 
@@ -222,6 +237,11 @@ impl World {
         self.events_processed += 1;
         match ev.kind {
             EventKind::Frame { node, iface, segment, frame } => {
+                if self.down_nodes[node.0] {
+                    // A crashed node hears nothing.
+                    self.stats.incr_id(metric::FAULT_FRAMES_DROPPED_NODE_DOWN);
+                    return true;
+                }
                 // Suppress delivery if the interface moved away mid-flight.
                 let still_here = self
                     .bindings
@@ -230,15 +250,34 @@ impl World {
                     .is_some_and(|b| b.segment == Some(segment));
                 if still_here {
                     self.stats.incr_id(metric::LINK_FRAMES_DELIVERED);
+                    self.tracer.record(self.time, Some(node), "frame", || {
+                        format!(
+                            "if{} {} -> {} {:?} len {}",
+                            iface.0,
+                            frame.src,
+                            frame.dst,
+                            frame.ethertype,
+                            frame.payload.len()
+                        )
+                    });
                     self.dispatch(node, |n, ctx| n.on_frame(ctx, iface, &frame));
                 } else {
                     self.stats.incr_id(metric::LINK_FRAMES_LOST_MOVED);
                 }
             }
             EventKind::Timer { node, token } => {
+                if self.down_nodes[node.0] {
+                    // Pending timers are volatile state: a crash consumes
+                    // them. Nodes re-arm from `on_reboot`.
+                    self.stats.incr_id(metric::FAULT_TIMERS_DROPPED_NODE_DOWN);
+                    return true;
+                }
+                self.tracer
+                    .record(self.time, Some(node), "timer", || format!("token {:#x}", token.0));
                 self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::Admin(op) => self.apply_admin(op),
+            EventKind::Fault(op) => self.apply_fault(op),
             EventKind::SampleQueue => {
                 // The sample event itself was already popped, so `queue_len`
                 // reflects only real pending work at this instant.
@@ -284,6 +323,81 @@ impl World {
         self.schedule_admin(at, AdminOp::Call(Box::new(f)));
     }
 
+    /// Schedules one [`FaultOp`] at absolute time `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, op: FaultOp) {
+        assert!(at >= self.time, "fault scheduled in the past");
+        self.queue.push(at, EventKind::Fault(op));
+    }
+
+    /// Compiles a [`FaultPlan`] onto the event queue: every scheduled
+    /// operation becomes an event, totally ordered with frames, timers and
+    /// admin operations. Deterministic: the same seed and the same plan
+    /// reproduce a byte-identical run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operation is scheduled before the current time.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for (at, op) in plan.ops() {
+            self.schedule_fault(*at, op.clone());
+        }
+    }
+
+    /// Whether `node` is currently crashed by a [`FaultOp::Crash`] (it
+    /// receives no frames or timers until its scheduled reboot).
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down_nodes[node.0]
+    }
+
+    fn apply_fault(&mut self, op: FaultOp) {
+        self.stats.incr_id(metric::FAULT_OPS_APPLIED);
+        self.tracer.record(self.time, None, "fault", || op.to_string());
+        match op {
+            FaultOp::SegmentDown { segment } => self.segments[segment.0].up = false,
+            FaultOp::SegmentUp { segment } => self.segments[segment.0].up = true,
+            FaultOp::SetSegmentLoss { segment, loss } => {
+                assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+                self.segments[segment.0].params.loss = loss;
+            }
+            FaultOp::SetSegmentLatency { segment, latency } => {
+                self.segments[segment.0].params.latency = latency;
+            }
+            FaultOp::LatencySpike { segment, extra, duration } => {
+                let previous = self.segments[segment.0].params.latency;
+                self.segments[segment.0].params.latency = previous + extra;
+                self.schedule_fault(
+                    self.time + duration,
+                    FaultOp::SetSegmentLatency { segment, latency: previous },
+                );
+            }
+            FaultOp::SetSegmentCorruption { segment, probability } => {
+                assert!((0.0..=1.0).contains(&probability), "corruption must be a probability");
+                self.segments[segment.0].params.corrupt = probability;
+            }
+            FaultOp::DetachIface { node, iface } => self.move_iface(node, iface, None),
+            FaultOp::AttachIface { node, iface, segment } => {
+                self.move_iface(node, iface, Some(segment));
+            }
+            FaultOp::Crash { node, down_for } => {
+                if !self.down_nodes[node.0] {
+                    self.stats.incr_id(metric::FAULT_CRASHES);
+                    self.down_nodes[node.0] = true;
+                    self.schedule_fault(self.time + down_for, FaultOp::Reboot { node });
+                }
+            }
+            FaultOp::Reboot { node } => {
+                self.down_nodes[node.0] = false;
+                self.reboot_node(node);
+            }
+            FaultOp::MuteBroadcasts { node, iface } => {
+                self.muted_broadcasts.insert((node, iface));
+            }
+            FaultOp::UnmuteBroadcasts { node, iface } => {
+                self.muted_broadcasts.remove(&(node, iface));
+            }
+        }
+    }
+
     /// Immediately moves `iface` of `node` to `segment` (detaching first if
     /// needed), firing [`Node::on_link`] events.
     pub fn move_iface(&mut self, node: NodeId, iface: IfaceId, segment: Option<SegmentId>) {
@@ -291,16 +405,23 @@ impl World {
         if old == segment {
             return;
         }
+        // A crashed node's hardware still detaches/attaches, but its
+        // software sees no link events until it reboots.
+        let awake = !self.down_nodes[node.0];
         if let Some(old_seg) = old {
             self.segments[old_seg.0].detach(node, iface);
             self.bindings[node.0][iface.0].segment = None;
-            self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Detached));
+            if awake {
+                self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Detached));
+            }
         }
         if let Some(new_seg) = segment {
             let mac = self.bindings[node.0][iface.0].mac;
             self.segments[new_seg.0].attach(node, iface, mac);
             self.bindings[node.0][iface.0].segment = Some(new_seg);
-            self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Attached));
+            if awake {
+                self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Attached));
+            }
         }
     }
 
@@ -469,6 +590,13 @@ impl World {
             self.stats.incr_id(metric::LINK_TX_SEGMENT_DOWN);
             return;
         }
+        if frame.dst.is_broadcast()
+            && !self.muted_broadcasts.is_empty()
+            && self.muted_broadcasts.contains(&(node_id, iface))
+        {
+            self.stats.incr_id(metric::FAULT_TX_MUTED);
+            return;
+        }
         self.stats.incr_id(metric::LINK_FRAMES_SENT);
         self.stats.add_id(metric::LINK_BYTES_SENT, frame.wire_len() as u64);
         let params = seg.params;
@@ -488,14 +616,31 @@ impl World {
                 delay += SimDuration::from_nanos(j);
             }
             // Cloning shares the payload bytes: per-receiver cost is a
-            // refcount bump plus the fixed-size header.
+            // refcount bump plus the fixed-size header. Fault-injected
+            // corruption is the one case that pays for a private copy:
+            // exactly one bit of this receiver's copy is flipped, so the
+            // checksum failure is visible to it alone. The corruption
+            // draw comes *after* the loss and jitter draws so that runs
+            // with `corrupt == 0` consume the RNG identically to builds
+            // without fault injection (the determinism goldens pin this).
+            let mut rx_frame = frame.clone();
+            if params.corrupt > 0.0
+                && !rx_frame.payload.is_empty()
+                && self.rng.random::<f64>() < params.corrupt
+            {
+                let bit = self.rng.random_range(0..rx_frame.payload.len() * 8);
+                let mut bytes = rx_frame.payload.to_vec();
+                bytes[bit / 8] ^= 1 << (bit % 8);
+                rx_frame.payload = Payload::from(bytes);
+                self.stats.incr_id(metric::LINK_FRAMES_CORRUPTED);
+            }
             self.queue.push(
                 self.time + delay,
                 EventKind::Frame {
                     node: rx_node,
                     iface: rx_iface,
                     segment: seg_id,
-                    frame: frame.clone(),
+                    frame: rx_frame,
                 },
             );
         }
@@ -743,6 +888,156 @@ mod tests {
         w.set_queue_sampling(None);
         w.run_until(SimTime::from_millis(1000));
         assert_eq!(w.stats().series("sim.queue_depth").len(), 4);
+    }
+
+    #[test]
+    fn crash_window_drops_frames_and_timers_then_reboots() {
+        use crate::faults::FaultPlan;
+        let (mut w, _b, c) = two_node_world();
+        // Beacon fires at 1ms (lands 1.5ms); crash the counter across
+        // that window and give it a pending timer that must be consumed.
+        let plan = FaultPlan::new().crash(c, SimTime::from_millis(1), SimDuration::from_millis(2));
+        w.install_faults(&plan);
+        w.start();
+        w.with_node::<Counter, _>(c, |_n, ctx| {
+            ctx.set_timer(SimDuration::from_millis(2), TimerToken(9));
+        });
+        w.run_until(SimTime::from_micros(1500));
+        assert!(w.node_is_down(c));
+        w.run_until(SimTime::from_secs(1));
+        assert!(!w.node_is_down(c));
+        let n = w.node::<Counter>(c);
+        assert_eq!(n.rx, 0, "crashed node must not receive frames");
+        assert_eq!(n.reboots, 1, "outage must end in a reboot");
+        assert_eq!(w.stats().counter("fault.frames_dropped_node_down"), 1);
+        assert_eq!(w.stats().counter("fault.timers_dropped_node_down"), 1);
+        assert_eq!(w.stats().counter("fault.crashes"), 1);
+        assert_eq!(w.stats().counter("world.reboots"), 1);
+    }
+
+    #[test]
+    fn muted_broadcasts_are_suppressed_but_unicast_passes() {
+        use crate::faults::FaultOp;
+        let (mut w, b, c) = two_node_world();
+        w.schedule_fault(SimTime::ZERO, FaultOp::MuteBroadcasts { node: b, iface: IfaceId(0) });
+        w.start();
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node::<Counter>(c).rx, 0);
+        assert_eq!(w.stats().counter("fault.tx_muted"), 1);
+        // Unicast from the muted interface still goes through.
+        let dst = w.iface_mac(c, IfaceId(0));
+        w.with_node::<Beacon, _>(b, |_n, ctx| {
+            let f = Frame::new(ctx.mac(IfaceId(0)), dst, EtherType::Other(0x1234), vec![1]);
+            ctx.send_frame(IfaceId(0), f);
+        });
+        w.run_until(SimTime::from_secs(2));
+        assert_eq!(w.node::<Counter>(c).rx, 1);
+        w.schedule_fault(w.now(), FaultOp::UnmuteBroadcasts { node: b, iface: IfaceId(0) });
+        w.run_until(w.now()); // apply the unmute before transmitting
+        w.with_node::<Beacon, _>(b, |n, ctx| n.on_timer(ctx, TimerToken(1)));
+        w.run_until(SimTime::from_secs(3));
+        assert_eq!(w.node::<Counter>(c).rx, 2, "unmuted broadcast must deliver");
+    }
+
+    #[test]
+    fn latency_spike_applies_and_restores() {
+        use crate::faults::FaultOp;
+        let (mut w, _b, c) = two_node_world();
+        // Spike covers the 1ms beacon: delivery at 1ms + (500us + 10ms).
+        w.schedule_fault(
+            SimTime::ZERO,
+            FaultOp::LatencySpike {
+                segment: SegmentId(0),
+                extra: SimDuration::from_millis(10),
+                duration: SimDuration::from_millis(5),
+            },
+        );
+        w.start();
+        w.run_until(SimTime::from_millis(11));
+        assert_eq!(w.node::<Counter>(c).rx, 0, "spiked latency must delay delivery");
+        w.run_until(SimTime::from_micros(11_500));
+        assert_eq!(w.node::<Counter>(c).rx, 1);
+        // After the spike window the base latency is restored.
+        w.with_node::<Beacon, _>(_b, |n, ctx| n.on_timer(ctx, TimerToken(1)));
+        let sent_at = w.now();
+        w.run_until(sent_at + SimDuration::from_micros(600));
+        assert_eq!(w.node::<Counter>(c).rx, 2, "latency must be restored after the spike");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_per_corrupted_copy() {
+        use crate::faults::FaultOp;
+
+        struct Keeper {
+            got: Vec<Vec<u8>>,
+        }
+        impl Node for Keeper {
+            fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, f: &Frame) {
+                self.got.push(f.payload.to_vec());
+            }
+        }
+
+        let mut w = World::new(11);
+        let seg = w.add_segment(SegmentParams::default());
+        let b = w.add_node(Box::new(Beacon));
+        w.add_iface(b, Some(seg));
+        let k = w.add_node(Box::new(Keeper { got: Vec::new() }));
+        w.add_iface(k, Some(seg));
+        w.schedule_fault(
+            SimTime::ZERO,
+            FaultOp::SetSegmentCorruption { segment: seg, probability: 1.0 },
+        );
+        w.start();
+        w.run_until(SimTime::from_secs(1));
+        let got = &w.node::<Keeper>(k).got;
+        assert_eq!(got.len(), 1);
+        // The beacon payload is [0xab]; exactly one bit differs.
+        let diff: u32 = (got[0][0] ^ 0xab).count_ones();
+        assert_eq!(diff, 1, "corruption must flip exactly one bit");
+        assert_eq!(w.stats().counter("link.frames_corrupted"), 1);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_byte_identical() {
+        use crate::faults::{FaultOp, FaultPlan};
+        let run = |seed: u64| -> (Vec<String>, Vec<(String, u64)>) {
+            let mut w = World::new(seed);
+            let seg = w.add_segment(SegmentParams {
+                loss: 0.2,
+                jitter: SimDuration::from_millis(1),
+                ..Default::default()
+            });
+            let b = w.add_node(Box::new(Beacon));
+            w.add_iface(b, Some(seg));
+            let c = w.add_node(Box::new(Counter::new(true)));
+            w.add_iface(c, Some(seg));
+            w.set_tracing(true);
+            let plan = FaultPlan::new()
+                .flap(
+                    seg,
+                    SimTime::from_micros(900),
+                    SimDuration::from_micros(50),
+                    SimDuration::from_micros(50),
+                    3,
+                )
+                .op(
+                    SimTime::from_micros(950),
+                    FaultOp::SetSegmentCorruption { segment: seg, probability: 0.5 },
+                )
+                .crash(c, SimTime::from_millis(2), SimDuration::from_millis(1));
+            w.install_faults(&plan);
+            w.start();
+            w.run_until(SimTime::from_secs(1));
+            let trace = w
+                .tracer()
+                .events()
+                .iter()
+                .map(|e| format!("{:?} {:?} {} {}", e.time, e.node, e.kind, e.detail))
+                .collect();
+            let counters = w.stats().counters().map(|(n, v)| (n.to_owned(), v)).collect();
+            (trace, counters)
+        };
+        assert_eq!(run(1994), run(1994));
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn run_world(seed: u64, nodes: usize, loss: f64, jitter_us: u64, count: u32) -> 
         latency: SimDuration::from_micros(100),
         jitter: SimDuration::from_micros(jitter_us),
         loss,
+        ..Default::default()
     });
     let ids: Vec<_> = (0..nodes)
         .map(|i| {

@@ -309,7 +309,7 @@ pub mod prop {
             VecStrategy { element, size: size.into() }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

@@ -1,4 +1,4 @@
-//! One module per reproduced experiment (DESIGN.md's E01–E10 index).
+//! One module per reproduced experiment (DESIGN.md's E01–E12 index).
 
 pub mod e01_header;
 pub mod e02_overhead;
@@ -10,3 +10,5 @@ pub mod e07_scalability;
 pub mod e08_rate_limit;
 pub mod e09_icmp_errors;
 pub mod e10_at_home;
+pub mod e11_flapping;
+pub mod e12_partition;

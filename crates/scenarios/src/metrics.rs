@@ -73,6 +73,54 @@ pub struct HandoffResult {
     pub location_updates: u64,
 }
 
+/// Outcome of a registration-under-link-flapping run (experiment E11).
+#[derive(Debug, Clone)]
+pub struct FlapResult {
+    /// Label of the fault schedule measured.
+    pub label: String,
+    /// Whether M ended the run attached to a foreign agent.
+    pub attached: bool,
+    /// Milliseconds from the physical move until M's first successful
+    /// foreign attachment (`None` if it never attached).
+    pub attach_ms: Option<u64>,
+    /// Registration control messages sent (retransmissions included).
+    pub registration_msgs: u64,
+    /// Registrations abandoned after the backoff schedule ran out.
+    pub registrations_failed: u64,
+    /// Agent solicitations M sent while searching.
+    pub solicits: u64,
+    /// Data packets S sent after the move.
+    pub sent: u64,
+    /// Of those, packets that reached M.
+    pub delivered: u64,
+}
+
+/// Outcome of a partition-and-heal run (experiment E12).
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// Label of the configuration measured.
+    pub label: String,
+    /// Length of the backbone partition in milliseconds.
+    pub partition_ms: u64,
+    /// Low-rate home-agent probes M sent while partitioned.
+    pub probes_sent: u64,
+    /// Whether the old foreign agent held a §2 forwarding pointer to
+    /// M's new agent at the moment the partition healed.
+    pub pointer_at_heal: bool,
+    /// Milliseconds from the heal until the first data packet reached M
+    /// (`None` if delivery never resumed).
+    pub reconverge_ms: Option<u64>,
+    /// Data packets S sent after the heal.
+    pub sent_after_heal: u64,
+    /// Of those, packets that reached M.
+    pub delivered_after_heal: u64,
+    /// Whether the home agent re-learned M's location after the heal.
+    pub ha_reconverged: bool,
+    /// Whether S's location cache ended pointing at M's *current*
+    /// foreign agent (stale-cache correction, §5.1).
+    pub cache_corrected: bool,
+}
+
 /// Outcome of a foreign-agent crash-recovery run (experiment E06).
 #[derive(Debug, Clone)]
 pub struct RecoveryResult {
@@ -115,5 +163,7 @@ mod tests {
         assert_value::<LoopPoint>();
         assert_value::<HandoffResult>();
         assert_value::<RecoveryResult>();
+        assert_value::<FlapResult>();
+        assert_value::<PartitionResult>();
     }
 }

@@ -2,7 +2,10 @@
 //! paper makes in §4–§7, asserted against the measured reproduction.
 //! These are the regression gate for EXPERIMENTS.md.
 
-use scenarios::experiments::{e01_header, e02_overhead, e05_loops, e08_rate_limit, e10_at_home};
+use scenarios::experiments::{
+    e01_header, e02_overhead, e04_handoff, e05_loops, e08_rate_limit, e10_at_home, e11_flapping,
+    e12_partition,
+};
 
 #[test]
 fn claim_header_is_8_or_12_bytes_plus_4_per_retunnel() {
@@ -58,6 +61,57 @@ fn claim_no_penalty_when_home() {
     assert_eq!(r.updates, 0);
     assert_eq!(r.mhrp_rtt_us, r.plain_rtt_us);
     assert_eq!(r.mhrp_reply_ttl, r.plain_reply_ttl);
+}
+
+#[test]
+fn claim_forwarding_pointers_cover_a_dark_home_agent() {
+    // §2/§5.1: the previous foreign agent's forwarding pointer delivers
+    // packets that the home agent cannot redirect. With the home agent
+    // crashed across the handoff, the with-pointer row keeps delivering
+    // and the without-pointer row goes dark — the two rows must diverge.
+    let rows = e04_handoff::run(1994);
+    assert!(
+        rows[0].delivered_during_move > rows[1].delivered_during_move,
+        "pointers ({}) should beat no pointers ({}) while the HA is down",
+        rows[0].delivered_during_move,
+        rows[1].delivered_during_move
+    );
+    // Once the pointer is installed, most of the stream survives the
+    // outage; without a pointer and without the HA, nothing arrives.
+    assert!(rows[2].delivered_during_move >= rows[2].sent_during_move / 2);
+    assert_eq!(rows[3].delivered_during_move, 0, "no-pointer row should drop the stream");
+}
+
+#[test]
+fn claim_registration_survives_flapping_links() {
+    // §5: registration retransmission with bounded exponential backoff
+    // converges once the link stabilises; every schedule ends attached.
+    let rows = e11_flapping::run(1994);
+    for row in &rows {
+        assert!(row.attached, "{}: never attached", row.label);
+        assert!(row.delivered > 0, "{}: nothing delivered", row.label);
+    }
+    // Faults cost time and control traffic relative to the stable row.
+    assert!(rows[1].attach_ms.unwrap() >= rows[0].attach_ms.unwrap());
+    assert!(rows[1].registration_msgs >= rows[0].registration_msgs);
+    assert!(rows[2].attach_ms.unwrap() >= rows[0].attach_ms.unwrap());
+}
+
+#[test]
+fn claim_caches_reconverge_after_partition_heals() {
+    // §5.1/§5.2: after a backbone partition heals, home-agent probing
+    // re-registers the mobile host and stale location caches are
+    // corrected by the normal update machinery.
+    let rows = e12_partition::run(1994);
+    for row in &rows {
+        assert!(row.probes_sent > 0, "{}: HA never probed", row.label);
+        assert!(row.ha_reconverged, "{}: HA never re-acked", row.label);
+        assert!(row.cache_corrected, "{}: S's cache still stale", row.label);
+        assert!(row.reconverge_ms.is_some(), "{}: delivery never resumed", row.label);
+    }
+    // Forwarding pointers deliver from the instant of heal; without them
+    // delivery waits on the probe round-trip.
+    assert!(rows[0].reconverge_ms.unwrap() <= rows[1].reconverge_ms.unwrap());
 }
 
 #[test]
