@@ -22,7 +22,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::udp::UdpDatagram;
 use ip::{proto, PacketError, Prefix};
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TeleEventKind, TimerToken};
 use netstack::nodes::Endpoint;
 use netstack::route::NextHop;
 use netstack::{IpStack, StackEvent};
@@ -229,6 +229,7 @@ impl MsrNode {
     fn tunnel_to(&mut self, ctx: &mut Ctx<'_>, target: Ipv4Addr, inner: &Ipv4Packet) {
         self.tunneled.incr(ctx.stats());
         self.overhead_bytes.add(ctx.stats(), IPIP_OVERHEAD as u64);
+        ctx.tele_event(TeleEventKind::Encap { by_sender: false });
         let ident = self.stack.next_ident();
         let mut outer = ipip_encapsulate(inner, self.self_addr(), target, ident);
         // The MSR is a router hop for the tunneled packet.
@@ -325,6 +326,7 @@ impl Node for MsrNode {
                     match pkt.protocol {
                         proto::IPIP => {
                             let Ok(inner) = ipip_decapsulate(&pkt) else { continue };
+                            ctx.tele_event(TeleEventKind::Decap);
                             let mobile = inner.dst;
                             if self.has_visitor(mobile, ctx.now()) {
                                 ctx.stats().incr("columbia.delivered");

@@ -25,7 +25,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::udp::UdpDatagram;
 use ip::{proto, PacketError, Prefix};
 use netsim::time::SimDuration;
-use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TeleEventKind, TimerToken};
 use netstack::nodes::Endpoint;
 use netstack::route::NextHop;
 use netstack::{IpStack, StackEvent};
@@ -471,6 +471,7 @@ impl VipEndpoint {
         let phys_dst = self.cache.get(&pkt.dst).copied().unwrap_or(pkt.dst);
         self.overhead_bytes.add(ctx.stats(), VIP_SHIM_LEN as u64);
         self.data_sent.incr(ctx.stats());
+        ctx.tele_event(TeleEventKind::Encap { by_sender: true });
         vip_encapsulate(&mut pkt, phys_src, phys_dst);
         stack.send(ctx, pkt);
     }
@@ -496,6 +497,7 @@ impl VipEndpoint {
             self.cache.insert(shim.vip_src, pkt.src);
         }
         vip_decapsulate(&mut pkt).ok()?;
+        ctx.tele_event(TeleEventKind::Decap);
         Some(pkt)
     }
 

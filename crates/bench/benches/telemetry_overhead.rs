@@ -1,0 +1,42 @@
+//! Criterion benches of the structured-telemetry cost on the `netsim`
+//! hot path. Three configurations of the same unicast/broadcast worlds:
+//!
+//! * **disabled** — runtime flag off (the default): the per-event cost is
+//!   one branch, and must stay within noise of the plain workloads in
+//!   `netsim_core` (the counting-allocator test separately proves the
+//!   disabled path allocates nothing per delivered frame).
+//! * **enabled** — typed events recorded into the bounded ring and a
+//!   journey id minted/propagated per packet; the acceptable price of a
+//!   fully observable run.
+//!
+//! The compile-out case (`--no-default-features` on `netsim`) cannot live
+//! in this binary; it is covered by the workspace's no-default-features
+//! check instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::simworlds::{broadcast_fanout_with, unicast_pingpong_with, Telemetry};
+
+const RING: usize = 1 << 16;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    g.bench_function("unicast_disabled", |b| {
+        b.iter(|| black_box(unicast_pingpong_with(1, 16, 256, 500, Telemetry::Off)))
+    });
+    g.bench_function("unicast_enabled", |b| {
+        b.iter(|| black_box(unicast_pingpong_with(1, 16, 256, 500, Telemetry::On { ring: RING })))
+    });
+    g.bench_function("broadcast_disabled", |b| {
+        b.iter(|| black_box(broadcast_fanout_with(1, 32, 256, 500, Telemetry::Off)))
+    });
+    g.bench_function("broadcast_enabled", |b| {
+        b.iter(|| black_box(broadcast_fanout_with(1, 32, 256, 500, Telemetry::On { ring: RING })))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

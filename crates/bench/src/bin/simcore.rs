@@ -11,7 +11,10 @@
 //! wall time — standard practice for throughput benches, since noise is
 //! strictly additive).
 
-use bench::simworlds::{broadcast_fanout, timer_churn, unicast_pingpong, Throughput};
+use bench::simworlds::{
+    broadcast_fanout, broadcast_fanout_with, timer_churn, unicast_pingpong, unicast_pingpong_with,
+    Telemetry, Throughput,
+};
 
 const RUNS: usize = 5;
 const SEED: u64 = 1994;
@@ -57,6 +60,21 @@ fn main() {
             name: "timer_churn",
             detail: "32 nodes x 8 timer chains, 2s simulated".into(),
             best: best_of(RUNS, || timer_churn(SEED, 32, 8, 2_000)),
+        },
+        Case {
+            name: "unicast_pingpong_tele",
+            detail: "16 pairs, 256B payload, 2s simulated, telemetry on (64Ki ring)".into(),
+            best: best_of(RUNS, || {
+                unicast_pingpong_with(SEED, 16, 256, 2_000, Telemetry::On { ring: 1 << 16 })
+            }),
+        },
+        Case {
+            name: "broadcast_fanout_tele",
+            detail: "32 nodes, 256B payload, 1ms beacons, 2s simulated, telemetry on (64Ki ring)"
+                .into(),
+            best: best_of(RUNS, || {
+                broadcast_fanout_with(SEED, 32, 256, 2_000, Telemetry::On { ring: 1 << 16 })
+            }),
         },
     ];
 

@@ -15,7 +15,7 @@
 
 use scenarios::experiments::{
     e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
-    e08_rate_limit, e09_icmp_errors, e10_at_home, e11_flapping, e12_partition,
+    e08_rate_limit, e09_icmp_errors, e10_at_home, e11_flapping, e12_partition, e13_provenance,
 };
 use scenarios::report::{f2, table};
 
@@ -62,13 +62,28 @@ fn e02(failures: &mut Vec<String>) {
     println!(
         "{}",
         table(
-            &["protocol", "paper B/pkt", "measured B/pkt", "fwd hops", "delivered", "control msgs"],
+            &[
+                "protocol",
+                "paper B/pkt",
+                "measured B/pkt",
+                "fwd hops",
+                "lat p50 (us)",
+                "lat p99 (us)",
+                "hops p50",
+                "hops p99",
+                "delivered",
+                "control msgs",
+            ],
             rows.iter()
                 .map(|r| vec![
                     r.protocol.clone(),
                     r.paper_overhead.into(),
                     f2(r.overhead_per_packet),
                     f2(r.avg_forward_hops),
+                    r.latency_us.p50().to_string(),
+                    r.latency_us.p99().to_string(),
+                    r.hops_hist.p50().to_string(),
+                    r.hops_hist.p99().to_string(),
                     format!("{}/{}", r.delivered, r.data_packets_sent),
                     r.control_messages.to_string(),
                 ])
@@ -385,8 +400,111 @@ fn e12(failures: &mut Vec<String>) {
     check(failures, "e12", !rows[1].pointer_at_heal, "pointerless row held a pointer");
 }
 
+fn e13(failures: &mut Vec<String>) {
+    println!("\n== E13 — path provenance: telemetry journeys across a handoff ==");
+    let r = e13_provenance::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["packet", "reconstructed path (receiving nodes)", "encaps"],
+            vec![
+                vec![
+                    "first after move".into(),
+                    format!("S -> {}", r.home_routed.join(" -> ")),
+                    r.home_routed_encaps.to_string(),
+                ],
+                vec![
+                    "after §6.1 update".into(),
+                    format!("S -> {}", r.optimized.join(" -> ")),
+                    r.optimized_encaps.to_string(),
+                ],
+            ],
+        )
+    );
+    println!("packets home-routed before the path converged: {}", r.packets_until_optimized);
+    check(
+        failures,
+        "e13",
+        r.home_routed == ["R1", "R2", "R3", "R4", "M"],
+        &format!("home-routed path was {:?}", r.home_routed),
+    );
+    check(
+        failures,
+        "e13",
+        r.optimized == ["R1", "R3", "R4", "M"],
+        &format!("optimized path was {:?}", r.optimized),
+    );
+    check(
+        failures,
+        "e13",
+        r.packets_until_optimized == 1,
+        &format!("{} packets paid the triangle (§6.1 claims 1)", r.packets_until_optimized),
+    );
+    check(failures, "e13", r.home_routed_encaps >= 1, "home agent never encapsulated");
+    check(failures, "e13", r.optimized_encaps >= 1, "sender never encapsulated");
+}
+
+/// Re-runs the Figure 1 handoff with telemetry + pcap capture on and
+/// writes `trace.json` and `figure1.pcap` into `dir` (CI publishes them
+/// as workflow artifacts; the pcap opens in Wireshark).
+fn export_artifacts(dir: &std::path::Path) -> std::io::Result<()> {
+    use mhrp::{Attachment, MhrpHostNode};
+    use netsim::time::{SimDuration, SimTime};
+    use scenarios::topology::{CorrespondentKind, Figure1, Figure1Options};
+
+    std::fs::create_dir_all(dir)?;
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: CorrespondentKind::Mhrp,
+        seed: SEED,
+        ..Default::default()
+    });
+    f.world.set_telemetry(true);
+    f.world.set_telemetry_capacity(1 << 16);
+    f.world.start_pcap_capture();
+    f.world.run_until(SimTime::from_secs(2));
+    let m_addr = f.addrs.m;
+    let send = |f: &mut Figure1, marker: u8| {
+        f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+            s.send_udp(ctx, m_addr, 7777, 7777, vec![marker; 32]);
+        });
+    };
+    send(&mut f, 1);
+    f.world.run_for(SimDuration::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+    send(&mut f, 2); // home-routed triangle
+    f.world.run_for(SimDuration::from_secs(2));
+    send(&mut f, 3); // optimized, sender-tunneled
+    f.world.run_for(SimDuration::from_secs(2));
+
+    let json = netsim::telemetry::json::trace_json(f.world.telemetry().events());
+    std::fs::write(dir.join("trace.json"), json)?;
+    let frames = f.world.pcap_frame_count();
+    let pcap = f.world.take_pcap().expect("capture was started");
+    std::fs::write(dir.join("figure1.pcap"), pcap)?;
+    println!(
+        "\nartifacts: wrote {} ({} events) and {} ({frames} frames)",
+        dir.join("trace.json").display(),
+        f.world.telemetry().len(),
+        dir.join("figure1.pcap").display(),
+    );
+    Ok(())
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let artifacts_dir = match args.iter().position(|a| a == "--artifacts") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--artifacts requires a directory argument");
+                std::process::exit(2);
+            }
+            Some(std::path::PathBuf::from(args.remove(i)))
+        }
+        None => None,
+    };
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(name));
     println!("MHRP reproduction report (seed {SEED}) — paper: Johnson, ICDCS 1994");
@@ -426,6 +544,15 @@ fn main() {
     }
     if want("e12") {
         e12(&mut failures);
+    }
+    if want("e13") {
+        e13(&mut failures);
+    }
+    if let Some(dir) = artifacts_dir {
+        if let Err(e) = export_artifacts(&dir) {
+            eprintln!("artifact export failed: {e}");
+            std::process::exit(1);
+        }
     }
     if failures.is_empty() {
         println!("\nall shape checks passed");

@@ -108,7 +108,24 @@ impl Node for TimerSpinner {
     fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
 }
 
-fn timed(mut world: World, sim_duration: SimDuration) -> Throughput {
+/// Structured-telemetry configuration for a bench world (the overhead
+/// being measured by `benches/telemetry_overhead.rs`).
+#[derive(Debug, Clone, Copy)]
+pub enum Telemetry {
+    /// Runtime-disabled (the default; one branch per event).
+    Off,
+    /// Enabled with a ring of `ring` events.
+    On {
+        /// Event-ring capacity.
+        ring: usize,
+    },
+}
+
+fn timed(mut world: World, telemetry: Telemetry, sim_duration: SimDuration) -> Throughput {
+    if let Telemetry::On { ring } = telemetry {
+        world.set_telemetry(true);
+        world.set_telemetry_capacity(ring);
+    }
     world.start();
     let start = std::time::Instant::now();
     world.run_until(SimTime::ZERO + sim_duration);
@@ -120,6 +137,17 @@ fn timed(mut world: World, sim_duration: SimDuration) -> Throughput {
 /// frames at 1 ms intervals on one shared segment, run for `sim_ms` of
 /// simulated time.
 pub fn broadcast_fanout(seed: u64, nodes: usize, payload_len: usize, sim_ms: u64) -> Throughput {
+    broadcast_fanout_with(seed, nodes, payload_len, sim_ms, Telemetry::Off)
+}
+
+/// [`broadcast_fanout`] with an explicit telemetry configuration.
+pub fn broadcast_fanout_with(
+    seed: u64,
+    nodes: usize,
+    payload_len: usize,
+    sim_ms: u64,
+    telemetry: Telemetry,
+) -> Throughput {
     let mut w = World::new(seed);
     let seg = w.add_segment(SegmentParams::default());
     for _ in 0..nodes {
@@ -130,12 +158,23 @@ pub fn broadcast_fanout(seed: u64, nodes: usize, payload_len: usize, sim_ms: u64
         }));
         w.add_iface(id, Some(seg));
     }
-    timed(w, SimDuration::from_millis(sim_ms))
+    timed(w, telemetry, SimDuration::from_millis(sim_ms))
 }
 
 /// Unicast-heavy world: `pairs` isolated two-node segments, each rallying
 /// one `payload_len`-byte frame continuously, run for `sim_ms`.
 pub fn unicast_pingpong(seed: u64, pairs: usize, payload_len: usize, sim_ms: u64) -> Throughput {
+    unicast_pingpong_with(seed, pairs, payload_len, sim_ms, Telemetry::Off)
+}
+
+/// [`unicast_pingpong`] with an explicit telemetry configuration.
+pub fn unicast_pingpong_with(
+    seed: u64,
+    pairs: usize,
+    payload_len: usize,
+    sim_ms: u64,
+    telemetry: Telemetry,
+) -> Throughput {
     let mut w = World::new(seed);
     for _ in 0..pairs {
         let seg = w.add_segment(SegmentParams::default());
@@ -149,7 +188,7 @@ pub fn unicast_pingpong(seed: u64, pairs: usize, payload_len: usize, sim_ms: u64
         }));
         w.add_iface(b, Some(seg));
     }
-    timed(w, SimDuration::from_millis(sim_ms))
+    timed(w, telemetry, SimDuration::from_millis(sim_ms))
 }
 
 /// Timer-only world: `nodes` spinners each keeping `fanout` timer chains
@@ -160,7 +199,7 @@ pub fn timer_churn(seed: u64, nodes: usize, fanout: u64, sim_ms: u64) -> Through
         let id = w.add_node(Box::new(TimerSpinner { fanout, fired: 0 }));
         w.add_iface(id, None);
     }
-    timed(w, SimDuration::from_millis(sim_ms))
+    timed(w, Telemetry::Off, SimDuration::from_millis(sim_ms))
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::net::Ipv4Addr;
 use ip::icmp::{IcmpMessage, LocationUpdate, LocationUpdateCode};
 use ip::ipv4::Ipv4Packet;
 use ip::proto;
-use netsim::{Counter, Ctx};
+use netsim::{Counter, Ctx, TeleEventKind};
 use netstack::IpStack;
 
 use crate::cache::LocationCache;
@@ -112,6 +112,7 @@ impl CacheAgentCore {
     /// Applies a location update delivered to this node (§4.3).
     pub fn on_update(&mut self, ctx: &mut Ctx<'_>, update: &LocationUpdate) {
         self.counters.updates_received.incr(ctx.stats());
+        ctx.tele_event(TeleEventKind::CacheUpdate);
         self.cache.apply_update(update, ctx.now());
     }
 
@@ -136,6 +137,7 @@ impl CacheAgentCore {
             // forwarded, not tunneled.
             if let Ok(IcmpMessage::LocationUpdate(lu)) = IcmpMessage::decode(&pkt.payload) {
                 self.counters.updates_snooped.incr(ctx.stats());
+                ctx.tele_event(TeleEventKind::CacheUpdate);
                 self.cache.apply_update(&lu, ctx.now());
                 return Some(pkt);
             }
@@ -147,6 +149,8 @@ impl CacheAgentCore {
         self.counters.tunneled_by_router.incr(ctx.stats());
         // §4.2: an agent-built header is 12 octets.
         self.counters.overhead_bytes.add(ctx.stats(), 12);
+        ctx.tele_event(TeleEventKind::CacheHit);
+        ctx.tele_event(TeleEventKind::Encap { by_sender: false });
         tunnel::encapsulate(&mut pkt, agent, fa, false);
         stack.forward(ctx, pkt);
         None

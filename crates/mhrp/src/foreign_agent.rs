@@ -11,7 +11,7 @@ use std::net::Ipv4Addr;
 
 use ip::icmp::{LocationUpdate, LocationUpdateCode};
 use ip::ipv4::Ipv4Packet;
-use netsim::{Counter, Ctx, IfaceId};
+use netsim::{Counter, Ctx, IfaceId, TeleEventKind};
 use netstack::IpStack;
 
 use crate::agent::CacheAgentCore;
@@ -159,6 +159,7 @@ impl ForeignAgentCore {
             match tunnel::decapsulate(&mut pkt) {
                 Ok(_) => {
                     self.delivered.incr(ctx.stats());
+                    ctx.tele_event(TeleEventKind::Decap);
                     stack.send_direct(ctx, self.local_iface, pkt);
                 }
                 Err(_) => ctx.stats().incr("mhrp.fa_malformed"),
@@ -188,6 +189,7 @@ impl ForeignAgentCore {
         ) {
             Ok(tunnel::Retunnel::Forward { truncation_updates }) => {
                 ca.counters.overhead_bytes.add(ctx.stats(), 4); // §4.4: +4 per re-tunnel
+                ctx.tele_event(TeleEventKind::Retunnel);
                 for node in truncation_updates {
                     ca.send_update(stack, ctx, node, mobile, new_dst, LocationUpdateCode::Bind);
                 }
@@ -196,6 +198,9 @@ impl ForeignAgentCore {
             Ok(tunnel::Retunnel::Loop { members }) => {
                 // §5.3: dissolve the loop by purging every implicated cache.
                 ctx.stats().incr("mhrp.loops_detected");
+                ctx.tele_event(TeleEventKind::LoopDetected {
+                    members: members.len().min(u8::MAX as usize) as u8,
+                });
                 for node in members {
                     ca.send_update(
                         stack,

@@ -13,7 +13,7 @@ use std::net::Ipv4Addr;
 use ip::icmp::LocationUpdateCode;
 use ip::ipv4::Ipv4Packet;
 use ip::proto;
-use netsim::{Counter, Ctx, IfaceId};
+use netsim::{Counter, Ctx, IfaceId, TeleEventKind};
 use netstack::IpStack;
 
 use crate::agent::CacheAgentCore;
@@ -250,6 +250,7 @@ impl HomeAgentCore {
             ) {
                 Ok(tunnel::Retunnel::Forward { truncation_updates }) => {
                     ca.counters.overhead_bytes.add(ctx.stats(), 4);
+                    ctx.tele_event(TeleEventKind::Retunnel);
                     for node in truncation_updates {
                         ca.send_update(stack, ctx, node, mobile, fa, LocationUpdateCode::Bind);
                     }
@@ -257,6 +258,9 @@ impl HomeAgentCore {
                 }
                 Ok(tunnel::Retunnel::Loop { members }) => {
                     ctx.stats().incr("mhrp.loops_detected");
+                    ctx.tele_event(TeleEventKind::LoopDetected {
+                        members: members.len().min(u8::MAX as usize) as u8,
+                    });
                     for node in members {
                         ca.send_update(
                             stack,
@@ -276,6 +280,7 @@ impl HomeAgentCore {
             // the sender where the mobile host is.
             self.tunneled.incr(ctx.stats());
             ca.counters.overhead_bytes.add(ctx.stats(), 12);
+            ctx.tele_event(TeleEventKind::Encap { by_sender: false });
             let sender = pkt.src;
             let self_addr = stack
                 .iface_addr(self.home_iface)

@@ -15,7 +15,7 @@ use ip::icmp::IcmpMessage;
 use ip::ipv4::Ipv4Packet;
 use ip::proto;
 use ip::udp::UdpDatagram;
-use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TeleEventKind, TimerToken};
 use netstack::nodes::{handle_icmp_delivery, Endpoint};
 use netstack::{IpStack, StackEvent};
 
@@ -271,14 +271,22 @@ fn send_with_cache(
     ctx: &mut Ctx<'_>,
     mut pkt: Ipv4Packet,
 ) {
+    // The birth of a new packet: give it its journey now so the
+    // sender-side cache/encap events below land on it rather than on
+    // whatever frame happened to be in dispatch.
+    let ambient = ctx.journey();
+    ctx.begin_journey();
     if let Some(fa) = ca.cache.lookup(pkt.dst, ctx.now()) {
         ca.counters.tunneled_by_sender.incr(ctx.stats());
         // §4.2: a sender-built header is 8 octets.
         ca.counters.overhead_bytes.add(ctx.stats(), 8);
+        ctx.tele_event(TeleEventKind::CacheHit);
+        ctx.tele_event(TeleEventKind::Encap { by_sender: true });
         let src = pkt.src;
         tunnel::encapsulate(&mut pkt, src, fa, true);
     }
     stack.send(ctx, pkt);
+    ctx.override_journey(ambient);
 }
 
 /// A stationary host that implements MHRP (acts as a cache agent for its

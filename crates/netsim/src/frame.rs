@@ -4,6 +4,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::id::MacAddr;
+use telemetry::JourneyId;
 
 /// The payload type carried by a [`Frame`], mirroring Ethernet ethertypes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,6 +155,10 @@ pub struct Frame {
     pub ethertype: EtherType,
     /// Encoded payload bytes (shared, immutable).
     pub payload: Payload,
+    /// The packet journey this frame belongs to (telemetry sidecar, not
+    /// on the wire). `None` until [`crate::Ctx::send_frame`] stamps it;
+    /// always `None` while telemetry is disabled.
+    pub journey: Option<JourneyId>,
 }
 
 /// Link-layer header bytes accounted per frame (dst + src + ethertype),
@@ -168,7 +173,7 @@ impl Frame {
         ethertype: EtherType,
         payload: impl Into<Payload>,
     ) -> Frame {
-        Frame { src, dst, ethertype, payload: payload.into() }
+        Frame { src, dst, ethertype, payload: payload.into(), journey: None }
     }
 
     /// Creates a broadcast frame.

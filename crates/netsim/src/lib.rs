@@ -61,6 +61,16 @@
 //! (link flaps, partitions, latency spikes, payload corruption, node
 //! crashes with state loss, broadcast suppression) compiled onto the same
 //! event queue via [`World::install_faults`].
+//!
+//! # Structured telemetry
+//!
+//! The [`telemetry`] crate (re-exported here) adds typed events and causal
+//! packet journeys on top of the counters: enable with
+//! [`World::set_telemetry`], reconstruct any packet's hop list with
+//! [`World::journey_hops`], and capture delivered frames to a
+//! Wireshark-readable pcap-ng buffer with [`World::start_pcap_capture`].
+//! Everything is off by default and costs nothing until enabled; building
+//! `netsim` with `--no-default-features` compiles the hooks out entirely.
 
 #![deny(missing_docs)]
 
@@ -81,7 +91,13 @@ pub use frame::{EtherType, Frame};
 pub use id::{IfaceId, MacAddr, NodeId, SegmentId};
 pub use node::{AsAny, Ctx, LinkEvent, Node, TimerToken};
 pub use segment::SegmentParams;
-pub use stats::{metric, Counter, MetricId, SeriesId, Stats};
+pub use stats::{metric, Counter, HistId, MetricId, SeriesId, Stats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, Tracer};
 pub use world::{AdminOp, World};
+
+pub use telemetry;
+pub use telemetry::{
+    DropReason, Event, EventKind as TeleEventKind, EventLog, FaultKind, Histogram, Journey,
+    JourneyId,
+};

@@ -10,6 +10,9 @@ use crate::id::{IfaceId, MacAddr, NodeId};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
+#[cfg(feature = "telemetry")]
+use telemetry::Event;
+use telemetry::{EventKind, EventLog, JourneyId};
 
 /// An opaque timer payload chosen by the node when it arms a timer and
 /// returned verbatim in [`Node::on_timer`].
@@ -114,6 +117,12 @@ pub struct Ctx<'a> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) tracer: &'a mut Tracer,
     pub(crate) stats: &'a mut Stats,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    pub(crate) tele: &'a mut EventLog,
+    /// The journey of the frame being dispatched (if any): every frame
+    /// the handler sends inherits it, which is what strings the per-hop
+    /// events of one packet together.
+    pub(crate) journey: Option<JourneyId>,
 }
 
 impl<'a> Ctx<'a> {
@@ -155,6 +164,17 @@ impl<'a> Ctx<'a> {
     /// Transmission is silently dropped if the interface is detached —
     /// exactly like transmitting into an unplugged cable.
     pub fn send_frame(&mut self, iface: IfaceId, frame: Frame) {
+        #[cfg(feature = "telemetry")]
+        let frame = {
+            let mut frame = frame;
+            if frame.journey.is_none() {
+                // Forwarded/derived frames inherit the ambient journey;
+                // an originated frame mints a fresh one (no-op while
+                // telemetry is disabled).
+                frame.journey = self.journey.or_else(|| self.tele.mint_journey());
+            }
+            frame
+        };
         self.actions.push(Action::SendFrame { iface, frame });
     }
 
@@ -178,6 +198,53 @@ impl<'a> Ctx<'a> {
     /// Global statistics hub (counters and time series).
     pub fn stats(&mut self) -> &mut Stats {
         self.stats
+    }
+
+    /// Records a structured telemetry event at this node, stamped with
+    /// the current time and the ambient packet journey. No-op while
+    /// telemetry is disabled (and compiled out entirely without the
+    /// `telemetry` feature).
+    #[inline]
+    pub fn tele_event(&mut self, kind: EventKind) {
+        #[cfg(feature = "telemetry")]
+        self.tele.record(Event {
+            at_nanos: self.now.as_nanos(),
+            node: Some(self.node.0 as u32),
+            journey: self.journey,
+            kind,
+        });
+        #[cfg(not(feature = "telemetry"))]
+        let _ = kind;
+    }
+
+    /// The journey of the frame currently being handled, if the handler
+    /// was entered for a frame delivery and telemetry is enabled.
+    pub fn journey(&self) -> Option<JourneyId> {
+        self.journey
+    }
+
+    /// Replaces the ambient journey for frames sent from here on.
+    ///
+    /// Used where causality genuinely breaks: e.g. the ARP layer flushes
+    /// packets that were *queued by earlier dispatches* when a reply
+    /// arrives — those sends belong to the queued packets, not to the
+    /// ARP reply's journey, so the stack clears the ambient id first.
+    pub fn override_journey(&mut self, journey: Option<JourneyId>) {
+        self.journey = journey;
+    }
+
+    /// Mints a fresh journey and makes it ambient. Protocol layers call
+    /// this at the birth of a new packet so events they record *before*
+    /// its first frame goes out (e.g. sender-side tunnel encapsulation)
+    /// land on that packet's journey. Returns the minted id (`None`
+    /// while telemetry is disabled).
+    pub fn begin_journey(&mut self) -> Option<JourneyId> {
+        self.journey = None;
+        #[cfg(feature = "telemetry")]
+        {
+            self.journey = self.tele.mint_journey();
+        }
+        self.journey
     }
 }
 

@@ -12,9 +12,11 @@
 //! time a name is seen.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use crate::time::SimTime;
+use telemetry::Histogram;
 
 /// Dense handle for a counter, issued by [`Stats::metric`].
 ///
@@ -30,6 +32,12 @@ pub struct MetricId(pub(crate) u32);
 /// universal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SeriesId(pub(crate) u32);
+
+/// Dense handle for a histogram, issued by [`Stats::histogram_metric`].
+///
+/// Same validity rule as [`MetricId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistId(pub(crate) u32);
 
 /// Pre-registered ids for the counters and series the simulator core
 /// updates on every event, plus their names for the string API.
@@ -94,9 +102,15 @@ pub mod metric {
 }
 
 /// String-name interner: `Box<str>` keys shared with a dense name table.
+///
+/// Keys live in a `BTreeMap` so that *ordered* queries — in particular
+/// [`Stats::counter_prefix_sum`] — can range-scan just the names sharing
+/// a prefix instead of walking every metric. Interning and lookup stay
+/// O(log n), which is irrelevant off the hot path (hot call sites hold
+/// dense ids and never touch the map).
 #[derive(Debug, Default, Clone)]
 struct Interner {
-    ids: HashMap<Box<str>, u32>,
+    ids: BTreeMap<Box<str>, u32>,
     names: Vec<Box<str>>,
 }
 
@@ -115,6 +129,15 @@ impl Interner {
     /// Allocation-free lookup of an already-interned name.
     fn get(&self, name: &str) -> Option<u32> {
         self.ids.get(name).copied()
+    }
+
+    /// Ids of every interned name starting with `prefix`, via an ordered
+    /// range scan (touches only the matching names). Allocation-free.
+    fn prefix_ids<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = u32> + 'a {
+        self.ids
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(name, _)| name.starts_with(prefix))
+            .map(|(_, &id)| id)
     }
 }
 
@@ -148,6 +171,8 @@ pub struct Stats {
     counters: Vec<u64>,
     series_names: Interner,
     series: Vec<Vec<(SimTime, f64)>>,
+    hist_names: Interner,
+    hists: Vec<Histogram>,
 }
 
 impl Default for Stats {
@@ -165,6 +190,8 @@ impl Stats {
             counters: Vec::new(),
             series_names: Interner::default(),
             series: Vec::new(),
+            hist_names: Interner::default(),
+            hists: Vec::new(),
         };
         for name in metric::COUNTER_NAMES {
             s.metric(name);
@@ -238,15 +265,12 @@ impl Stats {
     }
 
     /// Sum of every counter whose name starts with `prefix`.
-    /// Allocation-free.
+    ///
+    /// Allocation-free, and O(log n + matches) thanks to the interner's
+    /// sorted index — report generation sums many prefixes over many
+    /// metrics, so this must not scan the whole table per prefix.
     pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
-        self.counter_names
-            .names
-            .iter()
-            .zip(&self.counters)
-            .filter(|(name, _)| name.starts_with(prefix))
-            .map(|(_, v)| *v)
-            .sum()
+        self.counter_names.prefix_ids(prefix).map(|id| self.counters[id as usize]).sum()
     }
 
     /// Appends a `(time, value)` sample to series `name` (one hash
@@ -265,6 +289,50 @@ impl Stats {
     /// Reads series `id`.
     pub fn series_by_id(&self, id: SeriesId) -> &[(SimTime, f64)] {
         &self.series[id.0 as usize]
+    }
+
+    /// Interns histogram `name` with the given fixed bucket `bounds`,
+    /// returning its dense id. Idempotent; the bounds of the first
+    /// registration win.
+    pub fn histogram_metric(&mut self, name: &str, bounds: &'static [u64]) -> HistId {
+        let id = self.hist_names.intern(name);
+        if id as usize >= self.hists.len() {
+            self.hists.push(Histogram::new(bounds));
+        }
+        HistId(id)
+    }
+
+    /// Records one sample into histogram `id` (direct index,
+    /// allocation-free).
+    #[inline]
+    pub fn record_hist_id(&mut self, id: HistId, value: u64) {
+        self.hists[id.0 as usize].record(value);
+    }
+
+    /// Records one sample into histogram `name`, registering it with
+    /// `bounds` on first sight.
+    pub fn record_hist(&mut self, name: &str, bounds: &'static [u64], value: u64) {
+        let id = self.histogram_metric(name, bounds);
+        self.hists[id.0 as usize].record(value);
+    }
+
+    /// Reads histogram `name` (`None` if never registered).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hist_names.get(name).map(|id| &self.hists[id as usize])
+    }
+
+    /// Iterates over all non-empty histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        let mut entries: Vec<(&str, &Histogram)> = self
+            .hist_names
+            .names
+            .iter()
+            .zip(&self.hists)
+            .filter(|(_, h)| h.count() != 0)
+            .map(|(name, h)| (&**name, h))
+            .collect();
+        entries.sort_unstable_by_key(|(name, _)| *name);
+        entries.into_iter()
     }
 
     /// Iterates over all *written* (nonzero) counters in name order.
@@ -300,6 +368,12 @@ impl Stats {
                 self.series[id.0 as usize].extend_from_slice(samples);
             }
         }
+        for (name, hist) in other.hist_names.names.iter().zip(&other.hists) {
+            if hist.count() != 0 {
+                let id = self.histogram_metric(name, hist.bounds());
+                self.hists[id.0 as usize].merge(hist);
+            }
+        }
     }
 
     /// Resets all counter values and series samples. Interned names (and
@@ -308,6 +382,9 @@ impl Stats {
         self.counters.fill(0);
         for s in &mut self.series {
             s.clear();
+        }
+        for h in &mut self.hists {
+            *h = Histogram::new(h.bounds());
         }
     }
 }
@@ -385,6 +462,48 @@ mod tests {
         s.add("other", 99);
         assert_eq!(s.counter_prefix_sum("seg."), 30);
         assert_eq!(s.counter_prefix_sum("nope."), 0);
+    }
+
+    #[test]
+    fn prefix_sum_respects_ordered_boundaries() {
+        // The sorted-index range scan must stop exactly at the prefix
+        // boundary: names that sort immediately after the prefix range
+        // ("seh.*") and names that are a strict prefix of the prefix
+        // ("se") must not be counted; a name *equal* to the prefix must.
+        let mut s = Stats::new();
+        s.add("se", 1);
+        s.add("seg", 2);
+        s.add("seg.a", 4);
+        s.add("seg.z", 8);
+        s.add("seh.a", 16);
+        assert_eq!(s.counter_prefix_sum("seg"), 2 + 4 + 8);
+        assert_eq!(s.counter_prefix_sum("seg."), 4 + 8);
+        assert_eq!(s.counter_prefix_sum("seh"), 16);
+        assert_eq!(s.counter_prefix_sum("se"), 1 + 2 + 4 + 8 + 16);
+        assert_eq!(s.counter_prefix_sum(""), s.counters().map(|(_, v)| v).sum::<u64>());
+    }
+
+    #[test]
+    fn histograms_register_record_and_merge() {
+        let mut a = Stats::new();
+        let id = a.histogram_metric("flow.latency_us", telemetry::LATENCY_US_BOUNDS);
+        a.record_hist_id(id, 300);
+        a.record_hist("flow.latency_us", telemetry::LATENCY_US_BOUNDS, 900);
+        assert_eq!(a.histogram("flow.latency_us").unwrap().count(), 2);
+        assert_eq!(a.histogram("flow.latency_us").unwrap().max(), 900);
+        assert!(a.histogram("missing").is_none());
+
+        let mut b = Stats::new();
+        b.record_hist("flow.latency_us", telemetry::LATENCY_US_BOUNDS, 5_000);
+        a.merge(&b);
+        let h = a.histogram("flow.latency_us").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 5_000);
+        assert_eq!(a.histograms().count(), 1);
+
+        a.clear();
+        assert_eq!(a.histogram("flow.latency_us").unwrap().count(), 0);
+        assert_eq!(a.histograms().count(), 0);
     }
 
     #[test]

@@ -16,6 +16,8 @@ use crate::segment::{Segment, SegmentParams};
 use crate::stats::{metric, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
+use telemetry::pcapng::PcapWriter;
+use telemetry::{DropReason, EventLog, FaultKind, Journey, JourneyId};
 
 /// A scripted world mutation, schedulable on the event queue.
 ///
@@ -127,6 +129,11 @@ pub struct World {
     iface_scratch: Vec<IfaceInfo>,
     action_scratch: Vec<Action>,
     rx_scratch: Vec<(NodeId, IfaceId)>,
+    // Structured telemetry (see the `telemetry` crate): a bounded ring of
+    // typed events plus an optional pcap-ng capture of delivered frames.
+    // Both are off by default and cost nothing until enabled.
+    tele: EventLog,
+    pcap: Option<PcapWriter>,
 }
 
 impl World {
@@ -150,6 +157,8 @@ impl World {
             iface_scratch: Vec::new(),
             action_scratch: Vec::new(),
             rx_scratch: Vec::new(),
+            tele: EventLog::new(),
+            pcap: None,
         }
     }
 
@@ -240,6 +249,11 @@ impl World {
                 if self.down_nodes[node.0] {
                     // A crashed node hears nothing.
                     self.stats.incr_id(metric::FAULT_FRAMES_DROPPED_NODE_DOWN);
+                    self.tele_record(
+                        Some(node),
+                        frame.journey,
+                        telemetry::EventKind::FrameDrop { reason: DropReason::NodeDown },
+                    );
                     return true;
                 }
                 // Suppress delivery if the interface moved away mid-flight.
@@ -260,9 +274,26 @@ impl World {
                             frame.payload.len()
                         )
                     });
-                    self.dispatch(node, |n, ctx| n.on_frame(ctx, iface, &frame));
+                    self.tele_record(
+                        Some(node),
+                        frame.journey,
+                        telemetry::EventKind::FrameRx {
+                            iface: iface.0 as u32,
+                            bytes: frame.wire_len() as u32,
+                        },
+                    );
+                    if self.pcap.is_some() {
+                        self.pcap_capture(&frame);
+                    }
+                    let journey = frame.journey;
+                    self.dispatch_with(node, journey, |n, ctx| n.on_frame(ctx, iface, &frame));
                 } else {
                     self.stats.incr_id(metric::LINK_FRAMES_LOST_MOVED);
+                    self.tele_record(
+                        Some(node),
+                        frame.journey,
+                        telemetry::EventKind::FrameDrop { reason: DropReason::Moved },
+                    );
                 }
             }
             EventKind::Timer { node, token } => {
@@ -274,6 +305,7 @@ impl World {
                 }
                 self.tracer
                     .record(self.time, Some(node), "timer", || format!("token {:#x}", token.0));
+                self.tele_record(Some(node), None, telemetry::EventKind::Timer { token: token.0 });
                 self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::Admin(op) => self.apply_admin(op),
@@ -352,6 +384,20 @@ impl World {
     fn apply_fault(&mut self, op: FaultOp) {
         self.stats.incr_id(metric::FAULT_OPS_APPLIED);
         self.tracer.record(self.time, None, "fault", || op.to_string());
+        let fault_kind = match &op {
+            FaultOp::SegmentDown { .. } => FaultKind::SegmentDown,
+            FaultOp::SegmentUp { .. } => FaultKind::SegmentUp,
+            FaultOp::SetSegmentLoss { .. } => FaultKind::Loss,
+            FaultOp::SetSegmentLatency { .. } | FaultOp::LatencySpike { .. } => FaultKind::Latency,
+            FaultOp::SetSegmentCorruption { .. } => FaultKind::Corruption,
+            FaultOp::DetachIface { .. } => FaultKind::Detach,
+            FaultOp::AttachIface { .. } => FaultKind::Attach,
+            FaultOp::Crash { .. } => FaultKind::Crash,
+            FaultOp::Reboot { .. } => FaultKind::Reboot,
+            FaultOp::MuteBroadcasts { .. } => FaultKind::Mute,
+            FaultOp::UnmuteBroadcasts { .. } => FaultKind::Unmute,
+        };
+        self.tele_record(None, None, telemetry::EventKind::Fault { kind: fault_kind });
         match op {
             FaultOp::SegmentDown { segment } => self.segments[segment.0].up = false,
             FaultOp::SegmentUp { segment } => self.segments[segment.0].up = true,
@@ -480,6 +526,100 @@ impl World {
         self.tracer.set_enabled(enabled);
     }
 
+    /// Enables or disables structured telemetry (typed events + packet
+    /// journeys). Off by default: disabled worlds mint no journey ids,
+    /// record no events and allocate nothing for the log.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.tele.set_enabled(enabled);
+    }
+
+    /// Re-sizes the telemetry ring buffer (discards buffered events).
+    /// Size long-running traced worlds generously; overwrites are counted
+    /// in [`telemetry::EventLog::overwritten`].
+    pub fn set_telemetry_capacity(&mut self, events: usize) {
+        self.tele.set_capacity(events);
+    }
+
+    /// The structured event log (query API lives on [`EventLog`]).
+    pub fn telemetry(&self) -> &EventLog {
+        &self.tele
+    }
+
+    /// Mutable access to the structured event log (e.g. to clear it
+    /// between experiment phases).
+    pub fn telemetry_mut(&mut self) -> &mut EventLog {
+        &mut self.tele
+    }
+
+    /// Reconstructs one packet's journey from the event log.
+    pub fn journey(&self, id: JourneyId) -> Journey {
+        self.tele.journey(id)
+    }
+
+    /// The hop list of journey `id`: every node that a frame of this
+    /// journey was *delivered* to, in order.
+    pub fn journey_hops(&self, id: JourneyId) -> Vec<NodeId> {
+        self.tele.journey(id).hops().into_iter().map(|n| NodeId(n as usize)).collect()
+    }
+
+    /// The journey of the most recent frame delivered to `node`, if any.
+    pub fn last_journey_to(&self, node: NodeId) -> Option<JourneyId> {
+        self.tele.last_journey_to(node.0 as u32)
+    }
+
+    /// Starts capturing every *delivered* frame into an in-memory
+    /// pcap-ng buffer (14-byte synthesized ethernet header + payload,
+    /// which for tunneled packets includes the MHRP header bytes).
+    /// Independent of [`World::set_telemetry`].
+    pub fn start_pcap_capture(&mut self) {
+        if self.pcap.is_none() {
+            self.pcap = Some(PcapWriter::new());
+        }
+    }
+
+    /// Stops the pcap capture and returns the finished capture bytes
+    /// (`None` if capture was never started).
+    pub fn take_pcap(&mut self) -> Option<Vec<u8>> {
+        self.pcap.take().map(PcapWriter::finish)
+    }
+
+    /// Number of frames captured so far (0 when capture is off).
+    pub fn pcap_frame_count(&self) -> usize {
+        self.pcap.as_ref().map_or(0, PcapWriter::frame_count)
+    }
+
+    /// Records a structured event stamped with the current time. Becomes
+    /// a no-op shell without the `telemetry` cargo feature.
+    #[inline]
+    fn tele_record(
+        &mut self,
+        node: Option<NodeId>,
+        journey: Option<JourneyId>,
+        kind: telemetry::EventKind,
+    ) {
+        #[cfg(feature = "telemetry")]
+        self.tele.record(telemetry::Event {
+            at_nanos: self.time.as_nanos(),
+            node: node.map(|n| n.0 as u32),
+            journey,
+            kind,
+        });
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (node, journey, kind);
+    }
+
+    /// Appends a delivered frame to the pcap capture, synthesizing the
+    /// 14-byte ethernet header the simulator models but does not store.
+    fn pcap_capture(&mut self, frame: &Frame) {
+        let Some(pcap) = self.pcap.as_mut() else { return };
+        let mut bytes = Vec::with_capacity(crate::frame::LINK_HEADER_BYTES + frame.payload.len());
+        bytes.extend_from_slice(&frame.dst.0);
+        bytes.extend_from_slice(&frame.src.0);
+        bytes.extend_from_slice(&frame.ethertype.as_u16().to_be_bytes());
+        bytes.extend_from_slice(&frame.payload);
+        pcap.add_frame(self.time.as_nanos(), &bytes);
+    }
+
     /// Number of events currently queued (useful to observe congestion).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -533,6 +673,18 @@ impl World {
     }
 
     fn dispatch(&mut self, node_id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        self.dispatch_with(node_id, None, f);
+    }
+
+    /// Dispatch with an ambient packet journey: frames the handler sends
+    /// inherit `journey`, which is how one packet's hops stay linked as
+    /// it is forwarded (and re-framed) across the internetwork.
+    fn dispatch_with(
+        &mut self,
+        node_id: NodeId,
+        journey: Option<JourneyId>,
+        f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
+    ) {
         let mut node = self.nodes[node_id.0].take().expect("re-entrant dispatch on one node");
         let mut infos = std::mem::take(&mut self.iface_scratch);
         infos.clear();
@@ -551,6 +703,8 @@ impl World {
             rng: &mut self.rng,
             tracer: &mut self.tracer,
             stats: &mut self.stats,
+            tele: &mut self.tele,
+            journey,
         };
         f(node.as_mut(), &mut ctx);
         let mut actions = ctx.actions;
@@ -578,16 +732,31 @@ impl World {
     fn transmit(&mut self, node_id: NodeId, iface: IfaceId, frame: Frame) {
         let Some(binding) = self.bindings[node_id.0].get(iface.0) else {
             self.stats.incr_id(metric::LINK_TX_BAD_IFACE);
+            self.tele_record(
+                Some(node_id),
+                frame.journey,
+                telemetry::EventKind::FrameDrop { reason: DropReason::BadIface },
+            );
             return;
         };
         let Some(seg_id) = binding.segment else {
             // Transmitting into an unplugged cable.
             self.stats.incr_id(metric::LINK_TX_DETACHED);
+            self.tele_record(
+                Some(node_id),
+                frame.journey,
+                telemetry::EventKind::FrameDrop { reason: DropReason::Detached },
+            );
             return;
         };
         let seg = &self.segments[seg_id.0];
         if !seg.up {
             self.stats.incr_id(metric::LINK_TX_SEGMENT_DOWN);
+            self.tele_record(
+                Some(node_id),
+                frame.journey,
+                telemetry::EventKind::FrameDrop { reason: DropReason::SegmentDown },
+            );
             return;
         }
         if frame.dst.is_broadcast()
@@ -595,11 +764,21 @@ impl World {
             && self.muted_broadcasts.contains(&(node_id, iface))
         {
             self.stats.incr_id(metric::FAULT_TX_MUTED);
+            self.tele_record(
+                Some(node_id),
+                frame.journey,
+                telemetry::EventKind::FrameDrop { reason: DropReason::Muted },
+            );
             return;
         }
+        let params = seg.params;
         self.stats.incr_id(metric::LINK_FRAMES_SENT);
         self.stats.add_id(metric::LINK_BYTES_SENT, frame.wire_len() as u64);
-        let params = seg.params;
+        self.tele_record(
+            Some(node_id),
+            frame.journey,
+            telemetry::EventKind::FrameTx { iface: iface.0 as u32, bytes: frame.wire_len() as u32 },
+        );
         let mut receivers = std::mem::take(&mut self.rx_scratch);
         receivers.clear();
         receivers.extend(
@@ -608,6 +787,11 @@ impl World {
         for &(rx_node, rx_iface) in &receivers {
             if params.loss > 0.0 && self.rng.random::<f64>() < params.loss {
                 self.stats.incr_id(metric::LINK_FRAMES_DROPPED);
+                self.tele_record(
+                    Some(rx_node),
+                    frame.journey,
+                    telemetry::EventKind::FrameDrop { reason: DropReason::Loss },
+                );
                 continue;
             }
             let mut delay = params.latency;

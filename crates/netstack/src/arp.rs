@@ -13,7 +13,7 @@ use std::net::Ipv4Addr;
 
 use ip::arp::{ArpMessage, ArpOp};
 use ip::ipv4::Ipv4Packet;
-use netsim::{IfaceId, MacAddr};
+use netsim::{IfaceId, JourneyId, MacAddr};
 
 /// How many packets may wait on one unresolved next hop.
 pub const ARP_PENDING_QUEUE_CAP: usize = 16;
@@ -27,8 +27,11 @@ pub struct ArpOutcome {
     /// A reply to transmit (unicast to the requester), if the request was
     /// for one of our addresses or a proxied address.
     pub reply: Option<ArpMessage>,
-    /// Packets whose next hop just resolved, ready to transmit to `mac`.
-    pub flushed: Vec<(MacAddr, Ipv4Packet)>,
+    /// Packets whose next hop just resolved, ready to transmit to `mac`,
+    /// each with the telemetry journey it was queued under (so the flush
+    /// re-attributes the send to the *original* packet, not to the ARP
+    /// reply that triggered it).
+    pub flushed: Vec<(MacAddr, Ipv4Packet, Option<JourneyId>)>,
 }
 
 #[derive(Debug, Default)]
@@ -40,7 +43,7 @@ struct IfaceArp {
 
 #[derive(Debug, Default)]
 struct PendingEntry {
-    packets: Vec<Ipv4Packet>,
+    packets: Vec<(Ipv4Packet, Option<JourneyId>)>,
     retries: u8,
 }
 
@@ -115,7 +118,7 @@ impl ArpModule {
             slot.cache.insert(msg.sender_ip, MacAddr(msg.sender_hw));
             if let Some(entry) = slot.pending.remove(&msg.sender_ip) {
                 let mac = MacAddr(msg.sender_hw);
-                outcome.flushed = entry.packets.into_iter().map(|p| (mac, p)).collect();
+                outcome.flushed = entry.packets.into_iter().map(|(p, j)| (mac, p, j)).collect();
             }
         }
         if msg.op == ArpOp::Request {
@@ -129,20 +132,28 @@ impl ArpModule {
         outcome
     }
 
-    /// Queues `pkt` pending resolution of `next_hop`. Returns `true` if
-    /// this is a new resolution (the caller should broadcast a request and
-    /// arm a retry timer). Packets beyond the queue cap are dropped.
-    pub fn enqueue(&mut self, iface: IfaceId, next_hop: Ipv4Addr, pkt: Ipv4Packet) -> bool {
+    /// Queues `pkt` pending resolution of `next_hop`, remembering the
+    /// telemetry journey it belongs to. Returns `true` if this is a new
+    /// resolution (the caller should broadcast a request and arm a retry
+    /// timer). Packets beyond the queue cap are dropped.
+    pub fn enqueue(
+        &mut self,
+        iface: IfaceId,
+        next_hop: Ipv4Addr,
+        pkt: Ipv4Packet,
+        journey: Option<JourneyId>,
+    ) -> bool {
         let slot = self.slot(iface);
         match slot.pending.get_mut(&next_hop) {
             Some(entry) => {
                 if entry.packets.len() < ARP_PENDING_QUEUE_CAP {
-                    entry.packets.push(pkt);
+                    entry.packets.push((pkt, journey));
                 }
                 false
             }
             None => {
-                slot.pending.insert(next_hop, PendingEntry { packets: vec![pkt], retries: 0 });
+                slot.pending
+                    .insert(next_hop, PendingEntry { packets: vec![(pkt, journey)], retries: 0 });
                 true
             }
         }
@@ -157,7 +168,11 @@ impl ArpModule {
     ///
     /// Returns `Ok(())` with no side effects if the entry no longer exists
     /// (it resolved in the meantime).
-    pub fn retry(&mut self, iface: IfaceId, next_hop: Ipv4Addr) -> Result<bool, Vec<Ipv4Packet>> {
+    pub fn retry(
+        &mut self,
+        iface: IfaceId,
+        next_hop: Ipv4Addr,
+    ) -> Result<bool, Vec<(Ipv4Packet, Option<JourneyId>)>> {
         let slot = self.slot(iface);
         let Some(entry) = slot.pending.get_mut(&next_hop) else {
             return Ok(false); // resolved already; nothing to do
@@ -243,12 +258,12 @@ mod tests {
     #[test]
     fn pending_flushes_on_reply() {
         let mut arp = ArpModule::new();
-        assert!(arp.enqueue(IfaceId(0), ip(9), pkt()));
-        assert!(!arp.enqueue(IfaceId(0), ip(9), pkt())); // second packet, same hop
+        assert!(arp.enqueue(IfaceId(0), ip(9), pkt(), None));
+        assert!(!arp.enqueue(IfaceId(0), ip(9), pkt(), None)); // second packet, same hop
         let reply = ArpMessage::reply(mac(9).0, ip(9), mac(1).0, ip(1));
         let out = arp.handle_message(IfaceId(0), &reply, Some(ip(1)), mac(1));
         assert_eq!(out.flushed.len(), 2);
-        assert!(out.flushed.iter().all(|(m, _)| *m == mac(9)));
+        assert!(out.flushed.iter().all(|(m, _, _)| *m == mac(9)));
         // Cache now primed; nothing pending.
         assert_eq!(arp.lookup(IfaceId(0), ip(9)), Some(mac(9)));
     }
@@ -256,9 +271,9 @@ mod tests {
     #[test]
     fn pending_queue_is_capped() {
         let mut arp = ArpModule::new();
-        arp.enqueue(IfaceId(0), ip(9), pkt());
+        arp.enqueue(IfaceId(0), ip(9), pkt(), None);
         for _ in 0..ARP_PENDING_QUEUE_CAP + 10 {
-            arp.enqueue(IfaceId(0), ip(9), pkt());
+            arp.enqueue(IfaceId(0), ip(9), pkt(), None);
         }
         let reply = ArpMessage::reply(mac(9).0, ip(9), mac(1).0, ip(1));
         let out = arp.handle_message(IfaceId(0), &reply, Some(ip(1)), mac(1));
@@ -268,7 +283,7 @@ mod tests {
     #[test]
     fn retries_then_gives_up() {
         let mut arp = ArpModule::new();
-        arp.enqueue(IfaceId(0), ip(9), pkt());
+        arp.enqueue(IfaceId(0), ip(9), pkt(), None);
         for _ in 0..ARP_MAX_RETRIES {
             assert_eq!(arp.retry(IfaceId(0), ip(9)), Ok(true));
         }
@@ -282,12 +297,12 @@ mod tests {
     fn clear_iface_drops_cache_and_pending() {
         let mut arp = ArpModule::new();
         arp.insert(IfaceId(0), ip(5), mac(5));
-        arp.enqueue(IfaceId(0), ip(9), pkt());
+        arp.enqueue(IfaceId(0), ip(9), pkt(), None);
         arp.clear_iface(IfaceId(0));
         assert_eq!(arp.lookup(IfaceId(0), ip(5)), None);
         assert_eq!(arp.cache_len(IfaceId(0)), 0);
         // Pending cleared: enqueue starts a fresh resolution.
-        assert!(arp.enqueue(IfaceId(0), ip(9), pkt()));
+        assert!(arp.enqueue(IfaceId(0), ip(9), pkt(), None));
     }
 
     #[test]

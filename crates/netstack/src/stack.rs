@@ -254,8 +254,17 @@ impl IpStack {
             let dst = MacAddr(reply.target_hw);
             ctx.send_frame(iface, Frame::new(our_mac, dst, EtherType::Arp, reply.encode()));
         }
-        for (mac, pkt) in outcome.flushed {
-            self.tx_frame(ctx, iface, mac, &pkt);
+        if !outcome.flushed.is_empty() {
+            // Flushed packets were queued by *earlier* dispatches; letting
+            // them inherit the ARP reply's telemetry journey would splice
+            // unrelated packets into one causal chain. Restore each
+            // packet's own queued-under journey for its send.
+            let ambient = ctx.journey();
+            for (mac, pkt, journey) in outcome.flushed {
+                ctx.override_journey(journey);
+                self.tx_frame(ctx, iface, mac, &pkt);
+            }
+            ctx.override_journey(ambient);
         }
     }
 
@@ -313,7 +322,19 @@ impl IpStack {
     pub fn send_link_broadcast(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Ipv4Packet) {
         self.counters.originated.incr(ctx.stats());
         let frame = Frame::broadcast(ctx.mac(iface), EtherType::Ipv4, pkt.encode());
-        ctx.send_frame(iface, frame);
+        Self::originate(ctx, |ctx| ctx.send_frame(iface, frame));
+    }
+
+    /// Runs `f` with no ambient telemetry journey. A journey follows *one*
+    /// IP packet through forwarding and tunneling; packets newly built
+    /// here (ICMP control, UDP datagrams, ARP) start their own journey
+    /// even when triggered from inside another packet's dispatch.
+    fn originate<R>(ctx: &mut Ctx<'_>, f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
+        let ambient = ctx.journey();
+        ctx.override_journey(None);
+        let r = f(ctx);
+        ctx.override_journey(ambient);
+        r
     }
 
     /// Builds and sends an ICMP message to `dst`. The source address is the
@@ -332,7 +353,7 @@ impl IpStack {
         };
         let ident = self.next_ident();
         let pkt = Ipv4Packet::new(src, dst, proto::ICMP, msg.encode()).with_ident(ident);
-        self.send(ctx, pkt);
+        Self::originate(ctx, |ctx| self.send(ctx, pkt));
     }
 
     /// Builds and sends a UDP datagram to `dst:dst_port`.
@@ -351,7 +372,7 @@ impl IpStack {
         let datagram = UdpDatagram::new(src_port, dst_port, payload);
         let ident = self.next_ident();
         let pkt = Ipv4Packet::new(src, dst, proto::UDP, datagram.encode()).with_ident(ident);
-        self.send(ctx, pkt);
+        Self::originate(ctx, |ctx| self.send(ctx, pkt));
     }
 
     /// Sends an ICMP *error* about `offending` back to its source, subject
@@ -406,7 +427,7 @@ impl IpStack {
             Ok(false) => {}
             Err(dropped) => {
                 ctx.stats().add("ip.arp_failed", dropped.len() as u64);
-                for pkt in dropped {
+                for (pkt, _journey) in dropped {
                     if !self.is_local_addr(pkt.src) {
                         self.send_host_unreachable(ctx, &pkt);
                     }
@@ -464,7 +485,7 @@ impl IpStack {
             return;
         }
         ctx.stats().incr("arp.queued");
-        if self.arp.enqueue(iface, next_hop, pkt) {
+        if self.arp.enqueue(iface, next_hop, pkt, ctx.journey()) {
             self.send_arp_request(ctx, iface, next_hop);
             self.arm_arp_timer(ctx, iface, next_hop);
         }
@@ -474,7 +495,8 @@ impl IpStack {
         let our = self.iface_addr(iface).map(|ia| ia.addr).unwrap_or(Ipv4Addr::UNSPECIFIED);
         let req = ArpMessage::request(ctx.mac(iface).0, our, target);
         ctx.stats().incr("arp.requests_sent");
-        ctx.send_frame(iface, Frame::broadcast(ctx.mac(iface), EtherType::Arp, req.encode()));
+        let frame = Frame::broadcast(ctx.mac(iface), EtherType::Arp, req.encode());
+        Self::originate(ctx, |ctx| ctx.send_frame(iface, frame));
     }
 
     fn arm_arp_timer(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, next_hop: Ipv4Addr) {

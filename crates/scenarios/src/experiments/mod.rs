@@ -1,4 +1,4 @@
-//! One module per reproduced experiment (DESIGN.md's E01–E12 index).
+//! One module per reproduced experiment (DESIGN.md's E01–E13 index).
 
 pub mod e01_header;
 pub mod e02_overhead;
@@ -12,3 +12,4 @@ pub mod e09_icmp_errors;
 pub mod e10_at_home;
 pub mod e11_flapping;
 pub mod e12_partition;
+pub mod e13_provenance;

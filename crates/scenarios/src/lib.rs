@@ -9,9 +9,12 @@
 //! * [`experiments`] — one module per reproduced table/figure (see
 //!   DESIGN.md's per-experiment index and EXPERIMENTS.md for results).
 //! * [`report`] — plain-text table rendering for the `report` binary.
+//! * [`trace`] — structured-telemetry path assertions (journey hop lists
+//!   against the paper's Figure 1 names).
 
 pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod shootout;
 pub mod topology;
+pub mod trace;

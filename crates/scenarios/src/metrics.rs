@@ -1,5 +1,7 @@
 //! Result records produced by the experiments.
 
+use netsim::Histogram;
+
 /// One row of the §7-style protocol comparison (experiments E02/E03/E07).
 #[derive(Debug, Clone)]
 pub struct ComparisonRow {
@@ -15,6 +17,11 @@ pub struct ComparisonRow {
     pub overhead_per_packet: f64,
     /// Average forward-path length in router hops (from received TTLs).
     pub avg_forward_hops: f64,
+    /// One-way delivery latency distribution over the measured stream, in
+    /// microseconds (send-to-arrival, paired by in-order index).
+    pub latency_us: Histogram,
+    /// Forward-path hop-count distribution over delivered packets.
+    pub hops_hist: Histogram,
     /// Protocol control messages exchanged during the run.
     pub control_messages: u64,
     /// Paper §7 figure for comparison (bytes/packet), where stated.
@@ -145,6 +152,8 @@ mod tests {
             overhead_bytes: 0,
             overhead_per_packet: 0.0,
             avg_forward_hops: 0.0,
+            latency_us: Histogram::latency_us(),
+            hops_hist: Histogram::hops(),
             control_messages: 0,
             paper_overhead: "-",
         };

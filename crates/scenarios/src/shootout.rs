@@ -525,6 +525,24 @@ pub fn run_comparison(mut d: Driver, n_packets: u32) -> ComparisonRow {
     } else {
         rx.iter().map(|(_, ttl)| f64::from(64 - ttl)).sum::<f64>() / rx.len() as f64
     };
+    // Latency/hop distributions, merged into the world's stats hub under
+    // the per-flow histogram names and copied onto the row. Packets were
+    // sent at `data_start + i*100ms` with one outstanding per interval,
+    // and the lossless shootout segments deliver in order, so arrival `i`
+    // pairs with send `i`.
+    let lat_id = d
+        .world
+        .stats_mut()
+        .histogram_metric("flow.latency_us", netsim::telemetry::LATENCY_US_BOUNDS);
+    let hops_id =
+        d.world.stats_mut().histogram_metric("flow.fwd_hops", netsim::telemetry::HOP_BOUNDS);
+    for (i, (at, ttl)) in rx.iter().enumerate() {
+        let sent_at = data_start + SimDuration::from_millis(100) * (i as u64);
+        d.world.stats_mut().record_hist_id(lat_id, at.since(sent_at).as_micros());
+        d.world.stats_mut().record_hist_id(hops_id, u64::from(64 - ttl));
+    }
+    let latency_us = d.world.stats().histogram("flow.latency_us").expect("registered").clone();
+    let hops_hist = d.world.stats().histogram("flow.fwd_hops").expect("registered").clone();
     ComparisonRow {
         protocol: d.name.to_owned(),
         data_packets_sent: u64::from(n_packets),
@@ -532,6 +550,8 @@ pub fn run_comparison(mut d: Driver, n_packets: u32) -> ComparisonRow {
         overhead_bytes,
         overhead_per_packet: overhead_bytes as f64 / f64::from(n_packets),
         avg_forward_hops,
+        latency_us,
+        hops_hist,
         control_messages,
         paper_overhead: d.paper_overhead,
     }

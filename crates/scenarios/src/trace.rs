@@ -1,0 +1,81 @@
+//! Structured-trace assertion helpers: turn [`netsim::Journey`] hop lists
+//! into named paths and assert the paper's path claims (e.g. Figure 1's
+//! `S -> R1 -> R2 -> R3 -> R4 -> M`) directly against telemetry.
+
+use netsim::{JourneyId, NodeId, TeleEventKind, World};
+
+use crate::topology::Figure1;
+
+/// The Figure 1 display name of `node` (`"R1"`..`"R5"`, `"S"`, `"M"`), or
+/// `"?"` for a node outside the canonical cast.
+pub fn fig1_name(f: &Figure1, node: NodeId) -> &'static str {
+    if node == f.r1 {
+        "R1"
+    } else if node == f.r2 {
+        "R2"
+    } else if node == f.r3 {
+        "R3"
+    } else if node == f.r4 {
+        "R4"
+    } else if node == f.r5 {
+        "R5"
+    } else if node == f.s {
+        "S"
+    } else if node == f.m {
+        "M"
+    } else {
+        "?"
+    }
+}
+
+/// The named hop list of `id` in a Figure 1 world: each node that
+/// *received* a frame of the journey, in order.
+pub fn fig1_hops(f: &Figure1, id: JourneyId) -> Vec<&'static str> {
+    f.world.journey_hops(id).into_iter().map(|n| fig1_name(f, n)).collect()
+}
+
+/// Asserts that journey `id` visited exactly `want` (receiving nodes in
+/// order), with a readable diff on mismatch.
+///
+/// # Panics
+///
+/// Panics when the reconstructed path differs from `want`.
+pub fn assert_path(world: &World, id: JourneyId, want: &[NodeId]) {
+    let got = world.journey_hops(id);
+    assert_eq!(
+        got,
+        want,
+        "journey {id} path mismatch:\n  got  {got:?}\n  want {want:?}\n  events: {:#?}",
+        world.journey(id).events
+    );
+}
+
+/// Number of tunnel encapsulations recorded on journey `id`.
+pub fn encap_count(world: &World, id: JourneyId) -> usize {
+    world
+        .journey(id)
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, TeleEventKind::Encap { .. }))
+        .count()
+}
+
+/// Whether journey `id` triggered loop detection (§5.3).
+pub fn loop_detected(world: &World, id: JourneyId) -> bool {
+    world.journey(id).loop_detected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Figure1Options;
+
+    #[test]
+    fn fig1_names_cover_the_cast() {
+        let f = Figure1::build(Figure1Options::default());
+        let names: Vec<&str> =
+            [f.r1, f.r2, f.r3, f.r4, f.r5, f.s, f.m].iter().map(|&n| fig1_name(&f, n)).collect();
+        assert_eq!(names, ["R1", "R2", "R3", "R4", "R5", "S", "M"]);
+        assert_eq!(fig1_name(&f, NodeId(99)), "?");
+    }
+}

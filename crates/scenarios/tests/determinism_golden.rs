@@ -8,7 +8,9 @@
 //! experiment numbers.
 
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Ctx, EtherType, Frame, IfaceId, Node, SegmentParams, TimerToken, World};
+use netsim::{
+    Ctx, EtherType, Event, Frame, IfaceId, Node, SegmentParams, TeleEventKind, TimerToken, World,
+};
 use scenarios::experiments::{e02_overhead, e07_scalability};
 
 /// E02 (§7 overhead comparison) at the fixed seed: per-protocol
@@ -104,4 +106,51 @@ fn lossy_world_matches_golden() {
     assert_eq!(w.stats().counter("link.frames_sent"), 2000);
     assert_eq!(w.stats().counter("link.frames_delivered"), 4157);
     assert_eq!(w.stats().counter("link.frames_dropped"), 1828);
+}
+
+/// Same world as [`lossy_world_matches_golden`] with structured telemetry
+/// on. One run of the lossy chatter world, returning its full event log.
+fn lossy_events(seed: u64) -> (Vec<Event>, u64, u64) {
+    let mut w = World::new(seed);
+    w.set_telemetry(true);
+    w.set_telemetry_capacity(1 << 16);
+    let seg = w.add_segment(SegmentParams {
+        loss: 0.3,
+        jitter: SimDuration::from_millis(1),
+        ..Default::default()
+    });
+    for _ in 0..4 {
+        let id = w.add_node(Box::new(Chatter { len: 64 }));
+        w.add_iface(id, Some(seg));
+    }
+    w.start();
+    w.run_until(SimTime::from_millis(500));
+    assert_eq!(w.telemetry().overwritten(), 0, "ring too small for full trace");
+    (
+        w.telemetry().events().copied().collect(),
+        w.stats().counter("link.frames_delivered"),
+        w.stats().counter("link.frames_dropped"),
+    )
+}
+
+/// The structured-event successor of the string-trace determinism golden:
+/// the same seed must replay the *typed* event log identically (every
+/// timestamp, node, journey id and event kind), and the log must agree
+/// with the pinned counters — one `FrameRx` per delivery and one
+/// `FrameDrop` per loss draw. Telemetry being on must not perturb the
+/// RNG draw order, so the pinned counter goldens hold unchanged.
+#[test]
+fn lossy_world_structured_events_replay_identically() {
+    let (events_a, delivered, dropped) = lossy_events(42);
+    let (events_b, _, _) = lossy_events(42);
+    assert!(!events_a.is_empty());
+    assert_eq!(events_a, events_b);
+
+    assert_eq!(delivered, 4157, "telemetry perturbed the RNG draw order");
+    assert_eq!(dropped, 1828, "telemetry perturbed the RNG draw order");
+    let rx = events_a.iter().filter(|e| matches!(e.kind, TeleEventKind::FrameRx { .. })).count();
+    let drops =
+        events_a.iter().filter(|e| matches!(e.kind, TeleEventKind::FrameDrop { .. })).count();
+    assert_eq!(rx as u64, delivered, "one FrameRx per delivered frame");
+    assert_eq!(drops as u64, dropped, "one FrameDrop per lost frame");
 }

@@ -6,7 +6,7 @@
 
 use mhrp::{Attachment, MhrpHostNode, MhrpRouterNode, MobileHostNode};
 use netsim::time::{SimDuration, SimTime};
-use netsim::{FaultOp, FaultPlan, IfaceId};
+use netsim::{Event, FaultOp, FaultPlan, IfaceId, TeleEventKind};
 use scenarios::topology::{CorrespondentKind, Figure1, Figure1Options};
 
 const DATA_PORT: u16 = 7001;
@@ -101,14 +101,16 @@ fn crashed_foreign_agent_recovers_its_visitors() {
 }
 
 /// The fixed "drill" plan: every fault class the engine supports, on the
-/// full Figure 1 world, while M moves D→E mid-plan.
-fn drill(seed: u64) -> (Vec<String>, Vec<(String, u64)>) {
+/// full Figure 1 world, while M moves D→E mid-plan. Returns the full
+/// structured telemetry event log and every counter.
+fn drill(seed: u64) -> (Vec<Event>, Vec<(String, u64)>) {
     let mut f = Figure1::build(Figure1Options {
         correspondent: CorrespondentKind::Mhrp,
         seed,
         ..Default::default()
     });
-    f.world.set_tracing(true);
+    f.world.set_telemetry(true);
+    f.world.set_telemetry_capacity(1 << 18);
     let plan = FaultPlan::new()
         .flap(
             f.net_d,
@@ -147,20 +149,18 @@ fn drill(seed: u64) -> (Vec<String>, Vec<(String, u64)>) {
     }
     f.world.run_until(SimTime::from_secs(20));
 
-    let trace = f
-        .world
-        .tracer()
-        .events()
-        .iter()
-        .map(|e| format!("{:?} {:?} {} {}", e.time, e.node, e.kind, e.detail))
-        .collect();
+    assert_eq!(f.world.telemetry().overwritten(), 0, "ring too small for the full drill trace");
+    let trace = f.world.telemetry().events().copied().collect();
     let counters = f.world.stats().counters().map(|(n, v)| (n.to_owned(), v)).collect();
     (trace, counters)
 }
 
-/// Identical seed + identical plan ⇒ byte-identical run: the full trace
-/// (every frame, timer, fault and admin event, in order) and every
-/// counter. This is the determinism contract the fault engine must keep.
+/// Identical seed + identical plan ⇒ identical run: the full structured
+/// event log (every frame tx/rx/drop, timer and fault op, in order, with
+/// identical timestamps and journey ids) and every counter. This is the
+/// determinism contract the fault engine must keep. The string-trace
+/// form of this contract lives on as the legacy golden
+/// `fault_plan_runs_are_byte_identical` in `netsim::world`.
 #[test]
 fn fixed_drill_plan_replays_byte_identically() {
     let (trace_a, counters_a) = drill(1994);
@@ -168,6 +168,13 @@ fn fixed_drill_plan_replays_byte_identically() {
     assert!(!trace_a.is_empty());
     assert_eq!(trace_a, trace_b);
     assert_eq!(counters_a, counters_b);
+
+    // The structured log agrees with the engine's own accounting: every
+    // fault op the plan applied shows up as a typed Fault event.
+    let fault_events =
+        trace_a.iter().filter(|e| matches!(e.kind, TeleEventKind::Fault { .. })).count() as u64;
+    let applied = counters_a.iter().find(|(n, _)| n == "fault.ops_applied").map_or(0, |&(_, v)| v);
+    assert_eq!(fault_events, applied, "typed fault events vs fault.ops_applied");
 
     // Golden anchors for the fixed plan itself: all 13 scheduled ops
     // fired (3 flap cycles = 6, partition = 2, spike + corruption = 2,

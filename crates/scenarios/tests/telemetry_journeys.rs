@@ -1,0 +1,180 @@
+//! Journey-propagation integration tests: the structured telemetry log
+//! must string one packet's frames together across netstack forwarding
+//! and `mhrp::tunnel` encap/decap — through the home-agent triangle, and
+//! through a §5.3 routing loop up to the point the loop is cut.
+
+use mhrp::{Attachment, MhrpConfig, MhrpHostNode, MhrpRouterNode};
+use netsim::time::{SimDuration, SimTime};
+use netsim::{JourneyId, TeleEventKind};
+use scenarios::topology::{CorrespondentKind, Figure1, Figure1Options};
+use scenarios::trace::{assert_path, encap_count, fig1_hops};
+
+const DATA_PORT: u16 = 7001;
+
+fn send_from_s(f: &mut Figure1, marker: u8) {
+    let m_addr = f.addrs.m;
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![marker; 32]);
+    });
+}
+
+/// The most recent journey that originated at S (skips advertisements,
+/// ARP and other background journeys).
+fn last_journey_from_s(f: &Figure1) -> JourneyId {
+    let tele = f.world.telemetry();
+    let s = f.s.0 as u32;
+    tele.journeys()
+        .into_iter()
+        .rfind(|&id| tele.journey(id).events.first().is_some_and(|e| e.node == Some(s)))
+        .expect("no journey originated at S")
+}
+
+/// A packet to a departed M rides the home-agent tunnel: its single
+/// journey must cross the encapsulation at R2 (§4.2, `by_sender: false`)
+/// and the decapsulation at the foreign agent R4, with the hop list
+/// tracing the full Figure 1 triangle.
+#[test]
+fn tunnel_encap_decap_stay_on_one_journey() {
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: CorrespondentKind::Mhrp,
+        seed: 1994,
+        ..Default::default()
+    });
+    f.world.set_telemetry(true);
+
+    // Prime at home (warms ARP), then move M to D and settle.
+    f.world.run_until(SimTime::from_secs(2));
+    send_from_s(&mut f, 1);
+    f.world.run_for(SimDuration::from_secs(2));
+    f.move_m_to_d();
+    assert!(f.run_until_attached(Attachment::Foreign(f.addrs.r4), SimDuration::from_secs(10)));
+    f.world.run_for(SimDuration::from_secs(2));
+
+    send_from_s(&mut f, 2);
+    f.world.run_for(SimDuration::from_secs(2));
+
+    let id = last_journey_from_s(&f);
+    assert_path(&f.world, id, &[f.r1, f.r2, f.r3, f.r4, f.m]);
+
+    let journey = f.world.journey(id);
+    let at = |kind_match: fn(&TeleEventKind) -> bool| {
+        journey.events.iter().filter(|e| kind_match(&e.kind)).map(|e| e.node).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        at(|k| matches!(k, TeleEventKind::Encap { by_sender: false })),
+        [Some(f.r2.0 as u32)],
+        "home agent R2 must encapsulate, exactly once"
+    );
+    assert_eq!(
+        at(|k| matches!(k, TeleEventKind::Decap)),
+        [Some(f.r4.0 as u32)],
+        "foreign agent R4 must decapsulate, exactly once"
+    );
+    assert_eq!(journey.decap_count(), 1);
+    assert!(!journey.loop_detected());
+}
+
+/// The E05 loop world with §5.3 detection on: poisoned caches bounce the
+/// packet between R4 and R5 until the previous-source list catches the
+/// repeat. The reconstructed journey must show the loop — both members
+/// on the hop list, a tunnel transit between them — and its cut: a
+/// `LoopDetected` event after which the packet moves no further.
+#[test]
+fn loop_dissolution_journey_shows_loop_and_cut() {
+    let mut f = Figure1::build(Figure1Options {
+        config: MhrpConfig { detect_loops: true, ..Default::default() },
+        correspondent: CorrespondentKind::Mhrp,
+        seed: 17,
+        ..Default::default()
+    });
+    f.world.set_telemetry(true);
+    let m_addr = f.addrs.m;
+    let (r4_addr, r5_addr) = (f.addrs.r4, f.addrs.r5);
+
+    f.world.run_until(SimTime::from_secs(2));
+    // Prime S's ARP while M is still home, so the looped packet's journey
+    // is not trailed by a fresh ARP-request journey from S.
+    send_from_s(&mut f, 0);
+    f.world.run_for(SimDuration::from_secs(2));
+    // M vanishes; the buggy caches point at each other (E05's setup).
+    f.detach_m();
+    f.world.run_for(SimDuration::from_millis(100));
+    let now = f.world.now();
+    f.world.with_node::<MhrpRouterNode, _>(f.r4, |r, _| {
+        r.ca.cache.insert(m_addr, r5_addr, now);
+    });
+    f.world.with_node::<MhrpRouterNode, _>(f.r5, |r, _| {
+        r.ca.cache.insert(m_addr, r4_addr, now);
+    });
+    f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
+        let t = ctx.now();
+        s.ca.cache.insert(m_addr, r4_addr, t);
+    });
+
+    send_from_s(&mut f, 3);
+    f.world.run_for(SimDuration::from_secs(2));
+
+    let id = last_journey_from_s(&f);
+    let journey = f.world.journey(id);
+    let hops = fig1_hops(&f, id);
+
+    assert!(
+        journey.loop_detected(),
+        "no LoopDetected on the journey; events: {:#?}",
+        journey.events
+    );
+    assert!(journey.visited(f.r4.0 as u32), "loop member R4 missing from {hops:?}");
+    assert!(journey.visited(f.r5.0 as u32), "loop member R5 missing from {hops:?}");
+    assert!(!hops.contains(&"M"), "packet must never reach the detached M: {hops:?}");
+    assert!(encap_count(&f.world, id) >= 1, "the packet was never tunneled");
+
+    // The cut: once the loop is detected the packet is dropped, so the
+    // journey records no transmissions (and no further hops) after it.
+    let cut = journey
+        .events
+        .iter()
+        .position(|e| matches!(e.kind, TeleEventKind::LoopDetected { .. }))
+        .unwrap();
+    assert!(
+        journey.events[cut..].iter().all(|e| !matches!(
+            e.kind,
+            TeleEventKind::FrameTx { .. } | TeleEventKind::FrameRx { .. }
+        )),
+        "packet kept moving after the loop was cut: {:#?}",
+        journey.events
+    );
+    // And the detector named both members of the two-agent loop.
+    let TeleEventKind::LoopDetected { members } = journey.events[cut].kind else { unreachable!() };
+    assert_eq!(members, 2, "§5.3 should report the 2-agent loop");
+}
+
+/// Delivered frames captured to pcap-ng round-trip through the in-repo
+/// reader: same frame count the world reports, plausible ethernet
+/// framing, and IPv4 ethertype on the data frames.
+#[test]
+fn pcap_capture_round_trips() {
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: CorrespondentKind::Mhrp,
+        seed: 1994,
+        ..Default::default()
+    });
+    f.world.start_pcap_capture();
+    f.world.run_until(SimTime::from_secs(2));
+    send_from_s(&mut f, 4);
+    f.world.run_for(SimDuration::from_secs(2));
+
+    let captured = f.world.pcap_frame_count();
+    assert!(captured > 0, "nothing captured");
+    let bytes = f.world.take_pcap().expect("capture was started");
+    let frames = netsim::telemetry::pcapng::read(&bytes).expect("generated pcap must parse");
+    assert_eq!(frames.len(), captured, "reader count vs writer count");
+    for fr in &frames {
+        assert!(fr.bytes.len() >= 14, "frame shorter than an ethernet header");
+    }
+    assert!(
+        frames.iter().any(|fr| fr.bytes[12] == 0x08 && fr.bytes[13] == 0x00),
+        "no IPv4 ethertype frame in the capture"
+    );
+    // Timestamps are non-decreasing (delivered in simulated-time order).
+    assert!(frames.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+}

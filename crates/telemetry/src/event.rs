@@ -1,0 +1,137 @@
+//! Typed event records.
+//!
+//! Every variant is `Copy` and allocation-free by construction: events
+//! carry counts and small scalar ids, never strings or vectors, so
+//! recording one is a single ring-buffer store.
+
+/// Identifies one packet's causal journey through the network.
+///
+/// A journey id is minted by [`crate::EventLog::mint_journey`] when a
+/// packet is first sent, and the simulator propagates it onto every frame
+/// transmitted *because of* that packet — forwarding, ARP-independent
+/// retransmission, MHRP tunnel encapsulation and decapsulation all keep
+/// the id. Reconstructing the hop list is then a filter over the event
+/// log (see [`crate::EventLog::journey`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JourneyId(pub u64);
+
+impl std::fmt::Display for JourneyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// Why a frame was dropped instead of delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Random loss on the segment (loss-probability draw).
+    Loss,
+    /// The destination node was crashed when the frame arrived.
+    NodeDown,
+    /// The destination interface moved to another segment in flight.
+    Moved,
+    /// The segment was administratively down at transmit time.
+    SegmentDown,
+    /// The sending interface was muted by a fault op.
+    Muted,
+    /// The sending interface was not attached to any segment.
+    Detached,
+    /// The sender named an interface it does not have.
+    BadIface,
+}
+
+/// The class of an injected fault operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A segment was taken down (partition half, flap down-phase, ...).
+    SegmentDown,
+    /// A segment was restored.
+    SegmentUp,
+    /// Segment loss probability changed.
+    Loss,
+    /// Segment latency changed (spike or restore).
+    Latency,
+    /// Segment corruption probability changed.
+    Corruption,
+    /// An interface was detached from its segment.
+    Detach,
+    /// An interface was attached to a segment.
+    Attach,
+    /// A node crashed (volatile state lost).
+    Crash,
+    /// A crashed node rebooted.
+    Reboot,
+    /// A node's broadcasts were muted.
+    Mute,
+    /// A mute window ended.
+    Unmute,
+}
+
+/// What happened. All payloads are scalar so the record is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A frame was accepted for transmission on a segment.
+    FrameTx {
+        /// Sender-local interface index.
+        iface: u32,
+        /// Wire length in bytes (link header + payload).
+        bytes: u32,
+    },
+    /// A frame was delivered to a node.
+    FrameRx {
+        /// Receiver-local interface index.
+        iface: u32,
+        /// Wire length in bytes.
+        bytes: u32,
+    },
+    /// A frame was dropped.
+    FrameDrop {
+        /// Why it never arrived.
+        reason: DropReason,
+    },
+    /// A node timer fired.
+    Timer {
+        /// The opaque timer token.
+        token: u64,
+    },
+    /// A fault-plan operation was applied to the world.
+    Fault {
+        /// The class of operation.
+        kind: FaultKind,
+    },
+    /// A packet was wrapped in an MHRP tunnel header (§4.1/§4.2).
+    Encap {
+        /// True when the *original sender* built the 8-octet header;
+        /// false for the 12-octet agent form (home agent or cache agent
+        /// tunneling on another host's behalf).
+        by_sender: bool,
+    },
+    /// A tunnel header was stripped for final delivery (§4.3).
+    Decap,
+    /// A foreign agent re-tunneled a packet along a forwarding pointer,
+    /// growing the previous-source-address list (§4.4).
+    Retunnel,
+    /// The previous-source list revisited a router: routing loop found
+    /// and dissolved (§5.3).
+    LoopDetected {
+        /// Number of loop members that were sent purge updates.
+        members: u8,
+    },
+    /// A location-cache lookup hit and the packet was tunneled directly.
+    CacheHit,
+    /// A location cache applied a binding update (§6).
+    CacheUpdate,
+}
+
+/// One record in the [`crate::EventLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation time in nanoseconds since the epoch of the run.
+    pub at_nanos: u64,
+    /// The node this event happened at, if any (fault ops are global).
+    pub node: Option<u32>,
+    /// The packet journey this event belongs to, when known.
+    pub journey: Option<JourneyId>,
+    /// What happened.
+    pub kind: EventKind,
+}

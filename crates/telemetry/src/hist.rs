@@ -1,0 +1,188 @@
+//! Fixed-bucket histograms for latency and hop-count distributions.
+
+/// Bucket upper bounds (inclusive) for end-to-end latency in
+/// microseconds, roughly logarithmic from 50 µs to 1 s.
+pub const LATENCY_US_BOUNDS: &[u64] = &[
+    50, 100, 200, 300, 400, 500, 750, 1_000, 1_500, 2_000, 3_000, 5_000, 7_500, 10_000, 20_000,
+    50_000, 100_000, 250_000, 500_000, 1_000_000,
+];
+
+/// Bucket upper bounds (inclusive) for forwarding hop counts.
+pub const HOP_BOUNDS: &[u64] =
+    &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 20, 24, 28, 32];
+
+/// A fixed-bucket histogram: values land in the first bucket whose upper
+/// bound is ≥ the value, with an implicit overflow bucket past the last
+/// bound. Bounds are `'static` so merging can verify shape by identity
+/// and recording is a linear scan over a tiny array.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `bounds` (strictly increasing;
+    /// one extra overflow bucket is added internally).
+    pub fn new(bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        Histogram { bounds, counts: vec![0; bounds.len() + 1], count: 0, sum: 0, max: 0 }
+    }
+
+    /// An empty latency histogram (microsecond buckets).
+    pub fn latency_us() -> Histogram {
+        Histogram::new(LATENCY_US_BOUNDS)
+    }
+
+    /// An empty hop-count histogram.
+    pub fn hops() -> Histogram {
+        Histogram::new(HOP_BOUNDS)
+    }
+
+    /// The bucket bounds this histogram was built over.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`), reported as the upper bound
+    /// of the bucket holding the rank-`⌈q·n⌉` sample. Samples in the
+    /// overflow bucket report the exact maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if idx < self.bounds.len() {
+                    // Never report a quantile above the observed max.
+                    self.bounds[idx].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self`. Panics if the two
+    /// histograms were built over different bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            std::ptr::eq(self.bounds, other.bounds) || self.bounds == other.bounds,
+            "merging histograms with different bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Per-bucket counts, one entry per bound plus the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_land_in_the_right_buckets() {
+        let mut h = Histogram::new(&[10, 20, 30]);
+        for v in [1, 2, 3, 11, 12, 21, 22, 23, 24, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 100);
+        // rank 5 = the 12 sample → bucket ≤20.
+        assert_eq!(h.p50(), 20);
+        // rank 9 = the 24 sample → bucket ≤30.
+        assert_eq!(h.quantile(0.9), 30);
+        // rank 10 = overflow bucket → exact max.
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.p99(), 100);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let mut h = Histogram::new(&[1_000]);
+        h.record(3);
+        h.record(4);
+        assert_eq!(h.p50(), 4);
+        assert_eq!(h.p99(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::latency_us();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::hops();
+        let mut b = Histogram::hops();
+        a.record(2);
+        b.record(4);
+        b.record(33); // overflow bucket
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 33);
+        assert_eq!(a.quantile(1.0), 33);
+    }
+}

@@ -1,0 +1,125 @@
+//! A minimal JSON trace exporter (no serde dependency).
+//!
+//! Produces a flat array of event objects — enough for the report binary
+//! to publish a machine-readable trace artifact next to the pcap file.
+
+use crate::event::{Event, EventKind};
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+fn push_kv_str(out: &mut String, key: &str, v: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    out.push_str(v); // values are static identifiers, never user text
+    out.push('"');
+}
+
+fn push_event(out: &mut String, ev: &Event) {
+    out.push('{');
+    let mut first = true;
+    push_kv_u64(out, "t_ns", ev.at_nanos, &mut first);
+    if let Some(n) = ev.node {
+        push_kv_u64(out, "node", u64::from(n), &mut first);
+    }
+    if let Some(j) = ev.journey {
+        push_kv_u64(out, "journey", j.0, &mut first);
+    }
+    match ev.kind {
+        EventKind::FrameTx { iface, bytes } => {
+            push_kv_str(out, "kind", "frame_tx", &mut first);
+            push_kv_u64(out, "iface", u64::from(iface), &mut first);
+            push_kv_u64(out, "bytes", u64::from(bytes), &mut first);
+        }
+        EventKind::FrameRx { iface, bytes } => {
+            push_kv_str(out, "kind", "frame_rx", &mut first);
+            push_kv_u64(out, "iface", u64::from(iface), &mut first);
+            push_kv_u64(out, "bytes", u64::from(bytes), &mut first);
+        }
+        EventKind::FrameDrop { reason } => {
+            push_kv_str(out, "kind", "frame_drop", &mut first);
+            push_kv_str(out, "reason", &format!("{reason:?}"), &mut first);
+        }
+        EventKind::Timer { token } => {
+            push_kv_str(out, "kind", "timer", &mut first);
+            push_kv_u64(out, "token", token, &mut first);
+        }
+        EventKind::Fault { kind } => {
+            push_kv_str(out, "kind", "fault", &mut first);
+            push_kv_str(out, "fault", &format!("{kind:?}"), &mut first);
+        }
+        EventKind::Encap { by_sender } => {
+            push_kv_str(out, "kind", "encap", &mut first);
+            push_kv_str(out, "by", if by_sender { "sender" } else { "agent" }, &mut first);
+        }
+        EventKind::Decap => push_kv_str(out, "kind", "decap", &mut first),
+        EventKind::Retunnel => push_kv_str(out, "kind", "retunnel", &mut first),
+        EventKind::LoopDetected { members } => {
+            push_kv_str(out, "kind", "loop_detected", &mut first);
+            push_kv_u64(out, "members", u64::from(members), &mut first);
+        }
+        EventKind::CacheHit => push_kv_str(out, "kind", "cache_hit", &mut first),
+        EventKind::CacheUpdate => push_kv_str(out, "kind", "cache_update", &mut first),
+    }
+    out.push('}');
+}
+
+/// Renders events as a JSON array, one object per event.
+pub fn trace_json<'a>(events: impl Iterator<Item = &'a Event>) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in events.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event(&mut out, ev);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropReason, JourneyId};
+
+    #[test]
+    fn renders_expected_shape() {
+        let events = [
+            Event {
+                at_nanos: 1_500,
+                node: Some(3),
+                journey: Some(JourneyId(7)),
+                kind: EventKind::FrameRx { iface: 1, bytes: 78 },
+            },
+            Event {
+                at_nanos: 2_000,
+                node: None,
+                journey: None,
+                kind: EventKind::FrameDrop { reason: DropReason::Loss },
+            },
+        ];
+        let json = trace_json(events.iter());
+        assert_eq!(
+            json,
+            r#"[{"t_ns":1500,"node":3,"journey":7,"kind":"frame_rx","iface":1,"bytes":78},{"t_ns":2000,"kind":"frame_drop","reason":"Loss"}]"#
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        assert_eq!(trace_json([].iter()), "[]");
+    }
+}

@@ -1,0 +1,38 @@
+//! Structured observability for the MHRP simulation suite.
+//!
+//! The paper's claims are *path* claims — route optimization shortens the
+//! S→M path (Figure 1), the previous-source-address list drives cache
+//! convergence (§5), and the §7 comparison is about per-packet overhead and
+//! forwarding path length. Flat counters cannot express any of that. This
+//! crate provides the missing layer:
+//!
+//! * [`Event`] / [`EventLog`] — typed, allocation-free event records
+//!   (frame tx/rx/drop, encap/decap, cache traffic, timers, fault ops)
+//!   kept in a bounded ring buffer. Recording is a no-op until the log is
+//!   enabled at runtime, and the buffer is pre-allocated on enable so the
+//!   steady state allocates nothing either way.
+//! * [`JourneyId`] / [`Journey`] — a causal identifier minted when a
+//!   packet is first sent and propagated hop by hop, so the full forwarding
+//!   path of any packet (home-routed vs. optimized vs. looped) can be
+//!   reconstructed and asserted.
+//! * [`Histogram`] — fixed-bucket latency / hop-count distributions with
+//!   p50/p90/p99/max summaries, cheap to merge.
+//! * [`pcapng`] — a writer and reader for the pcap-ng capture format, so
+//!   delivered frames (IP + MHRP header bytes included) open in Wireshark.
+//! * [`json`] — a minimal JSON trace exporter for the report binary.
+//!
+//! The crate is deliberately dependency-free: it speaks raw `u32` node
+//! ids, `u64` nanosecond timestamps and byte slices, and the simulator
+//! layers its own typed ids on top.
+
+#![deny(missing_docs)]
+
+mod event;
+mod hist;
+pub mod json;
+mod log;
+pub mod pcapng;
+
+pub use event::{DropReason, Event, EventKind, FaultKind, JourneyId};
+pub use hist::{Histogram, HOP_BOUNDS, LATENCY_US_BOUNDS};
+pub use log::{EventLog, Journey};

@@ -1,0 +1,289 @@
+//! A minimal pcap-ng writer and reader (little-endian).
+//!
+//! The writer emits one Section Header Block, one Interface Description
+//! Block (LINKTYPE_ETHERNET, nanosecond timestamps via `if_tsresol`) and
+//! one Enhanced Packet Block per frame — exactly the subset Wireshark
+//! needs to open a capture. The reader parses the same subset back and
+//! validates magics and block framing, so captures round-trip in tests.
+
+/// Block type of the Section Header Block; doubles as the file magic.
+pub const SHB_TYPE: u32 = 0x0A0D_0D0A;
+/// Byte-order magic inside the SHB.
+pub const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+/// Block type of the Interface Description Block.
+pub const IDB_TYPE: u32 = 0x0000_0001;
+/// Block type of the Enhanced Packet Block.
+pub const EPB_TYPE: u32 = 0x0000_0006;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u16 = 1;
+
+/// Serializes frames into an in-memory pcap-ng capture.
+#[derive(Debug, Clone)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    frames: usize,
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        PcapWriter::new()
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+impl PcapWriter {
+    /// Creates a writer with the section and interface headers already
+    /// emitted.
+    pub fn new() -> PcapWriter {
+        let mut buf = Vec::with_capacity(4096);
+
+        // Section Header Block: no options.
+        put_u32(&mut buf, SHB_TYPE);
+        put_u32(&mut buf, 28); // block total length
+        put_u32(&mut buf, BYTE_ORDER_MAGIC);
+        put_u16(&mut buf, 1); // major version
+        put_u16(&mut buf, 0); // minor version
+        buf.extend_from_slice(&(-1i64).to_le_bytes()); // section length: unknown
+        put_u32(&mut buf, 28);
+
+        // Interface Description Block: ethernet, unlimited snaplen,
+        // if_tsresol option = 9 (timestamps in 10^-9 s).
+        put_u32(&mut buf, IDB_TYPE);
+        put_u32(&mut buf, 32);
+        put_u16(&mut buf, LINKTYPE_ETHERNET);
+        put_u16(&mut buf, 0); // reserved
+        put_u32(&mut buf, 0); // snaplen: no limit
+        put_u16(&mut buf, 9); // option code if_tsresol
+        put_u16(&mut buf, 1); // option length
+        buf.extend_from_slice(&[9, 0, 0, 0]); // value 9 + 3 pad bytes
+        put_u32(&mut buf, 0); // opt_endofopt (code 0, length 0)
+        put_u32(&mut buf, 32);
+
+        PcapWriter { buf, frames: 0 }
+    }
+
+    /// Appends one frame as an Enhanced Packet Block. `ts_nanos` is the
+    /// capture timestamp in nanoseconds; `frame` is the full link-layer
+    /// frame (ethernet header + payload).
+    pub fn add_frame(&mut self, ts_nanos: u64, frame: &[u8]) {
+        let pad = (4 - frame.len() % 4) % 4;
+        let total = 32 + frame.len() + pad;
+        put_u32(&mut self.buf, EPB_TYPE);
+        put_u32(&mut self.buf, total as u32);
+        put_u32(&mut self.buf, 0); // interface id
+        put_u32(&mut self.buf, (ts_nanos >> 32) as u32);
+        put_u32(&mut self.buf, ts_nanos as u32);
+        put_u32(&mut self.buf, frame.len() as u32); // captured length
+        put_u32(&mut self.buf, frame.len() as u32); // original length
+        self.buf.extend_from_slice(frame);
+        self.buf.extend_from_slice(&[0u8; 3][..pad]);
+        put_u32(&mut self.buf, total as u32);
+        self.frames += 1;
+    }
+
+    /// Number of frames written so far.
+    pub fn frame_count(&self) -> usize {
+        self.frames
+    }
+
+    /// The capture bytes so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the finished capture.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// One frame recovered from a capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapFrame {
+    /// Capture timestamp in nanoseconds.
+    pub ts_nanos: u64,
+    /// The full link-layer frame bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Why a capture failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// The buffer ended inside a block.
+    Truncated,
+    /// The file does not start with a Section Header Block.
+    BadMagic,
+    /// The SHB byte-order magic is not little-endian 0x1A2B3C4D.
+    BadByteOrder,
+    /// A block's trailing length disagrees with its leading length, or a
+    /// length is impossible (too small / unaligned).
+    BadBlockLength,
+    /// An EPB's captured length overruns its block.
+    BadCaptureLength,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            PcapError::Truncated => "capture truncated mid-block",
+            PcapError::BadMagic => "missing section header block",
+            PcapError::BadByteOrder => "bad byte-order magic",
+            PcapError::BadBlockLength => "inconsistent block length",
+            PcapError::BadCaptureLength => "captured length overruns block",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+fn get_u32(bytes: &[u8], at: usize) -> Result<u32, PcapError> {
+    let raw: [u8; 4] = bytes.get(at..at + 4).ok_or(PcapError::Truncated)?.try_into().unwrap();
+    Ok(u32::from_le_bytes(raw))
+}
+
+/// Parses a little-endian pcap-ng capture, returning every Enhanced
+/// Packet Block's frame. Unknown block types are skipped; framing is
+/// validated (leading length == trailing length, 4-byte alignment).
+pub fn read(bytes: &[u8]) -> Result<Vec<PcapFrame>, PcapError> {
+    if get_u32(bytes, 0).map_err(|_| PcapError::BadMagic)? != SHB_TYPE {
+        return Err(PcapError::BadMagic);
+    }
+    if get_u32(bytes, 8)? != BYTE_ORDER_MAGIC {
+        return Err(PcapError::BadByteOrder);
+    }
+    // Timestamp resolution: 10^-6 per the spec default, overridden by the
+    // IDB's if_tsresol option (this writer always emits 9).
+    let mut tsresol_digits: u32 = 6;
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let block_type = get_u32(bytes, at)?;
+        let len = get_u32(bytes, at + 4)? as usize;
+        if len < 12 || !len.is_multiple_of(4) {
+            return Err(PcapError::BadBlockLength);
+        }
+        let end = at.checked_add(len).ok_or(PcapError::BadBlockLength)?;
+        if end > bytes.len() {
+            return Err(PcapError::Truncated);
+        }
+        if get_u32(bytes, end - 4)? as usize != len {
+            return Err(PcapError::BadBlockLength);
+        }
+        match block_type {
+            IDB_TYPE => {
+                // Scan options for if_tsresol (code 9, length 1).
+                let mut opt = at + 16;
+                while opt + 4 <= end - 4 {
+                    let code = u16::from_le_bytes([bytes[opt], bytes[opt + 1]]);
+                    let olen = u16::from_le_bytes([bytes[opt + 2], bytes[opt + 3]]) as usize;
+                    if code == 0 {
+                        break;
+                    }
+                    if code == 9 && olen == 1 && opt + 4 < end - 4 {
+                        let v = bytes[opt + 4];
+                        // High bit would mean powers of two; this reader
+                        // only supports the power-of-ten form.
+                        if v & 0x80 == 0 {
+                            tsresol_digits = u32::from(v);
+                        }
+                    }
+                    opt += 4 + olen + (4 - olen % 4) % 4;
+                }
+            }
+            EPB_TYPE => {
+                if len < 32 {
+                    return Err(PcapError::BadBlockLength);
+                }
+                let ts_high = get_u32(bytes, at + 12)?;
+                let ts_low = get_u32(bytes, at + 16)?;
+                let cap_len = get_u32(bytes, at + 20)? as usize;
+                let data_start = at + 28;
+                if data_start + cap_len > end - 4 {
+                    return Err(PcapError::BadCaptureLength);
+                }
+                let ts_units = (u64::from(ts_high) << 32) | u64::from(ts_low);
+                let ts_nanos = ts_units * 10u64.pow(9u32.saturating_sub(tsresol_digits));
+                frames.push(PcapFrame {
+                    ts_nanos,
+                    bytes: bytes[data_start..data_start + cap_len].to_vec(),
+                });
+            }
+            _ => {}
+        }
+        at = end;
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_capture_round_trips() {
+        let w = PcapWriter::new();
+        assert_eq!(w.frame_count(), 0);
+        let frames = read(&w.finish()).unwrap();
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn frames_round_trip_with_timestamps_and_padding() {
+        let mut w = PcapWriter::new();
+        // Lengths chosen to exercise every padding case (0..=3).
+        let inputs: Vec<(u64, Vec<u8>)> = vec![
+            (1_000, vec![0xAA; 60]),
+            (2_500, vec![0xBB; 61]),
+            (u64::from(u32::MAX) + 17, vec![0xCC; 62]),
+            (9_999_999_999, vec![0xDD; 63]),
+        ];
+        for (ts, frame) in &inputs {
+            w.add_frame(*ts, frame);
+        }
+        assert_eq!(w.frame_count(), 4);
+        let parsed = read(w.bytes()).unwrap();
+        assert_eq!(parsed.len(), 4);
+        for ((ts, frame), got) in inputs.iter().zip(&parsed) {
+            assert_eq!(got.ts_nanos, *ts);
+            assert_eq!(&got.bytes, frame);
+        }
+    }
+
+    #[test]
+    fn corrupted_framing_is_rejected() {
+        let mut w = PcapWriter::new();
+        w.add_frame(1, &[1, 2, 3, 4]);
+        let mut bytes = w.finish();
+
+        // Break the EPB's trailing length.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        assert_eq!(read(&bytes).unwrap_err(), PcapError::BadBlockLength);
+
+        // Not an SHB at the front.
+        let mut no_magic = bytes.clone();
+        no_magic[0] = 0;
+        assert_eq!(read(&no_magic).unwrap_err(), PcapError::BadMagic);
+
+        // Wrong byte order magic.
+        let mut bad_order = bytes;
+        bad_order[8] ^= 0xFF;
+        assert_eq!(read(&bad_order).unwrap_err(), PcapError::BadByteOrder);
+    }
+
+    #[test]
+    fn truncated_capture_is_rejected() {
+        let mut w = PcapWriter::new();
+        w.add_frame(1, &[0u8; 100]);
+        let bytes = w.finish();
+        assert_eq!(read(&bytes[..bytes.len() - 8]).unwrap_err(), PcapError::Truncated);
+    }
+}
