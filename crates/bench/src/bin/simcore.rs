@@ -5,12 +5,21 @@
 //! ```text
 //! cargo run --release -p bench --bin simcore            # print JSON
 //! cargo run --release -p bench --bin simcore -- --out BENCH_simcore.json
+//! cargo run --release -p bench --bin simcore -- --only mega_world_10k \
+//!     --budget-seconds 120                              # CI smoke-scale
 //! ```
 //!
 //! Each workload runs several times; the best run is reported (minimum
 //! wall time — standard practice for throughput benches, since noise is
-//! strictly additive).
+//! strictly additive). The big `mega_world` cases run fewer times to keep
+//! the harness itself fast.
+//!
+//! * `--only SUBSTR` runs just the cases whose name contains `SUBSTR`.
+//! * `--budget-seconds N` exits non-zero if the selected cases take more
+//!   than `N` wall-clock seconds in total (the CI scale gate).
 
+use bench::cache_churn::{cache_churn, CacheImpl};
+use bench::megaworld::mega_world;
 use bench::simworlds::{
     broadcast_fanout, broadcast_fanout_with, timer_churn, unicast_pingpong, unicast_pingpong_with,
     Telemetry, Throughput,
@@ -18,77 +27,166 @@ use bench::simworlds::{
 
 const RUNS: usize = 5;
 const SEED: u64 = 1994;
+const CHURN_OPS: u64 = 1_000_000;
 
 struct Case {
     name: &'static str,
-    detail: String,
-    best: Throughput,
+    detail: &'static str,
+    runs: usize,
+    work: Box<dyn Fn() -> Throughput>,
 }
 
-fn best_of(runs: usize, f: impl Fn() -> Throughput) -> Throughput {
+fn best_of(runs: usize, f: &dyn Fn() -> Throughput) -> Throughput {
     (0..runs)
         .map(|_| f())
         .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
         .expect("at least one run")
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(p) => Some(p.clone()),
-            None => {
-                eprintln!("error: --out requires a file path");
-                std::process::exit(2);
-            }
-        },
-        None => None,
-    };
+fn churn_case(name: &'static str, detail: &'static str, which: CacheImpl, cap: usize) -> Case {
+    Case { name, detail, runs: RUNS, work: Box::new(move || cache_churn(which, cap, CHURN_OPS)) }
+}
 
-    let cases = [
+fn cases() -> Vec<Case> {
+    vec![
         Case {
             name: "broadcast_fanout",
-            detail: "32 nodes, 256B payload, 1ms beacons, 2s simulated".into(),
-            best: best_of(RUNS, || broadcast_fanout(SEED, 32, 256, 2_000)),
+            detail: "32 nodes, 256B payload, 1ms beacons, 2s simulated",
+            runs: RUNS,
+            work: Box::new(|| broadcast_fanout(SEED, 32, 256, 2_000)),
         },
         Case {
             name: "unicast_pingpong",
-            detail: "16 pairs, 256B payload, 2s simulated".into(),
-            best: best_of(RUNS, || unicast_pingpong(SEED, 16, 256, 2_000)),
+            detail: "16 pairs, 256B payload, 2s simulated",
+            runs: RUNS,
+            work: Box::new(|| unicast_pingpong(SEED, 16, 256, 2_000)),
         },
         Case {
             name: "timer_churn",
-            detail: "32 nodes x 8 timer chains, 2s simulated".into(),
-            best: best_of(RUNS, || timer_churn(SEED, 32, 8, 2_000)),
+            detail: "32 nodes x 8 timer chains, 2s simulated",
+            runs: RUNS,
+            work: Box::new(|| timer_churn(SEED, 32, 8, 2_000)),
         },
         Case {
             name: "unicast_pingpong_tele",
-            detail: "16 pairs, 256B payload, 2s simulated, telemetry on (64Ki ring)".into(),
-            best: best_of(RUNS, || {
+            detail: "16 pairs, 256B payload, 2s simulated, telemetry on (64Ki ring)",
+            runs: RUNS,
+            work: Box::new(|| {
                 unicast_pingpong_with(SEED, 16, 256, 2_000, Telemetry::On { ring: 1 << 16 })
             }),
         },
         Case {
             name: "broadcast_fanout_tele",
-            detail: "32 nodes, 256B payload, 1ms beacons, 2s simulated, telemetry on (64Ki ring)"
-                .into(),
-            best: best_of(RUNS, || {
+            detail: "32 nodes, 256B payload, 1ms beacons, 2s simulated, telemetry on (64Ki ring)",
+            runs: RUNS,
+            work: Box::new(|| {
                 broadcast_fanout_with(SEED, 32, 256, 2_000, Telemetry::On { ring: 1 << 16 })
             }),
         },
-    ];
+        churn_case(
+            "location_cache_churn_linear_256",
+            "old linear-scan eviction, capacity 256, 1M ops",
+            CacheImpl::Linear,
+            256,
+        ),
+        churn_case(
+            "location_cache_churn_lru_256",
+            "O(1) list eviction, capacity 256, 1M ops",
+            CacheImpl::Lru,
+            256,
+        ),
+        churn_case(
+            "location_cache_churn_linear_4096",
+            "old linear-scan eviction, capacity 4096, 1M ops",
+            CacheImpl::Linear,
+            4096,
+        ),
+        churn_case(
+            "location_cache_churn_lru_4096",
+            "O(1) list eviction, capacity 4096, 1M ops",
+            CacheImpl::Lru,
+            4096,
+        ),
+        churn_case(
+            "location_cache_churn_linear_16384",
+            "old linear-scan eviction, capacity 16384, 1M ops",
+            CacheImpl::Linear,
+            16384,
+        ),
+        churn_case(
+            "location_cache_churn_lru_16384",
+            "O(1) list eviction, capacity 16384, 1M ops",
+            CacheImpl::Lru,
+            16384,
+        ),
+        Case {
+            name: "mega_world_1k",
+            detail: "hierarchy 2 regions x 10 cells x 500 mobiles, 6s simulated",
+            runs: 3,
+            work: Box::new(|| mega_world(SEED, 2, 10, 500, 6_000)),
+        },
+        Case {
+            name: "mega_world_10k",
+            detail: "hierarchy 4 regions x 50 cells x 2500 mobiles, 6s simulated",
+            runs: 2,
+            work: Box::new(|| mega_world(SEED, 4, 50, 2_500, 6_000)),
+        },
+        Case {
+            name: "mega_world_100k",
+            detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated",
+            runs: 1,
+            work: Box::new(|| mega_world(SEED, 8, 250, 12_500, 6_000)),
+        },
+    ]
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = flag_value(&args, "--out");
+    let only = flag_value(&args, "--only");
+    let budget: Option<f64> = flag_value(&args, "--budget-seconds").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --budget-seconds wants a number, got {v}");
+            std::process::exit(2);
+        })
+    });
+
+    let selected: Vec<Case> = cases()
+        .into_iter()
+        .filter(|c| only.as_deref().is_none_or(|o| c.name.contains(o)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("error: --only {:?} matches no case", only.unwrap_or_default());
+        std::process::exit(2);
+    }
+
+    let harness_start = std::time::Instant::now();
+    let results: Vec<(&Case, Throughput)> =
+        selected.iter().map(|c| (c, best_of(c.runs, &*c.work))).collect();
+    let harness_seconds = harness_start.elapsed().as_secs_f64();
 
     let mut json = String::from("{\n  \"bench\": \"simcore\",\n  \"cases\": [\n");
-    for (i, c) in cases.iter().enumerate() {
+    for (i, (c, best)) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"detail\": \"{}\", \"events\": {}, \
              \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
             c.name,
             c.detail,
-            c.best.events,
-            c.best.wall_seconds,
-            c.best.events_per_sec(),
-            if i + 1 < cases.len() { "," } else { "" },
+            best.events,
+            best.wall_seconds,
+            best.events_per_sec(),
+            if i + 1 < results.len() { "," } else { "" },
         ));
     }
     json.push_str("  ]\n}\n");
@@ -100,5 +198,12 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {path}");
+    }
+    if let Some(limit) = budget {
+        if harness_seconds > limit {
+            eprintln!("budget exceeded: {harness_seconds:.1}s > {limit:.1}s");
+            std::process::exit(1);
+        }
+        eprintln!("within budget: {harness_seconds:.1}s <= {limit:.1}s");
     }
 }

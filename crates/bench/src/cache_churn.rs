@@ -1,0 +1,124 @@
+//! Location-cache churn microbench: the same keyed insert/lookup stream
+//! driven through the O(1) [`mhrp::LruMap`] and through a faithful copy of
+//! the linear-scan eviction it replaced, at several capacities.
+//!
+//! The point being demonstrated: the old eviction picked its victim with a
+//! `min_by_key` scan over the whole table, so per-op cost grew linearly
+//! with capacity (and tie-breaking fell to `HashMap` iteration order); the
+//! list-based replacement is flat in capacity and deterministic.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use mhrp::LruMap;
+use netsim::time::SimTime;
+
+use crate::simworlds::Throughput;
+
+/// The pre-replacement cache: `HashMap` entries stamped with a
+/// `last_used` age, evicting via a full scan. Kept here (not in `mhrp`)
+/// purely as the bench baseline.
+struct LinearLru {
+    capacity: usize,
+    entries: HashMap<Ipv4Addr, (Ipv4Addr, SimTime)>,
+}
+
+impl LinearLru {
+    fn new(capacity: usize) -> LinearLru {
+        LinearLru { capacity, entries: HashMap::new() }
+    }
+
+    fn lookup(&mut self, mobile: Ipv4Addr, now: SimTime) -> Option<Ipv4Addr> {
+        let e = self.entries.get_mut(&mobile)?;
+        e.1 = now;
+        Some(e.0)
+    }
+
+    fn insert(&mut self, mobile: Ipv4Addr, fa: Ipv4Addr, now: SimTime) {
+        if !self.entries.contains_key(&mobile) && self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.1) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(mobile, (fa, now));
+    }
+}
+
+/// Which implementation a churn run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheImpl {
+    /// The old linear-scan eviction (bench-local baseline copy).
+    Linear,
+    /// The intrusive-list [`mhrp::LruMap`] now backing `LocationCache`.
+    Lru,
+}
+
+/// Deterministic key stream: a 64-bit LCG mapped into `universe` distinct
+/// addresses (4× capacity, so most inserts of new keys evict).
+fn key(state: &mut u64, universe: u32) -> Ipv4Addr {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    Ipv4Addr::from(0x0a00_0001 + ((*state >> 33) as u32) % universe)
+}
+
+/// Runs `ops` churn operations (2 lookups per insert, keys drawn from a
+/// universe of `4 * capacity`) against the chosen implementation and
+/// reports wall time. `events` is the op count, so `events_per_sec` is
+/// ops/second.
+pub fn cache_churn(which: CacheImpl, capacity: usize, ops: u64) -> Throughput {
+    let universe = u32::try_from(capacity * 4).expect("universe");
+    let fa = Ipv4Addr::new(10, 99, 0, 1);
+    let mut state = 0x1994_1994_1994_1994u64;
+    let start = std::time::Instant::now();
+    match which {
+        CacheImpl::Linear => {
+            let mut c = LinearLru::new(capacity);
+            for i in 0..ops {
+                let now = SimTime::from_micros(i);
+                match i % 3 {
+                    0 => c.insert(key(&mut state, universe), fa, now),
+                    _ => {
+                        std::hint::black_box(c.lookup(key(&mut state, universe), now));
+                    }
+                }
+            }
+            std::hint::black_box(c.entries.len());
+        }
+        CacheImpl::Lru => {
+            let mut c = LruMap::new(capacity);
+            for i in 0..ops {
+                match i % 3 {
+                    0 => {
+                        std::hint::black_box(c.insert(key(&mut state, universe), fa));
+                    }
+                    _ => {
+                        std::hint::black_box(c.touch(key(&mut state, universe)));
+                    }
+                }
+            }
+            std::hint::black_box(c.len());
+        }
+    }
+    Throughput { events: ops, wall_seconds: start.elapsed().as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_implementations_complete_and_evict() {
+        let lin = cache_churn(CacheImpl::Linear, 64, 10_000);
+        let lru = cache_churn(CacheImpl::Lru, 64, 10_000);
+        assert_eq!(lin.events, 10_000);
+        assert_eq!(lru.events, 10_000);
+    }
+
+    #[test]
+    fn key_stream_is_deterministic() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        for _ in 0..100 {
+            assert_eq!(key(&mut a, 256), key(&mut b, 256));
+        }
+    }
+}

@@ -5,5 +5,11 @@
 //! binary that emits machine-readable `BENCH_simcore.json`, so the
 //! interactive numbers and the committed perf trajectory always measure
 //! the same worlds.
+//!
+//! [`cache_churn`] isolates the location-cache replacement policy (old
+//! linear-scan eviction vs the O(1) list) and [`megaworld`] runs the
+//! hierarchical generator at 1k/10k/100k mobile hosts.
 
+pub mod cache_churn;
+pub mod megaworld;
 pub mod simworlds;

@@ -16,6 +16,7 @@
 use scenarios::experiments::{
     e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
     e08_rate_limit, e09_icmp_errors, e10_at_home, e11_flapping, e12_partition, e13_provenance,
+    e14_cache_capacity,
 };
 use scenarios::report::{f2, table};
 
@@ -444,6 +445,62 @@ fn e13(failures: &mut Vec<String>) {
     check(failures, "e13", r.optimized_encaps >= 1, "sender never encapsulated");
 }
 
+fn e14(failures: &mut Vec<String>) {
+    println!("\n== E14 — §2/§4.3: cache capacity vs triangle routing (hierarchy) ==");
+    let rows = e14_cache_capacity::run(SEED);
+    println!(
+        "{}",
+        table(
+            &[
+                "cache capacity",
+                "sent",
+                "delivered",
+                "sender-tunneled",
+                "via home agent",
+                "evictions",
+                "updates sent",
+                "suppressed",
+                "overhead bytes",
+            ],
+            rows.iter()
+                .map(|r| vec![
+                    r.cache_capacity.to_string(),
+                    r.packets_sent.to_string(),
+                    r.delivered.to_string(),
+                    r.tunneled_by_sender.to_string(),
+                    r.tunneled_via_home.to_string(),
+                    r.cache_evictions.to_string(),
+                    r.updates_sent.to_string(),
+                    r.updates_suppressed.to_string(),
+                    r.overhead_bytes.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    for r in &rows {
+        check(
+            failures,
+            "e14",
+            r.delivered == r.packets_sent,
+            &format!("capacity {}: delivery not total", r.cache_capacity),
+        );
+    }
+    let (small, large) = (&rows[0], &rows[rows.len() - 1]);
+    check(failures, "e14", small.cache_evictions > 0, "starved cache never evicted");
+    check(
+        failures,
+        "e14",
+        small.tunneled_via_home > large.tunneled_via_home,
+        "starved cache did not pay more triangle routing",
+    );
+    check(
+        failures,
+        "e14",
+        large.tunneled_by_sender > small.tunneled_by_sender,
+        "ample cache did not tunnel more from the sender",
+    );
+}
+
 /// Re-runs the Figure 1 handoff with telemetry + pcap capture on and
 /// writes `trace.json` and `figure1.pcap` into `dir` (CI publishes them
 /// as workflow artifacts; the pcap opens in Wireshark).
@@ -547,6 +604,9 @@ fn main() {
     }
     if want("e13") {
         e13(&mut failures);
+    }
+    if want("e14") {
+        e14(&mut failures);
     }
     if let Some(dir) = artifacts_dir {
         if let Err(e) = export_artifacts(&dir) {

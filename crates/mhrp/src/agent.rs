@@ -44,6 +44,9 @@ pub(crate) struct CaCounters {
     updates_sent: Counter,
     updates_received: Counter,
     updates_snooped: Counter,
+    updates_rate_limited: Counter,
+    cache_evictions: Counter,
+    rate_limit_evictions: Counter,
 }
 
 impl CaCounters {
@@ -55,6 +58,9 @@ impl CaCounters {
             updates_sent: Counter::new("mhrp.updates_sent"),
             updates_received: Counter::new("mhrp.updates_received"),
             updates_snooped: Counter::new("mhrp.updates_snooped"),
+            updates_rate_limited: Counter::new("mhrp.updates_rate_limited"),
+            cache_evictions: Counter::new("mhrp.cache.evictions"),
+            rate_limit_evictions: Counter::new("mhrp.rate_limit.evictions"),
         }
     }
 }
@@ -71,17 +77,46 @@ pub struct CacheAgentCore {
     /// §5.3 loop detection; disable to model TTL-only loop decay (E05).
     pub detect_loops: bool,
     pub(crate) counters: CaCounters,
+    /// Eviction totals already published to the stats sink, so only the
+    /// delta is added on the next publish.
+    reported_cache_evictions: u64,
+    reported_rate_evictions: u64,
 }
 
 impl CacheAgentCore {
     /// Creates a cache agent from the shared configuration.
+    ///
+    /// `max_prev_sources` is clamped to the encodable range (`1..=255`,
+    /// see [`MhrpConfig::effective_max_prev_sources`]) so a misconfigured
+    /// cap cannot drive the header encoder past its one-octet count field.
     pub fn new(config: &MhrpConfig) -> CacheAgentCore {
         CacheAgentCore {
             cache: LocationCache::new(config.cache_capacity),
             rate: UpdateRateLimiter::new(config.update_min_interval, config.update_rate_entries),
-            max_prev_sources: config.max_prev_sources,
+            max_prev_sources: config.effective_max_prev_sources(),
             detect_loops: config.detect_loops,
             counters: CaCounters::new(),
+            reported_cache_evictions: 0,
+            reported_rate_evictions: 0,
+        }
+    }
+
+    /// Publishes cache/rate-limiter eviction deltas to the interned
+    /// `mhrp.cache.evictions` / `mhrp.rate_limit.evictions` counters.
+    fn publish_evictions(&mut self, ctx: &mut Ctx<'_>) {
+        let cache_total = self.cache.evictions();
+        if cache_total > self.reported_cache_evictions {
+            self.counters
+                .cache_evictions
+                .add(ctx.stats(), cache_total - self.reported_cache_evictions);
+            self.reported_cache_evictions = cache_total;
+        }
+        let rate_total = self.rate.evictions();
+        if rate_total > self.reported_rate_evictions {
+            self.counters
+                .rate_limit_evictions
+                .add(ctx.stats(), rate_total - self.reported_rate_evictions);
+            self.reported_rate_evictions = rate_total;
         }
     }
 
@@ -100,8 +135,10 @@ impl CacheAgentCore {
         if to.is_unspecified() || to == mobile || stack.is_local_addr(to) {
             return;
         }
-        if !self.rate.allow(to, ctx.now()) {
-            ctx.stats().incr("mhrp.updates_rate_limited");
+        let allowed = self.rate.allow(to, ctx.now());
+        self.publish_evictions(ctx);
+        if !allowed {
+            self.counters.updates_rate_limited.incr(ctx.stats());
             return;
         }
         self.counters.updates_sent.incr(ctx.stats());
@@ -114,6 +151,7 @@ impl CacheAgentCore {
         self.counters.updates_received.incr(ctx.stats());
         ctx.tele_event(TeleEventKind::CacheUpdate);
         self.cache.apply_update(update, ctx.now());
+        self.publish_evictions(ctx);
     }
 
     /// Forwarding-path interception for routers acting as cache agents
@@ -139,6 +177,7 @@ impl CacheAgentCore {
                 self.counters.updates_snooped.incr(ctx.stats());
                 ctx.tele_event(TeleEventKind::CacheUpdate);
                 self.cache.apply_update(&lu, ctx.now());
+                self.publish_evictions(ctx);
                 return Some(pkt);
             }
         }

@@ -6,24 +6,22 @@
 //! host-specific ICMP redirect message type" (§4.3); this type models that
 //! table with LRU replacement over a finite capacity (§2 allows "any local
 //! cache replacement policy").
+//!
+//! Replacement is backed by [`crate::lru::LruMap`]: O(1) per operation and
+//! deterministic — the victim is the entry least recently inserted or
+//! looked up, with no dependence on timestamps or hash iteration order.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ip::icmp::{LocationUpdate, LocationUpdateCode};
 use netsim::time::SimTime;
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    fa: Ipv4Addr,
-    last_used: SimTime,
-}
+use crate::lru::LruMap;
 
 /// An LRU cache of mobile-host locations.
 #[derive(Debug)]
 pub struct LocationCache {
-    capacity: usize,
-    entries: HashMap<Ipv4Addr, Entry>,
+    entries: LruMap<Ipv4Addr>,
 }
 
 impl LocationCache {
@@ -34,35 +32,28 @@ impl LocationCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> LocationCache {
         assert!(capacity > 0, "cache capacity must be positive");
-        LocationCache { capacity, entries: HashMap::new() }
+        LocationCache { entries: LruMap::new(capacity) }
     }
 
     /// Looks up the foreign agent for `mobile`, refreshing its LRU age.
-    pub fn lookup(&mut self, mobile: Ipv4Addr, now: SimTime) -> Option<Ipv4Addr> {
-        let e = self.entries.get_mut(&mobile)?;
-        e.last_used = now;
-        Some(e.fa)
+    pub fn lookup(&mut self, mobile: Ipv4Addr, _now: SimTime) -> Option<Ipv4Addr> {
+        self.entries.touch(mobile).map(|fa| *fa)
     }
 
     /// Peeks without touching LRU state (for metrics/tests).
     pub fn peek(&self, mobile: Ipv4Addr) -> Option<Ipv4Addr> {
-        self.entries.get(&mobile).map(|e| e.fa)
+        self.entries.peek(mobile).copied()
     }
 
     /// Inserts or replaces the binding for `mobile`, evicting the least
     /// recently used entry if at capacity.
-    pub fn insert(&mut self, mobile: Ipv4Addr, fa: Ipv4Addr, now: SimTime) {
-        if !self.entries.contains_key(&mobile) && self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
-                self.entries.remove(&victim);
-            }
-        }
-        self.entries.insert(mobile, Entry { fa, last_used: now });
+    pub fn insert(&mut self, mobile: Ipv4Addr, fa: Ipv4Addr, _now: SimTime) {
+        self.entries.insert(mobile, fa);
     }
 
     /// Removes the binding for `mobile`.
     pub fn remove(&mut self, mobile: Ipv4Addr) -> Option<Ipv4Addr> {
-        self.entries.remove(&mobile).map(|e| e.fa)
+        self.entries.remove(mobile)
     }
 
     /// Applies a received location update (§4.3, §5.3, §6.3): `Bind` with a
@@ -73,7 +64,7 @@ impl LocationCache {
                 self.insert(update.mobile, update.foreign_agent, now);
             }
             _ => {
-                self.entries.remove(&update.mobile);
+                self.entries.remove(update.mobile);
             }
         }
     }
@@ -88,14 +79,21 @@ impl LocationCache {
         self.entries.is_empty()
     }
 
-    /// Drops every binding (volatile state on reboot).
+    /// Drops every binding (volatile state on reboot). The eviction total
+    /// is preserved.
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.entries.capacity()
+    }
+
+    /// Total bindings evicted to make room since construction (monotonic;
+    /// feeds the `mhrp.cache.evictions` counter).
+    pub fn evictions(&self) -> u64 {
+        self.entries.evictions()
     }
 }
 
@@ -133,6 +131,7 @@ mod tests {
         assert_eq!(c.peek(a(2)), None);
         assert_eq!(c.peek(a(3)), Some(a(100)));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -144,6 +143,25 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.peek(a(1)), Some(a(200)));
         assert_eq!(c.peek(a(2)), Some(a(100)));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_on_tied_ages() {
+        // Regression for the original linear-scan eviction: two entries
+        // inserted at the *same* timestamp used to tie on `last_used`,
+        // letting HashMap iteration order pick the victim. The recency
+        // list makes the victim a pure function of the operation order:
+        // the earlier insert always loses.
+        for _ in 0..64 {
+            let mut c = LocationCache::new(2);
+            c.insert(a(1), a(100), t(5));
+            c.insert(a(2), a(100), t(5)); // same "time" as a(1)
+            c.insert(a(3), a(100), t(5));
+            assert_eq!(c.peek(a(1)), None, "first-inserted entry is the victim");
+            assert_eq!(c.peek(a(2)), Some(a(100)));
+            assert_eq!(c.peek(a(3)), Some(a(100)));
+        }
     }
 
     #[test]

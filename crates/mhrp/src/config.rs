@@ -60,6 +60,47 @@ pub struct MhrpConfig {
     pub detect_loops: bool,
 }
 
+impl MhrpConfig {
+    /// The hard ceiling on [`MhrpConfig::max_prev_sources`]: the MHRP
+    /// header's count field (Figure 3) is one octet, so no list longer
+    /// than 255 can ever be encoded.
+    pub const MAX_PREV_SOURCES_LIMIT: usize = 255;
+
+    /// Checks the configuration for values the protocol cannot honour.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field. Constructors of
+    /// the agent roles clamp where possible (see
+    /// [`MhrpConfig::effective_max_prev_sources`]), but callers building
+    /// configs from external input should validate up front.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.max_prev_sources == 0 {
+            return Err("max_prev_sources must be at least 1");
+        }
+        if self.max_prev_sources > Self::MAX_PREV_SOURCES_LIMIT {
+            return Err("max_prev_sources exceeds the one-octet count field limit of 255");
+        }
+        if self.cache_capacity == 0 {
+            return Err("cache_capacity must be positive");
+        }
+        if self.update_rate_entries == 0 {
+            return Err("update_rate_entries must be positive");
+        }
+        if self.registration_backoff < 1.0 {
+            return Err("registration_backoff must be >= 1.0");
+        }
+        Ok(())
+    }
+
+    /// [`MhrpConfig::max_prev_sources`] clamped to the encodable range
+    /// `1..=255`. Agent constructors use this so a misconfigured cap can
+    /// never drive [`crate::header::MhrpHeader`] past its count field.
+    pub fn effective_max_prev_sources(&self) -> usize {
+        self.max_prev_sources.clamp(1, Self::MAX_PREV_SOURCES_LIMIT)
+    }
+}
+
 impl Default for MhrpConfig {
     fn default() -> MhrpConfig {
         MhrpConfig {
@@ -96,5 +137,32 @@ mod tests {
         assert!(c.registration_retry_cap >= c.registration_retry);
         assert!(c.forwarding_pointers);
         assert!(c.home_agent_disk);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unencodable_caps() {
+        let ok = MhrpConfig { max_prev_sources: 255, ..Default::default() };
+        assert!(ok.validate().is_ok());
+        let too_big = MhrpConfig { max_prev_sources: 256, ..Default::default() };
+        assert!(too_big.validate().is_err());
+        let zero = MhrpConfig { max_prev_sources: 0, ..Default::default() };
+        assert!(zero.validate().is_err());
+        let no_cache = MhrpConfig { cache_capacity: 0, ..Default::default() };
+        assert!(no_cache.validate().is_err());
+    }
+
+    #[test]
+    fn effective_cap_clamps_to_count_field() {
+        assert_eq!(
+            MhrpConfig { max_prev_sources: 1000, ..Default::default() }
+                .effective_max_prev_sources(),
+            255
+        );
+        assert_eq!(
+            MhrpConfig { max_prev_sources: 0, ..Default::default() }.effective_max_prev_sources(),
+            1
+        );
+        assert_eq!(MhrpConfig::default().effective_max_prev_sources(), 8);
     }
 }

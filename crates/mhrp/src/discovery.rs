@@ -7,7 +7,7 @@
 
 use ip::icmp::{AgentAdvertisement, IcmpMessage};
 use netsim::time::SimDuration;
-use netsim::{Ctx, IfaceId, TimerToken};
+use netsim::{Counter, Ctx, IfaceId, TimerToken};
 use netstack::IpStack;
 
 /// Timer tokens with this bit set belong to an [`Advertiser`].
@@ -29,6 +29,9 @@ pub struct Advertiser {
     /// stale after a reboot restarts the advertiser (instead of the node
     /// advertising at twice the rate).
     epoch: u64,
+    // Bumped once per advertisement — a per-second × per-cell path at
+    // mega-world scale, so the handle is cached.
+    adverts_sent: Counter,
 }
 
 impl Advertiser {
@@ -39,7 +42,16 @@ impl Advertiser {
         foreign: bool,
         interval: SimDuration,
     ) -> Advertiser {
-        Advertiser { home, foreign, ifaces, interval, seq: 0, running: false, epoch: 0 }
+        Advertiser {
+            home,
+            foreign,
+            ifaces,
+            interval,
+            seq: 0,
+            running: false,
+            epoch: 0,
+            adverts_sent: Counter::new("mhrp.adverts_sent"),
+        }
     }
 
     /// Begins periodic advertisement (call from `Node::on_start`, and
@@ -108,7 +120,7 @@ impl Advertiser {
         )
         .with_ident(ident)
         .with_ttl(1);
-        ctx.stats().incr("mhrp.adverts_sent");
+        self.adverts_sent.incr(ctx.stats());
         stack.send_link_broadcast(ctx, iface, pkt);
     }
 }

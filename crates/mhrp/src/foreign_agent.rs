@@ -43,6 +43,8 @@ pub struct ForeignAgentCore {
     // name hashing.
     delivered: Counter,
     tunneled_home: Counter,
+    registrations: Counter,
+    deregistrations: Counter,
 }
 
 impl ForeignAgentCore {
@@ -56,6 +58,8 @@ impl ForeignAgentCore {
             pending_verify: HashSet::new(),
             delivered: Counter::new("mhrp.fa_delivered"),
             tunneled_home: Counter::new("mhrp.fa_tunneled_home"),
+            registrations: Counter::new("mhrp.fa_registrations"),
+            deregistrations: Counter::new("mhrp.fa_deregistrations"),
         }
     }
 
@@ -95,7 +99,7 @@ impl ForeignAgentCore {
     ) -> bool {
         match *msg {
             ControlMessage::FaRegister { mobile, home_agent } => {
-                ctx.stats().incr("mhrp.fa_registrations");
+                self.registrations.incr(ctx.stats());
                 self.visitors.insert(mobile, Visitor { home_agent: Some(home_agent) });
                 self.pending_verify.remove(&mobile);
                 // A registration supersedes any stale forwarding pointer.
@@ -108,7 +112,7 @@ impl ForeignAgentCore {
                 true
             }
             ControlMessage::FaDeregister { mobile, new_fa } => {
-                ctx.stats().incr("mhrp.fa_deregistrations");
+                self.deregistrations.incr(ctx.stats());
                 self.visitors.remove(&mobile);
                 if self.forwarding_pointers && !new_fa.is_unspecified() {
                     // §2: keep a "forwarding pointer" as an ordinary cache

@@ -60,8 +60,23 @@ impl MhrpHeader {
     ///
     /// Panics if the list holds more than 255 addresses (the count field is
     /// one octet; implementations impose far smaller caps, paper §4.4).
+    /// Paths fed by unvalidated configuration use [`MhrpHeader::try_encode`]
+    /// instead.
     pub fn encode(&self) -> Vec<u8> {
-        assert!(self.prev_sources.len() <= 255, "MHRP previous-source list exceeds 255");
+        self.try_encode().expect("MHRP previous-source list exceeds 255")
+    }
+
+    /// Encodes the header, reporting an over-long previous-source list as
+    /// an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::BadField`] if the list holds more than 255
+    /// addresses — the count field (Figure 3) is one octet.
+    pub fn try_encode(&self) -> Result<Vec<u8>, PacketError> {
+        if self.prev_sources.len() > 255 {
+            return Err(PacketError::BadField("MHRP previous-source list exceeds 255"));
+        }
         let mut buf = Vec::with_capacity(self.encoded_len());
         buf.push(self.orig_protocol);
         buf.push(self.prev_sources.len() as u8);
@@ -72,7 +87,7 @@ impl MhrpHeader {
         }
         let ck = internet_checksum(&buf);
         buf[2..4].copy_from_slice(&ck.to_be_bytes());
-        buf
+        Ok(buf)
     }
 
     /// Decodes a header from the front of `buf`, returning it and the
@@ -172,6 +187,23 @@ mod tests {
         bytes[4] ^= 0xff;
         assert_eq!(MhrpHeader::decode(&bytes), Err(PacketError::BadChecksum));
         assert_eq!(MhrpHeader::decode(&bytes[..5]), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn try_encode_bounds_the_count_octet() {
+        let mut h = MhrpHeader::new(17, a(7));
+        h.prev_sources = (0..255u32).map(|i| Ipv4Addr::from(0x0a00_0000 + i)).collect();
+        // 255 entries: the largest encodable list round-trips.
+        let bytes = h.try_encode().unwrap();
+        assert_eq!(bytes[1], 255);
+        let (back, _) = MhrpHeader::decode(&bytes).unwrap();
+        assert_eq!(back, h);
+        // 256 entries: the count field cannot represent it.
+        h.prev_sources.push(a(9));
+        assert_eq!(
+            h.try_encode(),
+            Err(PacketError::BadField("MHRP previous-source list exceeds 255"))
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub struct HomeAgentCore {
     // Per-intercepted-packet counter, cached so the tunnel fast path
     // stays free of name hashing.
     tunneled: Counter,
+    registrations: Counter,
 }
 
 impl HomeAgentCore {
@@ -62,6 +63,7 @@ impl HomeAgentCore {
             bindings: HashMap::new(),
             disk: with_disk.then(HashMap::new),
             tunneled: Counter::new("mhrp.ha_tunneled"),
+            registrations: Counter::new("mhrp.ha_registrations"),
         }
     }
 
@@ -157,7 +159,7 @@ impl HomeAgentCore {
             }
             _ => return false,
         };
-        ctx.stats().incr("mhrp.ha_registrations");
+        self.registrations.incr(ctx.stats());
         self.apply_binding(stack, ctx, mobile, fa);
         // §2: keep replicas' view of the database consistent.
         let replicas = self.replicas.clone();

@@ -30,6 +30,7 @@
 //! | [`messages`] | §3 | the registration control protocol |
 //! | [`discovery`] | §3 | agent advertisements/solicitations |
 //! | [`cache`] | §2, §4.3 | the finite LRU location cache |
+//! | [`lru`] | §2, §4.3 | deterministic O(1) LRU map backing the bounded tables |
 //! | [`rate_limit`] | §4.3 | per-destination update rate limiting |
 //! | [`agent`] | §2, §4.3, §4.5 | the cache-agent role |
 //! | [`home_agent`] | §2, §5.1, §5.2 | the home-agent role |
@@ -53,6 +54,7 @@ pub mod discovery;
 pub mod foreign_agent;
 pub mod header;
 pub mod home_agent;
+pub mod lru;
 pub mod messages;
 pub mod mobile_host;
 pub mod nodes;
@@ -65,6 +67,7 @@ pub use config::MhrpConfig;
 pub use foreign_agent::ForeignAgentCore;
 pub use header::MhrpHeader;
 pub use home_agent::HomeAgentCore;
+pub use lru::LruMap;
 pub use messages::{ControlMessage, MHRP_PORT};
 pub use mobile_host::{Attachment, MobileHostCore, MobilityStats};
 pub use nodes::{MhrpHostNode, MhrpRouterNode, MobileHostNode};

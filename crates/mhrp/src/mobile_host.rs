@@ -89,6 +89,31 @@ impl Pending {
     }
 }
 
+/// Cached [`netsim::Counter`] handles for the per-packet delivery path
+/// (every tunneled packet delivered to this host walks these).
+#[derive(Debug)]
+struct MhCounters {
+    decapsulated: netsim::Counter,
+    not_for_us: netsim::Counter,
+    malformed: netsim::Counter,
+    solicits_sent: netsim::Counter,
+    moves: netsim::Counter,
+    registration_msgs: netsim::Counter,
+}
+
+impl MhCounters {
+    const fn new() -> MhCounters {
+        MhCounters {
+            decapsulated: netsim::Counter::new("mhrp.mh_decapsulated"),
+            not_for_us: netsim::Counter::new("mhrp.mh_not_for_us"),
+            malformed: netsim::Counter::new("mhrp.mh_malformed"),
+            solicits_sent: netsim::Counter::new("mhrp.solicits_sent"),
+            moves: netsim::Counter::new("mhrp.mh_moves"),
+            registration_msgs: netsim::Counter::new("mhrp.registration_msgs_sent"),
+        }
+    }
+}
+
 /// The mobile-host protocol engine.
 #[derive(Debug)]
 pub struct MobileHostCore {
@@ -113,6 +138,7 @@ pub struct MobileHostCore {
     pending_fa: Option<Pending>,
     pending_ha: Option<Pending>,
     pending_old_fa: Option<Pending>,
+    counters: MhCounters,
     /// Bumped on every (re)start so periodic timers armed before a crash
     /// are recognisably stale after the reboot (the low byte of the
     /// watchdog token carries it).
@@ -146,6 +172,7 @@ impl MobileHostCore {
             pending_fa: None,
             pending_ha: None,
             pending_old_fa: None,
+            counters: MhCounters::new(),
             epoch: 0,
         }
     }
@@ -286,7 +313,7 @@ impl MobileHostCore {
             return;
         }
         self.stats.solicits_sent += 1;
-        ctx.stats().incr("mhrp.solicits_sent");
+        self.counters.solicits_sent.incr(ctx.stats());
         let msg = ip::icmp::IcmpMessage::AgentSolicitation;
         let ident = stack.next_ident();
         let pkt =
@@ -325,7 +352,7 @@ impl MobileHostCore {
             }
             self.old_fa = Some(prev);
         }
-        ctx.stats().incr("mhrp.mh_moves");
+        self.counters.moves.incr(ctx.stats());
         self.stats.moves += 1;
         self.configure_foreign_stack(stack, fa);
         self.state = Attachment::Foreign(fa);
@@ -427,7 +454,7 @@ impl MobileHostCore {
             _ => self.pending_old_fa,
         };
         let Some(p) = pending else { return };
-        ctx.stats().incr("mhrp.registration_msgs_sent");
+        self.counters.registration_msgs.incr(ctx.stats());
         // Control traffic is sourced from the home address like all our
         // traffic (§2: the mobile host "always uses only its home address").
         let datagram = ip::udp::UdpDatagram::new(MHRP_PORT, MHRP_PORT, p.msg.encode());
@@ -600,12 +627,12 @@ impl MobileHostCore {
         let header = match tunnel::decapsulate(&mut pkt) {
             Ok(h) => h,
             Err(_) => {
-                ctx.stats().incr("mhrp.mh_malformed");
+                self.counters.malformed.incr(ctx.stats());
                 return None;
             }
         };
         if header.mobile != self.home_addr {
-            ctx.stats().incr("mhrp.mh_not_for_us");
+            self.counters.not_for_us.incr(ctx.stats());
             return None;
         }
         // §6.3: tell everyone who handled this packet where we really are.
@@ -620,7 +647,7 @@ impl MobileHostCore {
         for t in targets {
             ca.send_update(stack, ctx, t, self.home_addr, fa, code);
         }
-        ctx.stats().incr("mhrp.mh_decapsulated");
+        self.counters.decapsulated.incr(ctx.stats());
         Some(pkt)
     }
 }

@@ -7,19 +7,22 @@
 //! an update was last sent to each address. This stored time ... could also
 //! be used to implement LRU replacement of the entries within the list."
 //!
-//! [`UpdateRateLimiter`] is exactly that list.
+//! [`UpdateRateLimiter`] is exactly that list, backed by
+//! [`crate::lru::LruMap`] so replacement is O(1) and deterministic: the
+//! recency order *is* the order of allowed sends, which coincides with the
+//! stored-time order the paper describes but cannot tie.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use netsim::time::{SimDuration, SimTime};
+
+use crate::lru::LruMap;
 
 /// The §4.3 per-destination update limiter.
 #[derive(Debug)]
 pub struct UpdateRateLimiter {
     min_interval: SimDuration,
-    capacity: usize,
-    last_sent: HashMap<Ipv4Addr, SimTime>,
+    last_sent: LruMap<SimTime>,
 }
 
 impl UpdateRateLimiter {
@@ -31,21 +34,16 @@ impl UpdateRateLimiter {
     /// Panics if `capacity` is zero.
     pub fn new(min_interval: SimDuration, capacity: usize) -> UpdateRateLimiter {
         assert!(capacity > 0, "rate limiter capacity must be positive");
-        UpdateRateLimiter { min_interval, capacity, last_sent: HashMap::new() }
+        UpdateRateLimiter { min_interval, last_sent: LruMap::new(capacity) }
     }
 
     /// Returns `true` (and records the send) if an update to `dst` is
-    /// allowed now; `false` if it would exceed the rate.
+    /// allowed now; `false` if it would exceed the rate. A denied send
+    /// leaves the list untouched — only actual sends refresh recency.
     pub fn allow(&mut self, dst: Ipv4Addr, now: SimTime) -> bool {
-        if let Some(&last) = self.last_sent.get(&dst) {
+        if let Some(&last) = self.last_sent.peek(dst) {
             if now.since(last) < self.min_interval {
                 return false;
-            }
-        }
-        if !self.last_sent.contains_key(&dst) && self.last_sent.len() >= self.capacity {
-            // LRU replacement keyed by the stored send time, per the paper.
-            if let Some((&victim, _)) = self.last_sent.iter().min_by_key(|(_, &t)| t) {
-                self.last_sent.remove(&victim);
             }
         }
         self.last_sent.insert(dst, now);
@@ -62,9 +60,17 @@ impl UpdateRateLimiter {
         self.last_sent.is_empty()
     }
 
-    /// Forgets all history (reboot).
+    /// Forgets all history (reboot). The eviction total is preserved.
     pub fn clear(&mut self) {
         self.last_sent.clear();
+    }
+
+    /// Total destinations evicted to make room since construction
+    /// (monotonic; feeds the `mhrp.rate_limit.evictions` counter). An
+    /// evicted destination is forgotten, so an immediate re-send to it is
+    /// allowed — the trade-off the paper accepts for a bounded list.
+    pub fn evictions(&self) -> u64 {
+        self.last_sent.evictions()
     }
 }
 
@@ -98,9 +104,41 @@ mod tests {
         // a(3) evicts a(1) (oldest send time).
         assert!(rl.allow(a(3), t(2)));
         assert_eq!(rl.len(), 2);
+        assert_eq!(rl.evictions(), 1);
         // a(1) was forgotten, so it is allowed again immediately — the
         // trade-off the paper accepts for a bounded list.
         assert!(rl.allow(a(1), t(3)));
+    }
+
+    #[test]
+    fn eviction_is_deterministic_on_tied_send_times() {
+        // Regression for the original min-by-stored-time eviction: two
+        // destinations first allowed at the same instant used to tie,
+        // letting HashMap iteration order pick the victim. The recency
+        // list always forgets the earlier-allowed destination.
+        for _ in 0..64 {
+            let mut rl = UpdateRateLimiter::new(SimDuration::from_secs(10), 2);
+            assert!(rl.allow(a(1), t(7)));
+            assert!(rl.allow(a(2), t(7))); // same send time as a(1)
+            assert!(rl.allow(a(3), t(7)));
+            // a(2) survived → still limited (checked first: a denied call
+            // does not mutate the list); a(1) was evicted → immediately
+            // re-allowed.
+            assert!(!rl.allow(a(2), t(8)), "survivor stays rate-limited");
+            assert!(rl.allow(a(1), t(8)), "first-allowed destination is the victim");
+        }
+    }
+
+    #[test]
+    fn denied_send_does_not_refresh_recency() {
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_secs(10), 2);
+        assert!(rl.allow(a(1), t(0)));
+        assert!(rl.allow(a(2), t(1)));
+        // A denied retry to a(1) must not promote it above a(2).
+        assert!(!rl.allow(a(1), t(2)));
+        assert!(rl.allow(a(3), t(3))); // evicts a(1), not a(2)
+        assert!(!rl.allow(a(2), t(4)), "a(2) survived the eviction");
+        assert!(rl.allow(a(1), t(4)), "a(1) was the victim despite its denied retry");
     }
 
     #[test]

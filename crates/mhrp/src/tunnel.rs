@@ -151,10 +151,13 @@ pub fn retunnel_opts(
     if header.prev_sources.len() < max_list {
         header.prev_sources.push(pkt.src);
     }
+    // Encode before touching the packet: a list driven past the one-octet
+    // count field by an unclamped `max_list` must error out with the
+    // packet intact, not half-rewritten (and never panic).
+    let mut payload = header.try_encode()?;
+    payload.extend_from_slice(&pkt.payload[used..]);
     pkt.src = self_addr;
     pkt.dst = new_dst;
-    let mut payload = header.encode();
-    payload.extend_from_slice(&pkt.payload[used..]);
     pkt.payload = payload;
     Ok(Retunnel::Forward { truncation_updates })
 }
@@ -433,6 +436,33 @@ mod tests {
             }
         }
         assert!(detected, "loop must be detected once the window covers a cycle");
+    }
+
+    #[test]
+    fn retunnel_at_count_field_boundary_errors_instead_of_panicking() {
+        // An unclamped max_list above 255 lets the previous-source list
+        // outgrow the one-octet count field. The overflowing re-tunnel
+        // must surface a PacketError and leave the packet untouched.
+        let mut header = MhrpHeader::new(proto::UDP, a(7));
+        header.prev_sources = (0..255u32).map(|i| Ipv4Addr::from(0x0a00_0100 + i)).collect();
+        let mut payload = header.encode();
+        payload.extend_from_slice(b"12345678");
+        let mut pkt = Ipv4Packet::new(a(50), a(100), proto::MHRP, payload);
+
+        let before = pkt.clone();
+        let err = retunnel_opts(&mut pkt, a(100), a(101), 300, true).unwrap_err();
+        assert_eq!(err, PacketError::BadField("MHRP previous-source list exceeds 255"));
+        assert_eq!(pkt, before, "failed re-tunnel must not corrupt the packet");
+
+        // At the clamped cap the same packet truncates and forwards fine.
+        match retunnel_opts(&mut pkt, a(100), a(101), 255, true).unwrap() {
+            Retunnel::Forward { truncation_updates } => {
+                assert_eq!(truncation_updates.len(), 254);
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+        let (h, _) = parse(&pkt).unwrap();
+        assert_eq!(h.prev_sources.len(), 2, "sender slot + new head");
     }
 
     #[test]

@@ -143,6 +143,105 @@ proptest! {
     }
 
     #[test]
+    fn cache_conserves_entries_under_arbitrary_interleavings(ops in prop::collection::vec(
+        (0u8..5, arb_addr(), arb_addr()), 1..300), cap in 1usize..16) {
+        use ip::icmp::{LocationUpdate, LocationUpdateCode};
+        // Conservation: every entry now present was admitted, and every
+        // admission is still present, was removed, or was evicted.
+        let mut cache = LocationCache::new(cap);
+        let mut admissions = 0u64;
+        let mut removed = 0u64;
+        for (i, (op, mobile, fa)) in ops.into_iter().enumerate() {
+            let now = SimTime::from_nanos(i as u64);
+            let present = cache.peek(mobile).is_some();
+            match op {
+                0 => {
+                    cache.insert(mobile, fa, now);
+                    if !present {
+                        admissions += 1;
+                    }
+                }
+                1 => {
+                    if cache.remove(mobile).is_some() {
+                        removed += 1;
+                    }
+                }
+                2 => {
+                    let _ = cache.lookup(mobile, now);
+                }
+                3 => {
+                    cache.apply_update(
+                        &LocationUpdate { code: LocationUpdateCode::Bind, mobile, foreign_agent: fa },
+                        now,
+                    );
+                    if !present {
+                        admissions += 1;
+                    }
+                }
+                _ => {
+                    // A non-bind update deletes (§4.3).
+                    cache.apply_update(
+                        &LocationUpdate {
+                            code: LocationUpdateCode::Bind,
+                            mobile,
+                            foreign_agent: Ipv4Addr::UNSPECIFIED,
+                        },
+                        now,
+                    );
+                    if present {
+                        removed += 1;
+                    }
+                }
+            }
+            prop_assert!(cache.len() <= cap);
+            prop_assert_eq!(
+                admissions - removed - cache.evictions(),
+                cache.len() as u64,
+                "admitted {} removed {} evicted {} len {}",
+                admissions, removed, cache.evictions(), cache.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rate_limiter_burst_evicts_and_readmits(cap in 1usize..32, extra in 1usize..40,
+                                              interval_ms in 1u64..1_000) {
+        // A burst of distinct destinations larger than the limiter's
+        // memory pushes the oldest out (counted by `evictions`), and a
+        // pushed-out destination is allowed again even inside the
+        // interval — the §4.3 trade the finite list makes.
+        let t = SimTime::from_millis(5);
+        let n = cap + extra;
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_millis(interval_ms), cap);
+        for i in 0..n {
+            prop_assert!(rl.allow(Ipv4Addr::from(0x0a00_0001 + i as u32), t));
+        }
+        prop_assert_eq!(rl.evictions(), extra as u64);
+        prop_assert_eq!(rl.len(), cap);
+        // Oldest destination was evicted: re-admitted within the interval.
+        prop_assert!(rl.allow(Ipv4Addr::from(0x0a00_0001), t));
+        // The most recent survivor is still resident and still limited
+        // (checked before the re-admit above could have displaced it only
+        // if cap == 1).
+        if cap > 1 {
+            prop_assert!(!rl.allow(Ipv4Addr::from(0x0a00_0001 + n as u32 - 1), t));
+        }
+        prop_assert_eq!(rl.evictions(), extra as u64 + 1);
+    }
+
+    #[test]
+    fn rate_limiter_never_exceeds_capacity(sends in prop::collection::vec(
+        (any::<u16>(), 0u64..100_000), 1..300), cap in 1usize..24) {
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_millis(50), cap);
+        let mut t = SimTime::ZERO;
+        for (dst, advance_us) in sends {
+            t += SimDuration::from_micros(advance_us);
+            rl.allow(Ipv4Addr::from(0x0a00_0001 + u32::from(dst)), t);
+            prop_assert!(rl.len() <= cap);
+        }
+    }
+
+    #[test]
     fn rate_limiter_never_allows_within_interval(
         sends in prop::collection::vec((0u8..4, 0u64..10_000), 1..100),
         interval_ms in 1u64..1_000,

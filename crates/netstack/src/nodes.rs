@@ -18,7 +18,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::proto;
 use ip::udp::UdpDatagram;
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
 
 use crate::stack::{IpStack, StackEvent};
 
@@ -59,6 +59,7 @@ pub struct RouterNode {
     pub option_penalty: SimDuration,
     delayed: HashMap<u64, Ipv4Packet>,
     delay_seq: u64,
+    slow_path_forwarded: Counter,
 }
 
 impl RouterNode {
@@ -69,6 +70,7 @@ impl RouterNode {
             option_penalty: SimDuration::ZERO,
             delayed: HashMap::new(),
             delay_seq: 0,
+            slow_path_forwarded: Counter::new("router.slow_path_forwarded"),
         }
     }
 
@@ -110,7 +112,7 @@ impl Node for RouterNode {
         }
         if timer.0 & ROUTER_DELAY_BIT != 0 {
             if let Some(pkt) = self.delayed.remove(&(timer.0 & !ROUTER_DELAY_BIT)) {
-                ctx.stats().incr("router.slow_path_forwarded");
+                self.slow_path_forwarded.incr(ctx.stats());
                 self.stack.forward(ctx, pkt);
             }
         }

@@ -82,6 +82,19 @@ struct StackCounters {
     tx: Counter,
     tx_bytes: Counter,
     sent_direct: Counter,
+    rx_malformed: Counter,
+    rx_not_for_us: Counter,
+    ttl_expired: Counter,
+    no_src_addr: Counter,
+    no_route: Counter,
+    icmp_errors_sent: Counter,
+    tx_limited_broadcast_dropped: Counter,
+    arp_failed: Counter,
+    arp_rx_malformed: Counter,
+    arp_replies_sent: Counter,
+    arp_requests_sent: Counter,
+    arp_gratuitous_sent: Counter,
+    arp_queued: Counter,
 }
 
 impl StackCounters {
@@ -95,6 +108,19 @@ impl StackCounters {
             tx: Counter::new("ip.tx"),
             tx_bytes: Counter::new("ip.tx_bytes"),
             sent_direct: Counter::new("ip.sent_direct"),
+            rx_malformed: Counter::new("ip.rx_malformed"),
+            rx_not_for_us: Counter::new("ip.rx_not_for_us"),
+            ttl_expired: Counter::new("ip.ttl_expired"),
+            no_src_addr: Counter::new("ip.no_src_addr"),
+            no_route: Counter::new("ip.no_route"),
+            icmp_errors_sent: Counter::new("ip.icmp_errors_sent"),
+            tx_limited_broadcast_dropped: Counter::new("ip.tx_limited_broadcast_dropped"),
+            arp_failed: Counter::new("ip.arp_failed"),
+            arp_rx_malformed: Counter::new("arp.rx_malformed"),
+            arp_replies_sent: Counter::new("arp.replies_sent"),
+            arp_requests_sent: Counter::new("arp.requests_sent"),
+            arp_gratuitous_sent: Counter::new("arp.gratuitous_sent"),
+            arp_queued: Counter::new("arp.queued"),
         }
     }
 }
@@ -233,7 +259,7 @@ impl IpStack {
             EtherType::Ipv4 => match Ipv4Packet::decode(&frame.payload) {
                 Ok(pkt) => self.classify(ctx, iface, pkt),
                 Err(_) => {
-                    ctx.stats().incr("ip.rx_malformed");
+                    self.counters.rx_malformed.incr(ctx.stats());
                     Vec::new()
                 }
             },
@@ -243,14 +269,14 @@ impl IpStack {
 
     fn handle_arp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, frame: &Frame) {
         let Ok(msg) = ArpMessage::decode(&frame.payload) else {
-            ctx.stats().incr("arp.rx_malformed");
+            self.counters.arp_rx_malformed.incr(ctx.stats());
             return;
         };
         let our_addr = self.iface_addr(iface).map(|ia| ia.addr);
         let our_mac = ctx.mac(iface);
         let outcome = self.arp.handle_message(iface, &msg, our_addr, our_mac);
         if let Some(reply) = outcome.reply {
-            ctx.stats().incr("arp.replies_sent");
+            self.counters.arp_replies_sent.incr(ctx.stats());
             let dst = MacAddr(reply.target_hw);
             ctx.send_frame(iface, Frame::new(our_mac, dst, EtherType::Arp, reply.encode()));
         }
@@ -280,7 +306,7 @@ impl IpStack {
         if self.forwarding {
             return vec![StackEvent::ForwardCandidate { pkt, in_iface: iface }];
         }
-        ctx.stats().incr("ip.rx_not_for_us");
+        self.counters.rx_not_for_us.incr(ctx.stats());
         Vec::new()
     }
 
@@ -294,7 +320,7 @@ impl IpStack {
             self.counters.slow_path.incr(ctx.stats());
         }
         if pkt.ttl <= 1 {
-            ctx.stats().incr("ip.ttl_expired");
+            self.counters.ttl_expired.incr(ctx.stats());
             let original = pkt.encode();
             self.send_icmp_error(
                 ctx,
@@ -348,7 +374,7 @@ impl IpStack {
     ) {
         let src = src.or_else(|| self.pick_src(dst));
         let Some(src) = src else {
-            ctx.stats().incr("ip.no_src_addr");
+            self.counters.no_src_addr.incr(ctx.stats());
             return;
         };
         let ident = self.next_ident();
@@ -366,7 +392,7 @@ impl IpStack {
         payload: Vec<u8>,
     ) {
         let Some(src) = self.pick_src(dst) else {
-            ctx.stats().incr("ip.no_src_addr");
+            self.counters.no_src_addr.incr(ctx.stats());
             return;
         };
         let datagram = UdpDatagram::new(src_port, dst_port, payload);
@@ -393,7 +419,7 @@ impl IpStack {
                 }
             }
         }
-        ctx.stats().incr("ip.icmp_errors_sent");
+        self.counters.icmp_errors_sent.incr(ctx.stats());
         self.send_icmp(ctx, offending.src, &msg, None);
     }
 
@@ -426,7 +452,7 @@ impl IpStack {
             }
             Ok(false) => {}
             Err(dropped) => {
-                ctx.stats().add("ip.arp_failed", dropped.len() as u64);
+                self.counters.arp_failed.add(ctx.stats(), dropped.len() as u64);
                 for (pkt, _journey) in dropped {
                     if !self.is_local_addr(pkt.src) {
                         self.send_host_unreachable(ctx, &pkt);
@@ -452,12 +478,12 @@ impl IpStack {
 
     fn route_and_tx(&mut self, ctx: &mut Ctx<'_>, pkt: Ipv4Packet, transit: bool) {
         if pkt.dst == Ipv4Addr::BROADCAST {
-            ctx.stats().incr("ip.tx_limited_broadcast_dropped");
+            self.counters.tx_limited_broadcast_dropped.incr(ctx.stats());
             return; // limited broadcasts require an explicit interface
         }
         match self.routes.lookup(pkt.dst) {
             None => {
-                ctx.stats().incr("ip.no_route");
+                self.counters.no_route.incr(ctx.stats());
                 if transit {
                     let original = pkt.encode();
                     let limit = self.icmp_error_limit;
@@ -484,7 +510,7 @@ impl IpStack {
             self.tx_frame(ctx, iface, mac, &pkt);
             return;
         }
-        ctx.stats().incr("arp.queued");
+        self.counters.arp_queued.incr(ctx.stats());
         if self.arp.enqueue(iface, next_hop, pkt, ctx.journey()) {
             self.send_arp_request(ctx, iface, next_hop);
             self.arm_arp_timer(ctx, iface, next_hop);
@@ -494,7 +520,7 @@ impl IpStack {
     fn send_arp_request(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, target: Ipv4Addr) {
         let our = self.iface_addr(iface).map(|ia| ia.addr).unwrap_or(Ipv4Addr::UNSPECIFIED);
         let req = ArpMessage::request(ctx.mac(iface).0, our, target);
-        ctx.stats().incr("arp.requests_sent");
+        self.counters.arp_requests_sent.incr(ctx.stats());
         let frame = Frame::broadcast(ctx.mac(iface), EtherType::Arp, req.encode());
         Self::originate(ctx, |ctx| ctx.send_frame(iface, frame));
     }
@@ -535,7 +561,7 @@ impl IpStack {
     /// the returning mobile host's cache repair (paper §2).
     pub fn send_gratuitous_arp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, ip_addr: Ipv4Addr) {
         let msg = ArpMessage::gratuitous(ctx.mac(iface).0, ip_addr);
-        ctx.stats().incr("arp.gratuitous_sent");
+        self.counters.arp_gratuitous_sent.incr(ctx.stats());
         ctx.send_frame(iface, Frame::broadcast(ctx.mac(iface), EtherType::Arp, msg.encode()));
     }
 }

@@ -1,4 +1,4 @@
-//! One module per reproduced experiment (DESIGN.md's E01–E13 index).
+//! One module per reproduced experiment (DESIGN.md's E01–E14 index).
 
 pub mod e01_header;
 pub mod e02_overhead;
@@ -13,3 +13,4 @@ pub mod e10_at_home;
 pub mod e11_flapping;
 pub mod e12_partition;
 pub mod e13_provenance;
+pub mod e14_cache_capacity;

@@ -1,0 +1,394 @@
+//! Seeded hierarchical internetwork generator for paper-scale runs (§1:
+//! "the mobile internetworking problem is fundamentally one of scale";
+//! §7's scalability argument).
+//!
+//! ```text
+//!                       backbone 10.255.0.0/16
+//!          ┌───────────────┬───────────────┐
+//!         RR0             RR1             RR2 ...        regional routers
+//!          │ 10.1.0.0/16   │ 10.2.0.0/16   │             (home agents)
+//!      ┌───┴───┐       ┌───┴───┐
+//!     FA0    FA1 ...  FA0    FA1 ...                     foreign agents
+//!      │      │        │      │
+//!   11.1.0/24 │     11.2.0/24 │                          wireless cells
+//!    m m m   m m m   m m m   m m m                       mobile hosts
+//! ```
+//!
+//! Every region `r` has one regional router (the home agent for all of the
+//! region's mobile hosts), `F` foreign agents fanning out wireless cells,
+//! and `M` mobile hosts homed on the regional LAN. Mobile hosts start
+//! *away*, spread round-robin over the region's cells, so the build is
+//! immediately followed by a realistic registration storm: every host
+//! discovers its cell's foreign agent and registers with its home agent
+//! across the hierarchy.
+//!
+//! The address plan (region index `r` uses octet `r+1`):
+//!
+//! * backbone: `10.255.0.0/16`, regional router `r` at `10.255.0.(r+1)`;
+//! * region LAN `r`: `10.(r+1).0.0/16`, regional router at `10.(r+1).0.1`,
+//!   foreign agent `f`'s upstream at `10.(r+1).0.(f+2)`;
+//! * cell `(r, f)`: `11.(r+1).f.0/24`, foreign agent at `11.(r+1).f.1`;
+//! * mobile host `i` of region `r`: homed at `10.(r+1).0.0 + 256 + i`
+//!   (i.e. starting from `10.(r+1).1.0`);
+//! * optional correspondent host on the backbone at `10.255.0.254`.
+//!
+//! Worlds of a million hosts fit the plan (200 regions × 65 000 hosts);
+//! the committed `mega_world` benches exercise 1k/10k/100k.
+
+use std::net::Ipv4Addr;
+
+use ip::Prefix;
+use mhrp::{Attachment, MhrpConfig, MhrpHostNode, MhrpRouterNode, MobileHostNode};
+use netsim::time::SimDuration;
+use netsim::{IfaceId, NodeId, SegmentId, SegmentParams, World};
+use netstack::route::NextHop;
+
+/// The backbone prefix every regional router has one interface on.
+pub fn backbone_prefix() -> Prefix {
+    Prefix::new(Ipv4Addr::new(10, 255, 0, 0), 16)
+}
+
+/// The network octet of region `region` (`0`-based index → octet `r+1`,
+/// keeping `10.0/24`-style octets and the backbone's `255` free).
+fn region_octet(region: usize) -> u8 {
+    u8::try_from(region + 1).expect("region octet")
+}
+
+/// Regional router `region`'s backbone address.
+pub fn backbone_addr(region: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 255, 0, region_octet(region))
+}
+
+/// Region `region`'s LAN prefix (mobile hosts are homed inside it).
+pub fn region_prefix(region: usize) -> Prefix {
+    Prefix::new(Ipv4Addr::new(10, region_octet(region), 0, 0), 16)
+}
+
+/// The regional router's LAN address — the home agent (and home gateway)
+/// of every mobile host in the region.
+pub fn region_router_addr(region: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, region_octet(region), 0, 1)
+}
+
+/// Foreign agent `fa`'s address on the regional LAN.
+pub fn fa_upstream_addr(region: usize, fa: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, region_octet(region), 0, u8::try_from(fa + 2).expect("fa octet"))
+}
+
+/// The aggregate covering every cell of `region` (one backbone route per
+/// region, not per cell — the hierarchy is what makes the plan scale).
+pub fn cells_prefix(region: usize) -> Prefix {
+    Prefix::new(Ipv4Addr::new(11, region_octet(region), 0, 0), 16)
+}
+
+/// Cell `(region, fa)`'s wireless prefix.
+pub fn cell_prefix(region: usize, fa: usize) -> Prefix {
+    Prefix::new(
+        Ipv4Addr::new(11, region_octet(region), u8::try_from(fa).expect("cell octet"), 0),
+        24,
+    )
+}
+
+/// Foreign agent `fa`'s address inside its own cell.
+pub fn fa_cell_addr(region: usize, fa: usize) -> Ipv4Addr {
+    Ipv4Addr::new(11, region_octet(region), u8::try_from(fa).expect("cell octet"), 1)
+}
+
+/// Mobile host `i` of `region`'s home address (from `10.(r+1).1.0` up).
+pub fn mobile_home_addr(region: usize, i: usize) -> Ipv4Addr {
+    let base = u32::from(Ipv4Addr::new(10, region_octet(region), 0, 0));
+    Ipv4Addr::from(base + 256 + u32::try_from(i).expect("mobile index"))
+}
+
+/// The optional correspondent host's backbone address.
+pub const CORRESPONDENT_ADDR: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 254);
+
+/// Parameters of a hierarchical world.
+#[derive(Debug, Clone)]
+pub struct HierarchyParams {
+    /// Number of regions (1..=200).
+    pub regions: usize,
+    /// Foreign agents (= wireless cells) per region (1..=250).
+    pub fas_per_region: usize,
+    /// Mobile hosts homed in each region (..=65_000), started away and
+    /// spread round-robin over the region's cells.
+    pub mobiles_per_region: usize,
+    /// Whether to add an MHRP correspondent host on the backbone.
+    pub correspondent: bool,
+    /// The protocol configuration shared by every MHRP node.
+    pub config: MhrpConfig,
+    /// Link latency of the wired segments.
+    pub wired_latency: SimDuration,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for HierarchyParams {
+    fn default() -> HierarchyParams {
+        HierarchyParams {
+            regions: 2,
+            fas_per_region: 4,
+            mobiles_per_region: 32,
+            correspondent: true,
+            config: MhrpConfig::default(),
+            wired_latency: SimDuration::from_micros(500),
+            seed: 1994,
+        }
+    }
+}
+
+impl HierarchyParams {
+    /// Total mobile hosts the plan creates.
+    pub fn host_count(&self) -> usize {
+        self.regions * self.mobiles_per_region
+    }
+}
+
+/// The built hierarchical world with handles to every node.
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// The simulation world (started).
+    pub world: World,
+    /// Number of regions built.
+    pub regions: usize,
+    /// Foreign agents per region.
+    pub fas_per_region: usize,
+    /// Mobile hosts per region.
+    pub mobiles_per_region: usize,
+    /// Regional routers, indexed by region.
+    pub routers: Vec<NodeId>,
+    /// Foreign agents, indexed `region * fas_per_region + fa`.
+    pub fas: Vec<NodeId>,
+    /// Cell segments, indexed like [`Hierarchy::fas`].
+    pub cells: Vec<SegmentId>,
+    /// Mobile hosts, indexed `region * mobiles_per_region + i`.
+    pub mobiles: Vec<NodeId>,
+    /// The correspondent host, when built.
+    pub correspondent: Option<NodeId>,
+}
+
+impl Hierarchy {
+    /// Builds (and starts) the hierarchical world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters exceed the address plan (see
+    /// [`HierarchyParams`] field limits).
+    pub fn build(p: HierarchyParams) -> Hierarchy {
+        assert!((1..=200).contains(&p.regions), "regions must be in 1..=200");
+        assert!((1..=250).contains(&p.fas_per_region), "fas_per_region must be in 1..=250");
+        assert!(p.mobiles_per_region <= 65_000, "mobiles_per_region must be <= 65_000");
+
+        let mut w = World::new(p.seed);
+        let wired = SegmentParams::with_latency(p.wired_latency);
+        let backbone = w.add_segment(wired);
+        let lans: Vec<SegmentId> = (0..p.regions).map(|_| w.add_segment(wired)).collect();
+        let mut cells = Vec::with_capacity(p.regions * p.fas_per_region);
+        for _ in 0..p.regions * p.fas_per_region {
+            cells.push(w.add_segment(SegmentParams::wireless()));
+        }
+
+        // --- Regional routers: backbone <-> region LAN, home agents ---
+        let mut routers = Vec::with_capacity(p.regions);
+        for (r, &lan) in lans.iter().enumerate() {
+            let id = w.add_node(Box::new(
+                MhrpRouterNode::new(p.config.clone())
+                    .with_home_agent(IfaceId(1))
+                    .with_advertiser(vec![IfaceId(1)]),
+            ));
+            w.add_iface(id, Some(backbone)); // iface 0
+            w.add_iface(id, Some(lan)); // iface 1
+            let fas_per_region = p.fas_per_region;
+            let regions = p.regions;
+            w.with_node::<MhrpRouterNode, _>(id, move |n, _| {
+                n.stack.add_iface(IfaceId(0), backbone_addr(r), backbone_prefix());
+                n.stack.add_iface(IfaceId(1), region_router_addr(r), region_prefix(r));
+                for r2 in (0..regions).filter(|&r2| r2 != r) {
+                    let via = backbone_addr(r2);
+                    n.stack
+                        .routes
+                        .add(region_prefix(r2), NextHop::Gateway { iface: IfaceId(0), via });
+                    n.stack
+                        .routes
+                        .add(cells_prefix(r2), NextHop::Gateway { iface: IfaceId(0), via });
+                }
+                for f in 0..fas_per_region {
+                    n.stack.routes.add(
+                        cell_prefix(r, f),
+                        NextHop::Gateway { iface: IfaceId(1), via: fa_upstream_addr(r, f) },
+                    );
+                }
+            });
+            routers.push(id);
+        }
+
+        // --- Foreign agents: region LAN <-> own wireless cell ---
+        let mut fas = Vec::with_capacity(p.regions * p.fas_per_region);
+        for r in 0..p.regions {
+            for f in 0..p.fas_per_region {
+                let id = w.add_node(Box::new(
+                    MhrpRouterNode::new(p.config.clone())
+                        .with_foreign_agent(IfaceId(1))
+                        .with_advertiser(vec![IfaceId(1)]),
+                ));
+                w.add_iface(id, Some(lans[r])); // iface 0
+                w.add_iface(id, Some(cells[r * p.fas_per_region + f])); // iface 1
+                w.with_node::<MhrpRouterNode, _>(id, move |n, _| {
+                    n.stack.add_iface(IfaceId(0), fa_upstream_addr(r, f), region_prefix(r));
+                    n.stack.add_iface(IfaceId(1), fa_cell_addr(r, f), cell_prefix(r, f));
+                    n.stack.routes.add(
+                        Prefix::default_route(),
+                        NextHop::Gateway { iface: IfaceId(0), via: region_router_addr(r) },
+                    );
+                });
+                fas.push(id);
+            }
+        }
+
+        // --- Correspondent host on the backbone ---
+        let correspondent = p.correspondent.then(|| {
+            let id = w.add_node(Box::new(MhrpHostNode::new(&p.config)));
+            w.add_iface(id, Some(backbone));
+            let regions = p.regions;
+            w.with_node::<MhrpHostNode, _>(id, move |h, _| {
+                h.stack.add_iface(IfaceId(0), CORRESPONDENT_ADDR, backbone_prefix());
+                for r in 0..regions {
+                    let via = backbone_addr(r);
+                    h.stack
+                        .routes
+                        .add(region_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                    h.stack
+                        .routes
+                        .add(cells_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                }
+            });
+            id
+        });
+
+        // --- Mobile hosts: homed on the regional LAN, started away in the
+        // region's cells (round-robin) ---
+        let mut mobiles = Vec::with_capacity(p.host_count());
+        for r in 0..p.regions {
+            for i in 0..p.mobiles_per_region {
+                let id = w.add_node(Box::new(MobileHostNode::new(
+                    mobile_home_addr(r, i),
+                    region_prefix(r),
+                    region_router_addr(r),
+                    region_router_addr(r),
+                    p.config.clone(),
+                )));
+                let cell = cells[r * p.fas_per_region + (i % p.fas_per_region)];
+                w.add_iface(id, Some(cell));
+                mobiles.push(id);
+            }
+        }
+
+        w.start();
+        Hierarchy {
+            world: w,
+            regions: p.regions,
+            fas_per_region: p.fas_per_region,
+            mobiles_per_region: p.mobiles_per_region,
+            routers,
+            fas,
+            cells,
+            mobiles,
+            correspondent,
+        }
+    }
+
+    /// Mobile host `idx`'s home address (`idx` indexes [`Hierarchy::mobiles`]).
+    pub fn mobile_addr(&self, idx: usize) -> Ipv4Addr {
+        mobile_home_addr(idx / self.mobiles_per_region, idx % self.mobiles_per_region)
+    }
+
+    /// The cell foreign agent mobile host `idx` starts under.
+    pub fn mobile_cell_fa(&self, idx: usize) -> Ipv4Addr {
+        let r = idx / self.mobiles_per_region;
+        let f = (idx % self.mobiles_per_region) % self.fas_per_region;
+        fa_cell_addr(r, f)
+    }
+
+    /// How many mobile hosts are currently registered with a foreign
+    /// agent.
+    pub fn attached_count(&self) -> usize {
+        self.mobiles
+            .iter()
+            .filter(|&&m| {
+                matches!(self.world.node::<MobileHostNode>(m).core.state, Attachment::Foreign(_))
+            })
+            .count()
+    }
+
+    /// Runs until at least `fraction` of the mobile hosts are registered
+    /// away (or `deadline` of additional simulated time passes). Returns
+    /// `true` on success.
+    pub fn run_until_attached(&mut self, fraction: f64, deadline: SimDuration) -> bool {
+        let want = (self.mobiles.len() as f64 * fraction).ceil() as usize;
+        let end = self.world.now() + deadline;
+        loop {
+            if self.attached_count() >= want {
+                return true;
+            }
+            if self.world.now() >= end {
+                return false;
+            }
+            self.world.run_for(SimDuration::from_millis(250));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_plan_is_disjoint() {
+        // Region LANs, cells and the backbone never overlap.
+        assert!(!backbone_prefix().contains(region_router_addr(0)));
+        assert!(!region_prefix(0).contains(region_router_addr(1)));
+        assert!(!cells_prefix(0).contains(fa_upstream_addr(0, 0)));
+        assert!(cell_prefix(1, 3).contains(fa_cell_addr(1, 3)));
+        assert!(cells_prefix(1).contains(fa_cell_addr(1, 3)));
+        assert!(region_prefix(2).contains(mobile_home_addr(2, 64_999)));
+        assert_eq!(mobile_home_addr(0, 0), Ipv4Addr::new(10, 1, 1, 0));
+    }
+
+    #[test]
+    fn small_world_registers_everyone() {
+        let p = HierarchyParams {
+            regions: 2,
+            fas_per_region: 3,
+            mobiles_per_region: 9,
+            ..Default::default()
+        };
+        let mut h = Hierarchy::build(p);
+        assert_eq!(h.mobiles.len(), 18);
+        assert_eq!(h.fas.len(), 6);
+        // Mobiles start away and must all register: discovery takes the
+        // watchdog's loss tolerance (3 s) before the host searches.
+        assert!(h.run_until_attached(1.0, SimDuration::from_secs(30)), "registration stalled");
+        // Each host sits under the round-robin cell it was placed in.
+        for idx in [0, 4, 17] {
+            let m = h.mobiles[idx];
+            let state = h.world.node::<MobileHostNode>(m).core.state;
+            assert_eq!(state, Attachment::Foreign(h.mobile_cell_fa(idx)));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = HierarchyParams {
+            regions: 2,
+            fas_per_region: 2,
+            mobiles_per_region: 6,
+            ..Default::default()
+        };
+        let mut a = Hierarchy::build(p.clone());
+        let mut b = Hierarchy::build(p);
+        a.world.run_for(SimDuration::from_secs(8));
+        b.world.run_for(SimDuration::from_secs(8));
+        assert_eq!(a.world.events_processed(), b.world.events_processed());
+        assert_eq!(a.attached_count(), b.attached_count());
+    }
+}

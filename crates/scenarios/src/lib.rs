@@ -3,6 +3,8 @@
 //!
 //! * [`topology`] — the paper's Figure 1 internetwork and the shared
 //!   address/route plan every protocol variant uses.
+//! * [`hierarchy`] — the seeded backbone/region/cell generator behind the
+//!   `mega_world` scale benches and E14.
 //! * [`shootout`] — MHRP and the five §7 baselines on identical physical
 //!   topology and workload.
 //! * [`metrics`] — the result records the experiments emit.
@@ -13,6 +15,7 @@
 //!   against the paper's Figure 1 names).
 
 pub mod experiments;
+pub mod hierarchy;
 pub mod metrics;
 pub mod report;
 pub mod shootout;

@@ -7,11 +7,13 @@
 //! sequencing shows up here as a hard failure, not a silent drift in
 //! experiment numbers.
 
+use mhrp::{MhrpConfig, MhrpHostNode};
 use netsim::time::{SimDuration, SimTime};
 use netsim::{
     Ctx, EtherType, Event, Frame, IfaceId, Node, SegmentParams, TeleEventKind, TimerToken, World,
 };
 use scenarios::experiments::{e02_overhead, e07_scalability};
+use scenarios::hierarchy::{Hierarchy, HierarchyParams};
 
 /// E02 (§7 overhead comparison) at the fixed seed: per-protocol
 /// delivered/overhead/control counters recorded pre-refactor.
@@ -153,4 +155,74 @@ fn lossy_world_structured_events_replay_identically() {
         events_a.iter().filter(|e| matches!(e.kind, TeleEventKind::FrameDrop { .. })).count();
     assert_eq!(rx as u64, delivered, "one FrameRx per delivered frame");
     assert_eq!(drops as u64, dropped, "one FrameDrop per lost frame");
+}
+
+/// One run of an eviction-heavy hierarchy world: a capacity-2 location
+/// cache under a round-robin stream to 16 mobiles, so every cache agent
+/// on the path evicts continuously. Returns the typed event log and the
+/// world-wide eviction totals.
+fn eviction_heavy_events(seed: u64) -> (Vec<Event>, u64, u64) {
+    let config = MhrpConfig {
+        cache_capacity: 2,
+        update_rate_entries: 2,
+        update_min_interval: SimDuration::from_millis(50),
+        ..Default::default()
+    };
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions: 2,
+        fas_per_region: 2,
+        mobiles_per_region: 8,
+        correspondent: true,
+        config,
+        seed,
+        ..Default::default()
+    });
+    h.world.set_telemetry(true);
+    h.world.set_telemetry_capacity(1 << 18);
+    assert!(h.run_until_attached(1.0, SimDuration::from_secs(30)));
+    let s = h.correspondent.expect("correspondent");
+    for round in 0u8..3 {
+        for idx in 0..h.mobiles.len() {
+            let dst = h.mobile_addr(idx);
+            h.world.with_node::<MhrpHostNode, _>(s, |c, ctx| {
+                c.send_udp(ctx, dst, 7777, 7777, vec![round; 16]);
+            });
+            h.world.run_for(SimDuration::from_millis(20));
+        }
+    }
+    // Mobile-to-mobile cross traffic: every home agent now updates many
+    // distinct senders, overflowing the 2-entry per-agent rate-limiter
+    // list as well.
+    for idx in 0..h.mobiles.len() {
+        let dst = h.mobile_addr((idx + 3) % h.mobiles.len());
+        let m = h.mobiles[idx];
+        h.world.with_node::<mhrp::MobileHostNode, _>(m, |mh, ctx| {
+            mh.send_udp(ctx, dst, 7778, 7778, vec![idx as u8; 16]);
+        });
+        h.world.run_for(SimDuration::from_millis(20));
+    }
+    h.world.run_for(SimDuration::from_secs(1));
+    assert_eq!(h.world.telemetry().overwritten(), 0, "ring too small for full trace");
+    (
+        h.world.telemetry().events().copied().collect(),
+        h.world.stats().counter("mhrp.cache.evictions"),
+        h.world.stats().counter("mhrp.rate_limit.evictions"),
+    )
+}
+
+/// The O(1) LRU must be deterministic *by construction*: a world built to
+/// evict on nearly every cache touch replays the identical typed event
+/// stream for the same seed, and both eviction counters actually moved
+/// (the old `HashMap`-iteration tie-break made exactly this world
+/// nondeterministic).
+#[test]
+fn eviction_heavy_world_replays_identically() {
+    let (events_a, cache_ev_a, rate_ev_a) = eviction_heavy_events(1994);
+    let (events_b, cache_ev_b, rate_ev_b) = eviction_heavy_events(1994);
+    assert!(cache_ev_a > 0, "world never evicted a cache entry");
+    assert!(rate_ev_a > 0, "world never evicted a rate-limiter entry");
+    assert_eq!(cache_ev_a, cache_ev_b);
+    assert_eq!(rate_ev_a, rate_ev_b);
+    assert!(!events_a.is_empty());
+    assert_eq!(events_a, events_b);
 }
