@@ -24,6 +24,9 @@ use bench::simworlds::{
     broadcast_fanout, broadcast_fanout_with, timer_churn, unicast_pingpong, unicast_pingpong_with,
     Telemetry, Throughput,
 };
+use netsim::time::SimDuration;
+use scenarios::hierarchy::HierarchyParams;
+use scenarios::soak::{run_random_waypoint_soak, RwSoakConfig};
 
 const RUNS: usize = 5;
 const SEED: u64 = 1994;
@@ -119,6 +122,25 @@ fn cases() -> Vec<Case> {
             CacheImpl::Lru,
             16384,
         ),
+        Case {
+            name: "soak_rw_1k",
+            detail: "random-waypoint soak, hierarchy 2 regions x 10 cells x 500 mobiles, \
+                     8 flows, 8s simulated (workload engine + SLO evaluation included)",
+            runs: 2,
+            work: Box::new(|| {
+                let run = run_random_waypoint_soak(&RwSoakConfig {
+                    params: HierarchyParams {
+                        regions: 2,
+                        fas_per_region: 10,
+                        mobiles_per_region: 500,
+                        ..Default::default()
+                    },
+                    duration: SimDuration::from_secs(8),
+                    ..RwSoakConfig::default()
+                });
+                Throughput { events: run.events, wall_seconds: run.wall_seconds }
+            }),
+        },
         Case {
             name: "mega_world_1k",
             detail: "hierarchy 2 regions x 10 cells x 500 mobiles, 6s simulated",

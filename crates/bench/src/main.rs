@@ -16,7 +16,7 @@
 use scenarios::experiments::{
     e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
     e08_rate_limit, e09_icmp_errors, e10_at_home, e11_flapping, e12_partition, e13_provenance,
-    e14_cache_capacity,
+    e14_cache_capacity, e15_mobility_rate, e16_flash_crowd,
 };
 use scenarios::report::{f2, table};
 
@@ -65,6 +65,7 @@ fn e02(failures: &mut Vec<String>) {
         table(
             &[
                 "protocol",
+                "workload",
                 "paper B/pkt",
                 "measured B/pkt",
                 "fwd hops",
@@ -78,6 +79,7 @@ fn e02(failures: &mut Vec<String>) {
             rows.iter()
                 .map(|r| vec![
                     r.protocol.clone(),
+                    r.workload.clone(),
                     r.paper_overhead.into(),
                     f2(r.overhead_per_packet),
                     f2(r.avg_forward_hops),
@@ -501,6 +503,136 @@ fn e14(failures: &mut Vec<String>) {
     );
 }
 
+fn e15(failures: &mut Vec<String>) {
+    println!("\n== E15 — §5: handoff loss vs mobility rate (workload engine) ==");
+    let rows = e15_mobility_rate::run(SEED);
+    println!(
+        "{}",
+        table(
+            &[
+                "commuter period (ms)",
+                "handoffs",
+                "sent",
+                "delivered",
+                "lost/handoff",
+                "lat p99 (us)",
+                "updates sent",
+                "overhead bytes",
+            ],
+            rows.iter()
+                .map(|r| vec![
+                    r.period_ms.to_string(),
+                    r.handoffs.to_string(),
+                    r.sent.to_string(),
+                    r.delivered.to_string(),
+                    f2(r.loss_per_handoff),
+                    r.latency_p99_us.to_string(),
+                    r.updates_sent.to_string(),
+                    r.overhead_bytes.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    for r in &rows {
+        check(
+            failures,
+            "e15",
+            r.handoffs > 0,
+            &format!("period {} ms: no handoffs happened", r.period_ms),
+        );
+        // §5's bound, aggregated over the soak: at most one packet lost
+        // per handoff, at every mobility rate.
+        check(
+            failures,
+            "e15",
+            r.loss_per_handoff <= 1.0,
+            &format!(
+                "period {} ms: {:.2} packets lost/handoff (> 1)",
+                r.period_ms, r.loss_per_handoff
+            ),
+        );
+        check(
+            failures,
+            "e15",
+            r.delivered > 0,
+            &format!("period {} ms: nothing delivered", r.period_ms),
+        );
+    }
+    check(
+        failures,
+        "e15",
+        rows.last().map(|r| r.handoffs) > rows.first().map(|r| r.handoffs),
+        "shrinking the period did not raise the handoff count",
+    );
+    check(
+        failures,
+        "e15",
+        rows.last().map(|r| r.updates_sent) > rows.first().map(|r| r.updates_sent),
+        "faster mobility did not provoke more location updates",
+    );
+}
+
+fn e16(failures: &mut Vec<String>) {
+    println!("\n== E16 — §2/§7: flash crowd vs cache capacity (workload engine) ==");
+    let rows = e16_flash_crowd::run(SEED);
+    println!(
+        "{}",
+        table(
+            &[
+                "cache capacity",
+                "crowd joiners",
+                "sent",
+                "delivered",
+                "evictions",
+                "pre p50/p99 (us)",
+                "crowd p50/p99 (us)",
+            ],
+            rows.iter()
+                .map(|r| vec![
+                    r.cache_capacity.to_string(),
+                    r.crowd_joiners.to_string(),
+                    r.sent.to_string(),
+                    r.delivered.to_string(),
+                    r.cache_evictions.to_string(),
+                    format!("{}/{}", r.pre_p50_us, r.pre_p99_us),
+                    format!("{}/{}", r.crowd_p50_us, r.crowd_p99_us),
+                ])
+                .collect(),
+        )
+    );
+    for r in &rows {
+        check(
+            failures,
+            "e16",
+            r.delivery_ratio() >= 0.9,
+            &format!(
+                "capacity {}: delivery ratio {:.3} below 0.9",
+                r.cache_capacity,
+                r.delivery_ratio()
+            ),
+        );
+        check(
+            failures,
+            "e16",
+            r.crowd_samples > 0,
+            &format!("capacity {}: empty crowd latency window", r.cache_capacity),
+        );
+        check(
+            failures,
+            "e16",
+            r.crowd_joiners > 0,
+            &format!("capacity {}: nobody joined the crowd", r.cache_capacity),
+        );
+    }
+    let (small, large) = (&rows[0], &rows[rows.len() - 1]);
+    check(
+        failures,
+        "e16",
+        small.cache_evictions > large.cache_evictions,
+        "the starved cache did not churn harder under the crowd",
+    );
+}
+
 /// Re-runs the Figure 1 handoff with telemetry + pcap capture on and
 /// writes `trace.json` and `figure1.pcap` into `dir` (CI publishes them
 /// as workflow artifacts; the pcap opens in Wireshark).
@@ -607,6 +739,12 @@ fn main() {
     }
     if want("e14") {
         e14(&mut failures);
+    }
+    if want("e15") {
+        e15(&mut failures);
+    }
+    if want("e16") {
+        e16(&mut failures);
     }
     if let Some(dir) = artifacts_dir {
         if let Err(e) = export_artifacts(&dir) {

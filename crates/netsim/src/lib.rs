@@ -98,6 +98,6 @@ pub use world::{AdminOp, World};
 
 pub use telemetry;
 pub use telemetry::{
-    DropReason, Event, EventKind as TeleEventKind, EventLog, FaultKind, Histogram, Journey,
-    JourneyId,
+    DropReason, Event, EventKind as TeleEventKind, EventLog, FaultKind, HistSnapshot, Histogram,
+    Journey, JourneyId,
 };

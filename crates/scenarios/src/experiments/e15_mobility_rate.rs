@@ -1,0 +1,171 @@
+//! **E15 — §5: handoff loss vs mobility rate.**
+//!
+//! The paper's §5 robustness argument bounds the damage of any stale
+//! location cache entry: at most *one* packet per stale hop takes a
+//! detour or is dropped before the cache is corrected. Aggregated over
+//! a soak, that predicts handoff loss stays below one packet per
+//! handoff *regardless of how often hosts move* — faster mobility loses
+//! more packets only because there are more handoffs, not more loss per
+//! handoff.
+//!
+//! This experiment sweeps the mobility rate with the workload engine's
+//! [`Commuter`] model (every host oscillates home ↔ work on a fixed
+//! period) while a correspondent streams open-loop CBR probes at every
+//! host, and reports loss normalized by the handoff count alongside the
+//! §4.3 update traffic that mobility provokes.
+//!
+//! Expected shape: `lost/handoff ≤ 1` at every period; the location-
+//! update count grows as the period shrinks; delivery stays near-total.
+
+use netsim::time::SimDuration;
+use netsim::{IfaceId, NodeId};
+use workload::{run_soak, Commuter, Flow, FlowCfg, MobilityModel, Pattern, SoakParams};
+
+use crate::hierarchy::{Hierarchy, HierarchyParams};
+use crate::soak::MhrpIo;
+
+/// One mobility-rate point of the sweep.
+#[derive(Debug, Clone)]
+pub struct MobilityRateRow {
+    /// Commuter period (full home → work → home cycle), milliseconds.
+    pub period_ms: u64,
+    /// Handoffs the plan performed across the soak.
+    pub handoffs: u64,
+    /// Probes the correspondent sent.
+    pub sent: u64,
+    /// Probes that reached their mobile host.
+    pub delivered: u64,
+    /// Packets lost per handoff (the §5 claim: ≤ 1).
+    pub loss_per_handoff: f64,
+    /// p99 one-way delivery latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Location-update messages the mobility provoked.
+    pub updates_sent: u64,
+    /// Encapsulation overhead bytes added.
+    pub overhead_bytes: u64,
+}
+
+/// Number of mobile hosts (every one of them carries a flow).
+pub const MOBILES: usize = 8;
+
+/// Simulated soak length per point.
+pub const DURATION: SimDuration = SimDuration::from_secs(24);
+
+/// CBR probe spacing (slow enough that the expected loss window of a
+/// single handoff holds well under one packet).
+pub const CBR_INTERVAL: SimDuration = SimDuration::from_millis(600);
+
+/// Runs one mobility-rate point: commuter period `period` over
+/// [`DURATION`] with CBR probes at every host.
+pub fn run_period(seed: u64, period: SimDuration) -> MobilityRateRow {
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions: 1,
+        fas_per_region: 4,
+        mobiles_per_region: MOBILES,
+        seed,
+        ..Default::default()
+    });
+    assert!(
+        h.run_until_attached(1.0, SimDuration::from_secs(30)),
+        "mobile hosts failed to register"
+    );
+
+    let layout = hierarchy_layout(&h);
+    let model = Commuter { seed, period };
+    let from = h.world.now();
+    let plan = model.compile(&layout, from, from + DURATION);
+    let bindings: Vec<(NodeId, IfaceId)> = h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect();
+    plan.install(&mut h.world, &bindings, &h.cells);
+
+    let mut flows: Vec<Flow> = (0..h.mobiles.len())
+        .map(|i| {
+            Flow::new(
+                i as u32,
+                FlowCfg {
+                    pattern: Pattern::Cbr { interval: CBR_INTERVAL },
+                    bytes: 32,
+                    seed: seed ^ i as u64,
+                    limit: None,
+                },
+            )
+        })
+        .collect();
+
+    let updates0 = h.world.stats().counter("mhrp.updates_sent");
+    let bytes0 = h.world.stats().counter("mhrp.overhead_bytes");
+
+    let targets: Vec<usize> = (0..h.mobiles.len()).collect();
+    let flow_bindings = MhrpIo::hierarchy_flows(&h, &targets);
+    let mut io = MhrpIo::new(&mut h.world, h.correspondent.expect("correspondent"), flow_bindings);
+    run_soak(
+        &mut io,
+        &mut flows,
+        &SoakParams {
+            duration: DURATION,
+            tick: SimDuration::from_millis(50),
+            drain: SimDuration::from_secs(2),
+        },
+    );
+
+    let mut latency = netsim::Histogram::latency_us();
+    let (mut sent, mut delivered) = (0u64, 0u64);
+    for f in &flows {
+        latency.merge(&f.latency_us);
+        sent += f.stats.sent;
+        delivered += f.stats.delivered;
+    }
+    let handoffs = plan.handoffs();
+    MobilityRateRow {
+        period_ms: period.as_millis(),
+        handoffs,
+        sent,
+        delivered,
+        loss_per_handoff: if handoffs == 0 {
+            0.0
+        } else {
+            sent.saturating_sub(delivered) as f64 / handoffs as f64
+        },
+        latency_p99_us: latency.p99(),
+        updates_sent: h.world.stats().counter("mhrp.updates_sent") - updates0,
+        overhead_bytes: h.world.stats().counter("mhrp.overhead_bytes") - bytes0,
+    }
+}
+
+/// The [`workload::Layout`] mirroring a built hierarchy's round-robin
+/// placement.
+pub fn hierarchy_layout(h: &Hierarchy) -> workload::Layout {
+    let start_cells = (0..h.mobiles.len())
+        .map(|idx| {
+            let r = idx / h.mobiles_per_region;
+            let i = idx % h.mobiles_per_region;
+            r * h.fas_per_region + (i % h.fas_per_region)
+        })
+        .collect();
+    workload::Layout { cells: h.cells.len(), start_cells }
+}
+
+/// The default period sweep, fastest mobility last.
+pub fn run(seed: u64) -> Vec<MobilityRateRow> {
+    [16_000u64, 8_000, 4_000]
+        .iter()
+        .map(|&ms| run_period(seed, SimDuration::from_millis(ms)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_mobility_loses_at_most_one_packet_per_handoff() {
+        let slow = run_period(1994, SimDuration::from_secs(16));
+        let fast = run_period(1994, SimDuration::from_secs(4));
+        assert!(slow.handoffs > 0, "{slow:?}");
+        assert!(fast.handoffs > slow.handoffs, "{fast:?} vs {slow:?}");
+        // §5's bound, aggregated: never worse than one packet/handoff.
+        assert!(slow.loss_per_handoff <= 1.0, "{slow:?}");
+        assert!(fast.loss_per_handoff <= 1.0, "{fast:?}");
+        // Mobility provokes update traffic proportionally.
+        assert!(fast.updates_sent > slow.updates_sent, "{fast:?} vs {slow:?}");
+    }
+}

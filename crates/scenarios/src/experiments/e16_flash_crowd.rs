@@ -1,0 +1,201 @@
+//! **E16 — §2/§7: flash crowd vs location-cache capacity.**
+//!
+//! A flash crowd is the adversarial case for §2's finite location
+//! caches: a large fraction of the mobile population converges on one
+//! cell in a short window, every move invalidates cached locations at
+//! once, and the cache agents nearest the crowd churn hardest. The
+//! paper's position is that capacity is a *performance* knob, never a
+//! correctness one — a starved cache only pays more triangle routes and
+//! evictions.
+//!
+//! This experiment drives the same [`FlashCrowd`] workload (60 % of the
+//! hosts pile into one cell) against two cache capacities and splits
+//! every latency histogram into a *before* and a *during/after* window
+//! with the telemetry snapshot helper, so the crowd's latency cost is
+//! visible separately from the steady state.
+//!
+//! Expected shape: delivery stays ≥ 90 % at both capacities; the
+//! starved cache evicts (much) more; the crowd window records traffic at
+//! both capacities.
+
+use mhrp::MhrpConfig;
+use netsim::time::SimDuration;
+use netsim::{Histogram, IfaceId, NodeId};
+use workload::{run_soak, FlashCrowd, Flow, FlowCfg, MobilityModel, Pattern, SoakParams};
+
+use crate::experiments::e15_mobility_rate::hierarchy_layout;
+use crate::hierarchy::{Hierarchy, HierarchyParams};
+use crate::soak::MhrpIo;
+
+/// One capacity point of the flash-crowd run.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdRow {
+    /// The `cache_capacity` every cache agent ran with.
+    pub cache_capacity: usize,
+    /// Hosts that joined the crowd (handoffs into the target cell).
+    pub crowd_joiners: u64,
+    /// Probes sent across the whole run.
+    pub sent: u64,
+    /// Probes delivered.
+    pub delivered: u64,
+    /// Location-cache evictions across the world.
+    pub cache_evictions: u64,
+    /// p50 delivery latency *before* the crowd, microseconds.
+    pub pre_p50_us: u64,
+    /// p99 delivery latency *before* the crowd, microseconds.
+    pub pre_p99_us: u64,
+    /// Samples recorded in the crowd window.
+    pub crowd_samples: u64,
+    /// p50 delivery latency during/after the crowd, microseconds.
+    pub crowd_p50_us: u64,
+    /// p99 delivery latency during/after the crowd, microseconds.
+    pub crowd_p99_us: u64,
+}
+
+impl FlashCrowdRow {
+    /// Delivery ratio in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Fraction of hosts that join the crowd.
+pub const CROWD_FRACTION: f64 = 0.6;
+
+/// Steady-state phase before the crowd begins.
+pub const PRE_PHASE: SimDuration = SimDuration::from_secs(6);
+
+/// Crowd phase (arrivals spread over the first 2 s of it).
+pub const CROWD_PHASE: SimDuration = SimDuration::from_secs(8);
+
+/// Runs one capacity point of the flash-crowd workload.
+pub fn run_capacity(seed: u64, cache_capacity: usize) -> FlashCrowdRow {
+    let config = MhrpConfig {
+        cache_capacity,
+        // Let updates flow at the send cadence so the cache — not the
+        // §4.3 limiter — is the binding constraint being measured.
+        update_min_interval: SimDuration::from_millis(50),
+        ..Default::default()
+    };
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions: 2,
+        fas_per_region: 4,
+        mobiles_per_region: 12,
+        config,
+        seed,
+        ..Default::default()
+    });
+    assert!(
+        h.run_until_attached(1.0, SimDuration::from_secs(30)),
+        "mobile hosts failed to register"
+    );
+
+    // The crowd converges on cell 0; arrivals spread over 2 s.
+    let layout = hierarchy_layout(&h);
+    let from = h.world.now();
+    let model = FlashCrowd {
+        seed,
+        at: from + PRE_PHASE,
+        cell: 0,
+        fraction: CROWD_FRACTION,
+        arrival_window: SimDuration::from_secs(2),
+        disperse_after: None,
+    };
+    let plan = model.compile(&layout, from, from + PRE_PHASE + CROWD_PHASE);
+    let bindings: Vec<(NodeId, IfaceId)> = h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect();
+    plan.install(&mut h.world, &bindings, &h.cells);
+
+    // 16 open-loop Poisson flows spread over the 24 mobiles.
+    let n_flows = 16usize;
+    let targets: Vec<usize> = (0..n_flows).map(|i| i * h.mobiles.len() / n_flows).collect();
+    let mut flows: Vec<Flow> = (0..n_flows)
+        .map(|i| {
+            Flow::new(
+                i as u32,
+                FlowCfg {
+                    pattern: Pattern::Poisson { per_sec: 8.0 },
+                    bytes: 48,
+                    seed: seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    limit: None,
+                },
+            )
+        })
+        .collect();
+
+    let evict0 = h.world.stats().counter("mhrp.cache.evictions");
+
+    let correspondent = h.correspondent.expect("correspondent");
+    let flow_bindings = MhrpIo::hierarchy_flows(&h, &targets);
+    let mut io = MhrpIo::new(&mut h.world, correspondent, flow_bindings);
+
+    // Phase 1: steady state until the crowd starts (no drain — anything
+    // in flight lands in the crowd window, which is where it arrives).
+    let tick = SimDuration::from_millis(50);
+    run_soak(
+        &mut io,
+        &mut flows,
+        &SoakParams { duration: PRE_PHASE, tick, drain: SimDuration::ZERO },
+    );
+    let mut pre = Histogram::latency_us();
+    for f in &flows {
+        pre.merge(&f.latency_us);
+    }
+    let snap = pre.snapshot();
+
+    // Phase 2: the crowd hits; same flows keep streaming.
+    run_soak(
+        &mut io,
+        &mut flows,
+        &SoakParams { duration: CROWD_PHASE, tick, drain: SimDuration::from_secs(2) },
+    );
+
+    let mut total = Histogram::latency_us();
+    let (mut sent, mut delivered) = (0u64, 0u64);
+    for f in &flows {
+        total.merge(&f.latency_us);
+        sent += f.stats.sent;
+        delivered += f.stats.delivered;
+    }
+    let crowd = total.since(&snap);
+
+    FlashCrowdRow {
+        cache_capacity,
+        crowd_joiners: plan.handoffs(),
+        sent,
+        delivered,
+        cache_evictions: h.world.stats().counter("mhrp.cache.evictions") - evict0,
+        pre_p50_us: pre.p50(),
+        pre_p99_us: pre.p99(),
+        crowd_samples: crowd.count(),
+        crowd_p50_us: crowd.p50(),
+        crowd_p99_us: crowd.p99(),
+    }
+}
+
+/// The default capacity sweep: starved vs ample.
+pub fn run(seed: u64) -> Vec<FlashCrowdRow> {
+    [4usize, 64].iter().map(|&cap| run_capacity(seed, cap)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crowd_churns_the_starved_cache_but_not_correctness() {
+        let small = run_capacity(1994, 4);
+        let large = run_capacity(1994, 64);
+        assert!(small.crowd_joiners > 0, "{small:?}");
+        // Capacity is a performance knob, not a correctness one.
+        assert!(small.delivery_ratio() >= 0.9, "{small:?}");
+        assert!(large.delivery_ratio() >= 0.9, "{large:?}");
+        // The starved cache churns harder under the crowd.
+        assert!(small.cache_evictions > large.cache_evictions, "{small:?} vs {large:?}");
+        // Both windows saw traffic, so the split is meaningful.
+        assert!(small.crowd_samples > 0 && large.crowd_samples > 0);
+    }
+}

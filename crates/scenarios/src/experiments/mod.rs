@@ -1,4 +1,4 @@
-//! One module per reproduced experiment (DESIGN.md's E01–E14 index).
+//! One module per reproduced experiment (DESIGN.md's E01–E16 index).
 
 pub mod e01_header;
 pub mod e02_overhead;
@@ -14,3 +14,5 @@ pub mod e11_flapping;
 pub mod e12_partition;
 pub mod e13_provenance;
 pub mod e14_cache_capacity;
+pub mod e15_mobility_rate;
+pub mod e16_flash_crowd;

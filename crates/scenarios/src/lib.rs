@@ -11,6 +11,9 @@
 //! * [`experiments`] — one module per reproduced table/figure (see
 //!   DESIGN.md's per-experiment index and EXPERIMENTS.md for results).
 //! * [`report`] — plain-text table rendering for the `report` binary.
+//! * [`soak`] — the workload engine bound to MHRP worlds: SLO-gated
+//!   soak runs driven by `workload`'s mobility models and traffic
+//!   generators.
 //! * [`trace`] — structured-telemetry path assertions (journey hop lists
 //!   against the paper's Figure 1 names).
 
@@ -19,5 +22,6 @@ pub mod hierarchy;
 pub mod metrics;
 pub mod report;
 pub mod shootout;
+pub mod soak;
 pub mod topology;
 pub mod trace;

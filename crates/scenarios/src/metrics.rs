@@ -7,6 +7,9 @@ use netsim::Histogram;
 pub struct ComparisonRow {
     /// Protocol name.
     pub protocol: String,
+    /// The workload pattern that drove the measured stream (from
+    /// `workload::Pattern::describe`, e.g. `cbr @100ms 64B`).
+    pub workload: String,
     /// Data packets the correspondent sent to the mobile host.
     pub data_packets_sent: u64,
     /// Data packets the mobile host received.
@@ -147,6 +150,7 @@ mod tests {
     fn delivery_ratio_handles_zero() {
         let row = ComparisonRow {
             protocol: "x".into(),
+            workload: "cbr @100ms 64B".into(),
             data_packets_sent: 0,
             delivered: 0,
             overhead_bytes: 0,

@@ -24,6 +24,7 @@ use mhrp::{MhrpHostNode, MobileHostNode};
 use netsim::time::{SimDuration, SimTime};
 use netsim::{IfaceId, NodeId, SegmentId, SegmentParams, World};
 use netstack::nodes::RouterNode;
+use workload::{Flow, FlowCfg, Pattern};
 
 use crate::metrics::ComparisonRow;
 use crate::topology::{
@@ -37,8 +38,20 @@ pub const DATA_PORT: u16 = 5001;
 
 /// A closure sending one packet: `(world, destination, payload)`.
 type SendFn = Box<dyn Fn(&mut World, Ipv4Addr, Vec<u8>)>;
-/// A closure reading the mobile host's data-packet log: `(arrival, ttl)`.
-type MobileRxFn = Box<dyn Fn(&World) -> Vec<(SimTime, u8)>>;
+/// A closure reading the mobile host's data-packet log.
+type MobileRxFn = Box<dyn Fn(&World) -> Vec<RxRecord>>;
+
+/// One data packet as received by the mobile host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxRecord {
+    /// Arrival time at the mobile host.
+    pub at: SimTime,
+    /// Remaining IP TTL (forward hop count is `64 - ttl`).
+    pub ttl: u8,
+    /// The workload probe sequence number, when the payload carries the
+    /// [`workload::encode_probe`] header.
+    pub seq: Option<u32>,
+}
 
 /// A protocol under test, with everything the common workload needs.
 pub struct Driver {
@@ -90,6 +103,12 @@ impl Driver {
 
     /// Data packets received by M on [`DATA_PORT`]: `(arrival, ttl)`.
     pub fn mobile_received(&self) -> Vec<(SimTime, u8)> {
+        (self.mobile_rx)(&self.world).into_iter().map(|r| (r.at, r.ttl)).collect()
+    }
+
+    /// Data packets received by M on [`DATA_PORT`], with decoded
+    /// workload probe sequence numbers.
+    pub fn mobile_received_probes(&self) -> Vec<RxRecord> {
         (self.mobile_rx)(&self.world)
     }
 
@@ -149,8 +168,16 @@ pub fn add_plain_router(p: &mut Phys, position: u8) -> NodeId {
     id
 }
 
-fn udp_filter(log: &netstack::EndpointLog) -> Vec<(SimTime, u8)> {
-    log.udp_rx.iter().filter(|r| r.dst_port == DATA_PORT).map(|r| (r.at, r.ttl)).collect()
+fn udp_filter(log: &netstack::EndpointLog) -> Vec<RxRecord> {
+    log.udp_rx
+        .iter()
+        .filter(|r| r.dst_port == DATA_PORT)
+        .map(|r| RxRecord {
+            at: r.at,
+            ttl: r.ttl,
+            seq: workload::decode_probe(&r.payload).map(|(_, seq)| seq),
+        })
+        .collect()
 }
 
 /// Builds the MHRP driver (reusing the Figure 1 topology).
@@ -494,8 +521,16 @@ pub fn all_drivers(seed: u64) -> Vec<Driver> {
     ]
 }
 
+/// Wire size of every measured shootout probe (golden-pinned by the E02
+/// overhead counters).
+pub const PROBE_BYTES: usize = 64;
+
 /// Runs the common workload on one driver and produces its comparison
 /// row.
+///
+/// The measured stream is emitted by a `workload` CBR [`Flow`] — the
+/// same generator the soak runs use — so latency pairing rides on the
+/// probe sequence numbers instead of arrival order.
 pub fn run_comparison(mut d: Driver, n_packets: u32) -> ComparisonRow {
     // Phase 1: settle at home, then move to network D and let the
     // protocol's registration machinery converge.
@@ -505,50 +540,66 @@ pub fn run_comparison(mut d: Driver, n_packets: u32) -> ComparisonRow {
     // Phase 2: mobile-initiated contact primes reverse routes/caches.
     d.send_from_mobile(b"hello from the road".to_vec());
     d.world.run_for(SimDuration::from_secs(1));
-    // Phase 3: the measured data stream.
+    // Phase 3: the measured data stream — one CBR probe per 100 ms.
     let overhead0 = d.world.stats().counter(d.overhead_counter);
     let control0 = d.control_messages();
     let data_start = d.world.now();
-    for i in 0..n_packets {
-        d.send_data(vec![i as u8; 64]);
+    let mut flow = Flow::new(
+        0,
+        FlowCfg {
+            pattern: Pattern::Cbr { interval: SimDuration::from_millis(100) },
+            bytes: PROBE_BYTES,
+            seed: 0, // CBR draws nothing from the RNG
+            limit: Some(u64::from(n_packets)),
+        },
+    );
+    let mut emits = Vec::new();
+    while !flow.done() {
+        emits.clear();
+        flow.on_tick(d.world.now(), &mut emits);
+        for e in &emits {
+            d.send_data(workload::encode_probe(0, e.seq, e.bytes));
+        }
         d.world.run_for(SimDuration::from_millis(100));
     }
     d.world.run_for(SimDuration::from_secs(3));
 
-    let rx: Vec<(SimTime, u8)> =
-        d.mobile_received().into_iter().filter(|(at, _)| *at >= data_start).collect();
+    let rx: Vec<RxRecord> =
+        d.mobile_received_probes().into_iter().filter(|r| r.at >= data_start).collect();
     let delivered = rx.len() as u64;
     let overhead_bytes = d.world.stats().counter(d.overhead_counter) - overhead0;
     let control_messages = d.control_messages() - control0;
     let avg_forward_hops = if rx.is_empty() {
         0.0
     } else {
-        rx.iter().map(|(_, ttl)| f64::from(64 - ttl)).sum::<f64>() / rx.len() as f64
+        rx.iter().map(|r| f64::from(64 - r.ttl)).sum::<f64>() / rx.len() as f64
     };
-    // Latency/hop distributions, merged into the world's stats hub under
-    // the per-flow histogram names and copied onto the row. Packets were
-    // sent at `data_start + i*100ms` with one outstanding per interval,
-    // and the lossless shootout segments deliver in order, so arrival `i`
-    // pairs with send `i`.
+    // Latency pairs by embedded sequence number (exact even if a probe
+    // is lost mid-stream); hop counts come from received TTLs. Both are
+    // merged into the world's stats hub under the per-flow histogram
+    // names and copied onto the row.
     let lat_id = d
         .world
         .stats_mut()
         .histogram_metric("flow.latency_us", netsim::telemetry::LATENCY_US_BOUNDS);
     let hops_id =
         d.world.stats_mut().histogram_metric("flow.fwd_hops", netsim::telemetry::HOP_BOUNDS);
-    for (i, (at, ttl)) in rx.iter().enumerate() {
-        let sent_at = data_start + SimDuration::from_millis(100) * (i as u64);
-        d.world.stats_mut().record_hist_id(lat_id, at.since(sent_at).as_micros());
-        d.world.stats_mut().record_hist_id(hops_id, u64::from(64 - ttl));
+    for r in &rx {
+        let seq = r.seq.expect("measured stream carries probe headers");
+        flow.on_delivered(seq, r.at);
+        let sent_at = flow.sent_time(seq).expect("delivered probe was sent by this flow");
+        d.world.stats_mut().record_hist_id(lat_id, r.at.since(sent_at).as_micros());
+        d.world.stats_mut().record_hist_id(hops_id, u64::from(64 - r.ttl));
     }
     let latency_us = d.world.stats().histogram("flow.latency_us").expect("registered").clone();
     let hops_hist = d.world.stats().histogram("flow.fwd_hops").expect("registered").clone();
     ComparisonRow {
         protocol: d.name.to_owned(),
-        data_packets_sent: u64::from(n_packets),
+        workload: flow.cfg.pattern.describe(flow.cfg.bytes),
+        data_packets_sent: flow.stats.sent,
         delivered,
         overhead_bytes,
-        overhead_per_packet: overhead_bytes as f64 / f64::from(n_packets),
+        overhead_per_packet: overhead_bytes as f64 / flow.stats.sent as f64,
         avg_forward_hops,
         latency_us,
         hops_hist,

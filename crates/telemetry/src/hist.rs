@@ -132,6 +132,95 @@ impl Histogram {
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Captures the current state as a cheap point-in-time marker for
+    /// [`Histogram::since`]. Recording into `self` afterwards does not
+    /// affect the snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            bounds: self.bounds,
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+        }
+    }
+
+    /// The histogram of samples recorded *since* `snap` was taken — the
+    /// windowed view the SLO evaluator uses for per-phase
+    /// (pre/post-handoff) percentiles without re-recording into a second
+    /// histogram.
+    ///
+    /// Counts, count and sum are exact deltas. The window's `max` is
+    /// approximate when no sample since the snapshot exceeded the old
+    /// maximum: it is then bounded by the upper edge of the highest
+    /// non-empty delta bucket (clamped to the overall max), which is
+    /// also exactly what quantiles resolve to — so `p50`/`p99`/`mean`
+    /// of the returned histogram are as accurate as bucketing allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was taken from a histogram with different
+    /// bounds, or if `self` was reset since (a delta would underflow).
+    pub fn since(&self, snap: &HistSnapshot) -> Histogram {
+        assert!(
+            std::ptr::eq(self.bounds, snap.bounds) || self.bounds == snap.bounds,
+            "snapshot taken over different bucket bounds"
+        );
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&snap.counts)
+            .map(|(now, then)| now.checked_sub(*then).expect("histogram went backwards"))
+            .collect();
+        let max = if self.max > snap.max {
+            // Some window sample set a new overall maximum.
+            self.max
+        } else {
+            // Bound by the highest non-empty delta bucket's upper edge.
+            counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|idx| {
+                    if idx < self.bounds.len() {
+                        self.bounds[idx].min(self.max)
+                    } else {
+                        self.max
+                    }
+                })
+                .unwrap_or(0)
+        };
+        Histogram {
+            bounds: self.bounds,
+            counts,
+            count: self.count.checked_sub(snap.count).expect("histogram went backwards"),
+            sum: self.sum.checked_sub(snap.sum).expect("histogram went backwards"),
+            max,
+        }
+    }
+}
+
+/// A point-in-time capture of a [`Histogram`], used with
+/// [`Histogram::since`] to compute windowed (per-phase) views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistSnapshot {
+    /// Number of samples recorded when the snapshot was taken.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +260,55 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn windowed_snapshot_isolates_a_phase() {
+        let mut h = Histogram::new(&[10, 100, 1_000]);
+        // Phase 1: slow samples.
+        for v in [900, 950, 800] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        // Phase 2: fast samples.
+        for v in [5, 7, 9, 60] {
+            h.record(v);
+        }
+        let window = h.since(&snap);
+        assert_eq!(window.count(), 4);
+        assert_eq!(window.sum(), 81);
+        assert_eq!(window.p50(), 10); // rank-2 sample sits in the ≤10 bucket
+                                      // Window max is the bucket-bound approximation (no new overall
+                                      // max was set): highest non-empty delta bucket is ≤100.
+        assert_eq!(window.max(), 100);
+        assert_eq!(window.quantile(1.0), 100);
+        // The source histogram still holds everything.
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 950);
+    }
+
+    #[test]
+    fn windowed_snapshot_max_is_exact_when_window_sets_it() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(50);
+        let snap = h.snapshot();
+        h.record(77_777); // overflow bucket, new overall max
+        let window = h.since(&snap);
+        assert_eq!(window.count(), 1);
+        assert_eq!(window.max(), 77_777);
+        assert_eq!(window.p99(), 77_777);
+    }
+
+    #[test]
+    fn empty_window_reports_zeros() {
+        let mut h = Histogram::latency_us();
+        h.record(500);
+        let snap = h.snapshot();
+        let window = h.since(&snap);
+        assert_eq!(window.count(), 0);
+        assert_eq!(window.max(), 0);
+        assert_eq!(window.p99(), 0);
     }
 
     #[test]

@@ -34,5 +34,5 @@ mod log;
 pub mod pcapng;
 
 pub use event::{DropReason, Event, EventKind, FaultKind, JourneyId};
-pub use hist::{Histogram, HOP_BOUNDS, LATENCY_US_BOUNDS};
+pub use hist::{HistSnapshot, Histogram, HOP_BOUNDS, LATENCY_US_BOUNDS};
 pub use log::{EventLog, Journey};

@@ -1,0 +1,358 @@
+//! The SLO evaluator: machine-readable pass/fail verdicts over a soak.
+//!
+//! A soak run reduces to a flat set of [`SloMeasurements`] (counts,
+//! percentiles, protocol counters), which [`evaluate`] compares against
+//! [`SloThresholds`] to produce an [`SloReport`]: one named
+//! [`SloCheck`] per objective plus an overall verdict. The report
+//! serializes to deterministic JSON ([`SloReport::to_json`], sorted
+//! keys, shortest-round-trip floats) and parses back
+//! ([`SloReport::from_json`]) — the `slo_report.json` CI artifact and
+//! the round-trip tests ride on this.
+//!
+//! The objectives are the paper's own claims, made operational:
+//!
+//! * **delivery ratio** — mobility must not silently eat traffic (§5's
+//!   at-most-one-lost-packet argument, aggregated);
+//! * **p99 delivery latency** — triangle routes and tunnel detours stay
+//!   bounded (§2/§5.2);
+//! * **handoff loss per handoff** — the ≤1-packet-per-stale-hop claim
+//!   (§5), normalized by the mobility plan's handoff count;
+//! * **tunnel overhead per packet** — §7's bytes-per-packet comparison;
+//! * **update-message rate** — §4.3's rate-limited location updates.
+
+use crate::json::Json;
+
+/// Pass/fail thresholds, one per objective. `f64::INFINITY` (or `0.0`
+/// for the ratio floor) disables a check while keeping it reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloThresholds {
+    /// Minimum forward-leg delivery ratio, in `[0, 1]`.
+    pub min_delivery_ratio: f64,
+    /// Maximum p99 one-way delivery latency, microseconds.
+    pub max_p99_latency_us: f64,
+    /// Maximum packets lost per handoff.
+    pub max_handoff_loss_per_handoff: f64,
+    /// Maximum encapsulation overhead per transmitted probe, bytes.
+    pub max_overhead_per_packet: f64,
+    /// Maximum location-update messages per simulated second.
+    pub max_update_rate_per_sec: f64,
+}
+
+impl Default for SloThresholds {
+    fn default() -> SloThresholds {
+        SloThresholds {
+            min_delivery_ratio: 0.95,
+            max_p99_latency_us: 50_000.0,
+            max_handoff_loss_per_handoff: 1.0,
+            max_overhead_per_packet: 16.0,
+            max_update_rate_per_sec: 50.0,
+        }
+    }
+}
+
+/// Everything a soak run measured, flattened to plain numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloMeasurements {
+    /// Simulated seconds of offered load.
+    pub sim_seconds: f64,
+    /// Handoffs the mobility plan performed.
+    pub handoffs: u64,
+    /// Probe transmissions (retries included).
+    pub sent: u64,
+    /// Forward-leg arrivals at the mobile hosts.
+    pub delivered: u64,
+    /// Closed-loop requests completed in deadline.
+    pub completed: u64,
+    /// Closed-loop requests abandoned after retries.
+    pub failed: u64,
+    /// Closed-loop retransmissions.
+    pub retries: u64,
+    /// p50 one-way delivery latency, microseconds.
+    pub latency_p50_us: u64,
+    /// p99 one-way delivery latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Maximum one-way delivery latency, microseconds.
+    pub latency_max_us: u64,
+    /// p99 closed-loop round trip, microseconds (0 with no closed
+    /// loops).
+    pub rtt_p99_us: u64,
+    /// Encapsulation bytes the protocol added (`mhrp.overhead_bytes`
+    /// delta).
+    pub overhead_bytes: u64,
+    /// Location-update messages sent (`mhrp.updates_sent` delta).
+    pub updates_sent: u64,
+}
+
+impl SloMeasurements {
+    /// Forward-leg delivery ratio in `[0, 1]` (1 when nothing was
+    /// sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Packets lost per handoff (0 with no handoffs — nothing to blame).
+    pub fn handoff_loss_per_handoff(&self) -> f64 {
+        if self.handoffs == 0 {
+            0.0
+        } else {
+            self.sent.saturating_sub(self.delivered) as f64 / self.handoffs as f64
+        }
+    }
+
+    /// Encapsulation bytes per transmitted probe.
+    pub fn overhead_per_packet(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.overhead_bytes as f64 / self.sent as f64
+        }
+    }
+
+    /// Location updates per simulated second.
+    pub fn update_rate_per_sec(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            0.0
+        } else {
+            self.updates_sent as f64 / self.sim_seconds
+        }
+    }
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloCheck {
+    /// Objective name (stable identifiers, used by CI greps).
+    pub name: String,
+    /// The measured value.
+    pub measured: f64,
+    /// The threshold it was compared against.
+    pub threshold: f64,
+    /// Whether the objective was met.
+    pub pass: bool,
+}
+
+/// The machine-readable outcome of one soak run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Workload description (mobility × traffic).
+    pub workload: String,
+    /// World description.
+    pub world: String,
+    /// Raw measurements.
+    pub measurements: SloMeasurements,
+    /// Per-objective verdicts.
+    pub checks: Vec<SloCheck>,
+    /// Overall verdict: every check passed.
+    pub pass: bool,
+}
+
+/// Evaluates measurements against thresholds.
+pub fn evaluate(
+    workload: impl Into<String>,
+    world: impl Into<String>,
+    m: SloMeasurements,
+    t: &SloThresholds,
+) -> SloReport {
+    let checks = vec![
+        SloCheck {
+            name: "delivery_ratio".into(),
+            measured: m.delivery_ratio(),
+            threshold: t.min_delivery_ratio,
+            pass: m.delivery_ratio() >= t.min_delivery_ratio,
+        },
+        SloCheck {
+            name: "p99_latency_us".into(),
+            measured: m.latency_p99_us as f64,
+            threshold: t.max_p99_latency_us,
+            pass: (m.latency_p99_us as f64) <= t.max_p99_latency_us,
+        },
+        SloCheck {
+            name: "handoff_loss_per_handoff".into(),
+            measured: m.handoff_loss_per_handoff(),
+            threshold: t.max_handoff_loss_per_handoff,
+            pass: m.handoff_loss_per_handoff() <= t.max_handoff_loss_per_handoff,
+        },
+        SloCheck {
+            name: "overhead_per_packet".into(),
+            measured: m.overhead_per_packet(),
+            threshold: t.max_overhead_per_packet,
+            pass: m.overhead_per_packet() <= t.max_overhead_per_packet,
+        },
+        SloCheck {
+            name: "update_rate_per_sec".into(),
+            measured: m.update_rate_per_sec(),
+            threshold: t.max_update_rate_per_sec,
+            pass: m.update_rate_per_sec() <= t.max_update_rate_per_sec,
+        },
+    ];
+    let pass = checks.iter().all(|c| c.pass);
+    SloReport { workload: workload.into(), world: world.into(), measurements: m, checks, pass }
+}
+
+impl SloReport {
+    /// Serializes to deterministic JSON (sorted keys; a fixed point of
+    /// parse∘render).
+    pub fn to_json(&self) -> String {
+        let m = &self.measurements;
+        let measurements = Json::obj(vec![
+            ("sim_seconds", Json::Num(m.sim_seconds)),
+            ("handoffs", Json::Num(m.handoffs as f64)),
+            ("sent", Json::Num(m.sent as f64)),
+            ("delivered", Json::Num(m.delivered as f64)),
+            ("completed", Json::Num(m.completed as f64)),
+            ("failed", Json::Num(m.failed as f64)),
+            ("retries", Json::Num(m.retries as f64)),
+            ("latency_p50_us", Json::Num(m.latency_p50_us as f64)),
+            ("latency_p99_us", Json::Num(m.latency_p99_us as f64)),
+            ("latency_max_us", Json::Num(m.latency_max_us as f64)),
+            ("rtt_p99_us", Json::Num(m.rtt_p99_us as f64)),
+            ("overhead_bytes", Json::Num(m.overhead_bytes as f64)),
+            ("updates_sent", Json::Num(m.updates_sent as f64)),
+        ]);
+        let checks = Json::Arr(
+            self.checks
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("name", Json::Str(c.name.clone())),
+                        ("measured", Json::Num(c.measured)),
+                        ("threshold", Json::Num(c.threshold)),
+                        ("pass", Json::Bool(c.pass)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("world", Json::Str(self.world.clone())),
+            ("pass", Json::Bool(self.pass)),
+            ("measurements", measurements),
+            ("checks", checks),
+        ])
+        .render()
+    }
+
+    /// Parses a report previously produced by [`SloReport::to_json`].
+    pub fn from_json(text: &str) -> Result<SloReport, String> {
+        let v = Json::parse(text)?;
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field `{k}`"))
+        };
+        let mo = v.get("measurements").ok_or("missing `measurements`")?;
+        let mu = |k: &str| -> Result<u64, String> {
+            mo.get(k).and_then(Json::as_u64).ok_or_else(|| format!("missing integer `{k}`"))
+        };
+        let measurements = SloMeasurements {
+            sim_seconds: mo
+                .get("sim_seconds")
+                .and_then(Json::as_f64)
+                .ok_or("missing `sim_seconds`")?,
+            handoffs: mu("handoffs")?,
+            sent: mu("sent")?,
+            delivered: mu("delivered")?,
+            completed: mu("completed")?,
+            failed: mu("failed")?,
+            retries: mu("retries")?,
+            latency_p50_us: mu("latency_p50_us")?,
+            latency_p99_us: mu("latency_p99_us")?,
+            latency_max_us: mu("latency_max_us")?,
+            rtt_p99_us: mu("rtt_p99_us")?,
+            overhead_bytes: mu("overhead_bytes")?,
+            updates_sent: mu("updates_sent")?,
+        };
+        let mut checks = Vec::new();
+        for c in v.get("checks").and_then(Json::as_arr).ok_or("missing `checks`")? {
+            checks.push(SloCheck {
+                name: c
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("check missing `name`")?
+                    .to_owned(),
+                measured: c.get("measured").and_then(Json::as_f64).ok_or("check `measured`")?,
+                threshold: c.get("threshold").and_then(Json::as_f64).ok_or("check `threshold`")?,
+                pass: c.get("pass").and_then(Json::as_bool).ok_or("check `pass`")?,
+            });
+        }
+        Ok(SloReport {
+            workload: str_field("workload")?,
+            world: str_field("world")?,
+            pass: v.get("pass").and_then(Json::as_bool).ok_or("missing `pass`")?,
+            measurements,
+            checks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SloMeasurements {
+        SloMeasurements {
+            sim_seconds: 10.0,
+            handoffs: 24,
+            sent: 400,
+            delivered: 392,
+            completed: 50,
+            failed: 1,
+            retries: 3,
+            latency_p50_us: 3_000,
+            latency_p99_us: 7_500,
+            latency_max_us: 12_345,
+            rtt_p99_us: 15_000,
+            overhead_bytes: 3_200,
+            updates_sent: 48,
+        }
+    }
+
+    #[test]
+    fn derived_metrics_compute() {
+        let m = sample();
+        assert!((m.delivery_ratio() - 0.98).abs() < 1e-9);
+        assert!((m.handoff_loss_per_handoff() - 8.0 / 24.0).abs() < 1e-9);
+        assert!((m.overhead_per_packet() - 8.0).abs() < 1e-9);
+        assert!((m.update_rate_per_sec() - 4.8).abs() < 1e-9);
+        // Degenerate denominators stay finite.
+        let z = SloMeasurements::default();
+        assert_eq!(z.delivery_ratio(), 1.0);
+        assert_eq!(z.handoff_loss_per_handoff(), 0.0);
+        assert_eq!(z.overhead_per_packet(), 0.0);
+        assert_eq!(z.update_rate_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_passes_and_fails_per_objective() {
+        let report = evaluate("rw", "1k", sample(), &SloThresholds::default());
+        assert!(report.pass, "{:?}", report.checks);
+        assert_eq!(report.checks.len(), 5);
+
+        let strict = SloThresholds { min_delivery_ratio: 0.999, ..SloThresholds::default() };
+        let report = evaluate("rw", "1k", sample(), &strict);
+        assert!(!report.pass);
+        let failed: Vec<&str> =
+            report.checks.iter().filter(|c| !c.pass).map(|c| c.name.as_str()).collect();
+        assert_eq!(failed, ["delivery_ratio"]);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = evaluate("random-waypoint x poisson", "hierarchy-1k", sample(), &{
+            SloThresholds::default()
+        });
+        let text = report.to_json();
+        let back = SloReport::from_json(&text).expect("parse");
+        assert_eq!(back, report);
+        // Serialization is a fixed point: byte-identical re-render.
+        assert_eq!(back.to_json(), text);
+        // And rejects garbage.
+        assert!(SloReport::from_json("{}").is_err());
+        assert!(SloReport::from_json("not json").is_err());
+    }
+}

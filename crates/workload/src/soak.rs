@@ -1,0 +1,255 @@
+//! The soak driver: runs workload × world for a simulated duration.
+//!
+//! The driver owns nothing about the world — it talks to it through the
+//! [`SoakIo`] trait (advance time, transmit one probe, poll arrivals),
+//! which the scenario layer implements over its node types. Keeping the
+//! boundary this narrow keeps the driver deterministic and reusable: the
+//! same loop drives the Figure 1 world, the hierarchy worlds and the
+//! shootout substrates.
+//!
+//! The loop is tick-quantized: every [`SoakParams::tick`] of simulated
+//! time it advances the world, feeds each [`Flow`] its forward-leg
+//! arrivals and responses, and transmits whatever the flows emit. After
+//! [`SoakParams::duration`] it stops offering load and keeps polling for
+//! [`SoakParams::drain`] so tail in-flight packets are counted before
+//! loss is attributed to handoffs. Byte-identical across replays: the
+//! only inputs are the world's own deterministic state and the flows'
+//! seeds (golden-tested in `scenarios`).
+
+use crate::traffic::{Flow, ProbeSend};
+use netsim::time::{SimDuration, SimTime};
+
+/// One probe the driver asks the world to transmit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmit {
+    /// Index of the emitting flow (also embedded in the payload).
+    pub flow: usize,
+    /// Sequence number to embed.
+    pub seq: u32,
+    /// Payload length in bytes.
+    pub bytes: usize,
+    /// Whether a response is expected (send to the UDP echo port).
+    pub closed_loop: bool,
+}
+
+/// The narrow world interface the soak driver runs against.
+pub trait SoakIo {
+    /// Advances the world to simulated time `t`.
+    fn run_until(&mut self, t: SimTime);
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Transmits one probe from the client toward flow `t.flow`'s
+    /// mobile host.
+    fn transmit(&mut self, t: &Transmit);
+    /// Appends `(seq, arrival)` for every not-yet-reported forward-leg
+    /// arrival of flow `flow` at its mobile host.
+    fn poll_deliveries(&mut self, flow: usize, out: &mut Vec<(u32, SimTime)>);
+    /// Appends `(seq, arrival)` for every not-yet-reported response of
+    /// flow `flow` back at the client.
+    fn poll_responses(&mut self, flow: usize, out: &mut Vec<(u32, SimTime)>);
+}
+
+/// Timing parameters of one soak run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakParams {
+    /// Simulated time during which load is offered.
+    pub duration: SimDuration,
+    /// Driver tick (poll/emit granularity).
+    pub tick: SimDuration,
+    /// Extra simulated time to keep polling after the last offer, so
+    /// tail in-flight packets are not miscounted as lost.
+    pub drain: SimDuration,
+}
+
+impl Default for SoakParams {
+    fn default() -> SoakParams {
+        SoakParams {
+            duration: SimDuration::from_secs(10),
+            tick: SimDuration::from_millis(50),
+            drain: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Runs every flow against the world for `p.duration` (+`p.drain`),
+/// accumulating results inside the flows themselves.
+pub fn run_soak(io: &mut dyn SoakIo, flows: &mut [Flow], p: &SoakParams) {
+    assert!(p.tick > SimDuration::ZERO, "tick must be positive");
+    let start = io.now();
+    let end = start + p.duration;
+    let mut arrivals: Vec<(u32, SimTime)> = Vec::new();
+    let mut emits: Vec<ProbeSend> = Vec::new();
+
+    let mut t = start;
+    loop {
+        let now = io.now();
+        for (i, flow) in flows.iter_mut().enumerate() {
+            arrivals.clear();
+            io.poll_deliveries(i, &mut arrivals);
+            for &(seq, at) in &arrivals {
+                flow.on_delivered(seq, at);
+            }
+            arrivals.clear();
+            io.poll_responses(i, &mut arrivals);
+            for &(seq, at) in &arrivals {
+                flow.on_response(seq, at);
+            }
+            emits.clear();
+            flow.on_tick(now, &mut emits);
+            let closed_loop = flow.cfg.pattern.is_closed_loop();
+            for e in &emits {
+                io.transmit(&Transmit { flow: i, seq: e.seq, bytes: e.bytes, closed_loop });
+            }
+        }
+        if t >= end {
+            break;
+        }
+        t = if t + p.tick < end { t + p.tick } else { end };
+        io.run_until(t);
+    }
+
+    // Drain: keep polling arrivals, stop offering load.
+    let drain_end = end + p.drain;
+    while t < drain_end {
+        t = if t + p.tick < drain_end { t + p.tick } else { drain_end };
+        io.run_until(t);
+        for (i, flow) in flows.iter_mut().enumerate() {
+            arrivals.clear();
+            io.poll_deliveries(i, &mut arrivals);
+            for &(seq, at) in &arrivals {
+                flow.on_delivered(seq, at);
+            }
+            arrivals.clear();
+            io.poll_responses(i, &mut arrivals);
+            for &(seq, at) in &arrivals {
+                flow.on_response(seq, at);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{FlowCfg, Pattern};
+
+    /// A loopback world: every transmit arrives `latency` later, and
+    /// closed-loop transmits produce a response one `latency` after
+    /// that.
+    struct Loopback {
+        now: SimTime,
+        latency: SimDuration,
+        deliveries: Vec<Vec<(u32, SimTime)>>,
+        responses: Vec<Vec<(u32, SimTime)>>,
+    }
+
+    impl Loopback {
+        fn new(flows: usize, latency: SimDuration) -> Loopback {
+            Loopback {
+                now: SimTime::ZERO,
+                latency,
+                deliveries: vec![Vec::new(); flows],
+                responses: vec![Vec::new(); flows],
+            }
+        }
+    }
+
+    impl SoakIo for Loopback {
+        fn run_until(&mut self, t: SimTime) {
+            self.now = t;
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn transmit(&mut self, t: &Transmit) {
+            self.deliveries[t.flow].push((t.seq, self.now + self.latency));
+            if t.closed_loop {
+                self.responses[t.flow].push((t.seq, self.now + self.latency * 2));
+            }
+        }
+        fn poll_deliveries(&mut self, flow: usize, out: &mut Vec<(u32, SimTime)>) {
+            let now = self.now;
+            drain_ready(&mut self.deliveries[flow], now, out);
+        }
+        fn poll_responses(&mut self, flow: usize, out: &mut Vec<(u32, SimTime)>) {
+            let now = self.now;
+            drain_ready(&mut self.responses[flow], now, out);
+        }
+    }
+
+    fn drain_ready(queue: &mut Vec<(u32, SimTime)>, now: SimTime, out: &mut Vec<(u32, SimTime)>) {
+        let mut later = Vec::new();
+        for (seq, at) in queue.drain(..) {
+            if at <= now {
+                out.push((seq, at));
+            } else {
+                later.push((seq, at));
+            }
+        }
+        *queue = later;
+    }
+
+    #[test]
+    fn soak_delivers_and_completes_on_a_loopback_world() {
+        let mut io = Loopback::new(2, SimDuration::from_millis(5));
+        let mut flows = vec![
+            Flow::new(
+                0,
+                FlowCfg {
+                    pattern: Pattern::Cbr { interval: SimDuration::from_millis(100) },
+                    bytes: 64,
+                    seed: 1,
+                    limit: None,
+                },
+            ),
+            Flow::new(
+                1,
+                FlowCfg {
+                    pattern: Pattern::ClosedLoop {
+                        window: 3,
+                        deadline: SimDuration::from_millis(200),
+                        retries: 1,
+                    },
+                    bytes: 32,
+                    seed: 2,
+                    limit: Some(20),
+                },
+            ),
+        ];
+        let p = SoakParams {
+            duration: SimDuration::from_secs(2),
+            tick: SimDuration::from_millis(50),
+            drain: SimDuration::from_millis(200),
+        };
+        run_soak(&mut io, &mut flows, &p);
+        // CBR: one per 100 ms over 2 s, everything delivered in-drain.
+        assert_eq!(flows[0].stats.offered, 21);
+        assert_eq!(flows[0].stats.delivered, 21);
+        assert_eq!(flows[0].latency_us.max(), 5_000);
+        // Closed loop: all 20 requests complete, no retries needed.
+        assert_eq!(flows[1].stats.offered, 20);
+        assert_eq!(flows[1].stats.completed, 20);
+        assert_eq!(flows[1].stats.failed, 0);
+        assert!(flows[1].done());
+        assert_eq!(flows[1].rtt_us.count(), 20);
+    }
+
+    #[test]
+    fn soak_is_deterministic() {
+        let run = || {
+            let mut io = Loopback::new(1, SimDuration::from_millis(3));
+            let mut flows = vec![Flow::new(
+                0,
+                FlowCfg {
+                    pattern: Pattern::Poisson { per_sec: 40.0 },
+                    bytes: 64,
+                    seed: 77,
+                    limit: None,
+                },
+            )];
+            run_soak(&mut io, &mut flows, &SoakParams::default());
+            (flows[0].stats, flows[0].latency_us.bucket_counts().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests of the workload engine: arbitrary mobility models may
+//! only ever attach hosts to cells the layout actually has, equal seeds
+//! must replay byte-identically (plans, probe schedules, and stats),
+//! and a closed-loop client must never exceed its in-flight window no
+//! matter what the network does to its requests.
+
+use netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use workload::{
+    Commuter, FlashCrowd, Flow, FlowCfg, Layout, MobilityModel, MoveOp, MovePlan, Pattern,
+    ProbeSend, RandomWaypoint,
+};
+
+/// Raw generated mobility-model pick: `(selector, a, b, c)` integers so
+/// the stand-in proptest can print failing cases.
+type RawModel = (u8, u64, u64, u64);
+
+/// Builds one of the three mobility models from raw integers, keeping
+/// every parameter in its valid range.
+fn build_model(raw: RawModel, seed: u64, from: SimTime, cells: usize) -> Box<dyn MobilityModel> {
+    let (sel, a, b, c) = raw;
+    match sel % 3 {
+        0 => {
+            let dwell_min = SimDuration::from_millis(100 + a % 1_500);
+            Box::new(RandomWaypoint {
+                seed,
+                dwell_min,
+                dwell_max: dwell_min + SimDuration::from_millis(b % 2_000),
+            })
+        }
+        1 => Box::new(Commuter { seed, period: SimDuration::from_millis(300 + a % 4_000) }),
+        _ => Box::new(FlashCrowd {
+            seed,
+            at: from + SimDuration::from_millis(a % 4_000),
+            cell: (c % cells as u64) as usize,
+            fraction: (b % 101) as f64 / 100.0,
+            arrival_window: SimDuration::from_millis(1 + a % 2_000),
+            disperse_after: if b % 2 == 0 {
+                None
+            } else {
+                Some(SimDuration::from_millis(1 + c % 3_000))
+            },
+        }),
+    }
+}
+
+fn layout(cells: usize, hosts: usize) -> Layout {
+    Layout::round_robin(cells, hosts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Safety: whatever the model and its parameters, a compiled plan
+    /// only references hosts and cells the layout has.
+    #[test]
+    fn mobility_never_attaches_outside_the_layout(
+        raw in (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        seed in any::<u64>(),
+        cells in 1usize..8,
+        hosts in 1usize..12,
+        window_ms in 1u64..20_000,
+    ) {
+        let layout = layout(cells, hosts);
+        let from = SimTime::from_secs(1);
+        let until = from + SimDuration::from_millis(window_ms);
+        let model = build_model(raw, seed, from, cells);
+        let plan = model.compile(&layout, from, until);
+        if let Some(max) = plan.max_cell() {
+            prop_assert!(max < cells, "plan references cell {max} of {cells}");
+        }
+        for (at, op) in plan.ops() {
+            prop_assert!(*at >= from && *at < until, "op at {at:?} outside [{from:?}, {until:?})");
+            match *op {
+                MoveOp::Attach { host, cell } => {
+                    prop_assert!(host < hosts, "host {host} of {hosts}");
+                    prop_assert!(cell < cells, "cell {cell} of {cells}");
+                }
+                MoveOp::Detach { host } => prop_assert!(host < hosts, "host {host} of {hosts}"),
+            }
+        }
+    }
+
+    /// Determinism: the same seed compiles the same plan, and an
+    /// identically seeded flow driven through an identical tick and
+    /// delivery schedule emits the same probes and lands on the same
+    /// stats.
+    #[test]
+    fn equal_seeds_replay_identically(
+        raw in (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        seed in any::<u64>(),
+        cells in 1usize..8,
+        hosts in 1usize..12,
+        tick_ms in prop::collection::vec(1u64..400, 1..40),
+        pattern_sel in any::<u8>(),
+        rate_raw in 1u64..100,
+    ) {
+        let layout = layout(cells, hosts);
+        let from = SimTime::from_secs(1);
+        let until = from + SimDuration::from_secs(10);
+        let model = build_model(raw, seed, from, cells);
+        let a: MovePlan = model.compile(&layout, from, until);
+        let b: MovePlan = model.compile(&layout, from, until);
+        prop_assert_eq!(a, b, "same seed compiled different plans");
+
+        let pattern = match pattern_sel % 4 {
+            0 => Pattern::Poisson { per_sec: rate_raw as f64 },
+            1 => Pattern::Cbr { interval: SimDuration::from_millis(rate_raw) },
+            2 => Pattern::OnOff {
+                on: SimDuration::from_millis(rate_raw * 3),
+                off: SimDuration::from_millis(rate_raw * 2),
+                interval: SimDuration::from_millis(rate_raw),
+            },
+            _ => Pattern::ClosedLoop {
+                window: 1 + (rate_raw % 6) as usize,
+                deadline: SimDuration::from_millis(50 + rate_raw),
+                retries: (rate_raw % 3) as u32,
+            },
+        };
+        let cfg = FlowCfg { pattern, bytes: 64, seed, limit: None };
+        let mut f1 = Flow::new(0, cfg.clone());
+        let mut f2 = Flow::new(0, cfg);
+        let mut out1: Vec<ProbeSend> = Vec::new();
+        let mut out2: Vec<ProbeSend> = Vec::new();
+        let mut now = from;
+        for &ms in &tick_ms {
+            now += SimDuration::from_millis(ms);
+            let before1 = out1.len();
+            f1.on_tick(now, &mut out1);
+            f2.on_tick(now, &mut out2);
+            // Deliver (and answer) everything emitted this tick, one
+            // tick-length later, identically for both replicas.
+            let arrival = now + SimDuration::from_millis(ms / 2);
+            let emitted: Vec<u32> = out1[before1..].iter().map(|p| p.seq).collect();
+            for seq in emitted {
+                f1.on_delivered(seq, arrival);
+                f2.on_delivered(seq, arrival);
+                f1.on_response(seq, arrival);
+                f2.on_response(seq, arrival);
+            }
+        }
+        prop_assert_eq!(&out1, &out2, "same seed emitted different probe schedules");
+        prop_assert_eq!(f1.stats, f2.stats, "same seed landed on different stats");
+    }
+
+    /// The closed-loop window invariant: however the network delays,
+    /// drops, or answers requests, the number of outstanding requests
+    /// never exceeds the configured window.
+    #[test]
+    fn closed_loop_never_exceeds_window(
+        window in 1usize..6,
+        deadline_ms in 20u64..500,
+        retries in 0u32..4,
+        seed in any::<u64>(),
+        script in prop::collection::vec((1u64..300, any::<u8>()), 1..60),
+    ) {
+        let mut flow = Flow::new(0, FlowCfg {
+            pattern: Pattern::ClosedLoop {
+                window,
+                deadline: SimDuration::from_millis(deadline_ms),
+                retries,
+            },
+            bytes: 32,
+            seed,
+            limit: None,
+        });
+        let mut now = SimTime::from_secs(1);
+        let mut outstanding: Vec<u32> = Vec::new();
+        let mut out = Vec::new();
+        for &(delta_ms, fate) in &script {
+            now += SimDuration::from_millis(delta_ms);
+            out.clear();
+            flow.on_tick(now, &mut out);
+            prop_assert!(
+                flow.in_flight() <= window,
+                "{} in flight with window {window}",
+                flow.in_flight()
+            );
+            outstanding.extend(out.iter().map(|p| p.seq));
+            // The generated fate byte picks what the "network" does to
+            // the oldest outstanding request this tick: 0 = drop it on
+            // the floor, 1 = deliver but never answer, 2-3 = answer.
+            if let Some(&seq) = outstanding.first() {
+                match fate % 4 {
+                    0 => {
+                        outstanding.remove(0);
+                    }
+                    1 => {
+                        flow.on_delivered(seq, now);
+                        outstanding.remove(0);
+                    }
+                    _ => {
+                        flow.on_delivered(seq, now);
+                        flow.on_response(seq, now);
+                        outstanding.remove(0);
+                    }
+                }
+            }
+            prop_assert!(flow.in_flight() <= window);
+        }
+        // Every terminal request is accounted for exactly once.
+        prop_assert!(flow.stats.completed + flow.stats.failed <= flow.stats.offered);
+        prop_assert!(flow.stats.sent >= flow.stats.offered);
+    }
+}

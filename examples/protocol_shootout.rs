@@ -1,5 +1,7 @@
 //! The §7 comparison, live: MHRP against all five prior mobile-host
-//! protocols on the same internetwork and workload.
+//! protocols on the same internetwork and the same workload-engine
+//! generated stream (a CBR [`workload::Flow`] — see
+//! `scenarios::shootout::run_comparison`).
 //!
 //! ```text
 //! cargo run --example protocol_shootout
@@ -14,10 +16,19 @@ fn main() {
     println!("== Section 7 shootout: 6 protocols, same network, same workload ==\n");
     let rows: Vec<ComparisonRow> =
         all_drivers(1994).into_iter().map(|d| run_comparison(d, 20)).collect();
+    println!("workload: {} (generated per protocol by the workload engine)\n", rows[0].workload);
     println!(
         "{}",
         table(
-            &["protocol", "paper B/pkt", "measured B/pkt", "fwd hops", "delivered", "ctl msgs"],
+            &[
+                "protocol",
+                "paper B/pkt",
+                "measured B/pkt",
+                "fwd hops",
+                "delivered",
+                "p99 lat (us)",
+                "ctl msgs",
+            ],
             rows.iter()
                 .map(|r| vec![
                     r.protocol.clone(),
@@ -25,6 +36,7 @@ fn main() {
                     f2(r.overhead_per_packet),
                     f2(r.avg_forward_hops),
                     format!("{}/{}", r.delivered, r.data_packets_sent),
+                    r.latency_us.p99().to_string(),
                     r.control_messages.to_string(),
                 ])
                 .collect(),
