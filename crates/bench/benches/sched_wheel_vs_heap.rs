@@ -1,0 +1,76 @@
+//! Microbench isolating the scheduler swap: the hierarchical
+//! [`TimerWheel`] against the `BinaryHeap` it replaced, on the queue's
+//! dominant workload — short-horizon timer churn (schedule one, pop one,
+//! re-arm) at several outstanding-population sizes.
+//!
+//! The macro effect shows up in `BENCH_simcore.json` (`timer_churn`,
+//! `mega_world_*`); this bench pins the micro-level cause so a
+//! regression in either structure is attributable.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::time::SimTime;
+use netsim::TimerWheel;
+
+/// Timer horizon in nanoseconds: ~97 wheel ticks, like the simulator's
+/// sub-millisecond protocol timers.
+const HORIZON_NS: u64 = 100 * 1000;
+/// Churn operations measured per iteration.
+const OPS: u64 = 100_000;
+
+/// Steady-state churn through the wheel: `outstanding` timers in flight,
+/// each pop immediately re-arming one `HORIZON_NS` ahead.
+fn churn_wheel(outstanding: u64) -> u64 {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    wheel.reserve(outstanding as usize);
+    for i in 0..outstanding {
+        wheel.schedule(SimTime::from_nanos(i), i);
+    }
+    let mut acc = 0u64;
+    for _ in 0..OPS {
+        let (at, _, v) = wheel.pop().expect("population is constant");
+        acc = acc.wrapping_add(v);
+        wheel.schedule(SimTime::from_nanos(at.as_nanos() + HORIZON_NS), v);
+    }
+    acc
+}
+
+/// The same churn through the pre-wheel queue: a `BinaryHeap` of
+/// `Reverse<(at, seq)>` with a monotonically increasing sequence.
+fn churn_heap(outstanding: u64) -> u64 {
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> =
+        BinaryHeap::with_capacity(outstanding as usize + 1);
+    let mut seq = 0u64;
+    for i in 0..outstanding {
+        heap.push(Reverse((i, seq, i)));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..OPS {
+        let Reverse((at, _, v)) = heap.pop().expect("population is constant");
+        acc = acc.wrapping_add(v);
+        heap.push(Reverse((at + HORIZON_NS, seq, v)));
+        seq += 1;
+    }
+    acc
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_wheel_vs_heap");
+    g.sample_size(10);
+    for outstanding in [256u64, 4096, 65_536] {
+        g.bench_function(format!("wheel_churn_{outstanding}"), |b| {
+            b.iter(|| black_box(churn_wheel(black_box(outstanding))))
+        });
+        g.bench_function(format!("heap_churn_{outstanding}"), |b| {
+            b.iter(|| black_box(churn_heap(black_box(outstanding))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

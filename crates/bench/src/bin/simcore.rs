@@ -17,6 +17,9 @@
 //! * `--only SUBSTR` runs just the cases whose name contains `SUBSTR`.
 //! * `--budget-seconds N` exits non-zero if the selected cases take more
 //!   than `N` wall-clock seconds in total (the CI scale gate).
+//! * `--floor NAME=EVENTS_PER_SEC` (repeatable) exits non-zero if the
+//!   named case's best run falls below the given throughput — the CI
+//!   perf-regression gate for the scheduler hot path.
 
 use bench::cache_churn::{cache_churn, CacheImpl};
 use bench::megaworld::mega_world;
@@ -173,6 +176,31 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     }
 }
 
+/// Parses every `--floor NAME=EVENTS_PER_SEC` occurrence.
+fn floor_values(args: &[String]) -> Vec<(String, f64)> {
+    let mut floors = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a != "--floor" {
+            continue;
+        }
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("error: --floor requires NAME=EVENTS_PER_SEC");
+            std::process::exit(2);
+        };
+        let parsed = spec
+            .split_once('=')
+            .and_then(|(name, v)| v.parse::<f64>().ok().map(|floor| (name.to_string(), floor)));
+        match parsed {
+            Some(pair) => floors.push(pair),
+            None => {
+                eprintln!("error: --floor wants NAME=EVENTS_PER_SEC, got {spec}");
+                std::process::exit(2);
+            }
+        }
+    }
+    floors
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = flag_value(&args, "--out");
@@ -227,5 +255,17 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("within budget: {harness_seconds:.1}s <= {limit:.1}s");
+    }
+    for (name, floor) in floor_values(&args) {
+        let Some((_, best)) = results.iter().find(|(c, _)| c.name == name) else {
+            eprintln!("error: --floor {name} names a case that did not run");
+            std::process::exit(2);
+        };
+        let got = best.events_per_sec();
+        if got < floor {
+            eprintln!("throughput floor violated: {name} ran {got:.0} ev/s < {floor:.0} ev/s");
+            std::process::exit(1);
+        }
+        eprintln!("above floor: {name} ran {got:.0} ev/s >= {floor:.0} ev/s");
     }
 }

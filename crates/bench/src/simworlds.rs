@@ -151,11 +151,11 @@ pub fn broadcast_fanout_with(
     let mut w = World::new(seed);
     let seg = w.add_segment(SegmentParams::default());
     for _ in 0..nodes {
-        let id = w.add_node(Box::new(Broadcaster {
+        let id = w.add_node(Broadcaster {
             interval: SimDuration::from_millis(1),
             payload_len,
             received: 0,
-        }));
+        });
         w.add_iface(id, Some(seg));
     }
     timed(w, telemetry, SimDuration::from_millis(sim_ms))
@@ -178,14 +178,9 @@ pub fn unicast_pingpong_with(
     let mut w = World::new(seed);
     for _ in 0..pairs {
         let seg = w.add_segment(SegmentParams::default());
-        let a =
-            w.add_node(Box::new(PingPong { serve: true, peer_payload: payload_len, exchanged: 0 }));
+        let a = w.add_node(PingPong { serve: true, peer_payload: payload_len, exchanged: 0 });
         w.add_iface(a, Some(seg));
-        let b = w.add_node(Box::new(PingPong {
-            serve: false,
-            peer_payload: payload_len,
-            exchanged: 0,
-        }));
+        let b = w.add_node(PingPong { serve: false, peer_payload: payload_len, exchanged: 0 });
         w.add_iface(b, Some(seg));
     }
     timed(w, telemetry, SimDuration::from_millis(sim_ms))
@@ -196,7 +191,7 @@ pub fn unicast_pingpong_with(
 pub fn timer_churn(seed: u64, nodes: usize, fanout: u64, sim_ms: u64) -> Throughput {
     let mut w = World::new(seed);
     for _ in 0..nodes {
-        let id = w.add_node(Box::new(TimerSpinner { fanout, fired: 0 }));
+        let id = w.add_node(TimerSpinner { fanout, fired: 0 });
         w.add_iface(id, None);
     }
     timed(w, Telemetry::Off, SimDuration::from_millis(sim_ms))

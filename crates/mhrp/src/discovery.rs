@@ -28,6 +28,14 @@ pub struct Advertiser {
     /// token carries it, so a pre-crash advertisement chain is dropped as
     /// stale after a reboot restarts the advertiser (instead of the node
     /// advertising at twice the rate).
+    ///
+    /// Migration note: the queue now supports real cancellation
+    /// (`netsim::Ctx::cancel_timer`, an O(1) watermark), so `start` could
+    /// cancel the old chain's token outright instead of letting stale
+    /// fires dribble through `on_timer`. The epoch idiom is kept for now
+    /// because it is replay-neutral: cancelling would suppress queue
+    /// entries and change event sequence numbers, perturbing the golden
+    /// replay logs this crate's determinism suite pins.
     epoch: u64,
     // Bumped once per advertisement — a per-second × per-cell path at
     // mega-world scale, so the handle is cached.
@@ -143,7 +151,7 @@ mod tests {
         impl netsim::Node for Probe {
             fn on_frame(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: &netsim::Frame) {}
         }
-        let n = w.add_node(Box::new(Probe));
+        let n = w.add_node(Probe);
         w.add_iface(n, None);
         let mut stack = IpStack::new(true);
         w.with_node::<Probe, _>(n, |_, ctx| {

@@ -142,6 +142,13 @@ pub struct MobileHostCore {
     /// Bumped on every (re)start so periodic timers armed before a crash
     /// are recognisably stale after the reboot (the low byte of the
     /// watchdog token carries it).
+    ///
+    /// Migration note: `netsim::Ctx::cancel_timer` now offers O(1)
+    /// queue-level cancellation, so a restart could cancel the previous
+    /// watchdog token instead of epoch-tagging and discarding stale
+    /// fires. Kept as-is deliberately: cancellation removes queue
+    /// entries, which shifts event sequence numbers and would invalidate
+    /// the byte-identical golden replays.
     epoch: u64,
 }
 

@@ -8,7 +8,9 @@
 //! * **Nodes** — user-defined protocol state machines implementing [`Node`],
 //!   driven by frame arrivals, timers and link events.
 //! * **A single global event queue** — totally ordered by `(time, seq)` so
-//!   that runs are bit-for-bit reproducible for a given RNG seed.
+//!   that runs are bit-for-bit reproducible for a given RNG seed. Backed by
+//!   a hierarchical timer wheel ([`sched`]) for O(1) scheduling, with
+//!   queue-level timer cancellation ([`Ctx::cancel_timer`]).
 //! * **Admin operations** — scripted topology changes (interface moves for
 //!   host mobility, segment up/down, node reboots) and arbitrary scripted
 //!   callbacks, all scheduled on the same queue.
@@ -45,9 +47,9 @@
 //!
 //! let mut world = World::new(7);
 //! let seg = world.add_segment(Default::default());
-//! let echo = world.add_node(Box::new(Echo));
+//! let echo = world.add_node(Echo);
 //! world.add_iface(echo, Some(seg));
-//! let probe = world.add_node(Box::new(Probe { got: 0 }));
+//! let probe = world.add_node(Probe { got: 0 });
 //! world.add_iface(probe, Some(seg));
 //! world.start();
 //! world.run_until(SimTime::from_secs(1));
@@ -74,11 +76,13 @@
 
 #![deny(missing_docs)]
 
+mod arena;
 pub mod event;
 pub mod faults;
 pub mod frame;
 pub mod id;
 pub mod node;
+pub mod sched;
 pub mod segment;
 pub mod stats;
 pub mod time;
@@ -90,6 +94,7 @@ pub use frame::Payload;
 pub use frame::{EtherType, Frame};
 pub use id::{IfaceId, MacAddr, NodeId, SegmentId};
 pub use node::{AsAny, Ctx, LinkEvent, Node, TimerToken};
+pub use sched::TimerWheel;
 pub use segment::SegmentParams;
 pub use stats::{metric, Counter, HistId, MetricId, SeriesId, Stats};
 pub use time::{SimDuration, SimTime};

@@ -5,6 +5,7 @@ use std::any::Any;
 
 use rand::rngs::StdRng;
 
+use crate::event::{EventKind as QueueEventKind, EventQueue};
 use crate::frame::Frame;
 use crate::id::{IfaceId, MacAddr, NodeId};
 use crate::stats::Stats;
@@ -18,8 +19,16 @@ use telemetry::{EventKind, EventLog, JourneyId};
 /// returned verbatim in [`Node::on_timer`].
 ///
 /// Nodes encode their own meaning into the value (e.g. "retransmit
-/// registration #7"). Timers are not cancellable; a node that no longer
-/// cares about a timer simply ignores the stale token when it fires.
+/// registration #7"). Pending timers can be cancelled with
+/// [`Ctx::cancel_timer`]: cancellation is O(1) at the queue level (a
+/// sequence-number watermark, not a search), covers every pending timer
+/// carrying the same token, and never affects timers armed afterwards.
+///
+/// The older idiom of encoding a generation/epoch into the token and
+/// ignoring stale fires in `on_timer` (as MHRP's epoch-tagged watchdog
+/// and advertiser timers do) still works and stays byte-identical to
+/// previous runs — but such nodes can now migrate to real cancellation
+/// and stop paying a queue slot plus a dispatch for every dead timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(pub u64);
 
@@ -103,6 +112,7 @@ pub struct IfaceInfo {
 pub(crate) enum Action {
     SendFrame { iface: IfaceId, frame: Frame },
     SetTimer { delay: SimDuration, token: TimerToken },
+    CancelTimer { token: TimerToken },
 }
 
 /// The execution context passed to every [`Node`] handler.
@@ -113,6 +123,9 @@ pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
     pub(crate) ifaces: &'a [IfaceInfo],
+    /// The world's event queue, for timer actions that can apply
+    /// immediately (see [`Ctx::set_timer`]) without reordering effects.
+    pub(crate) queue: &'a mut EventQueue,
     pub(crate) actions: Vec<Action>,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) tracer: &'a mut Tracer,
@@ -180,7 +193,36 @@ impl<'a> Ctx<'a> {
 
     /// Arms a one-shot timer that fires `delay` from now with `token`.
     pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
-        self.actions.push(Action::SetTimer { delay, token });
+        if self.actions.is_empty() {
+            // Nothing deferred yet, so this would be the first action
+            // applied after the handler returns anyway: scheduling it
+            // now yields the identical event sequence number — and the
+            // timer re-arm hot path skips the action-buffer round trip.
+            let node = self.node;
+            self.queue.push(self.now + delay, QueueEventKind::Timer { node, token });
+        } else {
+            self.actions.push(Action::SetTimer { delay, token });
+        }
+    }
+
+    /// Cancels every pending timer of this node carrying `token`.
+    ///
+    /// O(1): the queue records a watermark and discards matching timer
+    /// events when they surface, without disturbing the order of any
+    /// surviving event (cancelled fires are tallied in the
+    /// `sim.timers_cancelled` counter). Like all `Ctx` side effects,
+    /// effects land in call order: a `set_timer` *before* the cancel is
+    /// covered by it, a `set_timer` *after* it survives — so "cancel
+    /// then re-arm" works naturally. Cancelling a token with nothing
+    /// pending is a no-op.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        if self.actions.is_empty() {
+            // Same reasoning as `set_timer`: while nothing is deferred,
+            // applying immediately matches the deferred order exactly.
+            self.queue.cancel_timer(self.node, token);
+        } else {
+            self.actions.push(Action::CancelTimer { token });
+        }
     }
 
     /// The world's deterministic random number generator.

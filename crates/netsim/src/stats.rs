@@ -74,9 +74,11 @@ pub mod metric {
     pub const FAULT_TX_MUTED: MetricId = MetricId(13);
     /// Node crashes injected (`FaultOp::Crash`).
     pub const FAULT_CRASHES: MetricId = MetricId(14);
+    /// Timer events discarded by `Ctx::cancel_timer` before dispatch.
+    pub const SIM_TIMERS_CANCELLED: MetricId = MetricId(15);
 
     /// Names backing the pre-registered counters, in id order.
-    pub(super) const COUNTER_NAMES: [&str; 15] = [
+    pub(super) const COUNTER_NAMES: [&str; 16] = [
         "link.frames_sent",
         "link.bytes_sent",
         "link.frames_delivered",
@@ -92,6 +94,7 @@ pub mod metric {
         "fault.timers_dropped_node_down",
         "fault.tx_muted",
         "fault.crashes",
+        "sim.timers_cancelled",
     ];
 
     /// Event-queue depth samples (see `World::set_queue_sampling`).

@@ -44,6 +44,7 @@ impl Tracer {
     }
 
     /// Records an event; `detail` is only invoked when tracing is enabled.
+    #[inline]
     pub fn record(
         &mut self,
         time: SimTime,

@@ -3,11 +3,13 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::ptr::NonNull;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::event::{EventKind, EventQueue};
+use crate::arena::NodeArena;
+use crate::event::{BatchEvent, EventKind, EventQueue, FrameEvent, ScheduledEvent};
 use crate::faults::{FaultOp, FaultPlan};
 use crate::frame::{Frame, Payload};
 use crate::id::{IfaceId, MacAddr, NodeId, SegmentId};
@@ -106,7 +108,14 @@ struct IfaceBinding {
 pub struct World {
     time: SimTime,
     queue: EventQueue,
-    nodes: Vec<Option<Box<dyn Node>>>,
+    // Node state is arena-allocated for cache locality: `nodes` holds
+    // stable pointers into `arena`'s chunks (or dangling pointers for
+    // zero-sized nodes). A slot is `None` only while that node is
+    // mid-dispatch (taken out for aliasing-free `&mut` access) — or,
+    // briefly, in `Drop`. The `Drop` impl runs each node's destructor in
+    // place; the arena then frees the chunks.
+    nodes: Vec<Option<NonNull<dyn Node>>>,
+    arena: NodeArena,
     bindings: Vec<Vec<IfaceBinding>>,
     segments: Vec<Segment>,
     rng: StdRng,
@@ -122,13 +131,29 @@ pub struct World {
     // suppressed.
     down_nodes: Vec<bool>,
     muted_broadcasts: HashSet<(NodeId, IfaceId)>,
+    // Per-node interface views handed to `Ctx` during dispatch, kept in
+    // sync incrementally at the three binding mutation points
+    // (`add_node`, `add_iface`, `move_iface`) instead of being rebuilt
+    // from `bindings` on every dispatch. Borrowed immutably for the
+    // duration of a handler (handlers cannot reach binding mutations).
+    iface_infos: Vec<Vec<IfaceInfo>>,
     // Scratch buffers reused across events so the steady-state hot path
     // (dispatch + transmit) allocates nothing. Taken with `mem::take`, so
     // an unexpected nested use degrades to a fresh allocation instead of
     // corrupting the outer call.
-    iface_scratch: Vec<IfaceInfo>,
     action_scratch: Vec<Action>,
     rx_scratch: Vec<(NodeId, IfaceId)>,
+    // Box pools for the payload-carrying queue events, keeping `EventKind`
+    // pointer-sized without paying an allocation per transmission: a
+    // popped box returns here and its fields are overwritten at the next
+    // transmit (the stale frame inside a pooled box keeps its payload
+    // refcount until then — bounded by the pool's high-water mark).
+    // (clippy::vec_box: the boxing is the point — pooled boxes are moved
+    // into `EventKind` whole, so the allocation itself is what's recycled.)
+    #[allow(clippy::vec_box)]
+    frame_pool: Vec<Box<FrameEvent>>,
+    #[allow(clippy::vec_box)]
+    batch_pool: Vec<Box<BatchEvent>>,
     // Structured telemetry (see the `telemetry` crate): a bounded ring of
     // typed events plus an optional pcap-ng capture of delivered frames.
     // Both are off by default and cost nothing until enabled.
@@ -143,6 +168,7 @@ impl World {
             time: SimTime::ZERO,
             queue: EventQueue::new(),
             nodes: Vec::new(),
+            arena: NodeArena::new(),
             bindings: Vec::new(),
             segments: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -154,9 +180,11 @@ impl World {
             queue_sample_every: None,
             down_nodes: Vec::new(),
             muted_broadcasts: HashSet::new(),
-            iface_scratch: Vec::new(),
+            iface_infos: Vec::new(),
             action_scratch: Vec::new(),
             rx_scratch: Vec::new(),
+            frame_pool: Vec::new(),
+            batch_pool: Vec::new(),
             tele: EventLog::new(),
             pcap: None,
         }
@@ -181,12 +209,26 @@ impl World {
 
     /// Adds a node and returns its id. Interfaces are added separately via
     /// [`World::add_iface`].
-    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+    ///
+    /// The node is moved into the world's internal arena (contiguous
+    /// chunks rather than one heap box per node), so dense worlds keep
+    /// node state cache-local. Nodes live as long as the world.
+    pub fn add_node(&mut self, node: impl Node) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Some(node));
+        let ptr = self.arena.alloc(node);
+        self.nodes.push(Some(ptr));
         self.bindings.push(Vec::new());
+        self.iface_infos.push(Vec::new());
         self.down_nodes.push(false);
         id
+    }
+
+    /// Hints that roughly `events` events will be outstanding at once, so
+    /// the event queue can pre-size its storage and steady-state runs
+    /// never reallocate it. Builders that know their population (e.g. the
+    /// hierarchy generator) call this once before [`World::start`].
+    pub fn reserve_events(&mut self, events: usize) {
+        self.queue.reserve(events);
     }
 
     /// Adds an interface to `node`, optionally attached to a segment, and
@@ -196,6 +238,7 @@ impl World {
         self.mac_counter += 1;
         let iface = IfaceId(self.bindings[node.0].len());
         self.bindings[node.0].push(IfaceBinding { mac, segment });
+        self.iface_infos[node.0].push(IfaceInfo { mac, attached: segment.is_some() });
         if let Some(seg) = segment {
             self.segments[seg.0].attach(node, iface, mac);
         }
@@ -220,12 +263,13 @@ impl World {
     /// clock to `t`.
     pub fn run_until(&mut self, t: SimTime) {
         assert!(self.started, "call World::start before running");
-        while let Some(at) = self.queue.peek_time() {
-            if at > t {
-                break;
-            }
-            self.step();
+        while let Some(ev) = self.queue.pop_due(t) {
+            self.process_event(ev);
         }
+        // Cancelled timers discarded by the pops above (including any
+        // past `t` skimmed by the final one) fold into the counter once
+        // per run, keeping the per-event loop free of stats traffic.
+        self.drain_suppressed();
         if t > self.time {
             self.time = t;
         }
@@ -240,76 +284,60 @@ impl World {
     /// Processes the single next event. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else { return false };
+        let popped = self.queue.pop();
+        self.drain_suppressed();
+        let Some(ev) = popped else { return false };
+        self.process_event(ev);
+        true
+    }
+
+    /// Timer events discarded by cancellation during a pop or peek
+    /// surface as a counter, not as dispatches.
+    #[inline]
+    fn drain_suppressed(&mut self) {
+        let suppressed = self.queue.take_suppressed();
+        if suppressed > 0 {
+            self.stats.add_id(metric::SIM_TIMERS_CANCELLED, suppressed);
+        }
+    }
+
+    /// Advances the clock to a popped event and runs it. Shared by
+    /// [`World::step`] and the [`World::run_until`] hot loop.
+    fn process_event(&mut self, ev: ScheduledEvent) {
         debug_assert!(ev.at >= self.time, "event queue went backwards");
         self.time = ev.at;
         self.events_processed += 1;
         match ev.kind {
-            EventKind::Frame { node, iface, segment, frame } => {
-                if self.down_nodes[node.0] {
-                    // A crashed node hears nothing.
-                    self.stats.incr_id(metric::FAULT_FRAMES_DROPPED_NODE_DOWN);
-                    self.tele_record(
-                        Some(node),
-                        frame.journey,
-                        telemetry::EventKind::FrameDrop { reason: DropReason::NodeDown },
-                    );
-                    return true;
+            EventKind::Frame(fe) => {
+                self.deliver_frame(fe.node, fe.iface, fe.segment, &fe.frame);
+                self.frame_pool.push(fe);
+            }
+            EventKind::FrameBatch(mut be) => {
+                // One queue entry carrying receivers.len() deliveries:
+                // count each so `events_processed` (and thus bench
+                // throughput figures) match the unbatched scheme exactly.
+                self.events_processed += be.receivers.len() as u64 - 1;
+                for i in 0..be.receivers.len() {
+                    let (node, iface) = be.receivers[i];
+                    self.deliver_frame(node, iface, be.segment, &be.frame);
                 }
-                // Suppress delivery if the interface moved away mid-flight.
-                let still_here = self
-                    .bindings
-                    .get(node.0)
-                    .and_then(|b| b.get(iface.0))
-                    .is_some_and(|b| b.segment == Some(segment));
-                if still_here {
-                    self.stats.incr_id(metric::LINK_FRAMES_DELIVERED);
-                    self.tracer.record(self.time, Some(node), "frame", || {
-                        format!(
-                            "if{} {} -> {} {:?} len {}",
-                            iface.0,
-                            frame.src,
-                            frame.dst,
-                            frame.ethertype,
-                            frame.payload.len()
-                        )
-                    });
-                    self.tele_record(
-                        Some(node),
-                        frame.journey,
-                        telemetry::EventKind::FrameRx {
-                            iface: iface.0 as u32,
-                            bytes: frame.wire_len() as u32,
-                        },
-                    );
-                    if self.pcap.is_some() {
-                        self.pcap_capture(&frame);
-                    }
-                    let journey = frame.journey;
-                    self.dispatch_with(node, journey, |n, ctx| n.on_frame(ctx, iface, &frame));
-                } else {
-                    self.stats.incr_id(metric::LINK_FRAMES_LOST_MOVED);
-                    self.tele_record(
-                        Some(node),
-                        frame.journey,
-                        telemetry::EventKind::FrameDrop { reason: DropReason::Moved },
-                    );
-                }
+                be.receivers.clear();
+                self.batch_pool.push(be);
             }
             EventKind::Timer { node, token } => {
                 if self.down_nodes[node.0] {
                     // Pending timers are volatile state: a crash consumes
                     // them. Nodes re-arm from `on_reboot`.
                     self.stats.incr_id(metric::FAULT_TIMERS_DROPPED_NODE_DOWN);
-                    return true;
+                    return;
                 }
                 self.tracer
                     .record(self.time, Some(node), "timer", || format!("token {:#x}", token.0));
                 self.tele_record(Some(node), None, telemetry::EventKind::Timer { token: token.0 });
                 self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
             }
-            EventKind::Admin(op) => self.apply_admin(op),
-            EventKind::Fault(op) => self.apply_fault(op),
+            EventKind::Admin(op) => self.apply_admin(*op),
+            EventKind::Fault(op) => self.apply_fault(*op),
             EventKind::SampleQueue => {
                 // The sample event itself was already popped, so `queue_len`
                 // reflects only real pending work at this instant.
@@ -320,7 +348,62 @@ impl World {
                 }
             }
         }
-        true
+    }
+
+    /// Delivers one frame copy to `node`'s `iface`, running the full
+    /// arrival pipeline (crash check, moved-away suppression, stats,
+    /// trace, telemetry, pcap, dispatch). Shared by per-receiver `Frame`
+    /// events and batched `FrameBatch` fan-outs.
+    fn deliver_frame(&mut self, node: NodeId, iface: IfaceId, segment: SegmentId, frame: &Frame) {
+        if self.down_nodes[node.0] {
+            // A crashed node hears nothing.
+            self.stats.incr_id(metric::FAULT_FRAMES_DROPPED_NODE_DOWN);
+            self.tele_record(
+                Some(node),
+                frame.journey,
+                telemetry::EventKind::FrameDrop { reason: DropReason::NodeDown },
+            );
+            return;
+        }
+        // Suppress delivery if the interface moved away mid-flight.
+        let still_here = self
+            .bindings
+            .get(node.0)
+            .and_then(|b| b.get(iface.0))
+            .is_some_and(|b| b.segment == Some(segment));
+        if still_here {
+            self.stats.incr_id(metric::LINK_FRAMES_DELIVERED);
+            self.tracer.record(self.time, Some(node), "frame", || {
+                format!(
+                    "if{} {} -> {} {:?} len {}",
+                    iface.0,
+                    frame.src,
+                    frame.dst,
+                    frame.ethertype,
+                    frame.payload.len()
+                )
+            });
+            self.tele_record(
+                Some(node),
+                frame.journey,
+                telemetry::EventKind::FrameRx {
+                    iface: iface.0 as u32,
+                    bytes: frame.wire_len() as u32,
+                },
+            );
+            if self.pcap.is_some() {
+                self.pcap_capture(frame);
+            }
+            let journey = frame.journey;
+            self.dispatch_with(node, journey, |n, ctx| n.on_frame(ctx, iface, frame));
+        } else {
+            self.stats.incr_id(metric::LINK_FRAMES_LOST_MOVED);
+            self.tele_record(
+                Some(node),
+                frame.journey,
+                telemetry::EventKind::FrameDrop { reason: DropReason::Moved },
+            );
+        }
     }
 
     /// Samples [`World::queue_len`] into the `sim.queue_depth` stats series
@@ -347,7 +430,7 @@ impl World {
 
     /// Schedules an [`AdminOp`] at absolute time `at`.
     pub fn schedule_admin(&mut self, at: SimTime, op: AdminOp) {
-        self.queue.push(at, EventKind::Admin(op));
+        self.queue.push(at, EventKind::Admin(Box::new(op)));
     }
 
     /// Schedules a script callback at absolute time `at`.
@@ -358,7 +441,7 @@ impl World {
     /// Schedules one [`FaultOp`] at absolute time `at`.
     pub fn schedule_fault(&mut self, at: SimTime, op: FaultOp) {
         assert!(at >= self.time, "fault scheduled in the past");
-        self.queue.push(at, EventKind::Fault(op));
+        self.queue.push(at, EventKind::Fault(Box::new(op)));
     }
 
     /// Compiles a [`FaultPlan`] onto the event queue: every scheduled
@@ -457,6 +540,7 @@ impl World {
         if let Some(old_seg) = old {
             self.segments[old_seg.0].detach(node, iface);
             self.bindings[node.0][iface.0].segment = None;
+            self.iface_infos[node.0][iface.0].attached = false;
             if awake {
                 self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Detached));
             }
@@ -465,6 +549,7 @@ impl World {
             let mac = self.bindings[node.0][iface.0].mac;
             self.segments[new_seg.0].attach(node, iface, mac);
             self.bindings[node.0][iface.0].segment = Some(new_seg);
+            self.iface_infos[node.0][iface.0].attached = true;
             if awake {
                 self.dispatch(node, |n, ctx| n.on_link(ctx, iface, LinkEvent::Attached));
             }
@@ -483,7 +568,11 @@ impl World {
     ///
     /// Panics if `id` does not refer to a node of concrete type `T`.
     pub fn node<T: 'static>(&self, id: NodeId) -> &T {
-        let node: &dyn Node = self.nodes[id.0].as_deref().expect("node is mid-dispatch");
+        let ptr = self.nodes[id.0].expect("node is mid-dispatch");
+        // SAFETY: the pointer came from `self.arena` (alive as long as
+        // `self`), and the slot being `Some` means no `&mut` to this
+        // node exists (dispatch takes the slot while it holds one).
+        let node: &dyn Node = unsafe { ptr.as_ref() };
         node.as_any().downcast_ref::<T>().expect("node type mismatch")
     }
 
@@ -621,6 +710,9 @@ impl World {
     }
 
     /// Number of events currently queued (useful to observe congestion).
+    ///
+    /// Cancelled timers are discarded lazily, so this can transiently
+    /// overcount by the number of cancelled-but-not-yet-expired timers.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
     }
@@ -686,19 +778,17 @@ impl World {
         f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
     ) {
         let mut node = self.nodes[node_id.0].take().expect("re-entrant dispatch on one node");
-        let mut infos = std::mem::take(&mut self.iface_scratch);
-        infos.clear();
-        infos.extend(
-            self.bindings[node_id.0]
-                .iter()
-                .map(|b| IfaceInfo { mac: b.mac, attached: b.segment.is_some() }),
-        );
         let mut actions = std::mem::take(&mut self.action_scratch);
         actions.clear();
+        // The node's interface view is maintained incrementally (see the
+        // `iface_infos` field) and borrowed straight into the context —
+        // disjoint from the queue/rng/tracer fields borrowed mutably —
+        // rather than rebuilt from `bindings` per dispatch.
         let mut ctx = Ctx {
             now: self.time,
             node: node_id,
-            ifaces: &infos,
+            ifaces: &self.iface_infos[node_id.0],
+            queue: &mut self.queue,
             actions,
             rng: &mut self.rng,
             tracer: &mut self.tracer,
@@ -706,10 +796,13 @@ impl World {
             tele: &mut self.tele,
             journey,
         };
-        f(node.as_mut(), &mut ctx);
+        // SAFETY: `node` was taken out of its slot, so this is the only
+        // live path to the object for the duration of the handler (a
+        // re-entrant dispatch on the same node panics on the `take`
+        // above; `World::node` panics on the empty slot).
+        f(unsafe { node.as_mut() }, &mut ctx);
         let mut actions = ctx.actions;
         self.nodes[node_id.0] = Some(node);
-        self.iface_scratch = infos;
         for action in actions.drain(..) {
             self.apply_action(node_id, action);
         }
@@ -726,6 +819,7 @@ impl World {
             Action::SetTimer { delay, token } => {
                 self.queue.push(self.time + delay, EventKind::Timer { node: node_id, token });
             }
+            Action::CancelTimer { token } => self.queue.cancel_timer(node_id, token),
         }
     }
 
@@ -784,6 +878,52 @@ impl World {
         receivers.extend(
             self.segments[seg_id.0].receivers(node_id, iface, frame.dst).map(|a| (a.node, a.iface)),
         );
+        if frame.dst.is_broadcast()
+            && receivers.len() > 1
+            && params.jitter == SimDuration::ZERO
+            && params.corrupt == 0.0
+        {
+            // Batched fan-out: with zero jitter and no per-copy
+            // corruption, every surviving receiver gets an identical copy
+            // at the identical instant, and the per-receiver `Frame`
+            // events the unbatched path would push carry *consecutive*
+            // sequence numbers — nothing can order between them. One
+            // `FrameBatch` event therefore reproduces the exact
+            // processing order while costing a single queue operation.
+            // Loss is still drawn per receiver, in attachment order, so
+            // the RNG stream is bit-identical to the unbatched scheme.
+            let journey = frame.journey;
+            let mut be = match self.batch_pool.pop() {
+                Some(mut be) => {
+                    be.segment = seg_id;
+                    be.frame = frame;
+                    be
+                }
+                None => Box::new(BatchEvent { segment: seg_id, frame, receivers: Vec::new() }),
+            };
+            debug_assert!(be.receivers.is_empty(), "pooled batch not cleared");
+            for &(rx_node, rx_iface) in &receivers {
+                if params.loss > 0.0 && self.rng.random::<f64>() < params.loss {
+                    self.stats.incr_id(metric::LINK_FRAMES_DROPPED);
+                    self.tele_record(
+                        Some(rx_node),
+                        journey,
+                        telemetry::EventKind::FrameDrop { reason: DropReason::Loss },
+                    );
+                    continue;
+                }
+                be.receivers.push((rx_node, rx_iface));
+            }
+            if be.receivers.is_empty() {
+                // Every copy was lost; recycle the box.
+                self.batch_pool.push(be);
+            } else {
+                self.queue.push(self.time + params.latency, EventKind::FrameBatch(be));
+            }
+            receivers.clear();
+            self.rx_scratch = receivers;
+            return;
+        }
         for &(rx_node, rx_iface) in &receivers {
             if params.loss > 0.0 && self.rng.random::<f64>() < params.loss {
                 self.stats.incr_id(metric::LINK_FRAMES_DROPPED);
@@ -818,18 +958,41 @@ impl World {
                 rx_frame.payload = Payload::from(bytes);
                 self.stats.incr_id(metric::LINK_FRAMES_CORRUPTED);
             }
-            self.queue.push(
-                self.time + delay,
-                EventKind::Frame {
+            let fe = match self.frame_pool.pop() {
+                Some(mut fe) => {
+                    fe.node = rx_node;
+                    fe.iface = rx_iface;
+                    fe.segment = seg_id;
+                    fe.frame = rx_frame;
+                    fe
+                }
+                None => Box::new(FrameEvent {
                     node: rx_node,
                     iface: rx_iface,
                     segment: seg_id,
                     frame: rx_frame,
-                },
-            );
+                }),
+            };
+            self.queue.push(self.time + delay, EventKind::Frame(fe));
         }
         receivers.clear();
         self.rx_scratch = receivers;
+    }
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        for slot in &mut self.nodes {
+            if let Some(ptr) = slot.take() {
+                // SAFETY: each pointer came from `self.arena`, is dropped
+                // at most once (the slot is taken), and nothing uses it
+                // afterwards. The arena itself (a later field) frees the
+                // chunk memory after this runs. A node left mid-dispatch
+                // by a panicking handler has an empty slot and is leaked
+                // rather than double-dropped.
+                unsafe { std::ptr::drop_in_place(ptr.as_ptr()) };
+            }
+        }
     }
 }
 
@@ -901,9 +1064,9 @@ mod tests {
     fn two_node_world() -> (World, NodeId, NodeId) {
         let mut w = World::new(1);
         let seg = w.add_segment(SegmentParams::default());
-        let beacon = w.add_node(Box::new(Beacon));
+        let beacon = w.add_node(Beacon);
         w.add_iface(beacon, Some(seg));
-        let counter = w.add_node(Box::new(Counter::new(false)));
+        let counter = w.add_node(Counter::new(false));
         w.add_iface(counter, Some(seg));
         (w, beacon, counter)
     }
@@ -966,9 +1129,9 @@ mod tests {
     fn full_loss_drops_everything() {
         let mut w = World::new(9);
         let seg = w.add_segment(SegmentParams { loss: 1.0, ..Default::default() });
-        let b = w.add_node(Box::new(Beacon));
+        let b = w.add_node(Beacon);
         w.add_iface(b, Some(seg));
-        let c = w.add_node(Box::new(Counter::new(false)));
+        let c = w.add_node(Counter::new(false));
         w.add_iface(c, Some(seg));
         w.start();
         w.run_until(SimTime::from_secs(1));
@@ -1009,9 +1172,9 @@ mod tests {
                 jitter: SimDuration::from_millis(1),
                 ..Default::default()
             });
-            let b = w.add_node(Box::new(Beacon));
+            let b = w.add_node(Beacon);
             w.add_iface(b, Some(seg));
-            let c = w.add_node(Box::new(Counter::new(false)));
+            let c = w.add_node(Counter::new(false));
             w.add_iface(c, Some(seg));
             w.start();
             w.run_until(SimTime::from_secs(1));
@@ -1024,11 +1187,11 @@ mod tests {
     fn unicast_echo_round_trip() {
         let mut w = World::new(3);
         let seg = w.add_segment(SegmentParams::default());
-        let b = w.add_node(Box::new(Beacon));
+        let b = w.add_node(Beacon);
         w.add_iface(b, Some(seg));
-        let e = w.add_node(Box::new(Counter::new(true)));
+        let e = w.add_node(Counter::new(true));
         w.add_iface(e, Some(seg));
-        let c2 = w.add_node(Box::new(Counter::new(false)));
+        let c2 = w.add_node(Counter::new(false));
         w.add_iface(c2, Some(seg));
         w.start();
         w.run_until(SimTime::from_secs(1));
@@ -1163,9 +1326,9 @@ mod tests {
 
         let mut w = World::new(11);
         let seg = w.add_segment(SegmentParams::default());
-        let b = w.add_node(Box::new(Beacon));
+        let b = w.add_node(Beacon);
         w.add_iface(b, Some(seg));
-        let k = w.add_node(Box::new(Keeper { got: Vec::new() }));
+        let k = w.add_node(Keeper { got: Vec::new() });
         w.add_iface(k, Some(seg));
         w.schedule_fault(
             SimTime::ZERO,
@@ -1191,9 +1354,9 @@ mod tests {
                 jitter: SimDuration::from_millis(1),
                 ..Default::default()
             });
-            let b = w.add_node(Box::new(Beacon));
+            let b = w.add_node(Beacon);
             w.add_iface(b, Some(seg));
-            let c = w.add_node(Box::new(Counter::new(true)));
+            let c = w.add_node(Counter::new(true));
             w.add_iface(c, Some(seg));
             w.set_tracing(true);
             let plan = FaultPlan::new()

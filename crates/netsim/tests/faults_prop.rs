@@ -96,7 +96,7 @@ fn run_with_plan(seed: u64, plan: &FaultPlan) -> (Vec<u64>, Vec<(String, u64)>) 
     let seg = w.add_segment(SegmentParams::default());
     let ids: Vec<_> = (0..NODES)
         .map(|_| {
-            let id = w.add_node(Box::new(Chatter { received: 0 }));
+            let id = w.add_node(Chatter { received: 0 });
             w.add_iface(id, Some(seg));
             id
         })
@@ -160,7 +160,7 @@ proptest! {
         let seg = w.add_segment(SegmentParams::default());
         let ids: Vec<_> = (0..NODES)
             .map(|_| {
-                let id = w.add_node(Box::new(Chatter { received: 0 }));
+                let id = w.add_node(Chatter { received: 0 });
                 w.add_iface(id, Some(seg));
                 id
             })

@@ -72,11 +72,11 @@ proptest! {
 
         let mut w = World::new(11);
         let seg = w.add_segment(SegmentParams::default());
-        let s = w.add_node(Box::new(Sender { bytes: bytes.clone() }));
+        let s = w.add_node(Sender { bytes: bytes.clone() });
         w.add_iface(s, Some(seg));
         let rx: Vec<_> = (0..receivers)
             .map(|_| {
-                let id = w.add_node(Box::new(Receiver { seen: Vec::new(), ptrs: Vec::new() }));
+                let id = w.add_node(Receiver { seen: Vec::new(), ptrs: Vec::new() });
                 w.add_iface(id, Some(seg));
                 id
             })

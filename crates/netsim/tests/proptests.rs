@@ -53,7 +53,7 @@ fn run_world(seed: u64, nodes: usize, loss: f64, jitter_us: u64, count: u32) -> 
     });
     let ids: Vec<_> = (0..nodes)
         .map(|i| {
-            let id = w.add_node(Box::new(Chatter::new(count, 500 + i as u64)));
+            let id = w.add_node(Chatter::new(count, 500 + i as u64));
             w.add_iface(id, Some(seg));
             id
         })
@@ -113,7 +113,7 @@ fn clock_never_goes_backwards() {
         fn on_frame(&mut self, _c: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
     }
     let mut w = World::new(5);
-    let id = w.add_node(Box::new(Spammer { times: Vec::new() }));
+    let id = w.add_node(Spammer { times: Vec::new() });
     w.add_iface(id, None);
     w.start();
     w.run_until(SimTime::from_secs(1));

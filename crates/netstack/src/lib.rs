@@ -25,7 +25,7 @@
 //! let left = w.add_segment(SegmentParams::default());
 //! let right = w.add_segment(SegmentParams::default());
 //!
-//! let rid = w.add_node(Box::new(RouterNode::new()));
+//! let rid = w.add_node(RouterNode::new());
 //! w.add_iface(rid, Some(left));
 //! w.add_iface(rid, Some(right));
 //! w.with_node::<RouterNode, _>(rid, |r, _ctx| {
@@ -33,7 +33,7 @@
 //!     r.stack.add_iface(IfaceId(1), Ipv4Addr::new(10, 0, 1, 1), "10.0.1.0/24".parse().unwrap());
 //! });
 //!
-//! let a = w.add_node(Box::new(HostNode::new()));
+//! let a = w.add_node(HostNode::new());
 //! w.add_iface(a, Some(left));
 //! w.with_node::<HostNode, _>(a, |h, _| {
 //!     h.stack.add_iface(IfaceId(0), Ipv4Addr::new(10, 0, 0, 2), "10.0.0.0/24".parse().unwrap());
@@ -41,7 +41,7 @@
 //!                        NextHop::Gateway { iface: IfaceId(0), via: Ipv4Addr::new(10, 0, 0, 1) });
 //! });
 //!
-//! let b = w.add_node(Box::new(HostNode::new()));
+//! let b = w.add_node(HostNode::new());
 //! w.add_iface(b, Some(right));
 //! w.with_node::<HostNode, _>(b, |h, _| {
 //!     h.stack.add_iface(IfaceId(0), Ipv4Addr::new(10, 0, 1, 2), "10.0.1.0/24".parse().unwrap());

@@ -37,7 +37,7 @@ fn build_chain(n_routers: usize, seed: u64) -> Chain {
     // Routers: router i connects segment i (iface 0) and segment i+1 (iface 1).
     let mut routers = Vec::new();
     for i in 0..n_routers {
-        let id = w.add_node(Box::new(RouterNode::new()));
+        let id = w.add_node(RouterNode::new());
         w.add_iface(id, Some(segments[i]));
         w.add_iface(id, Some(segments[i + 1]));
         w.with_node::<RouterNode, _>(id, |r, _| {
@@ -59,7 +59,7 @@ fn build_chain(n_routers: usize, seed: u64) -> Chain {
         routers.push(id);
     }
 
-    let host_a = w.add_node(Box::new(HostNode::new()));
+    let host_a = w.add_node(HostNode::new());
     w.add_iface(host_a, Some(segments[0]));
     w.with_node::<HostNode, _>(host_a, |h, _| {
         h.stack.add_iface(IfaceId(0), addr(0, 10), prefix(0));
@@ -68,7 +68,7 @@ fn build_chain(n_routers: usize, seed: u64) -> Chain {
             .add(Prefix::default_route(), NextHop::Gateway { iface: IfaceId(0), via: addr(0, 1) });
     });
 
-    let host_b = w.add_node(Box::new(HostNode::new()));
+    let host_b = w.add_node(HostNode::new());
     w.add_iface(host_b, Some(segments[n_routers]));
     w.with_node::<HostNode, _>(host_b, |h, _| {
         let last = n_routers as u8;
@@ -220,17 +220,17 @@ fn gratuitous_arp_rebinds_neighbor_caches() {
     // stops receiving pings).
     let mut w = World::new(8);
     let seg = w.add_segment(SegmentParams::default());
-    let a_id = w.add_node(Box::new(HostNode::new()));
+    let a_id = w.add_node(HostNode::new());
     w.add_iface(a_id, Some(seg));
     w.with_node::<HostNode, _>(a_id, |h, _| {
         h.stack.add_iface(IfaceId(0), addr(0, 1), prefix(0));
     });
-    let b_id = w.add_node(Box::new(HostNode::new()));
+    let b_id = w.add_node(HostNode::new());
     w.add_iface(b_id, Some(seg));
     w.with_node::<HostNode, _>(b_id, |h, _| {
         h.stack.add_iface(IfaceId(0), addr(0, 2), prefix(0));
     });
-    let r_id = w.add_node(Box::new(RouterNode::new()));
+    let r_id = w.add_node(RouterNode::new());
     w.add_iface(r_id, Some(seg));
     w.with_node::<RouterNode, _>(r_id, |r, _| {
         r.stack.add_iface(IfaceId(0), addr(0, 3), prefix(0));

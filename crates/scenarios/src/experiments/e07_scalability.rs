@@ -53,32 +53,32 @@ pub fn mhrp_point(seed: u64, n: usize) -> ScalabilityPoint {
     let addrs = Figure1Addrs::plan();
     let mut p = phys(seed);
     add_plain_router(&mut p, 1);
-    let r2 = p.world.add_node(Box::new(
+    let r2 = p.world.add_node(
         MhrpRouterNode::new(config.clone())
             .with_home_agent(IfaceId(1))
             .with_advertiser(vec![IfaceId(1)]),
-    ));
+    );
     p.world.add_iface(r2, Some(p.backbone));
     p.world.add_iface(r2, Some(p.net_b));
     p.world.with_node::<MhrpRouterNode, _>(r2, |r, _| configure_router_stack(&mut r.stack, 2));
     add_plain_router(&mut p, 3);
-    let r4 = p.world.add_node(Box::new(
+    let r4 = p.world.add_node(
         MhrpRouterNode::new(config.clone())
             .with_foreign_agent(IfaceId(1))
             .with_advertiser(vec![IfaceId(1)]),
-    ));
+    );
     p.world.add_iface(r4, Some(p.net_c));
     p.world.add_iface(r4, Some(p.net_d));
     p.world.with_node::<MhrpRouterNode, _>(r4, |r, _| configure_router_stack(&mut r.stack, 4));
     let mut mobiles = Vec::new();
     for i in 0..n {
-        let m = p.world.add_node(Box::new(MobileHostNode::new(
+        let m = p.world.add_node(MobileHostNode::new(
             mobile_addr(i),
             net(2),
             addrs.r2,
             addrs.r2,
             config.clone(),
-        )));
+        ));
         p.world.add_iface(m, Some(p.net_b));
         mobiles.push(m);
     }
@@ -107,30 +107,25 @@ pub fn sp_point(seed: u64, n: usize) -> ScalabilityPoint {
     for pos in 1..=3 {
         add_plain_router(&mut p, pos);
     }
-    let fwd = p.world.add_node(Box::new(SpForwarderNode::new(IfaceId(1))));
+    let fwd = p.world.add_node(SpForwarderNode::new(IfaceId(1)));
     p.world.add_iface(fwd, Some(p.net_c));
     p.world.add_iface(fwd, Some(p.net_d));
     p.world.with_node::<SpForwarderNode, _>(fwd, |r, _| configure_router_stack(&mut r.stack, 4));
     let dir_addr = backbone_addr(9);
-    let dir = p.world.add_node(Box::new(SpDirectoryNode::new()));
+    let dir = p.world.add_node(SpDirectoryNode::new());
     p.world.add_iface(dir, Some(p.backbone));
     p.world.with_node::<SpDirectoryNode, _>(dir, |d, _| {
         d.stack.add_iface(IfaceId(0), dir_addr, net(0));
     });
     // One correspondent that talks to every mobile (forcing queries).
-    let s = p.world.add_node(Box::new(SpHostNode::new(dir_addr)));
+    let s = p.world.add_node(SpHostNode::new(dir_addr));
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<SpHostNode, _>(s, |h, _| {
         crate::topology::configure_host_s_stack(&mut h.stack)
     });
     let mut mobiles = Vec::new();
     for i in 0..n {
-        let m = p.world.add_node(Box::new(SpMobileNode::new(
-            mobile_addr(i),
-            net(2),
-            addrs.r2,
-            dir_addr,
-        )));
+        let m = p.world.add_node(SpMobileNode::new(mobile_addr(i), net(2), addrs.r2, dir_addr));
         p.world.add_iface(m, Some(p.net_b));
         mobiles.push(m);
     }
@@ -169,7 +164,7 @@ pub fn columbia_point(seed: u64, n: usize) -> ScalabilityPoint {
     for (pos, first, seg) in
         [(2u8, p.backbone, p.net_b), (4, p.net_c, p.net_d), (5, p.net_c, p.net_e)]
     {
-        let id = p.world.add_node(Box::new(MsrNode::new(IfaceId(1))));
+        let id = p.world.add_node(MsrNode::new(IfaceId(1)));
         p.world.add_iface(id, Some(first));
         p.world.add_iface(id, Some(seg));
         p.world.with_node::<MsrNode, _>(id, |r, _| {
@@ -182,13 +177,12 @@ pub fn columbia_point(seed: u64, n: usize) -> ScalabilityPoint {
     let mut mobiles = Vec::new();
     for i in 0..n {
         p.world.with_node::<MsrNode, _>(msrs[0], |r, _| r.add_home_mobile(mobile_addr(i)));
-        let m =
-            p.world.add_node(Box::new(ColumbiaMobileNode::new(mobile_addr(i), net(2), addrs.r2)));
+        let m = p.world.add_node(ColumbiaMobileNode::new(mobile_addr(i), net(2), addrs.r2));
         p.world.add_iface(m, Some(p.net_b));
         mobiles.push(m);
     }
     // A plain correspondent to trigger home-MSR lookups.
-    let s = p.world.add_node(Box::new(netstack::HostNode::new()));
+    let s = p.world.add_node(netstack::HostNode::new());
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<netstack::HostNode, _>(s, |h, _| {
         crate::topology::configure_host_s_stack(&mut h.stack)
@@ -232,7 +226,7 @@ pub fn sony_point(seed: u64, n: usize) -> ScalabilityPoint {
         (4, p.net_c, p.net_d),
         (5, p.net_c, p.net_e),
     ] {
-        let id = p.world.add_node(Box::new(VipRouterNode::new(IfaceId(1))));
+        let id = p.world.add_node(VipRouterNode::new(IfaceId(1)));
         p.world.add_iface(id, Some(first));
         p.world.add_iface(id, Some(local));
         p.world.with_node::<VipRouterNode, _>(id, |r, _| {
@@ -247,12 +241,7 @@ pub fn sony_point(seed: u64, n: usize) -> ScalabilityPoint {
     }
     let mut mobiles = Vec::new();
     for i in 0..n {
-        let m = p.world.add_node(Box::new(VipMobileNode::new(
-            mobile_addr(i),
-            net(2),
-            addrs.r2,
-            addrs.r2,
-        )));
+        let m = p.world.add_node(VipMobileNode::new(mobile_addr(i), net(2), addrs.r2, addrs.r2));
         p.world.add_iface(m, Some(p.net_b));
         mobiles.push(m);
     }

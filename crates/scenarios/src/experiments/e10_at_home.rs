@@ -71,10 +71,10 @@ fn measure_plain(seed: u64) -> (u64, u8) {
     for pos in 1..=3 {
         add_plain_router(&mut p, pos);
     }
-    let s = p.world.add_node(Box::new(HostNode::new()));
+    let s = p.world.add_node(HostNode::new());
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<HostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p.world.add_node(Box::new(HostNode::new()));
+    let m = p.world.add_node(HostNode::new());
     p.world.add_iface(m, Some(p.net_b));
     p.world.with_node::<HostNode, _>(m, |h, _| {
         h.stack.add_iface(IfaceId(0), addrs.m, net(2));

@@ -180,6 +180,13 @@ impl Hierarchy {
         assert!(p.mobiles_per_region <= 65_000, "mobiles_per_region must be <= 65_000");
 
         let mut w = World::new(p.seed);
+        // The population is known up front, so hint the event queue's
+        // steady-state size before anything is scheduled: each node keeps
+        // a few timers armed (watchdog, advertiser, retransmit) plus its
+        // share of frames in flight.
+        let nodes =
+            p.regions * (1 + p.fas_per_region) + p.host_count() + usize::from(p.correspondent);
+        w.reserve_events(nodes * 4);
         let wired = SegmentParams::with_latency(p.wired_latency);
         let backbone = w.add_segment(wired);
         let lans: Vec<SegmentId> = (0..p.regions).map(|_| w.add_segment(wired)).collect();
@@ -191,11 +198,11 @@ impl Hierarchy {
         // --- Regional routers: backbone <-> region LAN, home agents ---
         let mut routers = Vec::with_capacity(p.regions);
         for (r, &lan) in lans.iter().enumerate() {
-            let id = w.add_node(Box::new(
+            let id = w.add_node(
                 MhrpRouterNode::new(p.config.clone())
                     .with_home_agent(IfaceId(1))
                     .with_advertiser(vec![IfaceId(1)]),
-            ));
+            );
             w.add_iface(id, Some(backbone)); // iface 0
             w.add_iface(id, Some(lan)); // iface 1
             let fas_per_region = p.fas_per_region;
@@ -226,11 +233,11 @@ impl Hierarchy {
         let mut fas = Vec::with_capacity(p.regions * p.fas_per_region);
         for r in 0..p.regions {
             for f in 0..p.fas_per_region {
-                let id = w.add_node(Box::new(
+                let id = w.add_node(
                     MhrpRouterNode::new(p.config.clone())
                         .with_foreign_agent(IfaceId(1))
                         .with_advertiser(vec![IfaceId(1)]),
-                ));
+                );
                 w.add_iface(id, Some(lans[r])); // iface 0
                 w.add_iface(id, Some(cells[r * p.fas_per_region + f])); // iface 1
                 w.with_node::<MhrpRouterNode, _>(id, move |n, _| {
@@ -247,7 +254,7 @@ impl Hierarchy {
 
         // --- Correspondent host on the backbone ---
         let correspondent = p.correspondent.then(|| {
-            let id = w.add_node(Box::new(MhrpHostNode::new(&p.config)));
+            let id = w.add_node(MhrpHostNode::new(&p.config));
             w.add_iface(id, Some(backbone));
             let regions = p.regions;
             w.with_node::<MhrpHostNode, _>(id, move |h, _| {
@@ -270,13 +277,13 @@ impl Hierarchy {
         let mut mobiles = Vec::with_capacity(p.host_count());
         for r in 0..p.regions {
             for i in 0..p.mobiles_per_region {
-                let id = w.add_node(Box::new(MobileHostNode::new(
+                let id = w.add_node(MobileHostNode::new(
                     mobile_home_addr(r, i),
                     region_prefix(r),
                     region_router_addr(r),
                     region_router_addr(r),
                     p.config.clone(),
-                )));
+                ));
                 let cell = cells[r * p.fas_per_region + (i % p.fas_per_region)];
                 w.add_iface(id, Some(cell));
                 mobiles.push(id);

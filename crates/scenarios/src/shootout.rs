@@ -161,7 +161,7 @@ pub fn add_plain_router(p: &mut Phys, position: u8) -> NodeId {
         4 => (p.net_c, p.net_d),
         _ => (p.net_c, p.net_e),
     };
-    let id = p.world.add_node(Box::new(RouterNode::new()));
+    let id = p.world.add_node(RouterNode::new());
     p.world.add_iface(id, Some(seg_a));
     p.world.add_iface(id, Some(seg_b));
     p.world.with_node::<RouterNode, _>(id, |r, _| configure_router_stack(&mut r.stack, position));
@@ -225,7 +225,7 @@ pub fn sunshine_postel_driver(seed: u64) -> Driver {
     }
     // Forwarders at positions 4 and 5.
     for (pos, seg) in [(4u8, p.net_d), (5u8, p.net_e)] {
-        let id = p.world.add_node(Box::new(SpForwarderNode::new(IfaceId(1))));
+        let id = p.world.add_node(SpForwarderNode::new(IfaceId(1)));
         p.world.add_iface(id, Some(p.net_c));
         p.world.add_iface(id, Some(seg));
         p.world
@@ -233,7 +233,7 @@ pub fn sunshine_postel_driver(seed: u64) -> Driver {
     }
     // The global directory, on the backbone.
     let dir_addr = backbone_addr(9);
-    let dir = p.world.add_node(Box::new(SpDirectoryNode::new()));
+    let dir = p.world.add_node(SpDirectoryNode::new());
     p.world.add_iface(dir, Some(p.backbone));
     p.world.with_node::<SpDirectoryNode, _>(dir, |d, _| {
         d.stack.add_iface(IfaceId(0), dir_addr, net(0));
@@ -243,10 +243,10 @@ pub fn sunshine_postel_driver(seed: u64) -> Driver {
         );
     });
     // S and M.
-    let s = p.world.add_node(Box::new(SpHostNode::new(dir_addr)));
+    let s = p.world.add_node(SpHostNode::new(dir_addr));
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<SpHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p.world.add_node(Box::new(SpMobileNode::new(addrs.m, net(2), addrs.r2, dir_addr)));
+    let m = p.world.add_node(SpMobileNode::new(addrs.m, net(2), addrs.r2, dir_addr));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -293,7 +293,7 @@ pub fn columbia_driver(seed: u64) -> Driver {
     let msr_addrs = [addrs.r2, addrs.r4, addrs.r5];
     let mut msrs = Vec::new();
     for (pos, seg) in [(2u8, p.net_b), (4, p.net_d), (5, p.net_e)] {
-        let id = p.world.add_node(Box::new(MsrNode::new(IfaceId(1))));
+        let id = p.world.add_node(MsrNode::new(IfaceId(1)));
         let first = if pos == 2 { p.backbone } else { p.net_c };
         p.world.add_iface(id, Some(first));
         p.world.add_iface(id, Some(seg));
@@ -307,10 +307,10 @@ pub fn columbia_driver(seed: u64) -> Driver {
     let home_msr = msrs[0];
     p.world.with_node::<MsrNode, _>(home_msr, |r, _| r.add_home_mobile(addrs.m));
     // S is a *plain* host: Columbia demands nothing from correspondents.
-    let s = p.world.add_node(Box::new(netstack::HostNode::new()));
+    let s = p.world.add_node(netstack::HostNode::new());
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<netstack::HostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p.world.add_node(Box::new(ColumbiaMobileNode::new(addrs.m, net(2), addrs.r2)));
+    let m = p.world.add_node(ColumbiaMobileNode::new(addrs.m, net(2), addrs.r2));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -353,7 +353,7 @@ pub fn sony_vip_driver(seed: u64) -> Driver {
     let router_addrs = [addrs.r1, addrs.r2, addrs.r3, addrs.r4, addrs.r5];
     let mut ids = Vec::new();
     for (pos, local) in [(1u8, p.net_a), (2, p.net_b), (3, p.net_c), (4, p.net_d), (5, p.net_e)] {
-        let id = p.world.add_node(Box::new(VipRouterNode::new(IfaceId(1))));
+        let id = p.world.add_node(VipRouterNode::new(IfaceId(1)));
         let first = if pos <= 3 { p.backbone } else { p.net_c };
         p.world.add_iface(id, Some(first));
         p.world.add_iface(id, Some(local));
@@ -367,10 +367,10 @@ pub fn sony_vip_driver(seed: u64) -> Driver {
         });
         ids.push(id);
     }
-    let s = p.world.add_node(Box::new(VipHostNode::new(addrs.s)));
+    let s = p.world.add_node(VipHostNode::new(addrs.s));
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<VipHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p.world.add_node(Box::new(VipMobileNode::new(addrs.m, net(2), addrs.r2, addrs.r2)));
+    let m = p.world.add_node(VipMobileNode::new(addrs.m, net(2), addrs.r2, addrs.r2));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -411,23 +411,22 @@ pub fn matsushita_driver(seed: u64) -> Driver {
     add_plain_router(&mut p, 1);
     add_plain_router(&mut p, 3);
     // The PFS at position 2.
-    let pfs = p.world.add_node(Box::new(PfsNode::new(IfaceId(1))));
+    let pfs = p.world.add_node(PfsNode::new(IfaceId(1)));
     p.world.add_iface(pfs, Some(p.backbone));
     p.world.add_iface(pfs, Some(p.net_b));
     p.world.with_node::<PfsNode, _>(pfs, |r, _| configure_router_stack(&mut r.stack, 2));
     // Address agents at positions 4 and 5.
     for (pos, seg) in [(4u8, p.net_d), (5, p.net_e)] {
         let pool = TempAddrPool::new(net(pos), 100, 32);
-        let id = p.world.add_node(Box::new(IptpAgentNode::new(IfaceId(1), pool)));
+        let id = p.world.add_node(IptpAgentNode::new(IfaceId(1), pool));
         p.world.add_iface(id, Some(p.net_c));
         p.world.add_iface(id, Some(seg));
         p.world.with_node::<IptpAgentNode, _>(id, |r, _| configure_router_stack(&mut r.stack, pos));
     }
-    let s = p.world.add_node(Box::new(MatsushitaHostNode::new()));
+    let s = p.world.add_node(MatsushitaHostNode::new());
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<MatsushitaHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m =
-        p.world.add_node(Box::new(MatsushitaMobileNode::new(addrs.m, net(2), addrs.r2, addrs.r2)));
+    let m = p.world.add_node(MatsushitaMobileNode::new(addrs.m, net(2), addrs.r2, addrs.r2));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {
@@ -473,16 +472,16 @@ pub fn ibm_lsrr_driver(seed: u64, broken_s: bool, slow_path_penalty: SimDuration
         p.world.with_node::<RouterNode, _>(id, |r, _| r.option_penalty = slow_path_penalty);
     }
     for (pos, seg) in [(4u8, p.net_d), (5, p.net_e)] {
-        let id = p.world.add_node(Box::new(BaseStationNode::new(IfaceId(1))));
+        let id = p.world.add_node(BaseStationNode::new(IfaceId(1)));
         p.world.add_iface(id, Some(p.net_c));
         p.world.add_iface(id, Some(seg));
         p.world
             .with_node::<BaseStationNode, _>(id, |r, _| configure_router_stack(&mut r.stack, pos));
     }
-    let s = p.world.add_node(Box::new(LsrrHostNode::new(broken_s)));
+    let s = p.world.add_node(LsrrHostNode::new(broken_s));
     p.world.add_iface(s, Some(p.net_a));
     p.world.with_node::<LsrrHostNode, _>(s, |h, _| configure_host_s_stack(&mut h.stack));
-    let m = p.world.add_node(Box::new(LsrrMobileNode::new(addrs.m, net(2), addrs.r2)));
+    let m = p.world.add_node(LsrrMobileNode::new(addrs.m, net(2), addrs.r2));
     p.world.add_iface(m, Some(p.net_b));
     p.world.start();
     Driver {

@@ -227,7 +227,7 @@ impl Figure1 {
         let net_e = w.add_segment(SegmentParams::wireless());
 
         // --- R1: backbone <-> network A (cache agent for S's network) ---
-        let r1 = w.add_node(Box::new(MhrpRouterNode::new(opts.config.clone())));
+        let r1 = w.add_node(MhrpRouterNode::new(opts.config.clone()));
         w.add_iface(r1, Some(backbone)); // iface 0
         w.add_iface(r1, Some(net_a)); // iface 1
         w.with_node::<MhrpRouterNode, _>(r1, |r, _| {
@@ -236,11 +236,11 @@ impl Figure1 {
         });
 
         // --- R2: backbone <-> network B; home agent, advertises on B ---
-        let r2 = w.add_node(Box::new(
+        let r2 = w.add_node(
             MhrpRouterNode::new(opts.config.clone())
                 .with_home_agent(IfaceId(1))
                 .with_advertiser(vec![IfaceId(1)]),
-        ));
+        );
         w.add_iface(r2, Some(backbone));
         w.add_iface(r2, Some(net_b));
         w.with_node::<MhrpRouterNode, _>(r2, |r, _| {
@@ -248,7 +248,7 @@ impl Figure1 {
         });
 
         // --- R3: backbone <-> network C ---
-        let r3 = w.add_node(Box::new(MhrpRouterNode::new(opts.config.clone())));
+        let r3 = w.add_node(MhrpRouterNode::new(opts.config.clone()));
         w.add_iface(r3, Some(backbone));
         w.add_iface(r3, Some(net_c));
         w.with_node::<MhrpRouterNode, _>(r3, |r, _| {
@@ -256,11 +256,11 @@ impl Figure1 {
         });
 
         // --- R4: network C <-> network D (wireless); foreign agent on D ---
-        let r4 = w.add_node(Box::new(
+        let r4 = w.add_node(
             MhrpRouterNode::new(opts.config.clone())
                 .with_foreign_agent(IfaceId(1))
                 .with_advertiser(vec![IfaceId(1)]),
-        ));
+        );
         w.add_iface(r4, Some(net_c));
         w.add_iface(r4, Some(net_d));
         w.with_node::<MhrpRouterNode, _>(r4, |r, _| {
@@ -268,11 +268,11 @@ impl Figure1 {
         });
 
         // --- R5: network C <-> network E (wireless); foreign agent on E ---
-        let r5 = w.add_node(Box::new(
+        let r5 = w.add_node(
             MhrpRouterNode::new(opts.config.clone())
                 .with_foreign_agent(IfaceId(1))
                 .with_advertiser(vec![IfaceId(1)]),
-        ));
+        );
         w.add_iface(r5, Some(net_c));
         w.add_iface(r5, Some(net_e));
         w.with_node::<MhrpRouterNode, _>(r5, |r, _| {
@@ -282,7 +282,7 @@ impl Figure1 {
         // --- S: correspondent host on network A ---
         let s = match opts.correspondent {
             CorrespondentKind::Plain => {
-                let s = w.add_node(Box::new(HostNode::new()));
+                let s = w.add_node(HostNode::new());
                 w.add_iface(s, Some(net_a));
                 w.with_node::<HostNode, _>(s, |h, _| {
                     configure_host_s_stack(&mut h.stack);
@@ -290,7 +290,7 @@ impl Figure1 {
                 s
             }
             CorrespondentKind::Mhrp => {
-                let s = w.add_node(Box::new(MhrpHostNode::new(&opts.config)));
+                let s = w.add_node(MhrpHostNode::new(&opts.config));
                 w.add_iface(s, Some(net_a));
                 w.with_node::<MhrpHostNode, _>(s, |h, _| {
                     configure_host_s_stack(&mut h.stack);
@@ -300,13 +300,13 @@ impl Figure1 {
         };
 
         // --- M: the mobile host, at home on network B ---
-        let m = w.add_node(Box::new(MobileHostNode::new(
+        let m = w.add_node(MobileHostNode::new(
             addrs.m,
             addrs.home_prefix,
             addrs.r2,
             addrs.r2,
             opts.config.clone(),
-        )));
+        ));
         w.add_iface(m, Some(net_b));
 
         w.start();

@@ -100,7 +100,7 @@ fn lossy_world_matches_golden() {
         ..Default::default()
     });
     for _ in 0..4 {
-        let id = w.add_node(Box::new(Chatter { len: 64 }));
+        let id = w.add_node(Chatter { len: 64 });
         w.add_iface(id, Some(seg));
     }
     w.start();
@@ -122,7 +122,7 @@ fn lossy_events(seed: u64) -> (Vec<Event>, u64, u64) {
         ..Default::default()
     });
     for _ in 0..4 {
-        let id = w.add_node(Box::new(Chatter { len: 64 }));
+        let id = w.add_node(Chatter { len: 64 });
         w.add_iface(id, Some(seg));
     }
     w.start();

@@ -28,9 +28,8 @@ fn replica_home_agent_takes_over_after_primary_loss() {
     // per §2: an MHRP router node with only the home-agent role, not in
     // the forwarding path).
     let replica_addr = Ipv4Addr::new(10, 2, 0, 2);
-    let replica = f
-        .world
-        .add_node(Box::new(MhrpRouterNode::new(MhrpConfig::default()).with_home_agent(IfaceId(0))));
+    let replica =
+        f.world.add_node(MhrpRouterNode::new(MhrpConfig::default()).with_home_agent(IfaceId(0)));
     f.world.add_iface(replica, Some(f.net_b));
     f.world.with_node::<MhrpRouterNode, _>(replica, |r, _| {
         r.stack.add_iface(IfaceId(0), replica_addr, net(2));
