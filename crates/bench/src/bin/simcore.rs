@@ -20,9 +20,14 @@
 //! * `--floor NAME=EVENTS_PER_SEC` (repeatable) exits non-zero if the
 //!   named case's best run falls below the given throughput — the CI
 //!   perf-regression gate for the scheduler hot path.
+//! * `--shards N` runs every `mega_world_*` scale case through the
+//!   sharded engine (`ShardedHierarchy`, DESIGN.md §10) with `N`
+//!   region-owned shards; `N = 1` (the default) keeps the classic
+//!   single-world path. The fixed `mega_world_100k_s{2,4,8}` cases
+//!   form the shard-scaling sweep and ignore the flag.
 
 use bench::cache_churn::{cache_churn, CacheImpl};
-use bench::megaworld::mega_world;
+use bench::megaworld::{mega_world, mega_world_sharded};
 use bench::simworlds::{
     broadcast_fanout, broadcast_fanout_with, timer_churn, unicast_pingpong, unicast_pingpong_with,
     Telemetry, Throughput,
@@ -53,7 +58,25 @@ fn churn_case(name: &'static str, detail: &'static str, which: CacheImpl, cap: u
     Case { name, detail, runs: RUNS, work: Box::new(move || cache_churn(which, cap, CHURN_OPS)) }
 }
 
-fn cases() -> Vec<Case> {
+/// Runs a `mega_world_*` case through the classic world (`shards <= 1`)
+/// or the sharded engine, so `--shards N` re-points the whole scale
+/// ladder at the parallel path without renaming the cases.
+fn mega(
+    seed: u64,
+    regions: usize,
+    fas: usize,
+    mobiles: usize,
+    sim_ms: u64,
+    shards: usize,
+) -> Throughput {
+    if shards > 1 {
+        mega_world_sharded(seed, regions, fas, mobiles, sim_ms, shards)
+    } else {
+        mega_world(seed, regions, fas, mobiles, sim_ms)
+    }
+}
+
+fn cases(shards: usize) -> Vec<Case> {
     vec![
         Case {
             name: "broadcast_fanout",
@@ -148,19 +171,45 @@ fn cases() -> Vec<Case> {
             name: "mega_world_1k",
             detail: "hierarchy 2 regions x 10 cells x 500 mobiles, 6s simulated",
             runs: 3,
-            work: Box::new(|| mega_world(SEED, 2, 10, 500, 6_000)),
+            work: Box::new(move || mega(SEED, 2, 10, 500, 6_000, shards)),
         },
         Case {
             name: "mega_world_10k",
             detail: "hierarchy 4 regions x 50 cells x 2500 mobiles, 6s simulated",
             runs: 2,
-            work: Box::new(|| mega_world(SEED, 4, 50, 2_500, 6_000)),
+            work: Box::new(move || mega(SEED, 4, 50, 2_500, 6_000, shards)),
         },
         Case {
             name: "mega_world_100k",
             detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated",
             runs: 1,
-            work: Box::new(|| mega_world(SEED, 8, 250, 12_500, 6_000)),
+            work: Box::new(move || mega(SEED, 8, 250, 12_500, 6_000, shards)),
+        },
+        Case {
+            name: "mega_world_100k_s2",
+            detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated, 2 shards",
+            runs: 1,
+            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 2)),
+        },
+        Case {
+            name: "mega_world_100k_s4",
+            detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated, 4 shards",
+            runs: 1,
+            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 4)),
+        },
+        Case {
+            name: "mega_world_100k_s8",
+            detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated, 8 shards",
+            runs: 1,
+            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 8)),
+        },
+        Case {
+            name: "mega_world_1m",
+            detail: "hierarchy 40 regions x 250 cells x 25000 mobiles, 6s simulated \
+                     (the DESIGN.md S10 1M-mobile target; minutes of wall time - run \
+                     it explicitly with --only mega_world_1m, CI excludes it)",
+            runs: 1,
+            work: Box::new(move || mega(SEED, 40, 250, 25_000, 6_000, shards)),
         },
     ]
 }
@@ -211,10 +260,20 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let shards: usize = flag_value(&args, "--shards").map_or(1, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --shards wants a number, got {v}");
+            std::process::exit(2);
+        })
+    });
 
-    let selected: Vec<Case> = cases()
+    // The 1M-mobile world takes minutes and ~10x the memory of every
+    // other case combined; it only runs when named exactly, so that
+    // neither the default sweep nor `--only mega_world` trips over it.
+    let selected: Vec<Case> = cases(shards)
         .into_iter()
         .filter(|c| only.as_deref().is_none_or(|o| c.name.contains(o)))
+        .filter(|c| c.name != "mega_world_1m" || only.as_deref() == Some("mega_world_1m"))
         .collect();
     if selected.is_empty() {
         eprintln!("error: --only {:?} matches no case", only.unwrap_or_default());

@@ -19,6 +19,10 @@
 //! * `--regions/--fas/--mobiles` size the world (defaults 2 × 10 × 500 —
 //!   the 1k-host hierarchy the `simcore` soak case also runs).
 //! * `--duration-secs N` sets the simulated soak length (default 8).
+//! * `--shards N` runs the soak on the sharded engine (DESIGN.md §10)
+//!   with `N` region-owned shards and region-confined mobility; `N = 1`
+//!   (the default) keeps the classic single-world path, and the typed
+//!   event stream is identical either way on jitter-free worlds.
 
 use netsim::time::SimDuration;
 use scenarios::hierarchy::HierarchyParams;
@@ -53,6 +57,7 @@ fn main() {
         flag_value(&args, "--mobiles").map_or(500, |v| parse_or_die("--mobiles", v));
     let duration: u64 =
         flag_value(&args, "--duration-secs").map_or(8, |v| parse_or_die("--duration-secs", v));
+    let shards: usize = flag_value(&args, "--shards").map_or(1, |v| parse_or_die("--shards", v));
 
     let harness_start = std::time::Instant::now();
     let hosts = regions * mobiles;
@@ -80,6 +85,7 @@ fn main() {
         },
         duration: SimDuration::from_secs(duration),
         thresholds,
+        shards,
         ..RwSoakConfig::default()
     };
     let run = run_random_waypoint_soak(&cfg);

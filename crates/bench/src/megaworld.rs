@@ -6,7 +6,7 @@
 //! paper-scale world.
 
 use netsim::time::SimDuration;
-use scenarios::hierarchy::{Hierarchy, HierarchyParams};
+use scenarios::hierarchy::{Hierarchy, HierarchyParams, ShardedHierarchy};
 
 use crate::simworlds::Throughput;
 
@@ -43,6 +43,40 @@ pub fn mega_world(
     Throughput { events: h.world.events_processed(), wall_seconds }
 }
 
+/// The sharded counterpart of [`mega_world`]: the same hierarchy run as
+/// a [`ShardedHierarchy`] over `shards` region-owned shards (one event
+/// wheel, node arena and stats hub per shard, backbone as the portal).
+/// The same 99%-registered assertion applies — parallel execution must
+/// not trade correctness for speed.
+pub fn mega_world_sharded(
+    seed: u64,
+    regions: usize,
+    fas_per_region: usize,
+    mobiles_per_region: usize,
+    sim_ms: u64,
+    shards: usize,
+) -> Throughput {
+    let params = HierarchyParams {
+        regions,
+        fas_per_region,
+        mobiles_per_region,
+        correspondent: true,
+        seed,
+        ..Default::default()
+    };
+    let hosts = params.host_count();
+    let mut h = ShardedHierarchy::build(params, shards);
+    let start = std::time::Instant::now();
+    h.world.run_for(SimDuration::from_millis(sim_ms));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let attached = h.attached_count();
+    assert!(
+        attached * 100 >= hosts * 99,
+        "only {attached}/{hosts} mobile hosts registered in {sim_ms} ms ({shards} shards)"
+    );
+    Throughput { events: h.world.events_processed(), wall_seconds }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,6 +84,12 @@ mod tests {
     #[test]
     fn small_mega_world_registers_and_counts_events() {
         let t = mega_world(1994, 2, 4, 40, 8_000);
+        assert!(t.events > 1_000, "events {}", t.events);
+    }
+
+    #[test]
+    fn small_sharded_mega_world_registers_and_counts_events() {
+        let t = mega_world_sharded(1994, 2, 4, 40, 8_000, 2);
         assert!(t.events > 1_000, "events {}", t.events);
     }
 }

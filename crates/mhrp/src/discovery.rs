@@ -29,13 +29,14 @@ pub struct Advertiser {
     /// stale after a reboot restarts the advertiser (instead of the node
     /// advertising at twice the rate).
     ///
-    /// Migration note: the queue now supports real cancellation
+    /// Migration note: the timer wheel supports real cancellation
     /// (`netsim::Ctx::cancel_timer`, an O(1) watermark), so `start` could
     /// cancel the old chain's token outright instead of letting stale
-    /// fires dribble through `on_timer`. The epoch idiom is kept for now
-    /// because it is replay-neutral: cancelling would suppress queue
-    /// entries and change event sequence numbers, perturbing the golden
-    /// replay logs this crate's determinism suite pins.
+    /// fires dribble through `on_timer`. The epoch idiom is kept because
+    /// it is replay-neutral: a cancelled timer never surfaces as a typed
+    /// `Timer` telemetry event, while an epoch-dropped one does, so
+    /// switching would change the typed-event logs that the determinism
+    /// suite and the golden replay fixtures pin byte-for-byte.
     epoch: u64,
     // Bumped once per advertisement — a per-second × per-cell path at
     // mega-world scale, so the handle is cached.

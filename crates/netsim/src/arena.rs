@@ -36,8 +36,11 @@ struct Chunk {
 /// object's destructor — the owner must `drop_in_place` each live object
 /// before (or while) dropping the arena, and must not use any returned
 /// pointer afterwards. Holding raw pointers keeps the arena (and any
-/// struct embedding it) `!Send`/`!Sync`, which matches the simulator's
-/// single-threaded design.
+/// struct embedding it) `!Send`/`!Sync` by default. Each world is still
+/// driven by exactly one thread at a time; the sharded runner
+/// ([`crate::ShardedWorld`]) moves *whole worlds* between barrier
+/// windows and re-asserts `Send` there, which is sound because every
+/// stored object is `dyn Node` and [`crate::Node`] requires `Send`.
 pub(crate) struct NodeArena {
     chunks: Vec<Chunk>,
     /// Bump offset into the last chunk.
@@ -119,7 +122,7 @@ mod tests {
     use super::*;
     use crate::node::Ctx;
     use crate::{Frame, IfaceId};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     struct Plain(u64);
     impl Node for Plain {
@@ -142,7 +145,7 @@ mod tests {
         fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
     }
 
-    struct DropProbe(#[allow(dead_code)] Rc<()>);
+    struct DropProbe(#[allow(dead_code)] Arc<()>);
     impl Node for DropProbe {
         fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
     }
@@ -194,14 +197,14 @@ mod tests {
 
     #[test]
     fn drop_in_place_runs_destructors_exactly_once() {
-        let probe = Rc::new(());
+        let probe = Arc::new(());
         let mut arena = NodeArena::new();
         let ptrs: Vec<_> = (0..100).map(|_| arena.alloc(DropProbe(probe.clone()))).collect();
-        assert_eq!(Rc::strong_count(&probe), 101);
+        assert_eq!(Arc::strong_count(&probe), 101);
         for p in ptrs {
             unsafe { std::ptr::drop_in_place(p.as_ptr()) };
         }
         drop(arena);
-        assert_eq!(Rc::strong_count(&probe), 1);
+        assert_eq!(Arc::strong_count(&probe), 1);
     }
 }

@@ -1,4 +1,7 @@
-//! The global event queue: a total order over `(time, sequence)`.
+//! The per-world event queue: a total order over `(time, sequence)`.
+//! A classic [`crate::World`] owns exactly one; a sharded run
+//! ([`crate::ShardedWorld`]) owns one per shard, synchronized only at
+//! conservative barrier windows, so nothing here is global state.
 //!
 //! Since the raw-speed scheduler rewrite this is a thin policy layer over
 //! [`crate::sched::TimerWheel`]: the wheel provides the ordered store

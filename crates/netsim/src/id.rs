@@ -16,6 +16,17 @@ pub struct SegmentId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IfaceId(pub usize);
 
+/// Identifies a cross-shard portal segment within a
+/// [`ShardedWorld`](crate::shard::ShardedWorld).
+///
+/// A portal is one physical segment (e.g. the hierarchy backbone)
+/// replicated into every shard that has nodes attached to it; the id names
+/// the *physical* segment, shared by all replicas, so the barrier
+/// coordinator can route an egress frame from the sending shard's replica
+/// to every other replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortalId(pub usize);
+
 /// A 48-bit link-layer address.
 ///
 /// The [`World`](crate::World) hands out globally unique unicast MACs from a

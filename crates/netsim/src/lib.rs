@@ -7,10 +7,13 @@
 //!   to every other attachment; a unicast frame only to the matching MAC.
 //! * **Nodes** — user-defined protocol state machines implementing [`Node`],
 //!   driven by frame arrivals, timers and link events.
-//! * **A single global event queue** — totally ordered by `(time, seq)` so
+//! * **A per-world event queue** — totally ordered by `(time, seq)` so
 //!   that runs are bit-for-bit reproducible for a given RNG seed. Backed by
 //!   a hierarchical timer wheel ([`sched`]) for O(1) scheduling, with
-//!   queue-level timer cancellation ([`Ctx::cancel_timer`]).
+//!   queue-level timer cancellation ([`Ctx::cancel_timer`]). A classic
+//!   [`World`] is one queue; a [`ShardedWorld`] runs several worlds in
+//!   conservative barrier windows, exchanging cross-shard frames through
+//!   portal segments ([`shard`]).
 //! * **Admin operations** — scripted topology changes (interface moves for
 //!   host mobility, segment up/down, node reboots) and arbitrary scripted
 //!   callbacks, all scheduled on the same queue.
@@ -84,6 +87,7 @@ pub mod id;
 pub mod node;
 pub mod sched;
 pub mod segment;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -92,10 +96,11 @@ pub mod world;
 pub use faults::{FaultOp, FaultPlan};
 pub use frame::Payload;
 pub use frame::{EtherType, Frame};
-pub use id::{IfaceId, MacAddr, NodeId, SegmentId};
+pub use id::{IfaceId, MacAddr, NodeId, PortalId, SegmentId};
 pub use node::{AsAny, Ctx, LinkEvent, Node, TimerToken};
 pub use sched::TimerWheel;
 pub use segment::SegmentParams;
+pub use shard::{ShardedWorld, SimWorld};
 pub use stats::{metric, Counter, HistId, MetricId, SeriesId, Stats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, Tracer};

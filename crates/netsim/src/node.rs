@@ -68,7 +68,12 @@ impl<T: Any> AsAny for T {
 /// All methods receive a [`Ctx`] through which the node sends frames, arms
 /// timers, draws randomness and records statistics. Handlers must not block;
 /// they run to completion at a single instant of simulated time.
-pub trait Node: AsAny {
+///
+/// Nodes are `Send` because a sharded world
+/// ([`ShardedWorld`](crate::shard::ShardedWorld)) runs each shard's nodes
+/// on a worker thread during a barrier window. A node is only ever
+/// *touched* by the one shard that owns it, so `Sync` is not required.
+pub trait Node: AsAny + Send {
     /// Called once when the world starts (before any events fire).
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx;

@@ -76,9 +76,15 @@ pub mod metric {
     pub const FAULT_CRASHES: MetricId = MetricId(14);
     /// Timer events discarded by `Ctx::cancel_timer` before dispatch.
     pub const SIM_TIMERS_CANCELLED: MetricId = MetricId(15);
+    /// Frames that crossed a shard boundary outbound: transmissions onto a
+    /// portal segment buffered for the barrier exchange (sending shard).
+    pub const SHARD_EGRESS_FRAMES: MetricId = MetricId(16);
+    /// Portal frames injected into this shard's replica at a barrier
+    /// (receiving shard; one count per replica injection, not per copy).
+    pub const SHARD_INGRESS_FRAMES: MetricId = MetricId(17);
 
     /// Names backing the pre-registered counters, in id order.
-    pub(super) const COUNTER_NAMES: [&str; 16] = [
+    pub(super) const COUNTER_NAMES: [&str; 18] = [
         "link.frames_sent",
         "link.bytes_sent",
         "link.frames_delivered",
@@ -95,6 +101,8 @@ pub mod metric {
         "fault.tx_muted",
         "fault.crashes",
         "sim.timers_cancelled",
+        "shard.egress_frames",
+        "shard.ingress_frames",
     ];
 
     /// Event-queue depth samples (see `World::set_queue_sampling`).

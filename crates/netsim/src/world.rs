@@ -12,7 +12,7 @@ use crate::arena::NodeArena;
 use crate::event::{BatchEvent, EventKind, EventQueue, FrameEvent, ScheduledEvent};
 use crate::faults::{FaultOp, FaultPlan};
 use crate::frame::{Frame, Payload};
-use crate::id::{IfaceId, MacAddr, NodeId, SegmentId};
+use crate::id::{IfaceId, MacAddr, NodeId, PortalId, SegmentId};
 use crate::node::{Action, Ctx, IfaceInfo, LinkEvent, Node};
 use crate::segment::{Segment, SegmentParams};
 use crate::stats::{metric, Stats};
@@ -73,7 +73,11 @@ pub enum AdminOp {
         node: NodeId,
     },
     /// Run an arbitrary script against the world.
-    Call(Box<dyn FnOnce(&mut World)>),
+    ///
+    /// `Send` because worlds (and the queues holding pending ops) migrate
+    /// to worker threads when run as a shard of a
+    /// [`ShardedWorld`](crate::shard::ShardedWorld).
+    Call(Box<dyn FnOnce(&mut World) + Send>),
 }
 
 impl fmt::Debug for AdminOp {
@@ -100,6 +104,21 @@ impl fmt::Debug for AdminOp {
 struct IfaceBinding {
     mac: MacAddr,
     segment: Option<SegmentId>,
+}
+
+/// A frame transmitted onto a portal segment, buffered for the barrier
+/// exchange: the coordinator drains these from every shard at the end of
+/// a window and injects them into the other replicas of the portal.
+#[derive(Debug)]
+pub(crate) struct EgressFrame {
+    /// Absolute arrival time (`send time + portal latency`). By the
+    /// lookahead rule this is always past the barrier at which it is
+    /// exchanged, so injection never schedules into a shard's past.
+    pub at: SimTime,
+    /// The physical portal segment the frame was sent onto.
+    pub portal: PortalId,
+    /// The frame (payload shared by refcount with the local copy).
+    pub frame: Frame,
 }
 
 /// The simulation world.
@@ -159,6 +178,14 @@ pub struct World {
     // Both are off by default and cost nothing until enabled.
     tele: EventLog,
     pcap: Option<PcapWriter>,
+    // Cross-shard plumbing (see the `shard` module). `portal_of[seg]`
+    // names the physical portal a segment is a replica of; transmissions
+    // onto it are mirrored into `egress` for the barrier exchange. Both
+    // stay empty in a standalone world, and `has_portals` keeps the whole
+    // mechanism to one branch per transmit.
+    has_portals: bool,
+    portal_of: Vec<Option<PortalId>>,
+    egress: Vec<EgressFrame>,
 }
 
 impl World {
@@ -187,6 +214,9 @@ impl World {
             batch_pool: Vec::new(),
             tele: EventLog::new(),
             pcap: None,
+            has_portals: false,
+            portal_of: Vec::new(),
+            egress: Vec::new(),
         }
     }
 
@@ -204,6 +234,7 @@ impl World {
         );
         let id = SegmentId(self.segments.len());
         self.segments.push(Segment::new(params));
+        self.portal_of.push(None);
         id
     }
 
@@ -243,6 +274,101 @@ impl World {
             self.segments[seg.0].attach(node, iface, mac);
         }
         (iface, mac)
+    }
+
+    /// Like [`World::add_iface`], but with an explicit MAC index instead
+    /// of the world's own counter.
+    ///
+    /// A [`ShardedWorld`](crate::shard::ShardedWorld) assigns MAC indices
+    /// from one *global* counter so that a node keeps the same address no
+    /// matter how many shards the world is split into — the determinism
+    /// contract (same seed, any shard count, identical logs) depends on
+    /// it. The world's own counter is bumped past `mac_index` so later
+    /// [`World::add_iface`] calls never collide.
+    pub fn add_iface_with_mac(
+        &mut self,
+        node: NodeId,
+        segment: Option<SegmentId>,
+        mac_index: u64,
+    ) -> (IfaceId, MacAddr) {
+        let mac = MacAddr::from_index(mac_index);
+        self.mac_counter = self.mac_counter.max(mac_index + 1);
+        let iface = IfaceId(self.bindings[node.0].len());
+        self.bindings[node.0].push(IfaceBinding { mac, segment });
+        self.iface_infos[node.0].push(IfaceInfo { mac, attached: segment.is_some() });
+        if let Some(seg) = segment {
+            self.segments[seg.0].attach(node, iface, mac);
+        }
+        (iface, mac)
+    }
+
+    /// Marks `segment` as a replica of physical portal `portal`:
+    /// transmissions onto it are additionally buffered as egress for the
+    /// barrier exchange (see the [`shard`](crate::shard) module).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the segment is deterministic end-to-end: zero jitter,
+    /// zero loss, zero corruption. Portal arrivals are replayed into other
+    /// shards without re-drawing randomness, and the conservative barrier
+    /// scheduler derives its lookahead from the portal's *fixed* latency,
+    /// so a random portal would break both determinism and safety.
+    pub(crate) fn mark_portal(&mut self, segment: SegmentId, portal: PortalId) {
+        let params = self.segments[segment.0].params;
+        assert!(
+            params.jitter == SimDuration::ZERO && params.loss == 0.0 && params.corrupt == 0.0,
+            "portal segments must be deterministic (no jitter/loss/corruption)"
+        );
+        assert!(params.latency > SimDuration::ZERO, "portal segments need non-zero latency");
+        self.portal_of[segment.0] = Some(portal);
+        self.has_portals = true;
+    }
+
+    /// Drains the egress buffer into `out`, tagging each frame with this
+    /// shard's index. Called by the barrier coordinator at window ends.
+    pub(crate) fn drain_egress_into(&mut self, shard: u32, out: &mut Vec<(u32, EgressFrame)>) {
+        out.extend(self.egress.drain(..).map(|ef| (shard, ef)));
+    }
+
+    /// Injects a portal frame that originated in another shard into this
+    /// shard's replica `segment`, delivering to every attachment whose MAC
+    /// matches (the sender is remote, so no sender exclusion applies).
+    ///
+    /// No segment-up recheck: like any frame already in flight, a portal
+    /// frame that was accepted onto the segment at send time still arrives
+    /// if the segment goes down mid-flight (down blocks only transmission).
+    pub(crate) fn inject_portal_frame(&mut self, at: SimTime, segment: SegmentId, frame: &Frame) {
+        debug_assert!(at >= self.time, "portal injection into the past");
+        self.stats.incr_id(metric::SHARD_INGRESS_FRAMES);
+        let mut receivers = std::mem::take(&mut self.rx_scratch);
+        receivers.clear();
+        receivers.extend(
+            self.segments[segment.0]
+                .attachments
+                .iter()
+                .filter(|a| frame.dst.is_broadcast() || a.mac == frame.dst)
+                .map(|a| (a.node, a.iface)),
+        );
+        for &(rx_node, rx_iface) in &receivers {
+            let fe = match self.frame_pool.pop() {
+                Some(mut fe) => {
+                    fe.node = rx_node;
+                    fe.iface = rx_iface;
+                    fe.segment = segment;
+                    fe.frame = frame.clone();
+                    fe
+                }
+                None => Box::new(FrameEvent {
+                    node: rx_node,
+                    iface: rx_iface,
+                    segment,
+                    frame: frame.clone(),
+                }),
+            };
+            self.queue.push(at, EventKind::Frame(fe));
+        }
+        receivers.clear();
+        self.rx_scratch = receivers;
     }
 
     /// Runs every node's [`Node::on_start`]. Must be called exactly once,
@@ -434,7 +560,7 @@ impl World {
     }
 
     /// Schedules a script callback at absolute time `at`.
-    pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+    pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
         self.schedule_admin(at, AdminOp::Call(Box::new(f)));
     }
 
@@ -873,6 +999,19 @@ impl World {
             frame.journey,
             telemetry::EventKind::FrameTx { iface: iface.0 as u32, bytes: frame.wire_len() as u32 },
         );
+        if self.has_portals {
+            // A send accepted onto a portal replica also crosses the shard
+            // boundary: buffer a copy (payload shared by refcount) for the
+            // barrier exchange. Local receivers are still served below.
+            if let Some(portal) = self.portal_of[seg_id.0] {
+                self.stats.incr_id(metric::SHARD_EGRESS_FRAMES);
+                self.egress.push(EgressFrame {
+                    at: self.time + params.latency,
+                    portal,
+                    frame: frame.clone(),
+                });
+            }
+        }
         let mut receivers = std::mem::take(&mut self.rx_scratch);
         receivers.clear();
         receivers.extend(

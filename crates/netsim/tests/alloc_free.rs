@@ -8,9 +8,9 @@
 //! reused across `dispatch`/`transmit` calls. A regression in any of
 //! those shows up here as a nonzero allocation count.
 //!
-//! The counter is thread-local: the simulator is single-threaded, and
-//! the libtest harness's own threads (progress reporting, timers) must
-//! not pollute the measurement.
+//! The counter is thread-local: this test drives a classic `World` on
+//! one thread, and the libtest harness's own threads (progress
+//! reporting, timers) must not pollute the measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;

@@ -62,11 +62,11 @@ proptest! {
             }
             fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _f: &Frame) {}
         }
-        struct Receiver { seen: Vec<Vec<u8>>, ptrs: Vec<*const u8> }
+        struct Receiver { seen: Vec<Vec<u8>>, ptrs: Vec<usize> }
         impl Node for Receiver {
             fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, f: &Frame) {
                 self.seen.push(f.payload.to_vec());
-                self.ptrs.push(f.payload.as_slice().as_ptr());
+                self.ptrs.push(f.payload.as_slice().as_ptr() as usize);
             }
         }
 

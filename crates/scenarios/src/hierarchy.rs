@@ -40,7 +40,7 @@ use std::net::Ipv4Addr;
 use ip::Prefix;
 use mhrp::{Attachment, MhrpConfig, MhrpHostNode, MhrpRouterNode, MobileHostNode};
 use netsim::time::SimDuration;
-use netsim::{IfaceId, NodeId, SegmentId, SegmentParams, World};
+use netsim::{IfaceId, NodeId, SegmentId, SegmentParams, ShardedWorld, World};
 use netstack::route::NextHop;
 
 /// The backbone prefix every regional router has one interface on.
@@ -103,6 +103,16 @@ pub fn mobile_home_addr(region: usize, i: usize) -> Ipv4Addr {
 /// The optional correspondent host's backbone address.
 pub const CORRESPONDENT_ADDR: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 254);
 
+/// Cell segment parameters chosen by the plan (see
+/// [`HierarchyParams::deterministic_cells`]).
+fn cell_params(p: &HierarchyParams) -> SegmentParams {
+    if p.deterministic_cells {
+        SegmentParams::with_latency(SimDuration::from_millis(2))
+    } else {
+        SegmentParams::wireless()
+    }
+}
+
 /// Parameters of a hierarchical world.
 #[derive(Debug, Clone)]
 pub struct HierarchyParams {
@@ -119,6 +129,13 @@ pub struct HierarchyParams {
     pub config: MhrpConfig,
     /// Link latency of the wired segments.
     pub wired_latency: SimDuration,
+    /// Replace the wireless cells' default 1 ms per-receiver jitter with
+    /// jitter-free 2 ms cells. Per-receiver jitter draws consume the
+    /// owning world's RNG, which is the one source of divergence between
+    /// equal worlds sharded differently — the shard-count determinism
+    /// suite runs with this set. Off by default (classic worlds keep
+    /// their golden-replay timing).
+    pub deterministic_cells: bool,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -132,6 +149,7 @@ impl Default for HierarchyParams {
             correspondent: true,
             config: MhrpConfig::default(),
             wired_latency: SimDuration::from_micros(500),
+            deterministic_cells: false,
             seed: 1994,
         }
     }
@@ -192,7 +210,7 @@ impl Hierarchy {
         let lans: Vec<SegmentId> = (0..p.regions).map(|_| w.add_segment(wired)).collect();
         let mut cells = Vec::with_capacity(p.regions * p.fas_per_region);
         for _ in 0..p.regions * p.fas_per_region {
-            cells.push(w.add_segment(SegmentParams::wireless()));
+            cells.push(w.add_segment(cell_params(&p)));
         }
 
         // --- Regional routers: backbone <-> region LAN, home agents ---
@@ -345,6 +363,237 @@ impl Hierarchy {
     }
 }
 
+/// The shard owning `region` when `regions` regions are spread over
+/// `shards` shards: contiguous balanced blocks, so neighbouring regions
+/// share a shard and every shard gets `regions/shards` ± 1 regions.
+pub fn shard_of_region(region: usize, regions: usize, shards: usize) -> usize {
+    region * shards / regions
+}
+
+/// The hierarchical world built region-by-region onto a
+/// [`ShardedWorld`]: every region's LAN, cells, routers, agents and
+/// mobiles live on one shard (regions in contiguous blocks), the
+/// backbone is the single portal segment, and the correspondent sits on
+/// shard 0.
+///
+/// Node and segment creation follows *exactly* the same global order as
+/// [`Hierarchy::build`], so node ids and MAC addresses are identical to
+/// the classic world no matter the shard count — which is what lets the
+/// determinism suite compare merged telemetry across shard counts
+/// directly.
+#[derive(Debug)]
+pub struct ShardedHierarchy {
+    /// The sharded simulation world (started).
+    pub world: ShardedWorld,
+    /// Number of regions built.
+    pub regions: usize,
+    /// Foreign agents per region.
+    pub fas_per_region: usize,
+    /// Mobile hosts per region.
+    pub mobiles_per_region: usize,
+    /// Shard owning each region.
+    pub region_shard: Vec<usize>,
+    /// Regional routers, indexed by region.
+    pub routers: Vec<NodeId>,
+    /// Foreign agents, indexed `region * fas_per_region + fa`.
+    pub fas: Vec<NodeId>,
+    /// Cell segments, indexed like [`ShardedHierarchy::fas`].
+    pub cells: Vec<SegmentId>,
+    /// Mobile hosts, indexed `region * mobiles_per_region + i`.
+    pub mobiles: Vec<NodeId>,
+    /// The correspondent host, when built.
+    pub correspondent: Option<NodeId>,
+}
+
+impl ShardedHierarchy {
+    /// Builds (and starts) the hierarchy over `shards` shards (clamped
+    /// to the region count — a shard with no region would idle through
+    /// every barrier window).
+    ///
+    /// # Panics
+    ///
+    /// As [`Hierarchy::build`], plus `shards == 0`.
+    pub fn build(p: HierarchyParams, shards: usize) -> ShardedHierarchy {
+        assert!(shards >= 1, "need at least one shard");
+        assert!((1..=200).contains(&p.regions), "regions must be in 1..=200");
+        assert!((1..=250).contains(&p.fas_per_region), "fas_per_region must be in 1..=250");
+        assert!(p.mobiles_per_region <= 65_000, "mobiles_per_region must be <= 65_000");
+        let shards = shards.min(p.regions);
+        let shard_of = |r: usize| shard_of_region(r, p.regions, shards);
+
+        let mut w = ShardedWorld::new(p.seed, shards);
+        let nodes =
+            p.regions * (1 + p.fas_per_region) + p.host_count() + usize::from(p.correspondent);
+        w.reserve_events((nodes * 4).div_ceil(shards));
+        let wired = SegmentParams::with_latency(p.wired_latency);
+        let all_shards: Vec<usize> = (0..shards).collect();
+        let backbone = w.add_portal_segment(wired, &all_shards);
+        let lans: Vec<SegmentId> =
+            (0..p.regions).map(|r| w.add_segment(shard_of(r), wired)).collect();
+        let mut cells = Vec::with_capacity(p.regions * p.fas_per_region);
+        for r in 0..p.regions {
+            for _ in 0..p.fas_per_region {
+                cells.push(w.add_segment(shard_of(r), cell_params(&p)));
+            }
+        }
+
+        // --- Regional routers: backbone <-> region LAN, home agents ---
+        let mut routers = Vec::with_capacity(p.regions);
+        for (r, &lan) in lans.iter().enumerate() {
+            let id = w.add_node(
+                shard_of(r),
+                MhrpRouterNode::new(p.config.clone())
+                    .with_home_agent(IfaceId(1))
+                    .with_advertiser(vec![IfaceId(1)]),
+            );
+            w.add_iface(id, Some(backbone)); // iface 0
+            w.add_iface(id, Some(lan)); // iface 1
+            let fas_per_region = p.fas_per_region;
+            let regions = p.regions;
+            w.with_node::<MhrpRouterNode, _>(id, move |n, _| {
+                n.stack.add_iface(IfaceId(0), backbone_addr(r), backbone_prefix());
+                n.stack.add_iface(IfaceId(1), region_router_addr(r), region_prefix(r));
+                for r2 in (0..regions).filter(|&r2| r2 != r) {
+                    let via = backbone_addr(r2);
+                    n.stack
+                        .routes
+                        .add(region_prefix(r2), NextHop::Gateway { iface: IfaceId(0), via });
+                    n.stack
+                        .routes
+                        .add(cells_prefix(r2), NextHop::Gateway { iface: IfaceId(0), via });
+                }
+                for f in 0..fas_per_region {
+                    n.stack.routes.add(
+                        cell_prefix(r, f),
+                        NextHop::Gateway { iface: IfaceId(1), via: fa_upstream_addr(r, f) },
+                    );
+                }
+            });
+            routers.push(id);
+        }
+
+        // --- Foreign agents: region LAN <-> own wireless cell ---
+        let mut fas = Vec::with_capacity(p.regions * p.fas_per_region);
+        for r in 0..p.regions {
+            for f in 0..p.fas_per_region {
+                let id = w.add_node(
+                    shard_of(r),
+                    MhrpRouterNode::new(p.config.clone())
+                        .with_foreign_agent(IfaceId(1))
+                        .with_advertiser(vec![IfaceId(1)]),
+                );
+                w.add_iface(id, Some(lans[r])); // iface 0
+                w.add_iface(id, Some(cells[r * p.fas_per_region + f])); // iface 1
+                w.with_node::<MhrpRouterNode, _>(id, move |n, _| {
+                    n.stack.add_iface(IfaceId(0), fa_upstream_addr(r, f), region_prefix(r));
+                    n.stack.add_iface(IfaceId(1), fa_cell_addr(r, f), cell_prefix(r, f));
+                    n.stack.routes.add(
+                        Prefix::default_route(),
+                        NextHop::Gateway { iface: IfaceId(0), via: region_router_addr(r) },
+                    );
+                });
+                fas.push(id);
+            }
+        }
+
+        // --- Correspondent host on the backbone (shard 0) ---
+        let correspondent = p.correspondent.then(|| {
+            let id = w.add_node(0, MhrpHostNode::new(&p.config));
+            w.add_iface(id, Some(backbone));
+            let regions = p.regions;
+            w.with_node::<MhrpHostNode, _>(id, move |h, _| {
+                h.stack.add_iface(IfaceId(0), CORRESPONDENT_ADDR, backbone_prefix());
+                for r in 0..regions {
+                    let via = backbone_addr(r);
+                    h.stack
+                        .routes
+                        .add(region_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                    h.stack
+                        .routes
+                        .add(cells_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                }
+            });
+            id
+        });
+
+        // --- Mobile hosts: homed on the regional LAN, started away in the
+        // region's cells (round-robin) ---
+        let mut mobiles = Vec::with_capacity(p.host_count());
+        for r in 0..p.regions {
+            for i in 0..p.mobiles_per_region {
+                let id = w.add_node(
+                    shard_of(r),
+                    MobileHostNode::new(
+                        mobile_home_addr(r, i),
+                        region_prefix(r),
+                        region_router_addr(r),
+                        region_router_addr(r),
+                        p.config.clone(),
+                    ),
+                );
+                let cell = cells[r * p.fas_per_region + (i % p.fas_per_region)];
+                w.add_iface(id, Some(cell));
+                mobiles.push(id);
+            }
+        }
+
+        w.start();
+        ShardedHierarchy {
+            world: w,
+            regions: p.regions,
+            fas_per_region: p.fas_per_region,
+            mobiles_per_region: p.mobiles_per_region,
+            region_shard: (0..p.regions).map(shard_of).collect(),
+            routers,
+            fas,
+            cells,
+            mobiles,
+            correspondent,
+        }
+    }
+
+    /// Mobile host `idx`'s home address (`idx` indexes
+    /// [`ShardedHierarchy::mobiles`]).
+    pub fn mobile_addr(&self, idx: usize) -> Ipv4Addr {
+        mobile_home_addr(idx / self.mobiles_per_region, idx % self.mobiles_per_region)
+    }
+
+    /// The cell foreign agent mobile host `idx` starts under.
+    pub fn mobile_cell_fa(&self, idx: usize) -> Ipv4Addr {
+        let r = idx / self.mobiles_per_region;
+        let f = (idx % self.mobiles_per_region) % self.fas_per_region;
+        fa_cell_addr(r, f)
+    }
+
+    /// How many mobile hosts are currently registered with a foreign
+    /// agent.
+    pub fn attached_count(&self) -> usize {
+        self.mobiles
+            .iter()
+            .filter(|&&m| {
+                matches!(self.world.node::<MobileHostNode>(m).core.state, Attachment::Foreign(_))
+            })
+            .count()
+    }
+
+    /// Runs until at least `fraction` of the mobile hosts are registered
+    /// away (or `deadline` of additional simulated time passes). Returns
+    /// `true` on success.
+    pub fn run_until_attached(&mut self, fraction: f64, deadline: SimDuration) -> bool {
+        let want = (self.mobiles.len() as f64 * fraction).ceil() as usize;
+        let end = self.world.now() + deadline;
+        loop {
+            if self.attached_count() >= want {
+                return true;
+            }
+            if self.world.now() >= end {
+                return false;
+            }
+            self.world.run_for(SimDuration::from_millis(250));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +625,25 @@ mod tests {
         // watchdog's loss tolerance (3 s) before the host searches.
         assert!(h.run_until_attached(1.0, SimDuration::from_secs(30)), "registration stalled");
         // Each host sits under the round-robin cell it was placed in.
+        for idx in [0, 4, 17] {
+            let m = h.mobiles[idx];
+            let state = h.world.node::<MobileHostNode>(m).core.state;
+            assert_eq!(state, Attachment::Foreign(h.mobile_cell_fa(idx)));
+        }
+    }
+
+    #[test]
+    fn sharded_world_registers_everyone() {
+        let p = HierarchyParams {
+            regions: 2,
+            fas_per_region: 3,
+            mobiles_per_region: 9,
+            ..Default::default()
+        };
+        let mut h = ShardedHierarchy::build(p, 2);
+        assert_eq!(h.world.shard_count(), 2);
+        assert_eq!(h.region_shard, vec![0, 1]);
+        assert!(h.run_until_attached(1.0, SimDuration::from_secs(30)), "registration stalled");
         for idx in [0, 4, 17] {
             let m = h.mobiles[idx];
             let state = h.world.node::<MobileHostNode>(m).core.state;

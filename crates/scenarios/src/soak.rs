@@ -22,14 +22,14 @@ use std::time::Instant;
 
 use mhrp::{MhrpHostNode, MobileHostNode};
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Histogram, IfaceId, NodeId, World};
+use netsim::{Histogram, IfaceId, NodeId, ShardedWorld, SimWorld, World};
 use netstack::nodes::UDP_ECHO_PORT;
 use workload::{
-    evaluate, run_soak, Flow, FlowCfg, Layout, MobilityModel, Pattern, RandomWaypoint,
+    evaluate, run_soak, Flow, FlowCfg, Layout, MobilityModel, MovePlan, Pattern, RandomWaypoint,
     SloMeasurements, SloReport, SloThresholds, SoakIo, SoakParams, Transmit,
 };
 
-use crate::hierarchy::{Hierarchy, HierarchyParams};
+use crate::hierarchy::{Hierarchy, HierarchyParams, ShardedHierarchy};
 use crate::shootout::DATA_PORT;
 
 /// UDP source port soak probes are sent from (responses come back to
@@ -41,9 +41,11 @@ pub const SOAK_SRC_PORT: u16 = 4100;
 /// one [`MobileHostNode`] per flow.
 ///
 /// Works for any world built from these node types — the Figure 1
-/// topology and the hierarchy generator both qualify.
-pub struct MhrpIo<'a> {
-    world: &'a mut World,
+/// topology and the hierarchy generator both qualify — and for any
+/// [`SimWorld`] execution engine: the soak drives a classic [`World`]
+/// and a [`ShardedWorld`] through exactly the same code.
+pub struct MhrpIo<'a, W: SimWorld = World> {
+    world: &'a mut W,
     client: NodeId,
     flows: Vec<(NodeId, Ipv4Addr)>,
     client_cursor: usize,
@@ -51,7 +53,7 @@ pub struct MhrpIo<'a> {
     responses: Vec<Vec<(u32, SimTime)>>,
 }
 
-impl<'a> MhrpIo<'a> {
+impl<'a, W: SimWorld> MhrpIo<'a, W> {
     /// Creates the binding: `flows[i]` is flow `i`'s `(mobile node,
     /// destination address)`.
     ///
@@ -59,7 +61,7 @@ impl<'a> MhrpIo<'a> {
     ///
     /// Panics if two flows share a mobile node (each flow needs its own
     /// endpoint log cursor).
-    pub fn new(world: &'a mut World, client: NodeId, flows: Vec<(NodeId, Ipv4Addr)>) -> MhrpIo<'a> {
+    pub fn new(world: &'a mut W, client: NodeId, flows: Vec<(NodeId, Ipv4Addr)>) -> MhrpIo<'a, W> {
         for (i, (m, _)) in flows.iter().enumerate() {
             assert!(
                 flows[..i].iter().all(|(other, _)| other != m),
@@ -75,12 +77,6 @@ impl<'a> MhrpIo<'a> {
             mobile_cursors: vec![0; n],
             responses: vec![Vec::new(); n],
         }
-    }
-
-    /// Flow bindings for hierarchy mobiles `idxs` (indices into
-    /// [`Hierarchy::mobiles`]).
-    pub fn hierarchy_flows(h: &Hierarchy, idxs: &[usize]) -> Vec<(NodeId, Ipv4Addr)> {
-        idxs.iter().map(|&i| (h.mobiles[i], h.mobile_addr(i))).collect()
     }
 
     fn demux_client_log(&mut self) {
@@ -99,7 +95,26 @@ impl<'a> MhrpIo<'a> {
     }
 }
 
-impl SoakIo for MhrpIo<'_> {
+impl MhrpIo<'_, World> {
+    /// Flow bindings for hierarchy mobiles `idxs` (indices into
+    /// [`Hierarchy::mobiles`]).
+    pub fn hierarchy_flows(h: &Hierarchy, idxs: &[usize]) -> Vec<(NodeId, Ipv4Addr)> {
+        idxs.iter().map(|&i| (h.mobiles[i], h.mobile_addr(i))).collect()
+    }
+}
+
+impl MhrpIo<'_, ShardedWorld> {
+    /// Flow bindings for sharded-hierarchy mobiles `idxs` (indices into
+    /// [`ShardedHierarchy::mobiles`]).
+    pub fn sharded_hierarchy_flows(
+        h: &ShardedHierarchy,
+        idxs: &[usize],
+    ) -> Vec<(NodeId, Ipv4Addr)> {
+        idxs.iter().map(|&i| (h.mobiles[i], h.mobile_addr(i))).collect()
+    }
+}
+
+impl<W: SimWorld> SoakIo for MhrpIo<'_, W> {
     fn run_until(&mut self, t: SimTime) {
         self.world.run_until(t);
     }
@@ -171,6 +186,11 @@ pub struct RwSoakConfig {
     /// Enable the typed telemetry event log (the golden replay test
     /// compares it across runs).
     pub telemetry: bool,
+    /// Shard count. `1` runs the classic single-world path
+    /// (byte-identical to every pre-sharding release); `> 1` builds a
+    /// [`ShardedHierarchy`] with region-confined mobility and runs the
+    /// same soak through the conservative barrier scheduler.
+    pub shards: usize,
 }
 
 impl Default for RwSoakConfig {
@@ -189,6 +209,7 @@ impl Default for RwSoakConfig {
             seed: 1994,
             thresholds: SloThresholds::default(),
             telemetry: false,
+            shards: 1,
         }
     }
 }
@@ -220,6 +241,9 @@ pub fn run_random_waypoint_soak(cfg: &RwSoakConfig) -> SoakRun {
     assert!(cfg.params.correspondent, "soak needs the backbone correspondent");
     assert!(cfg.flows >= 1, "need at least one flow");
     assert!(cfg.closed_flows <= cfg.flows, "closed_flows exceeds flows");
+    if cfg.shards > 1 {
+        return run_random_waypoint_soak_sharded(cfg);
+    }
 
     let mut h = Hierarchy::build(cfg.params.clone());
     if cfg.telemetry {
@@ -334,6 +358,147 @@ pub fn run_random_waypoint_soak(cfg: &RwSoakConfig) -> SoakRun {
     let report = evaluate(workload_label, world_label, m, &cfg.thresholds);
     let events_log: Vec<netsim::Event> =
         if cfg.telemetry { h.world.telemetry().events().copied().collect() } else { Vec::new() };
+    SoakRun { report, events, wall_seconds, latency, events_log }
+}
+
+/// The sharded variant of [`run_random_waypoint_soak`]: one shard per
+/// contiguous block of regions, the backbone as the portal, and
+/// **region-confined** mobility (each mobile wanders its own region's
+/// cells — shard migration is unsupported by design; see DESIGN.md §10).
+///
+/// The mobility plans and flow schedules are pure functions of the
+/// config (per-region seeds derive from `cfg.seed` and the region index
+/// alone), so the same config produces the same merged telemetry stream
+/// at *any* shard count — the determinism contract the
+/// `sharded_determinism` suite pins.
+pub fn run_random_waypoint_soak_sharded(cfg: &RwSoakConfig) -> SoakRun {
+    assert!(cfg.params.correspondent, "soak needs the backbone correspondent");
+    assert!(cfg.flows >= 1, "need at least one flow");
+    assert!(cfg.closed_flows <= cfg.flows, "closed_flows exceeds flows");
+
+    let mut h = ShardedHierarchy::build(cfg.params.clone(), cfg.shards.max(1));
+    if cfg.telemetry {
+        h.world.set_telemetry(true);
+    }
+    assert!(h.run_until_attached(1.0, cfg.warmup), "registration warmup stalled");
+    assert!(
+        cfg.flows <= h.mobiles.len(),
+        "more flows than mobile hosts ({} > {})",
+        cfg.flows,
+        h.mobiles.len()
+    );
+
+    // Mobility: every mobile wanders the cells of its own region. The
+    // per-region plan depends only on the region index and the config —
+    // never on the shard count.
+    let from = h.world.now();
+    let mobiles_per_region = h.mobiles_per_region;
+    let fas = h.fas_per_region;
+    let mut region_plans: Vec<MovePlan> = Vec::with_capacity(h.regions);
+    for r in 0..h.regions {
+        let start_cells: Vec<usize> = (0..mobiles_per_region).map(|i| i % fas).collect();
+        let layout = Layout { cells: fas, start_cells };
+        let model = RandomWaypoint {
+            seed: cfg.seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            dwell_min: cfg.dwell_min,
+            dwell_max: cfg.dwell_max,
+        };
+        let plan = model.compile(&layout, from, from + cfg.duration);
+        let bindings: Vec<(NodeId, IfaceId)> = (0..mobiles_per_region)
+            .map(|i| (h.mobiles[r * mobiles_per_region + i], IfaceId(0)))
+            .collect();
+        plan.install(&mut h.world, &bindings, &h.cells[r * fas..(r + 1) * fas]);
+        region_plans.push(plan);
+    }
+
+    // Traffic: identical flow construction to the classic soak.
+    let targets: Vec<usize> = (0..cfg.flows).map(|i| i * h.mobiles.len() / cfg.flows).collect();
+    let mut flows: Vec<Flow> = (0..cfg.flows)
+        .map(|i| {
+            let pattern = if i < cfg.closed_flows {
+                Pattern::ClosedLoop {
+                    window: 4,
+                    deadline: SimDuration::from_millis(250),
+                    retries: 2,
+                }
+            } else {
+                Pattern::Poisson { per_sec: cfg.open_rate_per_sec }
+            };
+            Flow::new(
+                i as u32,
+                FlowCfg {
+                    pattern,
+                    bytes: cfg.payload_bytes,
+                    seed: cfg.seed
+                        ^ (0x9e37_79b9_7f4a_7c15 ^ i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
+                    limit: None,
+                },
+            )
+        })
+        .collect();
+
+    let overhead0 = h.world.counter("mhrp.overhead_bytes");
+    let updates0 = h.world.counter("mhrp.updates_sent");
+    let events0 = h.world.events_processed();
+    let wall0 = Instant::now();
+
+    let flow_bindings = MhrpIo::sharded_hierarchy_flows(&h, &targets);
+    let correspondent = h.correspondent.expect("correspondent");
+    let mut io = MhrpIo::new(&mut h.world, correspondent, flow_bindings);
+    run_soak(
+        &mut io,
+        &mut flows,
+        &SoakParams { duration: cfg.duration, tick: cfg.tick, drain: SimDuration::from_secs(2) },
+    );
+
+    let wall_seconds = wall0.elapsed().as_secs_f64();
+    let events = h.world.events_processed() - events0;
+
+    let mut latency = Histogram::latency_us();
+    let mut rtt = Histogram::latency_us();
+    let mut m = SloMeasurements {
+        sim_seconds: cfg.duration.as_micros() as f64 / 1e6,
+        handoffs: targets
+            .iter()
+            .map(|&t| region_plans[t / mobiles_per_region].handoffs_for(t % mobiles_per_region))
+            .sum(),
+        ..SloMeasurements::default()
+    };
+    for f in &flows {
+        latency.merge(&f.latency_us);
+        rtt.merge(&f.rtt_us);
+        m.sent += f.stats.sent;
+        m.delivered += f.stats.delivered;
+        m.completed += f.stats.completed;
+        m.failed += f.stats.failed;
+        m.retries += f.stats.retries;
+    }
+    m.latency_p50_us = latency.p50();
+    m.latency_p99_us = latency.p99();
+    m.latency_max_us = latency.max();
+    m.rtt_p99_us = rtt.p99();
+    m.overhead_bytes = h.world.counter("mhrp.overhead_bytes") - overhead0;
+    m.updates_sent = h.world.counter("mhrp.updates_sent") - updates0;
+
+    let workload_label = format!(
+        "random-waypoint (region-confined) dwell {}-{}s × {} flows ({} poisson {}/s + {} closed-loop)",
+        cfg.dwell_min.as_micros() / 1_000_000,
+        cfg.dwell_max.as_micros() / 1_000_000,
+        cfg.flows,
+        cfg.flows - cfg.closed_flows,
+        cfg.open_rate_per_sec,
+        cfg.closed_flows,
+    );
+    let world_label = format!(
+        "hierarchy {}r x {}fa x {}m / {} shards",
+        cfg.params.regions,
+        cfg.params.fas_per_region,
+        cfg.params.mobiles_per_region,
+        h.world.shard_count(),
+    );
+    let report = evaluate(workload_label, world_label, m, &cfg.thresholds);
+    let events_log: Vec<netsim::Event> =
+        if cfg.telemetry { h.world.merged_events() } else { Vec::new() };
     SoakRun { report, events, wall_seconds, latency, events_log }
 }
 

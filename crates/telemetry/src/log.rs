@@ -109,6 +109,17 @@ impl EventLog {
         Some(JourneyId(self.next_journey))
     }
 
+    /// Moves the journey-id counter forward to at least `base`, so ids
+    /// minted from here on are `base + 1, base + 2, …`.
+    ///
+    /// A sharded world gives each shard's log a disjoint namespace
+    /// (`shard_index << 40`) so journeys minted concurrently on different
+    /// shards never collide when the logs are merged. Never moves the
+    /// counter backwards (re-basing an active log cannot re-issue ids).
+    pub fn set_journey_base(&mut self, base: u64) {
+        self.next_journey = self.next_journey.max(base);
+    }
+
     /// Number of buffered events.
     pub fn len(&self) -> usize {
         self.buf.len()

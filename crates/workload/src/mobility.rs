@@ -31,7 +31,7 @@
 
 use netsim::id::{IfaceId, NodeId, SegmentId};
 use netsim::time::{SimDuration, SimTime};
-use netsim::{AdminOp, World};
+use netsim::{AdminOp, SimWorld};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::fmt;
@@ -166,12 +166,20 @@ impl MovePlan {
     /// Compiles the plan onto `world`'s event queue.
     ///
     /// `hosts[i]` is the `(node, iface)` that represents host index `i`;
-    /// `cells[c]` is the segment for cell index `c`.
+    /// `cells[c]` is the segment for cell index `c`. Works on any
+    /// [`SimWorld`]; on a sharded world, every host must stay inside
+    /// its owning shard (region-confined mobility), or the admin
+    /// translation panics.
     ///
     /// # Panics
     ///
     /// Panics if an op names a host or cell index outside the slices.
-    pub fn install(&self, world: &mut World, hosts: &[(NodeId, IfaceId)], cells: &[SegmentId]) {
+    pub fn install<W: SimWorld>(
+        &self,
+        world: &mut W,
+        hosts: &[(NodeId, IfaceId)],
+        cells: &[SegmentId],
+    ) {
         for &(at, op) in &self.ops {
             let scheduled = match op {
                 MoveOp::Attach { host, cell } => {
