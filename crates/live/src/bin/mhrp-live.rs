@@ -1,0 +1,91 @@
+//! `mhrp-live` — run the Figure 1 internetwork as real UDP agents on
+//! 127.0.0.1 and cross-validate every probe's journey against the
+//! deterministic simulator.
+//!
+//! ```text
+//! cargo run --release -p live --bin mhrp-live -- --agents 4
+//! ```
+//!
+//! `--agents N` roams N mobile hosts (N = 1 reproduces the paper's
+//! Figure 1 exactly). Exits non-zero if the live run and the simulated
+//! run disagree on any journey, or if either run misses its SLOs.
+
+use live::{cross_validate, run_live, run_sim, LoopbackScenario, RunOutcome};
+
+fn usage() -> ! {
+    eprintln!("usage: mhrp-live [--agents N] [--skip-sim]");
+    std::process::exit(2)
+}
+
+fn print_outcome(o: &RunOutcome) {
+    println!("== {} leg ==", o.label);
+    for p in &o.probes {
+        let status = if p.delivered { "ok  " } else { "LOST" };
+        println!(
+            "  flow {} seq {}: {}  hops {:?}  latency {} us",
+            p.flow, p.seq, status, p.hops, p.latency_us
+        );
+    }
+    println!("  SLO report: {}", if o.report.pass { "PASS" } else { "FAIL" });
+    for c in &o.report.checks {
+        println!(
+            "    {:<26} measured {:>12.3}  threshold {:>12.3}  {}",
+            c.name,
+            c.measured,
+            c.threshold,
+            if c.pass { "pass" } else { "FAIL" }
+        );
+    }
+}
+
+fn main() {
+    let mut agents = 1usize;
+    let mut skip_sim = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--agents" => {
+                agents = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--skip-sim" => skip_sim = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if agents == 0 || agents > 64 {
+        eprintln!("--agents must be in 1..=64");
+        std::process::exit(2);
+    }
+
+    let sc = LoopbackScenario::canonical(agents);
+    println!(
+        "scenario: {} mobile host(s), {} probes, {} handoffs, {} ms timeline",
+        sc.mobiles,
+        sc.probes.len(),
+        sc.moves.handoffs(),
+        sc.end.as_millis()
+    );
+
+    let sim = if skip_sim {
+        None
+    } else {
+        let sim = run_sim(&sc);
+        print_outcome(&sim);
+        Some(sim)
+    };
+
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    let live = rt.block_on(run_live(&sc)).expect("live run");
+    print_outcome(&live);
+    println!("{}", live.report.to_json());
+
+    let ok = match sim {
+        Some(sim) => {
+            let xv = cross_validate(&sim, &live);
+            println!("{xv}");
+            xv.pass()
+        }
+        None => live.report.pass,
+    };
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,56 @@
+//! Wall-clock time as [`SimTime`]: the live implementation of the
+//! sans-io [`Clock`] trait.
+
+use std::time::Instant;
+
+use netsim::time::SimTime;
+use netsim::Clock;
+
+/// A monotonic wall clock mapped onto the simulator's time axis:
+/// `t = 0` at construction, one [`SimTime`] nanosecond per real
+/// nanosecond. Copies share the epoch, so every agent in a live run
+/// stamps telemetry on one common timeline — the property journey
+/// merging depends on.
+///
+/// [`Instant`] is monotone, so this clock never runs backwards on a
+/// healthy host; the [`netsim::NodeHarness`] clamp underneath makes even
+/// a misbehaving clock safe (see `tests/clock_skew.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    t0: Instant,
+}
+
+impl WallClock {
+    /// A clock whose zero is now.
+    pub fn new() -> WallClock {
+        WallClock { t0: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.t0.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_share_the_epoch_and_time_moves_forward() {
+        let c = WallClock::new();
+        let d = c;
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = d.now();
+        assert!(b > a);
+        assert!(b.since(a) >= netsim::time::SimDuration::from_millis(1));
+    }
+}

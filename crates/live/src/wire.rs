@@ -1,0 +1,197 @@
+//! Datagram framing for live mode: one simulated link-layer [`Frame`]
+//! per UDP datagram.
+//!
+//! The payload of the datagram is the frame's payload *unchanged* — the
+//! same bytes the simulator would carry on a segment — so every wire
+//! encoding in the workspace (ARP, IPv4, UDP, ICMP, MHRP headers and
+//! control messages) crosses a real socket byte-for-byte. The live
+//! header in front of it carries only what a broadcast segment provides
+//! ambiently in the simulator: the link-layer addressing, the ethertype,
+//! the segment the frame was sent on (so a datagram that was in flight
+//! while its receiver moved cells can be recognized and dropped, the
+//! loopback analogue of leaving radio range), and the telemetry journey
+//! id, which must travel with the packet for cross-runtime journey
+//! reconstruction to work.
+//!
+//! Decoding is total: any byte string either parses or returns a
+//! [`WireError`]. It never panics — property-tested under arbitrary
+//! mutation, because a live endpoint's peer is a network, not a trusted
+//! caller.
+
+use netsim::frame::EtherType;
+use netsim::{Frame, MacAddr};
+use telemetry::JourneyId;
+
+/// Magic bytes opening every live datagram ("MHrp Live Datagram").
+pub const MAGIC: [u8; 4] = *b"MHLD";
+
+/// Wire-format version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed header length in front of the frame payload.
+pub const HEADER_LEN: usize = 4 + 1 + 2 + 1 + 8 + 6 + 6 + 2;
+
+/// Why a datagram failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Shorter than the fixed header.
+    TooShort {
+        /// Actual datagram length.
+        len: usize,
+    },
+    /// The magic bytes did not match [`MAGIC`].
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TooShort { len } => {
+                write!(f, "datagram of {len} bytes is shorter than the {HEADER_LEN}-byte header")
+            }
+            WireError::BadMagic => write!(f, "bad magic (not a live-mode datagram)"),
+            WireError::BadVersion(v) => write!(f, "unsupported live wire version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded live datagram: a [`Frame`] plus the segment it was sent on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveDatagram {
+    /// Index of the segment (broadcast domain) the sender transmitted on.
+    pub segment: u16,
+    /// The telemetry journey riding on the frame, if any.
+    pub journey: Option<JourneyId>,
+    /// Link-layer source address.
+    pub src: MacAddr,
+    /// Link-layer destination address.
+    pub dst: MacAddr,
+    /// Raw ethertype value.
+    pub ethertype: u16,
+    /// The frame payload, byte-identical to the simulator's.
+    pub payload: Vec<u8>,
+}
+
+impl LiveDatagram {
+    /// Wraps `frame` for transmission on segment index `segment`.
+    pub fn from_frame(segment: u16, frame: &Frame) -> LiveDatagram {
+        LiveDatagram {
+            segment,
+            journey: frame.journey,
+            src: frame.src,
+            dst: frame.dst,
+            ethertype: frame.ethertype.as_u16(),
+            payload: frame.payload.to_vec(),
+        }
+    }
+
+    /// Converts back into the [`Frame`] the receiving node dispatches.
+    pub fn into_frame(self) -> Frame {
+        let mut frame =
+            Frame::new(self.src, self.dst, EtherType::from_u16(self.ethertype), self.payload);
+        frame.journey = self.journey;
+        frame
+    }
+
+    /// Serializes to the on-the-wire byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&self.segment.to_be_bytes());
+        match self.journey {
+            Some(j) => {
+                buf.push(1);
+                buf.extend_from_slice(&j.0.to_be_bytes());
+            }
+            None => {
+                buf.push(0);
+                buf.extend_from_slice(&[0u8; 8]);
+            }
+        }
+        buf.extend_from_slice(&self.src.0);
+        buf.extend_from_slice(&self.dst.0);
+        buf.extend_from_slice(&self.ethertype.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parses a received datagram. Total: returns an error (never
+    /// panics) on any malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<LiveDatagram, WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::TooShort { len: bytes.len() });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(WireError::BadVersion(bytes[4]));
+        }
+        let segment = u16::from_be_bytes([bytes[5], bytes[6]]);
+        let journey = if bytes[7] & 1 != 0 {
+            let mut id = [0u8; 8];
+            id.copy_from_slice(&bytes[8..16]);
+            Some(JourneyId(u64::from_be_bytes(id)))
+        } else {
+            None
+        };
+        let mut src = [0u8; 6];
+        src.copy_from_slice(&bytes[16..22]);
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&bytes[22..28]);
+        let ethertype = u16::from_be_bytes([bytes[28], bytes[29]]);
+        Ok(LiveDatagram {
+            segment,
+            journey,
+            src: MacAddr(src),
+            dst: MacAddr(dst),
+            ethertype,
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut f = Frame::new(
+            MacAddr::from_index(3),
+            MacAddr::from_index(9),
+            EtherType::Ipv4,
+            vec![1, 2, 3, 4],
+        );
+        f.journey = Some(JourneyId(0xdead_beef));
+        let d = LiveDatagram::from_frame(5, &f);
+        let back = LiveDatagram::decode(&d.encode()).unwrap();
+        assert_eq!(back, d);
+        let g = back.into_frame();
+        assert_eq!((g.src, g.dst, g.ethertype), (f.src, f.dst, f.ethertype));
+        assert_eq!(g.payload, f.payload);
+        assert_eq!(g.journey, f.journey);
+    }
+
+    #[test]
+    fn rejects_short_and_foreign_datagrams() {
+        assert_eq!(LiveDatagram::decode(&[]), Err(WireError::TooShort { len: 0 }));
+        assert_eq!(
+            LiveDatagram::decode(&[0u8; HEADER_LEN]),
+            Err(WireError::BadMagic),
+            "an all-zero datagram is not ours"
+        );
+        let mut bad = LiveDatagram::from_frame(
+            0,
+            &Frame::broadcast(MacAddr::from_index(0), EtherType::Arp, vec![]),
+        )
+        .encode();
+        bad[4] = 9;
+        assert_eq!(LiveDatagram::decode(&bad), Err(WireError::BadVersion(9)));
+    }
+}

@@ -1,0 +1,50 @@
+//! The acceptance test for live mode: the same `MovePlan` replayed in
+//! the deterministic simulator and over real UDP sockets on 127.0.0.1
+//! must yield the identical hop sequence for every probe, and both
+//! runs must pass the machine-checked SLO report.
+
+use live::{cross_validate, run_live, run_sim, LoopbackScenario};
+
+#[test]
+fn sim_and_live_agree_on_every_probe_journey() {
+    let sc = LoopbackScenario::canonical(1);
+    let sim = run_sim(&sc);
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    let live = rt.block_on(run_live(&sc)).expect("live run");
+
+    assert_eq!(sim.probes.len(), 9);
+    assert!(sim.probes.iter().all(|p| p.delivered), "sim lost probes: {:?}", sim.probes);
+    assert!(live.probes.iter().all(|p| p.delivered), "live lost probes: {:?}", live.probes);
+
+    // The §6.2 signature must be visible in *both* runtimes: the first
+    // probe after the move to D pays the home-routed triangle through
+    // R2 (node 1), and a later probe in the same dwell takes the
+    // cache-direct path that skips it.
+    for o in [&sim, &live] {
+        let first = &o.probes[0];
+        let settled = &o.probes[2];
+        assert!(
+            first.hops.contains(&1),
+            "{}: first probe should cross the home agent, hops {:?}",
+            o.label,
+            first.hops
+        );
+        assert!(
+            !settled.hops.contains(&1),
+            "{}: settled probe should bypass the home agent, hops {:?}",
+            o.label,
+            settled.hops
+        );
+        assert_eq!(*first.hops.last().unwrap(), 6, "{}: probes end at M", o.label);
+    }
+
+    let xv = cross_validate(&sim, &live);
+    assert!(xv.pass(), "{xv}");
+    assert!(sim.report.pass, "sim SLO report failed:\n{}", sim.report.to_json());
+    assert!(live.report.pass, "live SLO report failed:\n{}", live.report.to_json());
+
+    // The report must survive its serialization round trip (it is the
+    // CI artifact the smoke job parses).
+    let back = workload::SloReport::from_json(&live.report.to_json()).expect("parses");
+    assert_eq!(back.pass, live.report.pass);
+}

@@ -1,0 +1,90 @@
+//! Property tests of the live datagram codec: everything that crosses
+//! a real socket must round-trip exactly, and decoding must be total —
+//! arbitrary bytes and arbitrarily mutated valid datagrams return
+//! errors, never panic.
+
+use live::wire::{LiveDatagram, WireError, HEADER_LEN};
+use netsim::frame::EtherType;
+use netsim::{Frame, MacAddr};
+use proptest::prelude::*;
+use telemetry::JourneyId;
+
+fn arb_datagram() -> impl Strategy<Value = LiveDatagram> {
+    (
+        any::<u16>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u16>(),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(segment, journey, src, dst, ethertype, payload)| LiveDatagram {
+            segment,
+            // Journey 0 is representable; `None` exercises the flag path.
+            journey: if journey % 3 == 0 { None } else { Some(JourneyId(journey)) },
+            src: MacAddr::from_index(src),
+            dst: MacAddr::from_index(dst),
+            ethertype,
+            payload,
+        })
+}
+
+proptest! {
+    #[test]
+    fn datagrams_round_trip(d in arb_datagram()) {
+        let bytes = d.encode();
+        prop_assert_eq!(bytes.len(), HEADER_LEN + d.payload.len());
+        prop_assert_eq!(LiveDatagram::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn frames_survive_the_socket_boundary(
+        src in any::<u64>(), dst in any::<u64>(), et in any::<u16>(),
+        journey in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        segment in any::<u16>(),
+    ) {
+        let mut f = Frame::new(
+            MacAddr::from_index(src),
+            MacAddr::from_index(dst),
+            EtherType::from_u16(et),
+            payload.clone(),
+        );
+        f.journey = Some(JourneyId(journey));
+        let wire = LiveDatagram::from_frame(segment, &f).encode();
+        let back = LiveDatagram::decode(&wire).unwrap().into_frame();
+        prop_assert_eq!(back.src, f.src);
+        prop_assert_eq!(back.dst, f.dst);
+        prop_assert_eq!(back.ethertype, f.ethertype);
+        prop_assert_eq!(back.payload.to_vec(), payload);
+        prop_assert_eq!(back.journey, f.journey);
+    }
+
+    #[test]
+    fn decode_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Must return, never panic; errors are typed.
+        if let Err(e) = LiveDatagram::decode(&bytes) {
+            prop_assert!(matches!(
+                e,
+                WireError::TooShort { .. } | WireError::BadMagic | WireError::BadVersion(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn decode_is_total_under_mutation(
+        d in arb_datagram(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..16),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        // Mutate a *valid* encoding: flip bytes, then truncate. The
+        // decoder must either parse something or error cleanly.
+        let mut bytes = d.encode();
+        for (idx, mask) in &flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= mask | 1;
+        }
+        bytes.truncate(truncate.index(bytes.len() + 1));
+        let _ = LiveDatagram::decode(&bytes);
+    }
+}

@@ -117,15 +117,65 @@ proptest! {
 
     #[test]
     fn control_messages_round_trip(mobile in arb_addr(), agent in arb_addr(), seq in any::<u16>()) {
+        // Every variant that crosses the wire (and, in live mode, a
+        // real UDP socket).
         for msg in [
             ControlMessage::FaRegister { mobile, home_agent: agent },
+            ControlMessage::FaRegisterAck { mobile },
             ControlMessage::FaDeregister { mobile, new_fa: agent },
+            ControlMessage::FaDeregisterAck { mobile },
             ControlMessage::HaRegister { mobile, fa: agent, seq },
             ControlMessage::HaRegisterAck { mobile, seq },
+            ControlMessage::FaRecoveryQuery,
             ControlMessage::HaSync { mobile, fa: agent },
         ] {
             prop_assert_eq!(ControlMessage::decode(&msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn control_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = ControlMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn control_decode_survives_mutation(
+        mobile in arb_addr(), agent in arb_addr(), seq in any::<u16>(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        // A live endpoint's peer is a network: any corruption of a valid
+        // registration message must decode to Ok or Err, never panic.
+        for msg in [
+            ControlMessage::FaRegister { mobile, home_agent: agent },
+            ControlMessage::HaRegister { mobile, fa: agent, seq },
+            ControlMessage::HaSync { mobile, fa: agent },
+        ] {
+            let mut bytes = msg.encode();
+            for (idx, mask) in &flips {
+                let i = idx.index(bytes.len());
+                bytes[i] ^= mask | 1;
+            }
+            bytes.truncate(truncate.index(bytes.len() + 1));
+            let _ = ControlMessage::decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn header_decode_survives_mutation(
+        mobile in arb_addr(),
+        prev in prop::collection::vec(arb_addr(), 0..8),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        let h = MhrpHeader { orig_protocol: 17, mobile, prev_sources: prev };
+        let mut bytes = h.encode();
+        for (idx, mask) in &flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= mask | 1;
+        }
+        bytes.truncate(truncate.index(bytes.len() + 1));
+        let _ = MhrpHeader::decode(&bytes);
     }
 
     #[test]

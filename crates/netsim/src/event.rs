@@ -141,9 +141,9 @@ impl EventQueue {
         std::mem::take(&mut self.suppressed)
     }
 
-    /// Time of the next live event (used by tests; the run loop uses the
-    /// fused [`EventQueue::pop_due`] instead).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Time of the next live event (drives [`crate::NodeHarness`]'s
+    /// wake-up deadline; the world's run loop uses the fused
+    /// [`EventQueue::pop_due`] instead).
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.skim_cancelled();
         self.wheel.peek().map(|(at, _)| at)

@@ -84,6 +84,7 @@ pub mod event;
 pub mod faults;
 pub mod frame;
 pub mod id;
+pub mod io;
 pub mod node;
 pub mod sched;
 pub mod segment;
@@ -97,6 +98,7 @@ pub use faults::{FaultOp, FaultPlan};
 pub use frame::Payload;
 pub use frame::{EtherType, Frame};
 pub use id::{IfaceId, MacAddr, NodeId, PortalId, SegmentId};
+pub use io::{Clock, NodeHarness, NodeIo, NullIo};
 pub use node::{AsAny, Ctx, LinkEvent, Node, TimerToken};
 pub use sched::TimerWheel;
 pub use segment::SegmentParams;

@@ -539,14 +539,37 @@ impl ShardedWorld {
 
     /// Runs all shards to `t` in conservative barrier windows (see the
     /// [module docs](self)).
+    ///
+    /// With parallel execution on, one set of worker threads is spawned
+    /// up front and persists across every window of this call — windows
+    /// are often tiny (one lookahead), so per-window spawns would
+    /// dominate. Sequential and threaded modes drive the identical
+    /// barrier loop (`drive_windows`) and produce identical
+    /// results: shards share no state inside a window.
     pub fn run_until(&mut self, t: SimTime) {
         assert!(self.started, "call ShardedWorld::start before running");
+        if self.parallel && self.cells.len() > 1 {
+            self.run_until_threaded(t);
+        } else {
+            self.drive_windows(t, |cells, end| {
+                for cell in cells.iter_mut() {
+                    cell.0.run_until(end);
+                }
+            });
+        }
+    }
+
+    /// The barrier loop shared by sequential and threaded execution:
+    /// pick the window end (min of lookahead and the target), let `run`
+    /// advance every shard to it, then drain the cross-shard mailboxes
+    /// at the barrier.
+    fn drive_windows(&mut self, t: SimTime, mut run: impl FnMut(&mut Vec<ShardCell>, SimTime)) {
         loop {
             let end = match self.lookahead {
                 Some(l) if self.time + l < t => self.time + l,
                 _ => t,
             };
-            self.run_window(end);
+            run(&mut self.cells, end);
             self.exchange();
             self.windows += 1;
             if end >= t {
@@ -555,6 +578,46 @@ impl ShardedWorld {
             }
             self.time = end;
         }
+    }
+
+    /// Threaded window execution on persistent workers: each shard gets
+    /// one worker for the whole call, cells travel to their worker and
+    /// back through channels each window (a send/recv pair, not a thread
+    /// spawn), and the barrier holds because the driver collects all
+    /// `cells.len()` completions before exchanging.
+    fn run_until_threaded(&mut self, t: SimTime) {
+        let n = self.cells.len();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<(usize, ShardCell)>();
+        std::thread::scope(|s| {
+            let mut work_txs = Vec::with_capacity(n);
+            for i in 0..n {
+                let (tx, rx) = std::sync::mpsc::channel::<(ShardCell, SimTime)>();
+                work_txs.push(tx);
+                let done = done_tx.clone();
+                s.spawn(move || {
+                    while let Ok((mut cell, end)) = rx.recv() {
+                        cell.0.run_until(end);
+                        if done.send((i, cell)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            self.drive_windows(t, |cells, end| {
+                for (i, cell) in cells.drain(..).enumerate() {
+                    work_txs[i].send((cell, end)).expect("shard worker alive");
+                }
+                let mut returned: Vec<Option<ShardCell>> = (0..n).map(|_| None).collect();
+                for _ in 0..n {
+                    let (i, cell) = done_rx.recv().expect("shard worker alive");
+                    returned[i] = Some(cell);
+                }
+                cells.extend(returned.into_iter().map(|c| c.expect("one cell per worker")));
+            });
+            // Closing the work channels ends the workers' recv loops so
+            // the scope can join them.
+            drop(work_txs);
+        });
     }
 
     /// Runs for `d` of simulated time from now.
@@ -695,23 +758,6 @@ impl ShardedWorld {
                  and deterministic delivery (the lookahead bound depends on it); use \
                  SegmentDown/SegmentUp to partition instead"
             ),
-        }
-    }
-
-    /// Runs every shard to `end` — on scoped worker threads when
-    /// parallel execution is on, sequentially otherwise. Identical
-    /// results either way: shards share no state inside a window.
-    fn run_window(&mut self, end: SimTime) {
-        if self.parallel && self.cells.len() > 1 {
-            std::thread::scope(|s| {
-                for cell in self.cells.iter_mut() {
-                    s.spawn(move || cell.0.run_until(end));
-                }
-            });
-        } else {
-            for cell in self.cells.iter_mut() {
-                cell.0.run_until(end);
-            }
         }
     }
 

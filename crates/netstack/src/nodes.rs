@@ -18,7 +18,7 @@ use ip::ipv4::Ipv4Packet;
 use ip::proto;
 use ip::udp::UdpDatagram;
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Counter, Ctx, Frame, IfaceId, LinkEvent, Node, TimerToken};
+use netsim::{Counter, Ctx, Frame, IfaceId, JourneyId, LinkEvent, Node, TimerToken};
 
 use crate::stack::{IpStack, StackEvent};
 
@@ -158,6 +158,11 @@ pub struct UdpRecord {
     pub payload: Vec<u8>,
     /// Remaining TTL on arrival.
     pub ttl: u8,
+    /// Telemetry journey of the frame that delivered this datagram
+    /// (`None` while telemetry is off). Ties an application-level
+    /// delivery to its hop-by-hop path — the handle the sim-vs-live
+    /// cross-validation uses to compare per-probe routes.
+    pub journey: Option<JourneyId>,
 }
 
 /// Everything an [`Endpoint`] observed, for experiment metrics.
@@ -282,6 +287,7 @@ impl Endpoint {
                     dst_port: datagram.dst_port,
                     payload: datagram.payload,
                     ttl: pkt.ttl,
+                    journey: ctx.journey(),
                 });
                 None
             }

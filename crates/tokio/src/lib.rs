@@ -1,0 +1,542 @@
+//! Self-contained stand-in for the subset of the tokio API this
+//! workspace uses (see the workspace `Cargo.toml`: the build environment
+//! has no registry access, so external dependencies are provided by
+//! local crates implementing exactly the surface the repo consumes).
+//!
+//! What this provides:
+//!
+//! * [`runtime::Runtime`] — a **current-thread polling executor**:
+//!   `block_on` drives the main future plus every [`task::spawn`]ed task
+//!   by polling them in rounds, parking briefly between rounds (bounded
+//!   by the earliest timer deadline and a small I/O poll interval).
+//!   Wakers are no-ops: correctness comes from re-polling every pending
+//!   task each round, which is cheap at the task counts the live
+//!   loopback harness runs (tens of agents).
+//! * [`net::UdpSocket`] — async UDP over a nonblocking std socket.
+//! * [`time`] — [`time::sleep`] and [`time::timeout`] against the OS
+//!   monotonic clock.
+//! * [`sync::mpsc`] — unbounded channels usable across tasks.
+//!
+//! Semantic differences from real tokio, chosen for simplicity and fine
+//! for the loopback harness: everything runs on the caller's thread
+//! (`spawn` requires being inside `block_on`), spawned tasks are dropped
+//! when `block_on` returns, and wake-up latency is bounded by the poll
+//! interval (200 µs) rather than being edge-triggered.
+
+#![deny(missing_docs)]
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::time::{Duration, Instant};
+
+/// How long the executor parks when every task is pending on I/O with no
+/// nearer timer deadline. Bounds wake-up latency for socket readiness.
+const IO_POLL: Duration = Duration::from_micros(200);
+
+thread_local! {
+    static EXEC: RefCell<Option<ExecState>> = const { RefCell::new(None) };
+}
+
+/// Executor bookkeeping shared (via thread-local) with leaf futures.
+struct ExecState {
+    /// Tasks spawned while a poll round is in progress; merged into the
+    /// round-robin set between rounds.
+    incoming: Vec<Pin<Box<dyn Future<Output = ()>>>>,
+    /// Earliest timer deadline any future registered this round.
+    next_wake: Option<Instant>,
+    /// Whether any future is waiting on socket readiness this round.
+    io_wait: bool,
+}
+
+fn with_exec<R>(f: impl FnOnce(&mut ExecState) -> R) -> R {
+    EXEC.with(|e| {
+        let mut e = e.borrow_mut();
+        let state = e.as_mut().expect("must be called from within a tokio runtime");
+        f(state)
+    })
+}
+
+/// Records that the current task is waiting for socket readiness.
+fn note_io_wait() {
+    with_exec(|e| e.io_wait = true);
+}
+
+/// Records a timer deadline the executor must not park past.
+fn note_deadline(at: Instant) {
+    with_exec(|e| {
+        e.next_wake = Some(match e.next_wake {
+            Some(cur) if cur <= at => cur,
+            _ => at,
+        });
+    });
+}
+
+fn noop_waker() -> Waker {
+    const VTABLE: RawWakerVTable =
+        RawWakerVTable::new(|_| RawWaker::new(std::ptr::null(), &VTABLE), |_| {}, |_| {}, |_| {});
+    // SAFETY: every vtable entry is a no-op over a null pointer.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+/// The executor. See the [crate docs](crate) for the execution model.
+pub mod runtime {
+    use super::*;
+
+    /// A current-thread polling runtime.
+    pub struct Runtime {
+        _priv: (),
+    }
+
+    impl Runtime {
+        /// Creates a runtime. Never fails (the `Result` mirrors tokio's
+        /// signature so call sites read identically).
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime { _priv: () })
+        }
+
+        /// Runs `fut` to completion on the calling thread, driving every
+        /// task spawned from it. Outstanding spawned tasks are dropped
+        /// when the main future finishes.
+        ///
+        /// # Panics
+        ///
+        /// Panics when nested inside another `block_on` on this thread.
+        pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+            EXEC.with(|e| {
+                let mut e = e.borrow_mut();
+                assert!(e.is_none(), "nested Runtime::block_on on one thread");
+                *e = Some(ExecState { incoming: Vec::new(), next_wake: None, io_wait: false });
+            });
+            // Ensure the executor slot is cleared even if a task panics.
+            struct Reset;
+            impl Drop for Reset {
+                fn drop(&mut self) {
+                    EXEC.with(|e| *e.borrow_mut() = None);
+                }
+            }
+            let _reset = Reset;
+
+            let mut main = Box::pin(fut);
+            let mut tasks: Vec<Pin<Box<dyn Future<Output = ()>>>> = Vec::new();
+            let waker = noop_waker();
+            let mut cx = Context::from_waker(&waker);
+            loop {
+                with_exec(|e| {
+                    e.next_wake = None;
+                    e.io_wait = false;
+                });
+                let done = main.as_mut().poll(&mut cx);
+                let before = tasks.len();
+                tasks.retain_mut(|t| t.as_mut().poll(&mut cx).is_pending());
+                let completed = tasks.len() != before;
+                // Tasks spawned during this round get their first poll
+                // in the next one (matches tokio: spawn returns before
+                // the task runs).
+                let spawned = with_exec(|e| std::mem::take(&mut e.incoming));
+                let progressed = completed || !spawned.is_empty();
+                tasks.extend(spawned);
+                if let Poll::Ready(v) = done {
+                    return v;
+                }
+                if progressed {
+                    // Something finished or arrived this round; a waiter
+                    // may be ready right now — poll again immediately.
+                    continue;
+                }
+                let (next_wake, io_wait) = with_exec(|e| (e.next_wake, e.io_wait));
+                // With neither sockets nor timers pending, the only
+                // possible progress is task-to-task (channel) traffic,
+                // which the next round discovers — park briefly rather
+                // than spin.
+                let cap = if io_wait { IO_POLL } else { Duration::from_millis(5) };
+                let park = match next_wake {
+                    Some(at) => at.saturating_duration_since(Instant::now()).min(cap),
+                    None => cap,
+                };
+                if !park.is_zero() {
+                    std::thread::sleep(park);
+                }
+            }
+        }
+    }
+}
+
+/// Task spawning.
+pub mod task {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// Error type of [`JoinHandle`]. This executor never cancels or
+    /// loses a task (panics propagate out of `block_on` instead), so a
+    /// `JoinError` is never actually produced; the type exists so call
+    /// sites match tokio's `handle.await?` shape.
+    #[derive(Debug)]
+    pub struct JoinError(());
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "task join error")
+        }
+    }
+    impl std::error::Error for JoinError {}
+
+    /// Handle to a spawned task; awaiting it yields the task's output.
+    pub struct JoinHandle<T> {
+        slot: Rc<Cell<Option<T>>>,
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            match self.slot.take() {
+                Some(v) => Poll::Ready(Ok(v)),
+                None => Poll::Pending,
+            }
+        }
+    }
+
+    /// Spawns `fut` onto the current runtime. The task gets its first
+    /// poll on the next executor round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called outside [`runtime::Runtime::block_on`].
+    pub fn spawn<T: 'static>(fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let slot = Rc::new(Cell::new(None));
+        let out = slot.clone();
+        with_exec(|e| {
+            e.incoming.push(Box::pin(async move {
+                out.set(Some(fut.await));
+            }));
+        });
+        JoinHandle { slot }
+    }
+
+    /// Yields once: the current task goes to the back of this round and
+    /// resumes on the next one.
+    pub async fn yield_now() {
+        let mut yielded = false;
+        std::future::poll_fn(|_cx| {
+            if yielded {
+                Poll::Ready(())
+            } else {
+                yielded = true;
+                Poll::Pending
+            }
+        })
+        .await
+    }
+}
+
+/// Async networking over nonblocking std sockets.
+pub mod net {
+    use super::*;
+    use std::io;
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    /// An async UDP socket.
+    #[derive(Debug)]
+    pub struct UdpSocket {
+        inner: std::net::UdpSocket,
+    }
+
+    impl UdpSocket {
+        /// Binds a UDP socket to `addr` (async for tokio API parity;
+        /// binding itself does not block).
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+            let inner = std::net::UdpSocket::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(UdpSocket { inner })
+        }
+
+        /// Wraps an already-bound std socket (switched to nonblocking).
+        pub fn from_std(inner: std::net::UdpSocket) -> io::Result<UdpSocket> {
+            inner.set_nonblocking(true)?;
+            Ok(UdpSocket { inner })
+        }
+
+        /// The socket's local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// A cloned nonblocking std handle to the same socket (shares
+        /// the OS descriptor) — lets synchronous code transmit while an
+        /// async task owns the receive side.
+        pub fn std_clone(&self) -> io::Result<std::net::UdpSocket> {
+            self.inner.try_clone()
+        }
+
+        /// Receives a datagram, waiting until one arrives.
+        pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+            std::future::poll_fn(|_cx| match self.inner.recv_from(buf) {
+                Ok(v) => Poll::Ready(Ok(v)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    note_io_wait();
+                    Poll::Pending
+                }
+                Err(e) => Poll::Ready(Err(e)),
+            })
+            .await
+        }
+
+        /// Sends a datagram to `addr`, waiting while the socket buffer
+        /// is full.
+        pub async fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+            std::future::poll_fn(|_cx| match self.inner.send_to(buf, addr) {
+                Ok(n) => Poll::Ready(Ok(n)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    note_io_wait();
+                    Poll::Pending
+                }
+                Err(e) => Poll::Ready(Err(e)),
+            })
+            .await
+        }
+
+        /// Attempts a send without waiting (`WouldBlock` on a full
+        /// buffer — on loopback effectively never).
+        pub fn try_send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+            self.inner.send_to(buf, addr)
+        }
+    }
+}
+
+/// Timers against the OS monotonic clock.
+pub mod time {
+    use super::*;
+    pub use std::time::{Duration, Instant};
+
+    /// Future returned by [`sleep`].
+    pub struct Sleep {
+        deadline: Instant,
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+            if Instant::now() >= self.deadline {
+                Poll::Ready(())
+            } else {
+                note_deadline(self.deadline);
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Completes `d` from now.
+    pub fn sleep(d: Duration) -> Sleep {
+        sleep_until(Instant::now() + d)
+    }
+
+    /// Completes at `deadline`.
+    pub fn sleep_until(deadline: Instant) -> Sleep {
+        Sleep { deadline }
+    }
+
+    /// Timeout errors.
+    pub mod error {
+        /// The future did not complete before the deadline.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Elapsed(pub(crate) ());
+
+        impl std::fmt::Display for Elapsed {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "deadline has elapsed")
+            }
+        }
+        impl std::error::Error for Elapsed {}
+    }
+
+    /// Future returned by [`timeout`].
+    pub struct Timeout<F: Future> {
+        fut: Pin<Box<F>>,
+        sleep: Sleep,
+    }
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, error::Elapsed>;
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            match Pin::new(&mut self.sleep).poll(cx) {
+                Poll::Ready(()) => Poll::Ready(Err(error::Elapsed(()))),
+                Poll::Pending => Poll::Pending,
+            }
+        }
+    }
+
+    /// Requires `fut` to complete within `d`; yields `Err(Elapsed)`
+    /// otherwise.
+    pub fn timeout<F: Future>(d: Duration, fut: F) -> Timeout<F> {
+        Timeout { fut: Box::pin(fut), sleep: sleep(d) }
+    }
+}
+
+/// Synchronization primitives.
+pub mod sync {
+    /// Multi-producer single-consumer channels.
+    pub mod mpsc {
+        use super::super::*;
+        use std::collections::VecDeque;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Mutex};
+
+        struct Chan<T> {
+            queue: Mutex<VecDeque<T>>,
+            senders: AtomicUsize,
+        }
+
+        /// The sending half of an unbounded channel.
+        pub struct UnboundedSender<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// The receiving half of an unbounded channel.
+        pub struct UnboundedReceiver<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Error returned when the receiver is gone.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+        impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+        impl<T> Clone for UnboundedSender<T> {
+            fn clone(&self) -> Self {
+                self.chan.senders.fetch_add(1, Ordering::Relaxed);
+                UnboundedSender { chan: self.chan.clone() }
+            }
+        }
+
+        impl<T> Drop for UnboundedSender<T> {
+            fn drop(&mut self) {
+                self.chan.senders.fetch_sub(1, Ordering::Release);
+            }
+        }
+
+        impl<T> UnboundedSender<T> {
+            /// Sends a value; fails only if the receiver was dropped.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                // 2 = this sender + the receiver's Arc. No receiver (it
+                // holds exactly one Arc) can only mean it was dropped
+                // when the strong count equals the sender count + 0.
+                if Arc::strong_count(&self.chan) <= self.chan.senders.load(Ordering::Relaxed) {
+                    return Err(SendError(value));
+                }
+                self.chan.queue.lock().expect("mpsc poisoned").push_back(value);
+                Ok(())
+            }
+        }
+
+        impl<T> UnboundedReceiver<T> {
+            /// Receives the next value, waiting for one; `None` once
+            /// every sender is dropped and the queue is drained.
+            pub async fn recv(&mut self) -> Option<T> {
+                std::future::poll_fn(|_cx| {
+                    if let Some(v) = self.chan.queue.lock().expect("mpsc poisoned").pop_front() {
+                        return Poll::Ready(Some(v));
+                    }
+                    if self.chan.senders.load(Ordering::Acquire) == 0 {
+                        return Poll::Ready(None);
+                    }
+                    Poll::Pending
+                })
+                .await
+            }
+
+            /// Non-blocking receive.
+            pub fn try_recv(&mut self) -> Option<T> {
+                self.chan.queue.lock().expect("mpsc poisoned").pop_front()
+            }
+        }
+
+        /// Creates an unbounded channel.
+        pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+            let chan =
+                Arc::new(Chan { queue: Mutex::new(VecDeque::new()), senders: AtomicUsize::new(1) });
+            (UnboundedSender { chan: chan.clone() }, UnboundedReceiver { chan })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_returns_the_value() {
+        let rt = runtime::Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn spawned_tasks_run_and_join() {
+        let rt = runtime::Runtime::new().unwrap();
+        let got = rt.block_on(async {
+            let h = task::spawn(async {
+                task::yield_now().await;
+                7
+            });
+            h.await.unwrap()
+        });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn sleep_waits_and_timeout_fires() {
+        let rt = runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let t0 = std::time::Instant::now();
+            time::sleep(Duration::from_millis(20)).await;
+            assert!(t0.elapsed() >= Duration::from_millis(20));
+            let r = time::timeout(Duration::from_millis(10), std::future::pending::<()>()).await;
+            assert!(r.is_err(), "pending future must time out");
+        });
+    }
+
+    #[test]
+    fn udp_round_trip_on_loopback() {
+        let rt = runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let a = net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b = net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b_addr = b.local_addr().unwrap();
+            a.send_to(b"ping", b_addr).await.unwrap();
+            let mut buf = [0u8; 16];
+            let (n, from) = time::timeout(Duration::from_secs(2), b.recv_from(&mut buf))
+                .await
+                .expect("datagram must arrive")
+                .unwrap();
+            assert_eq!(&buf[..n], b"ping");
+            assert_eq!(from, a.local_addr().unwrap());
+        });
+    }
+
+    #[test]
+    fn mpsc_crosses_tasks() {
+        let rt = runtime::Runtime::new().unwrap();
+        let got = rt.block_on(async {
+            let (tx, mut rx) = sync::mpsc::unbounded_channel();
+            task::spawn(async move {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap();
+            });
+            let a = rx.recv().await.unwrap();
+            let b = rx.recv().await.unwrap();
+            assert_eq!(rx.recv().await, None, "closed after sender drop");
+            a + b
+        });
+        assert_eq!(got, 3);
+    }
+}
