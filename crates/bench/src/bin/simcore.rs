@@ -68,11 +68,12 @@ fn mega(
     mobiles: usize,
     sim_ms: u64,
     shards: usize,
+    hierarchical: bool,
 ) -> Throughput {
     if shards > 1 {
-        mega_world_sharded(seed, regions, fas, mobiles, sim_ms, shards)
+        mega_world_sharded(seed, regions, fas, mobiles, sim_ms, shards, hierarchical)
     } else {
-        mega_world(seed, regions, fas, mobiles, sim_ms)
+        mega_world(seed, regions, fas, mobiles, sim_ms, hierarchical)
     }
 }
 
@@ -171,37 +172,44 @@ fn cases(shards: usize) -> Vec<Case> {
             name: "mega_world_1k",
             detail: "hierarchy 2 regions x 10 cells x 500 mobiles, 6s simulated",
             runs: 3,
-            work: Box::new(move || mega(SEED, 2, 10, 500, 6_000, shards)),
+            work: Box::new(move || mega(SEED, 2, 10, 500, 6_000, shards, false)),
         },
         Case {
             name: "mega_world_10k",
             detail: "hierarchy 4 regions x 50 cells x 2500 mobiles, 6s simulated",
             runs: 2,
-            work: Box::new(move || mega(SEED, 4, 50, 2_500, 6_000, shards)),
+            work: Box::new(move || mega(SEED, 4, 50, 2_500, 6_000, shards, false)),
         },
         Case {
             name: "mega_world_100k",
             detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated",
             runs: 1,
-            work: Box::new(move || mega(SEED, 8, 250, 12_500, 6_000, shards)),
+            work: Box::new(move || mega(SEED, 8, 250, 12_500, 6_000, shards, false)),
+        },
+        Case {
+            name: "mega_world_100k_hier",
+            detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated, \
+                     regional registration tier on (DESIGN.md S12)",
+            runs: 1,
+            work: Box::new(move || mega(SEED, 8, 250, 12_500, 6_000, shards, true)),
         },
         Case {
             name: "mega_world_100k_s2",
             detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated, 2 shards",
             runs: 1,
-            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 2)),
+            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 2, false)),
         },
         Case {
             name: "mega_world_100k_s4",
             detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated, 4 shards",
             runs: 1,
-            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 4)),
+            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 4, false)),
         },
         Case {
             name: "mega_world_100k_s8",
             detail: "hierarchy 8 regions x 250 cells x 12500 mobiles, 6s simulated, 8 shards",
             runs: 1,
-            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 8)),
+            work: Box::new(|| mega_world_sharded(SEED, 8, 250, 12_500, 6_000, 8, false)),
         },
         Case {
             name: "mega_world_1m",
@@ -209,7 +217,7 @@ fn cases(shards: usize) -> Vec<Case> {
                      (the DESIGN.md S10 1M-mobile target; minutes of wall time - run \
                      it explicitly with --only mega_world_1m, CI excludes it)",
             runs: 1,
-            work: Box::new(move || mega(SEED, 40, 250, 25_000, 6_000, shards)),
+            work: Box::new(move || mega(SEED, 40, 250, 25_000, 6_000, shards, false)),
         },
     ]
 }

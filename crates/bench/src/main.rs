@@ -16,7 +16,7 @@
 use scenarios::experiments::{
     e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
     e08_rate_limit, e09_icmp_errors, e10_at_home, e11_flapping, e12_partition, e13_provenance,
-    e14_cache_capacity, e15_mobility_rate, e16_flash_crowd,
+    e14_cache_capacity, e15_mobility_rate, e16_flash_crowd, e17_hierarchy, e18_handoff_latency,
 };
 use scenarios::report::{f2, table};
 
@@ -633,6 +633,108 @@ fn e16(failures: &mut Vec<String>) {
     );
 }
 
+fn e17(failures: &mut Vec<String>) {
+    println!("\n== E17 — DESIGN.md §12: regional tier vs backbone registration load ==");
+    let rows = e17_hierarchy::run(SEED);
+    println!(
+        "{}",
+        table(
+            &[
+                "mode",
+                "mobiles",
+                "handoffs",
+                "HA registrations",
+                "regional registrations",
+                "local handoffs",
+                "reg msgs",
+            ],
+            rows.iter()
+                .map(|r| vec![
+                    r.mode.into(),
+                    r.mobiles.to_string(),
+                    r.handoffs.to_string(),
+                    r.ha_registrations.to_string(),
+                    r.reg_registrations.to_string(),
+                    r.reg_handoffs_local.to_string(),
+                    r.registration_msgs.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    // Rows come in (flat, hierarchical) pairs per world size.
+    for pair in rows.chunks(2) {
+        let (flat, hier) = (&pair[0], &pair[1]);
+        check(
+            failures,
+            "e17",
+            flat.handoffs == hier.handoffs,
+            &format!("{} hosts: move plans diverged across modes", flat.mobiles),
+        );
+        // The §12 claim, machine-checked up to the 10k commuter world:
+        // the regional tier strictly reduces home-agent (backbone)
+        // registration traffic.
+        check(
+            failures,
+            "e17",
+            hier.ha_registrations < flat.ha_registrations,
+            &format!(
+                "{} hosts: hierarchical HA registrations {} not below flat {}",
+                flat.mobiles, hier.ha_registrations, flat.ha_registrations
+            ),
+        );
+        check(
+            failures,
+            "e17",
+            hier.reg_handoffs_local > 0,
+            &format!("{} hosts: regional tier absorbed no handoffs", flat.mobiles),
+        );
+        check(
+            failures,
+            "e17",
+            flat.reg_registrations == 0,
+            &format!("{} hosts: flat mode touched the regional tier", flat.mobiles),
+        );
+    }
+}
+
+fn e18(failures: &mut Vec<String>) {
+    println!("\n== E18 — DESIGN.md §12: flash-crowd registration latency, flat vs hierarchical ==");
+    let rows = e18_handoff_latency::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["mode", "handoffs", "acked", "mean (us)", "max (us)", "HA registrations"],
+            rows.iter()
+                .map(|r| vec![
+                    r.mode.into(),
+                    r.handoffs.to_string(),
+                    r.acked.to_string(),
+                    r.latency_mean_us.to_string(),
+                    r.latency_max_us.to_string(),
+                    r.ha_registrations.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    let (flat, hier) = (&rows[0], &rows[1]);
+    check(failures, "e18", flat.acked > 0 && hier.acked > 0, "a mode matched no acks");
+    check(
+        failures,
+        "e18",
+        hier.latency_mean_us < flat.latency_mean_us,
+        &format!(
+            "hierarchical mean latency {} us not below flat {} us",
+            hier.latency_mean_us, flat.latency_mean_us
+        ),
+    );
+    check(
+        failures,
+        "e18",
+        hier.ha_registrations == flat.ha_registrations,
+        "first-arrival upstream registrations should keep HA counts equal",
+    );
+}
+
 /// Re-runs the Figure 1 handoff with telemetry + pcap capture on and
 /// writes `trace.json` and `figure1.pcap` into `dir` (CI publishes them
 /// as workflow artifacts; the pcap opens in Wireshark).
@@ -745,6 +847,12 @@ fn main() {
     }
     if want("e16") {
         e16(&mut failures);
+    }
+    if want("e17") {
+        e17(&mut failures);
+    }
+    if want("e18") {
+        e18(&mut failures);
     }
     if let Some(dir) = artifacts_dir {
         if let Err(e) = export_artifacts(&dir) {

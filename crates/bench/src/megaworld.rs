@@ -21,12 +21,14 @@ pub fn mega_world(
     fas_per_region: usize,
     mobiles_per_region: usize,
     sim_ms: u64,
+    hierarchical: bool,
 ) -> Throughput {
     let params = HierarchyParams {
         regions,
         fas_per_region,
         mobiles_per_region,
         correspondent: true,
+        hierarchical,
         seed,
         ..Default::default()
     };
@@ -55,12 +57,14 @@ pub fn mega_world_sharded(
     mobiles_per_region: usize,
     sim_ms: u64,
     shards: usize,
+    hierarchical: bool,
 ) -> Throughput {
     let params = HierarchyParams {
         regions,
         fas_per_region,
         mobiles_per_region,
         correspondent: true,
+        hierarchical,
         seed,
         ..Default::default()
     };
@@ -83,13 +87,19 @@ mod tests {
 
     #[test]
     fn small_mega_world_registers_and_counts_events() {
-        let t = mega_world(1994, 2, 4, 40, 8_000);
+        let t = mega_world(1994, 2, 4, 40, 8_000, false);
         assert!(t.events > 1_000, "events {}", t.events);
     }
 
     #[test]
     fn small_sharded_mega_world_registers_and_counts_events() {
-        let t = mega_world_sharded(1994, 2, 4, 40, 8_000, 2);
+        let t = mega_world_sharded(1994, 2, 4, 40, 8_000, 2, false);
+        assert!(t.events > 1_000, "events {}", t.events);
+    }
+
+    #[test]
+    fn small_hierarchical_mega_world_registers_and_counts_events() {
+        let t = mega_world(1994, 2, 4, 40, 8_000, true);
         assert!(t.events > 1_000, "events {}", t.events);
     }
 }

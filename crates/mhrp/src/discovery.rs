@@ -13,6 +13,15 @@ use netstack::IpStack;
 /// Timer tokens with this bit set belong to an [`Advertiser`].
 pub const ADVERT_TIMER_BIT: u64 = 1 << 61;
 
+/// All bits below [`ADVERT_TIMER_BIT`] carry the advertiser epoch.
+///
+/// The full width matters: an 8-bit field aliases after 256 `start`
+/// calls, at which point a timer chain armed before a long-ago crash
+/// matches a live epoch again and the node advertises at twice the
+/// rate. Epochs are bumped once per reboot, so 61 bits never wrap in
+/// practice.
+const ADVERT_EPOCH_MASK: u64 = ADVERT_TIMER_BIT - 1;
+
 /// Periodically broadcasts agent advertisements on a set of interfaces.
 #[derive(Debug)]
 pub struct Advertiser {
@@ -24,10 +33,10 @@ pub struct Advertiser {
     interval: SimDuration,
     seq: u16,
     running: bool,
-    /// Bumped on every [`Advertiser::start`]; the low byte of the timer
-    /// token carries it, so a pre-crash advertisement chain is dropped as
-    /// stale after a reboot restarts the advertiser (instead of the node
-    /// advertising at twice the rate).
+    /// Bumped on every [`Advertiser::start`]; the token bits below
+    /// [`ADVERT_TIMER_BIT`] carry it, so a pre-crash advertisement chain
+    /// is dropped as stale after a reboot restarts the advertiser
+    /// (instead of the node advertising at twice the rate).
     ///
     /// Migration note: the timer wheel supports real cancellation
     /// (`netsim::Ctx::cancel_timer`, an O(1) watermark), so `start` could
@@ -74,7 +83,7 @@ impl Advertiser {
     }
 
     fn token(&self) -> TimerToken {
-        TimerToken(ADVERT_TIMER_BIT | (self.epoch & 0xff))
+        TimerToken(ADVERT_TIMER_BIT | (self.epoch & ADVERT_EPOCH_MASK))
     }
 
     /// Handles a timer; returns `true` if the token belonged to us.
@@ -82,7 +91,7 @@ impl Advertiser {
         if token.0 & ADVERT_TIMER_BIT == 0 {
             return false;
         }
-        if token.0 & 0xff != self.epoch & 0xff {
+        if token.0 & ADVERT_EPOCH_MASK != self.epoch & ADVERT_EPOCH_MASK {
             // Stale chain from before the last restart.
             return true;
         }
@@ -159,5 +168,38 @@ mod tests {
             assert!(!adv.on_timer(&mut stack, ctx, TimerToken(0)));
             assert!(adv.on_timer(&mut stack, ctx, TimerToken(ADVERT_TIMER_BIT)));
         });
+    }
+
+    #[test]
+    fn epoch_does_not_alias_after_256_starts() {
+        // A timer chain armed in epoch 1, surviving while the advertiser
+        // restarts 256 times, lands in epoch 257. With the old 8-bit
+        // field (257 & 0xff == 1) the stale token matched the live epoch
+        // and re-armed a second chain; the widened field keeps it stale.
+        let mut adv = Advertiser::new(vec![IfaceId(0)], false, true, SimDuration::from_secs(1));
+        adv.running = true;
+        adv.epoch = 257;
+        let stale = TimerToken(ADVERT_TIMER_BIT | 1);
+        let mut w = netsim::World::new(0);
+        struct Probe;
+        impl netsim::Node for Probe {
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: &netsim::Frame) {}
+        }
+        let n = w.add_node(Probe);
+        let seg = w.add_segment(netsim::SegmentParams::default());
+        w.add_iface(n, Some(seg));
+        let mut stack = IpStack::new(true);
+        stack.add_iface(
+            IfaceId(0),
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            ip::Prefix::new(std::net::Ipv4Addr::new(10, 0, 0, 0), 24),
+        );
+        w.with_node::<Probe, _>(n, |_, ctx| {
+            assert!(adv.on_timer(&mut stack, ctx, stale), "token carries the advert bit");
+            assert!(adv.on_timer(&mut stack, ctx, adv.token()));
+        });
+        // The stale chain must have died without advertising; only the
+        // live epoch's token reaches advertise_all.
+        assert_eq!(w.stats().counter("mhrp.adverts_sent"), 1);
     }
 }

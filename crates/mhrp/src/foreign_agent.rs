@@ -37,6 +37,15 @@ pub struct ForeignAgentCore {
     /// Verify a mobile host's presence (ARP) before §5.2 re-adds, instead
     /// of believing the home agent outright.
     pub verify_on_recovery: bool,
+    /// The regional agent owning this cell's registration domain, when the
+    /// world runs hierarchical MHRP (DESIGN.md §12). Registrations are
+    /// acked with [`ControlMessage::FaRegisterAckRegional`] so the mobile
+    /// registers regionally, §5.1 updates name the regional agent (the
+    /// region's stable ingress), and packets for departed visitors fall
+    /// back to the regional agent instead of tunneling to the home
+    /// network. `None` = flat MHRP, byte-identical to the pre-regional
+    /// protocol.
+    pub regional_agent: Option<Ipv4Addr>,
     visitors: HashMap<Ipv4Addr, Visitor>,
     pending_verify: HashSet<Ipv4Addr>,
     // Per-data-packet counters, cached so tunnel delivery stays free of
@@ -54,6 +63,7 @@ impl ForeignAgentCore {
             local_iface,
             forwarding_pointers: config.forwarding_pointers,
             verify_on_recovery: config.verify_on_recovery,
+            regional_agent: None,
             visitors: HashMap::new(),
             pending_verify: HashSet::new(),
             delivered: Counter::new("mhrp.fa_delivered"),
@@ -106,7 +116,10 @@ impl ForeignAgentCore {
                 ca.cache.remove(mobile);
                 // The visitor's home address would *route* toward its home
                 // network — deliver the ack directly on the local segment.
-                let ack = ControlMessage::FaRegisterAck { mobile };
+                let ack = match self.regional_agent {
+                    Some(regional) => ControlMessage::FaRegisterAckRegional { mobile, regional },
+                    None => ControlMessage::FaRegisterAck { mobile },
+                };
                 let pkt = self.control_packet(stack, mobile, &ack);
                 stack.send_direct(ctx, self.local_iface, pkt);
                 true
@@ -155,10 +168,18 @@ impl ForeignAgentCore {
         }
         if self.visitors.contains_key(&mobile) {
             // Correct foreign agent: update every out-of-date cache agent
-            // on the previous-source list (§5.1), then deliver locally.
+            // on the previous-source list (§5.1), then deliver locally. In
+            // hierarchical mode the updates name the regional agent — the
+            // region's stable ingress — so correspondent caches survive
+            // intra-region handoffs; the regional agent itself is skipped
+            // (its binding table, not its cache, is authoritative here).
             let self_addr = self.self_addr(stack);
+            let location = self.regional_agent.unwrap_or(self_addr);
             for node in &header.prev_sources {
-                ca.send_update(stack, ctx, *node, mobile, self_addr, LocationUpdateCode::Bind);
+                if Some(*node) == self.regional_agent {
+                    continue;
+                }
+                ca.send_update(stack, ctx, *node, mobile, location, LocationUpdateCode::Bind);
             }
             match tunnel::decapsulate(&mut pkt) {
                 Ok(_) => {
@@ -176,12 +197,21 @@ impl ForeignAgentCore {
                 ctx.stats().incr("mhrp.fa_forward_pointer_used");
                 fa
             }
-            None => {
-                // Tunnel to the mobile host's home IP address; the home
-                // agent intercepts it there.
-                self.tunneled_home.incr(ctx.stats());
-                mobile
-            }
+            None => match self.regional_agent {
+                // Hierarchical mode: hand unknown mobiles back to the
+                // regional agent — it either knows the mobile's new cell
+                // or escalates toward the home network itself.
+                Some(regional) => {
+                    ctx.stats().incr("mhrp.fa_tunneled_regional");
+                    regional
+                }
+                None => {
+                    // Tunnel to the mobile host's home IP address; the home
+                    // agent intercepts it there.
+                    self.tunneled_home.incr(ctx.stats());
+                    mobile
+                }
+            },
         };
         let self_addr = self.self_addr(stack);
         match tunnel::retunnel_opts(

@@ -49,6 +49,7 @@ pub struct HomeAgentCore {
     // stays free of name hashing.
     tunneled: Counter,
     registrations: Counter,
+    acks_tunneled: Counter,
 }
 
 impl HomeAgentCore {
@@ -64,6 +65,7 @@ impl HomeAgentCore {
             disk: with_disk.then(HashMap::new),
             tunneled: Counter::new("mhrp.ha_tunneled"),
             registrations: Counter::new("mhrp.ha_registrations"),
+            acks_tunneled: Counter::new("mhrp.ha_acks_tunneled"),
         }
     }
 
@@ -79,13 +81,24 @@ impl HomeAgentCore {
     }
 
     /// Promotes a standby replica: arms interception for every binding in
-    /// the (synced) database.
+    /// the (synced) database, then pushes that database to this agent's
+    /// own replica list — the new primary may have seen syncs its peers
+    /// (including the failed ex-primary, once it returns) missed.
     pub fn activate(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
         self.active = true;
         ctx.stats().incr("mhrp.ha_activations");
         let mobiles: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
         for mobile in mobiles {
             self.arm(stack, ctx, mobile);
+        }
+        let snapshot: Vec<(Ipv4Addr, Ipv4Addr)> =
+            self.bindings.iter().map(|(&m, &fa)| (m, fa)).collect();
+        for replica in self.replicas.clone() {
+            for &(mobile, fa) in &snapshot {
+                let sync = ControlMessage::HaSync { mobile, fa };
+                let port = crate::messages::MHRP_PORT;
+                stack.send_udp(ctx, replica, port, port, sync.encode());
+            }
         }
     }
 
@@ -102,10 +115,13 @@ impl HomeAgentCore {
         }
     }
 
-    /// Stops intercepting `mobile`'s packets.
+    /// Stops intercepting `mobile`'s packets (exactly undoes [`Self::arm`]:
+    /// in host-route mode no proxy was installed, so none is removed).
     fn disarm(&mut self, stack: &mut IpStack, mobile: Ipv4Addr) {
         stack.remove_capture(mobile);
-        stack.arp.remove_proxy(self.home_iface, mobile);
+        if !self.host_route_mode {
+            stack.arp.remove_proxy(self.home_iface, mobile);
+        }
     }
 
     fn apply_binding(
@@ -174,6 +190,23 @@ impl HomeAgentCore {
             );
         }
         let ack = ControlMessage::HaRegisterAck { mobile, seq };
+        let pkt = self.ack_packet(stack, ctx, src, &ack);
+        stack.send(ctx, pkt);
+        true
+    }
+
+    /// Builds a control-message acknowledgment addressed to `src`. When
+    /// `src` is a mobile host whose home address *we* capture (it is
+    /// registered away), the ack would be intercepted right back by this
+    /// agent — so it is encapsulated toward the foreign agent like any
+    /// other packet for that host.
+    fn ack_packet(
+        &mut self,
+        stack: &mut IpStack,
+        ctx: &mut Ctx<'_>,
+        src: Ipv4Addr,
+        ack: &ControlMessage,
+    ) -> Ipv4Packet {
         let port = crate::messages::MHRP_PORT;
         let datagram = ip::udp::UdpDatagram::new(port, port, ack.encode());
         let self_addr = stack
@@ -183,14 +216,11 @@ impl HomeAgentCore {
         let ident = stack.next_ident();
         let mut pkt =
             Ipv4Packet::new(self_addr, src, proto::UDP, datagram.encode()).with_ident(ident);
-        // The ack's destination is the mobile host's home address: when the
-        // host is away that address is one *we* capture, so the ack must be
-        // tunneled to the foreign agent like any other packet for it.
         if let Some(fa) = self.bindings.get(&src).copied() {
+            self.acks_tunneled.incr(ctx.stats());
             tunnel::encapsulate(&mut pkt, self_addr, fa, false);
         }
-        stack.send(ctx, pkt);
-        true
+        pkt
     }
 
     /// Handles a packet intercepted on the home network for a departed
@@ -205,18 +235,21 @@ impl HomeAgentCore {
         ctx: &mut Ctx<'_>,
         mut pkt: Ipv4Packet,
     ) {
-        let mobile = pkt.dst;
-        let Some(fa) = self.bindings.get(&mobile).copied() else {
-            // Captured but no binding (stale capture): drop.
-            ctx.stats().incr("mhrp.ha_intercept_stale");
-            return;
-        };
         if pkt.protocol == proto::MHRP {
             // A packet tunneled to the mobile host's home address (§4.4):
             // an old foreign agent had no forwarding pointer, or a loop
-            // was dissolved toward home.
+            // was dissolved toward home. The header names the mobile host;
+            // the outer destination may instead be this agent itself when a
+            // regional tier hands the packet up (DESIGN.md §12) — at home,
+            // the two coincide.
             let Ok((header, _)) = tunnel::parse(&pkt) else {
                 ctx.stats().incr("mhrp.ha_intercept_malformed");
+                return;
+            };
+            let mobile = header.mobile;
+            let Some(fa) = self.bindings.get(&mobile).copied() else {
+                // Captured but no binding (stale capture): drop.
+                ctx.stats().incr("mhrp.ha_intercept_stale");
                 return;
             };
             ctx.stats().incr("mhrp.ha_retunneled");
@@ -280,6 +313,12 @@ impl HomeAgentCore {
             // §4.2/§6.1: plain packet from a host with no (valid) cache:
             // build the MHRP header, tunnel to the foreign agent, and tell
             // the sender where the mobile host is.
+            let mobile = pkt.dst;
+            let Some(fa) = self.bindings.get(&mobile).copied() else {
+                // Captured but no binding (stale capture): drop.
+                ctx.stats().incr("mhrp.ha_intercept_stale");
+                return;
+            };
             self.tunneled.incr(ctx.stats());
             ca.counters.overhead_bytes.add(ctx.stats(), 12);
             ctx.tele_event(TeleEventKind::Encap { by_sender: false });
@@ -298,7 +337,7 @@ impl HomeAgentCore {
     /// journaling is enabled (§2), otherwise every mobile host appears to
     /// be at home until it re-registers. Stale interception from before
     /// the crash is disarmed, then re-armed for every reloaded binding.
-    pub fn reboot(&mut self, stack: &mut IpStack) {
+    pub fn reboot(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
         let stale: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
         for mobile in stale {
             self.disarm(stack, mobile);
@@ -310,10 +349,11 @@ impl HomeAgentCore {
         if self.active {
             let reloaded: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
             for mobile in reloaded {
-                stack.add_capture(mobile);
-                if !self.host_route_mode {
-                    stack.arp.add_proxy(self.home_iface, mobile);
-                }
+                // Re-arm through `arm` so the gratuitous-ARP broadcast is
+                // repeated: home-segment hosts may have re-ARPed the mobile
+                // host's address while we were down and would otherwise
+                // keep the stale mapping until their caches expire.
+                self.arm(stack, ctx, mobile);
             }
         }
     }
@@ -321,9 +361,9 @@ impl HomeAgentCore {
     /// Forcibly forgets every binding *and* the disk copy (test/failure
     /// injection helper).
     pub fn wipe(&mut self, stack: &mut IpStack) {
-        for (&mobile, _) in self.bindings.iter() {
-            stack.remove_capture(mobile);
-            stack.arp.remove_proxy(self.home_iface, mobile);
+        let mobiles: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
+        for mobile in mobiles {
+            self.disarm(stack, mobile);
         }
         self.bindings.clear();
         if let Some(disk) = &mut self.disk {
@@ -340,16 +380,35 @@ mod tests {
         Ipv4Addr::new(10, 0, 0, x)
     }
 
-    #[test]
-    fn disk_survives_reboot_when_enabled() {
+    /// Runs `f` with a throwaway `Ctx` whose node has one segment-attached
+    /// interface (so gratuitous ARPs and UDP sends do not short-circuit).
+    fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
+        struct Probe;
+        impl netsim::Node for Probe {
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: IfaceId, _: &netsim::Frame) {}
+        }
+        let mut w = netsim::World::new(0);
+        let n = w.add_node(Probe);
+        let seg = w.add_segment(netsim::SegmentParams::default());
+        w.add_iface(n, Some(seg));
+        w.with_node::<Probe, _>(n, |_, ctx| f(ctx))
+    }
+
+    fn home_stack() -> IpStack {
         let mut stack = IpStack::new(true);
         stack.add_iface(IfaceId(0), a(1), "10.0.0.0/24".parse().unwrap());
+        stack
+    }
+
+    #[test]
+    fn disk_survives_reboot_when_enabled() {
+        let mut stack = home_stack();
         let mut ha = HomeAgentCore::new(IfaceId(0), true);
         ha.bindings.insert(a(7), a(100));
         if let Some(d) = &mut ha.disk {
             d.insert(a(7), a(100));
         }
-        ha.reboot(&mut stack);
+        with_ctx(|ctx| ha.reboot(&mut stack, ctx));
         assert_eq!(ha.binding(a(7)), Some(a(100)));
         assert!(stack.is_captured(a(7)));
         assert!(stack.arp.is_proxied(IfaceId(0), a(7)));
@@ -357,26 +416,85 @@ mod tests {
 
     #[test]
     fn no_disk_means_reboot_forgets() {
-        let mut stack = IpStack::new(true);
-        stack.add_iface(IfaceId(0), a(1), "10.0.0.0/24".parse().unwrap());
+        let mut stack = home_stack();
         let mut ha = HomeAgentCore::new(IfaceId(0), false);
         ha.bindings.insert(a(7), a(100));
-        ha.reboot(&mut stack);
+        with_ctx(|ctx| ha.reboot(&mut stack, ctx));
         assert_eq!(ha.binding(a(7)), None);
         assert_eq!(ha.binding_count(), 0);
     }
 
     #[test]
     fn wipe_clears_everything() {
-        let mut stack = IpStack::new(true);
-        stack.add_iface(IfaceId(0), a(1), "10.0.0.0/24".parse().unwrap());
+        let mut stack = home_stack();
         let mut ha = HomeAgentCore::new(IfaceId(0), true);
         ha.bindings.insert(a(7), a(100));
         stack.add_capture(a(7));
         ha.wipe(&mut stack);
         assert_eq!(ha.binding(a(7)), None);
         assert!(!stack.is_captured(a(7)));
-        ha.reboot(&mut stack);
+        with_ctx(|ctx| ha.reboot(&mut stack, ctx));
         assert_eq!(ha.binding(a(7)), None);
+    }
+
+    #[test]
+    fn wipe_in_host_route_mode_leaves_foreign_proxies_alone() {
+        // In host-route mode `arm` installs no ARP proxy, so `wipe` must
+        // not strip a proxy some other role (e.g. a co-resident foreign
+        // agent serving a visitor) installed for the same address.
+        let mut stack = home_stack();
+        let mut ha = HomeAgentCore::new(IfaceId(0), true);
+        ha.host_route_mode = true;
+        ha.bindings.insert(a(7), a(100));
+        stack.add_capture(a(7));
+        stack.arp.add_proxy(IfaceId(0), a(7));
+        ha.wipe(&mut stack);
+        assert!(!stack.is_captured(a(7)));
+        assert!(stack.arp.is_proxied(IfaceId(0), a(7)));
+    }
+
+    #[test]
+    fn standby_promotion_arms_synced_bindings() {
+        let mut stack = home_stack();
+        let mut ha = HomeAgentCore::new_replica(IfaceId(0), false);
+        assert!(!ha.is_active());
+        with_ctx(|ctx| {
+            // A primary's HaSync lands in the database but arms nothing.
+            let sync = ControlMessage::HaSync { mobile: a(7), fa: a(100) };
+            assert!(ha.on_control(&mut stack, ctx, a(2), &sync));
+            assert_eq!(ha.binding(a(7)), Some(a(100)));
+            assert!(!stack.is_captured(a(7)));
+            assert!(!stack.arp.is_proxied(IfaceId(0), a(7)));
+            // Promotion arms interception for the whole synced database.
+            ha.activate(&mut stack, ctx);
+        });
+        assert!(ha.is_active());
+        assert!(stack.is_captured(a(7)));
+        assert!(stack.arp.is_proxied(IfaceId(0), a(7)));
+    }
+
+    #[test]
+    fn ack_to_away_mobile_is_tunneled() {
+        let mut stack = home_stack();
+        let mut ha = HomeAgentCore::new(IfaceId(0), false);
+        ha.bindings.insert(a(7), a(100));
+        let ack = ControlMessage::HaRegisterAck { mobile: a(7), seq: 3 };
+        let pkt = with_ctx(|ctx| ha.ack_packet(&mut stack, ctx, a(7), &ack));
+        // Away: the mobile's home address is one we capture, so the ack
+        // rides the tunnel to the foreign agent.
+        assert_eq!(pkt.protocol, proto::MHRP);
+        assert_eq!(pkt.dst, a(100));
+        let (header, _) = tunnel::parse(&pkt).unwrap();
+        assert_eq!(header.mobile, a(7));
+    }
+
+    #[test]
+    fn ack_to_at_home_mobile_is_plain() {
+        let mut stack = home_stack();
+        let mut ha = HomeAgentCore::new(IfaceId(0), false);
+        let ack = ControlMessage::HaRegisterAck { mobile: a(7), seq: 3 };
+        let pkt = with_ctx(|ctx| ha.ack_packet(&mut stack, ctx, a(7), &ack));
+        assert_eq!(pkt.protocol, proto::UDP);
+        assert_eq!(pkt.dst, a(7));
     }
 }

@@ -35,6 +35,7 @@
 //! | [`agent`] | §2, §4.3, §4.5 | the cache-agent role |
 //! | [`home_agent`] | §2, §5.1, §5.2 | the home-agent role |
 //! | [`foreign_agent`] | §2, §4.4, §5.2 | the foreign-agent role |
+//! | [`regional`] | extension | the regional-agent tier (hierarchical MHRP, DESIGN.md §12) |
 //! | [`mobile_host`] | §2, §3, §6 | the mobile host engine |
 //! | [`nodes`] | — | ready-to-simulate node types |
 //! | [`config`] | — | tunable constants (documented in DESIGN.md) |
@@ -59,6 +60,7 @@ pub mod messages;
 pub mod mobile_host;
 pub mod nodes;
 pub mod rate_limit;
+pub mod regional;
 pub mod tunnel;
 
 pub use agent::CacheAgentCore;
@@ -72,3 +74,4 @@ pub use messages::{ControlMessage, MHRP_PORT};
 pub use mobile_host::{Attachment, MobileHostCore, MobilityStats};
 pub use nodes::{MhrpHostNode, MhrpRouterNode, MobileHostNode};
 pub use rate_limit::UpdateRateLimiter;
+pub use regional::RegionalAgentCore;

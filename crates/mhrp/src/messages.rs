@@ -75,6 +75,33 @@ pub enum ControlMessage {
         /// Its new foreign agent, or 0.0.0.0 when back home.
         fa: Ipv4Addr,
     },
+    /// Foreign agent → mobile host: registration accepted, and this cell
+    /// belongs to a regional registration domain (DESIGN.md §12). The
+    /// mobile should register with `regional` instead of crossing the
+    /// backbone to its home agent, unless `regional` *is* its home agent.
+    FaRegisterAckRegional {
+        /// The mobile host being acknowledged.
+        mobile: Ipv4Addr,
+        /// The regional agent that owns intra-region bindings here.
+        regional: Ipv4Addr,
+    },
+    /// Mobile host → regional agent: my current cell foreign agent is
+    /// `fa`. The regional agent answers with a [`HaRegisterAck`]
+    /// (the mobile's retransmission state machine is shared) and, when
+    /// the mobile is new to the region, registers itself as the
+    /// mobile's foreign agent with `home_agent` upstream.
+    ///
+    /// [`HaRegisterAck`]: ControlMessage::HaRegisterAck
+    RegRegister {
+        /// The registering mobile host.
+        mobile: Ipv4Addr,
+        /// The mobile host's global home agent.
+        home_agent: Ipv4Addr,
+        /// The serving cell foreign agent.
+        fa: Ipv4Addr,
+        /// Sequence number matching request to acknowledgment.
+        seq: u16,
+    },
 }
 
 impl ControlMessage {
@@ -116,6 +143,18 @@ impl ControlMessage {
                 buf.push(8);
                 buf.extend_from_slice(&mobile.octets());
                 buf.extend_from_slice(&fa.octets());
+            }
+            ControlMessage::FaRegisterAckRegional { mobile, regional } => {
+                buf.push(9);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&regional.octets());
+            }
+            ControlMessage::RegRegister { mobile, home_agent, fa, seq } => {
+                buf.push(10);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&home_agent.octets());
+                buf.extend_from_slice(&fa.octets());
+                buf.extend_from_slice(&seq.to_be_bytes());
             }
         }
         buf
@@ -170,6 +209,22 @@ impl ControlMessage {
                 need(8)?;
                 ControlMessage::HaSync { mobile: addr(&rest[..4]), fa: addr(&rest[4..8]) }
             }
+            9 => {
+                need(8)?;
+                ControlMessage::FaRegisterAckRegional {
+                    mobile: addr(&rest[..4]),
+                    regional: addr(&rest[4..8]),
+                }
+            }
+            10 => {
+                need(14)?;
+                ControlMessage::RegRegister {
+                    mobile: addr(&rest[..4]),
+                    home_agent: addr(&rest[4..8]),
+                    fa: addr(&rest[8..12]),
+                    seq: u16::from_be_bytes([rest[12], rest[13]]),
+                }
+            }
             _ => return Err(PacketError::BadField("control message type")),
         })
     }
@@ -197,6 +252,8 @@ mod tests {
             ControlMessage::FaRecoveryQuery,
             ControlMessage::HaSync { mobile: a(1), fa: a(3) },
             ControlMessage::HaSync { mobile: a(1), fa: Ipv4Addr::UNSPECIFIED },
+            ControlMessage::FaRegisterAckRegional { mobile: a(1), regional: a(4) },
+            ControlMessage::RegRegister { mobile: a(1), home_agent: a(2), fa: a(3), seq: 7 },
         ];
         for m in msgs {
             assert_eq!(ControlMessage::decode(&m.encode()).unwrap(), m);
@@ -207,6 +264,7 @@ mod tests {
     fn rejects_malformed() {
         assert_eq!(ControlMessage::decode(&[]), Err(PacketError::Truncated));
         assert_eq!(ControlMessage::decode(&[1, 0, 0]), Err(PacketError::Truncated));
+        assert_eq!(ControlMessage::decode(&[10, 0, 0, 0, 0]), Err(PacketError::Truncated));
         assert_eq!(
             ControlMessage::decode(&[200]),
             Err(PacketError::BadField("control message type"))

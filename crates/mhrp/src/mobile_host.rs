@@ -33,6 +33,7 @@ pub const WATCH_TIMER_BIT: u64 = 1 << 59;
 /// Timer bit: delayed solicitation after (re)attachment.
 pub const SOLICIT_TIMER_BIT: u64 = 1 << 58;
 
+const REG_KIND_OLD_REG: u64 = 0;
 const REG_KIND_FA: u64 = 1;
 const REG_KIND_HA: u64 = 2;
 const REG_KIND_OLD_FA: u64 = 3;
@@ -70,6 +71,13 @@ pub struct MobilityStats {
     pub fa_dark_fallbacks: u64,
     /// Crash/reboot recoveries (volatile state lost, discovery restarted).
     pub reboots: u64,
+    /// Sum of end-to-end registration latencies (µs): from the start of a
+    /// move to the acknowledged location registration (regional or home).
+    pub registration_latency_us_sum: u64,
+    /// Number of moves whose registration latency was measured.
+    pub registration_latency_count: u64,
+    /// Worst observed registration latency (µs).
+    pub registration_latency_us_max: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -133,11 +141,24 @@ pub struct MobileHostCore {
     pub stats: MobilityStats,
     config: MhrpConfig,
     old_fa: Option<Ipv4Addr>,
+    /// The regional agent owning the current cell's registration domain
+    /// (learned from [`ControlMessage::FaRegisterAckRegional`]); `None`
+    /// in flat MHRP or while unattached. While set (and distinct from the
+    /// home agent) location registrations go to the regional agent — an
+    /// intra-region handoff never crosses the backbone (DESIGN.md §12).
+    regional: Option<Ipv4Addr>,
+    /// The previous region's agent, owed a deregistration after the next
+    /// acknowledged registration (mirrors `old_fa` one tier up).
+    old_regional: Option<Ipv4Addr>,
+    /// When the in-progress move began, for the registration-latency
+    /// metric; cleared once the location registration is acknowledged.
+    reg_started: Option<SimTime>,
     last_advert: Option<SimTime>,
     reg_seq: u16,
     pending_fa: Option<Pending>,
     pending_ha: Option<Pending>,
     pending_old_fa: Option<Pending>,
+    pending_old_reg: Option<Pending>,
     counters: MhCounters,
     /// Bumped on every (re)start so periodic timers armed before a crash
     /// are recognisably stale after the reboot (the low byte of the
@@ -174,11 +195,15 @@ impl MobileHostCore {
             stats: MobilityStats::default(),
             config,
             old_fa: None,
+            regional: None,
+            old_regional: None,
+            reg_started: None,
             last_advert: None,
             reg_seq: 0,
             pending_fa: None,
             pending_ha: None,
             pending_old_fa: None,
+            pending_old_reg: None,
             counters: MhCounters::new(),
             epoch: 0,
         }
@@ -205,7 +230,11 @@ impl MobileHostCore {
         self.pending_fa = None;
         self.pending_ha = None;
         self.pending_old_fa = None;
+        self.pending_old_reg = None;
         self.old_fa = None;
+        self.regional = None;
+        self.old_regional = None;
+        self.reg_started = None;
         self.last_advert = None;
         self.state = Attachment::Searching;
         self.configure_home_stack(stack);
@@ -335,6 +364,9 @@ impl MobileHostCore {
     pub fn explicit_disconnect(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
         match self.state {
             Attachment::Foreign(fa) => {
+                if let Some(r) = self.regional.take() {
+                    self.old_regional = Some(r);
+                }
                 self.register_ha(stack, ctx, Ipv4Addr::UNSPECIFIED);
                 let msg = ControlMessage::FaDeregister {
                     mobile: self.home_addr,
@@ -361,6 +393,7 @@ impl MobileHostCore {
         }
         self.counters.moves.incr(ctx.stats());
         self.stats.moves += 1;
+        self.reg_started = Some(ctx.now());
         self.configure_foreign_stack(stack, fa);
         self.state = Attachment::Foreign(fa);
         self.last_advert = Some(ctx.now());
@@ -378,8 +411,12 @@ impl MobileHostCore {
         if let Attachment::Foreign(prev) = self.state {
             self.old_fa = Some(prev);
         }
+        if let Some(r) = self.regional.take() {
+            self.old_regional = Some(r);
+        }
         ctx.stats().incr("mhrp.mh_returns_home");
         self.stats.moves += 1;
+        self.reg_started = Some(ctx.now());
         self.configure_home_stack(stack);
         self.state = Attachment::Home;
         self.last_advert = Some(ctx.now());
@@ -406,8 +443,12 @@ impl MobileHostCore {
         if let Attachment::Foreign(prev) = self.state {
             self.old_fa = Some(prev);
         }
+        if let Some(r) = self.regional.take() {
+            self.old_regional = Some(r);
+        }
         ctx.stats().incr("mhrp.mh_own_fa");
         self.stats.moves += 1;
+        self.reg_started = Some(ctx.now());
         stack.remove_iface_binding(self.iface);
         stack.add_iface(self.iface, temp, temp_prefix);
         // Tunneled packets arrive addressed to `temp`; the inner packets
@@ -439,10 +480,64 @@ impl MobileHostCore {
         }
     }
 
+    /// Records the regional agent (if any) announced by the current
+    /// cell's registration ack. A region change queues the old regional
+    /// agent for deregistration, exactly like `old_fa` one tier down.
+    fn note_regional(&mut self, regional: Option<Ipv4Addr>) {
+        if self.regional != regional {
+            if let Some(old) = self.regional {
+                self.old_regional = Some(old);
+            }
+            self.regional = regional;
+        }
+    }
+
+    /// Deregisters from the previous region's agent once the new location
+    /// registration is acknowledged, handing it the new region ingress
+    /// for a region-granularity §2 forwarding pointer.
+    fn notify_old_regional(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
+        let Some(old) = self.old_regional.take() else { return };
+        if Some(old) == self.regional {
+            return;
+        }
+        let new_fa = match self.state {
+            Attachment::Foreign(fa) => self.regional.unwrap_or(fa),
+            Attachment::OwnFa(t) => t,
+            _ => Ipv4Addr::UNSPECIFIED,
+        };
+        let m = ControlMessage::FaDeregister { mobile: self.home_addr, new_fa };
+        self.pending_old_reg = Some(Pending::new(m, old));
+        self.send_pending(stack, ctx, REG_KIND_OLD_REG);
+    }
+
     fn register_ha(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>, fa: Ipv4Addr) {
         self.reg_seq = self.reg_seq.wrapping_add(1);
-        let msg = ControlMessage::HaRegister { mobile: self.home_addr, fa, seq: self.reg_seq };
-        self.pending_ha = Some(Pending::new(msg, self.home_agent));
+        // Hierarchical mode (DESIGN.md §12): while served by a cell in a
+        // regional domain, the location registration terminates at the
+        // regional agent — unless the region is our *home* region, where
+        // the regional agent and home agent coincide and the plain §3
+        // registration is both correct and cheaper.
+        let (msg, dst) = match self.regional {
+            Some(ra)
+                if ra != self.home_agent
+                    && !fa.is_unspecified()
+                    && matches!(self.state, Attachment::Foreign(_)) =>
+            {
+                let msg = ControlMessage::RegRegister {
+                    mobile: self.home_addr,
+                    home_agent: self.home_agent,
+                    fa,
+                    seq: self.reg_seq,
+                };
+                (msg, ra)
+            }
+            _ => {
+                let msg =
+                    ControlMessage::HaRegister { mobile: self.home_addr, fa, seq: self.reg_seq };
+                (msg, self.home_agent)
+            }
+        };
+        self.pending_ha = Some(Pending::new(msg, dst));
         self.send_pending(stack, ctx, REG_KIND_HA);
     }
 
@@ -450,7 +545,8 @@ impl MobileHostCore {
         match kind {
             REG_KIND_FA => self.pending_fa = value,
             REG_KIND_HA => self.pending_ha = value,
-            _ => self.pending_old_fa = value,
+            REG_KIND_OLD_FA => self.pending_old_fa = value,
+            _ => self.pending_old_reg = value,
         }
     }
 
@@ -458,7 +554,8 @@ impl MobileHostCore {
         let pending = match kind {
             REG_KIND_FA => self.pending_fa,
             REG_KIND_HA => self.pending_ha,
-            _ => self.pending_old_fa,
+            REG_KIND_OLD_FA => self.pending_old_fa,
+            _ => self.pending_old_reg,
         };
         let Some(p) = pending else { return };
         self.counters.registration_msgs.incr(ctx.stats());
@@ -479,7 +576,8 @@ impl MobileHostCore {
             let pending = match kind {
                 REG_KIND_FA => self.pending_fa,
                 REG_KIND_HA => self.pending_ha,
-                _ => self.pending_old_fa,
+                REG_KIND_OLD_FA => self.pending_old_fa,
+                _ => self.pending_old_reg,
             };
             let Some(mut p) = pending else { return true };
             if p.retries < self.config.registration_max_retries {
@@ -527,7 +625,9 @@ impl MobileHostCore {
                     }
                 }
                 _ => {
-                    self.pending_old_fa = None;
+                    // Old-FA / old-regional courtesy notifications: give up
+                    // quietly, the §2 pointer is an optimisation only.
+                    self.store_pending(kind, None);
                     self.stats.registrations_failed += 1;
                     ctx.stats().incr("mhrp.registrations_failed");
                 }
@@ -566,18 +666,37 @@ impl MobileHostCore {
     }
 
     /// Handles a registration control message addressed to us (acks and
-    /// recovery queries). Returns `true` if consumed.
+    /// recovery queries); `src` is the (inner) source address the message
+    /// arrived from, which disambiguates acks when notifications to both
+    /// an old foreign agent and an old regional agent are outstanding.
+    /// Returns `true` if consumed.
     pub fn on_control(
         &mut self,
         stack: &mut IpStack,
         ctx: &mut Ctx<'_>,
+        src: Ipv4Addr,
         msg: &ControlMessage,
     ) -> bool {
         match *msg {
             ControlMessage::FaRegisterAck { mobile } if mobile == self.home_addr => {
                 if self.pending_fa.take().is_some() {
                     // §3: the new foreign agent is registered; now notify
-                    // the home agent.
+                    // the home agent. A plain ack also means this cell is
+                    // not part of a regional domain.
+                    self.note_regional(None);
+                    if let Attachment::Foreign(fa) = self.state {
+                        self.register_ha(stack, ctx, fa);
+                    }
+                }
+                true
+            }
+            ControlMessage::FaRegisterAckRegional { mobile, regional }
+                if mobile == self.home_addr =>
+            {
+                if self.pending_fa.take().is_some() {
+                    // As above, but the cell announced its regional agent:
+                    // the location registration stays inside the region.
+                    self.note_regional(Some(regional));
                     if let Attachment::Foreign(fa) = self.state {
                         self.register_ha(stack, ctx, fa);
                     }
@@ -586,18 +705,39 @@ impl MobileHostCore {
             }
             ControlMessage::HaRegisterAck { mobile, seq } if mobile == self.home_addr => {
                 if let Some(p) = self.pending_ha {
-                    if matches!(p.msg, ControlMessage::HaRegister { seq: s, .. } if s == seq) {
+                    let matched = match p.msg {
+                        ControlMessage::HaRegister { seq: s, .. } => s == seq,
+                        // The regional agent acks a RegRegister with the
+                        // same message type — the retransmission machine
+                        // is shared between the two tiers.
+                        ControlMessage::RegRegister { seq: s, .. } => s == seq,
+                        _ => false,
+                    };
+                    if matched {
                         self.pending_ha = None;
                         self.stats.ha_registrations_acked += 1;
+                        if let Some(t0) = self.reg_started.take() {
+                            let us = ctx.now().since(t0).as_micros();
+                            self.stats.registration_latency_us_sum += us;
+                            self.stats.registration_latency_count += 1;
+                            self.stats.registration_latency_us_max =
+                                self.stats.registration_latency_us_max.max(us);
+                        }
                         // §3: finally notify the old foreign agent (unless
-                        // we already explicitly disconnected from it).
+                        // we already explicitly disconnected from it), and
+                        // the old region's agent when we changed regions.
                         self.notify_old_fa(stack, ctx);
+                        self.notify_old_regional(stack, ctx);
                     }
                 }
                 true
             }
             ControlMessage::FaDeregisterAck { mobile } if mobile == self.home_addr => {
-                self.pending_old_fa = None;
+                if self.pending_old_reg.is_some_and(|p| p.dst == src) {
+                    self.pending_old_reg = None;
+                } else {
+                    self.pending_old_fa = None;
+                }
                 true
             }
             ControlMessage::FaRecoveryQuery => {
@@ -646,7 +786,10 @@ impl MobileHostCore {
         let (fa, code) = match self.state {
             Attachment::Home => (Ipv4Addr::UNSPECIFIED, LocationUpdateCode::AtHome),
             Attachment::OwnFa(temp) => (temp, LocationUpdateCode::Bind),
-            Attachment::Foreign(fa) => (fa, LocationUpdateCode::Bind),
+            // In a regional domain stale caches are pointed at the region
+            // ingress, not the cell — intra-region handoffs then never
+            // invalidate them (DESIGN.md §12).
+            Attachment::Foreign(fa) => (self.regional.unwrap_or(fa), LocationUpdateCode::Bind),
             Attachment::Searching => (Ipv4Addr::UNSPECIFIED, LocationUpdateCode::AtHome),
         };
         let mut targets = header.prev_sources.clone();

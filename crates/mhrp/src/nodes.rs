@@ -26,6 +26,7 @@ use crate::foreign_agent::ForeignAgentCore;
 use crate::home_agent::HomeAgentCore;
 use crate::messages::{ControlMessage, MHRP_PORT};
 use crate::mobile_host::MobileHostCore;
+use crate::regional::RegionalAgentCore;
 use crate::tunnel;
 
 /// A router with any combination of MHRP roles.
@@ -40,6 +41,8 @@ pub struct MhrpRouterNode {
     pub ha: Option<HomeAgentCore>,
     /// Optional foreign-agent role.
     pub fa: Option<ForeignAgentCore>,
+    /// Optional regional-agent role (hierarchical MHRP, DESIGN.md §12).
+    pub regional: Option<RegionalAgentCore>,
     /// Optional periodic agent advertisements.
     pub advertiser: Option<Advertiser>,
     /// Whether the router examines forwarded packets as a cache agent
@@ -64,6 +67,7 @@ impl MhrpRouterNode {
             ca: CacheAgentCore::new(&config),
             ha: None,
             fa: None,
+            regional: None,
             advertiser: None,
             cache_enabled: true,
             config,
@@ -79,6 +83,25 @@ impl MhrpRouterNode {
     /// Adds the foreign-agent role serving the network on `local_iface`.
     pub fn with_foreign_agent(mut self, local_iface: IfaceId) -> MhrpRouterNode {
         self.fa = Some(ForeignAgentCore::new(local_iface, &self.config));
+        self
+    }
+
+    /// Adds the regional-agent role: this router owns the intra-region
+    /// bindings for the cells below it and presents itself (its address
+    /// on `lan_iface`) as the single foreign agent to global home agents.
+    pub fn with_regional_agent(mut self, lan_iface: IfaceId) -> MhrpRouterNode {
+        self.regional = Some(RegionalAgentCore::new(lan_iface, &self.config));
+        self
+    }
+
+    /// Marks this router's foreign-agent role as a *cell* of the regional
+    /// domain owned by the agent at `regional`: registrations are acked
+    /// with the regional pointer and departed visitors fall back to the
+    /// regional agent. Requires `with_foreign_agent` first.
+    pub fn with_regional_parent(mut self, regional: Ipv4Addr) -> MhrpRouterNode {
+        if let Some(fa) = &mut self.fa {
+            fa.regional_agent = Some(regional);
+        }
         self
     }
 
@@ -104,6 +127,27 @@ impl MhrpRouterNode {
         }
         match pkt.protocol {
             proto::MHRP => {
+                if let Some(reg) = &mut self.regional {
+                    // Hierarchical tier order: the regional binding table
+                    // first (intra-region mobiles), then a co-resident
+                    // global home agent (this region's own mobiles away
+                    // from home), else escalate toward the home network.
+                    let Some(pkt) = reg.handle_tunneled(&mut self.ca, &mut self.stack, ctx, pkt)
+                    else {
+                        return;
+                    };
+                    if let Ok((header, _)) = tunnel::parse(&pkt) {
+                        if let Some(ha) = &mut self.ha {
+                            if ha.binding(header.mobile).is_some() {
+                                ha.intercept(&mut self.ca, &mut self.stack, ctx, pkt);
+                                return;
+                            }
+                        }
+                    }
+                    let reg = self.regional.as_mut().expect("matched above");
+                    reg.retunnel_home(&mut self.ca, &mut self.stack, ctx, pkt);
+                    return;
+                }
                 if let Some(fa) = &mut self.fa {
                     fa.handle_tunneled(&mut self.ca, &mut self.stack, ctx, pkt);
                 } else {
@@ -122,6 +166,11 @@ impl MhrpRouterNode {
                 let mut consumed = false;
                 if let Some(fa) = &mut self.fa {
                     consumed = fa.on_control(&mut self.ca, &mut self.stack, ctx, &msg);
+                }
+                if !consumed {
+                    if let Some(reg) = &mut self.regional {
+                        consumed = reg.on_control(&mut self.ca, &mut self.stack, ctx, &msg);
+                    }
                 }
                 if !consumed {
                     if let Some(ha) = &mut self.ha {
@@ -192,8 +241,16 @@ impl Node for MhrpRouterNode {
         if self.stack.on_timer(ctx, timer) {
             return;
         }
+        // Advertiser first: its epoch occupies the token bits *below* its
+        // namespace bit, so it must consume anything carrying that bit
+        // before the regional agent inspects the token.
         if let Some(adv) = &mut self.advertiser {
-            adv.on_timer(&mut self.stack, ctx, timer);
+            if adv.on_timer(&mut self.stack, ctx, timer) {
+                return;
+            }
+        }
+        if let Some(reg) = &mut self.regional {
+            reg.on_timer(&mut self.stack, ctx, timer);
         }
     }
 
@@ -215,7 +272,10 @@ impl Node for MhrpRouterNode {
             adv.start(&mut self.stack, ctx);
         }
         if let Some(ha) = &mut self.ha {
-            ha.reboot(&mut self.stack);
+            ha.reboot(&mut self.stack, ctx);
+        }
+        if let Some(reg) = &mut self.regional {
+            reg.reboot();
         }
         if let Some(fa) = &mut self.fa {
             fa.reboot();
@@ -448,7 +508,7 @@ impl MobileHostNode {
             if let Ok(datagram) = UdpDatagram::decode(&pkt.payload) {
                 if datagram.dst_port == MHRP_PORT {
                     if let Ok(msg) = ControlMessage::decode(&datagram.payload) {
-                        if self.core.on_control(&mut self.stack, ctx, &msg) {
+                        if self.core.on_control(&mut self.stack, ctx, pkt.src, &msg) {
                             return;
                         }
                     }

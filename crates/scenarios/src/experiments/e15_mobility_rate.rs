@@ -71,7 +71,7 @@ pub fn run_period(seed: u64, period: SimDuration) -> MobilityRateRow {
     );
 
     let layout = hierarchy_layout(&h);
-    let model = Commuter { seed, period };
+    let model = Commuter { seed, period, work_hops: 0, region_cells: 0 };
     let from = h.world.now();
     let plan = model.compile(&layout, from, from + DURATION);
     let bindings: Vec<(NodeId, IfaceId)> = h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect();

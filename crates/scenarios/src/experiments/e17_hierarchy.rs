@@ -1,0 +1,162 @@
+//! **E17 — DESIGN.md §12: regional tier vs backbone registration load.**
+//!
+//! The paper's §7 scaling argument counts *per-move* control traffic;
+//! its weakness at internetwork scale is that every handoff — even one
+//! between two cells of the same campus — crosses the backbone to reach
+//! the mobile host's home agent. The hierarchical extension inserts a
+//! regional agent above the cell foreign agents: intra-region handoffs
+//! re-register with the regional agent only, and the home agent keeps a
+//! single region-granularity binding.
+//!
+//! This experiment drives the same commuter-with-local-wander plan
+//! (each host oscillates home ↔ a random work cell, and hops between
+//! the work region's cells while "at work") through a flat and a
+//! hierarchical build of the same world, and compares where the
+//! registration load lands. The move plans are identical byte-for-byte
+//! — the work-hop RNG stream is independent of the mode — so the
+//! backbone saving is exactly the home-agent registrations the regional
+//! tier absorbed.
+//!
+//! Expected shape: handoffs equal across modes; hierarchical home-agent
+//! registrations strictly below flat (the §12 claim the report binary
+//! machine-checks on the 10 000-host world); the difference reappears
+//! as regional registrations and locally-absorbed handoffs.
+
+use netsim::time::SimDuration;
+use netsim::{IfaceId, NodeId};
+use workload::{Commuter, MobilityModel};
+
+use crate::hierarchy::{Hierarchy, HierarchyParams};
+
+/// One (world size, mode) point of the comparison.
+#[derive(Debug, Clone)]
+pub struct HierarchyTierRow {
+    /// `"flat"` or `"hierarchical"`.
+    pub mode: &'static str,
+    /// Total mobile hosts in the world.
+    pub mobiles: usize,
+    /// Handoffs the move plan performed.
+    pub handoffs: u64,
+    /// Registrations that reached a home agent — each one crossed the
+    /// backbone unless the mobile was in its home region.
+    pub ha_registrations: u64,
+    /// Registrations absorbed by regional agents (0 in flat mode).
+    pub reg_registrations: u64,
+    /// Of those, handoffs settled entirely inside one region (0 in flat
+    /// mode).
+    pub reg_handoffs_local: u64,
+    /// Registration protocol messages mobiles sent (both tiers).
+    pub registration_msgs: u64,
+}
+
+/// Commuter cycle length (home → work → home).
+pub const PERIOD: SimDuration = SimDuration::from_secs(8);
+
+/// Intra-work-region hops per work phase — the handoffs the regional
+/// tier absorbs.
+pub const WORK_HOPS: usize = 2;
+
+/// Measured soak length per point.
+pub const DURATION: SimDuration = SimDuration::from_secs(24);
+
+/// Runs one point: `regions × fas_per_region × mobiles_per_region`
+/// hosts commuting for [`DURATION`], flat or hierarchical.
+pub fn run_point(
+    seed: u64,
+    regions: usize,
+    fas_per_region: usize,
+    mobiles_per_region: usize,
+    hierarchical: bool,
+) -> HierarchyTierRow {
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions,
+        fas_per_region,
+        mobiles_per_region,
+        correspondent: false, // registration-only: no data flows
+        hierarchical,
+        seed,
+        ..Default::default()
+    });
+    assert!(
+        h.run_until_attached(1.0, SimDuration::from_secs(60)),
+        "mobile hosts failed to register"
+    );
+
+    let start_cells: Vec<usize> = (0..h.mobiles.len())
+        .map(|idx| {
+            let r = idx / h.mobiles_per_region;
+            let i = idx % h.mobiles_per_region;
+            r * h.fas_per_region + (i % h.fas_per_region)
+        })
+        .collect();
+    let layout = workload::Layout { cells: h.cells.len(), start_cells };
+    let model =
+        Commuter { seed, period: PERIOD, work_hops: WORK_HOPS, region_cells: fas_per_region };
+    let from = h.world.now();
+    let plan = model.compile(&layout, from, from + DURATION);
+    let bindings: Vec<(NodeId, IfaceId)> = h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect();
+    plan.install(&mut h.world, &bindings, &h.cells);
+
+    let ha0 = h.world.stats().counter("mhrp.ha_registrations");
+    let reg0 = h.world.stats().counter("mhrp.reg_registrations");
+    let local0 = h.world.stats().counter("mhrp.reg_handoffs_local");
+    let msgs0 = h.world.stats().counter("mhrp.registration_msgs_sent");
+
+    // Registration-only soak: run the plan out plus a drain window for
+    // the last acks.
+    h.world.run_for(DURATION + SimDuration::from_secs(2));
+
+    HierarchyTierRow {
+        mode: if hierarchical { "hierarchical" } else { "flat" },
+        mobiles: h.mobiles.len(),
+        handoffs: plan.handoffs(),
+        ha_registrations: h.world.stats().counter("mhrp.ha_registrations") - ha0,
+        reg_registrations: h.world.stats().counter("mhrp.reg_registrations") - reg0,
+        reg_handoffs_local: h.world.stats().counter("mhrp.reg_handoffs_local") - local0,
+        registration_msgs: h.world.stats().counter("mhrp.registration_msgs_sent") - msgs0,
+    }
+}
+
+/// One world size, both modes (flat first).
+pub fn run_size(
+    seed: u64,
+    regions: usize,
+    fas_per_region: usize,
+    mobiles_per_region: usize,
+) -> [HierarchyTierRow; 2] {
+    [
+        run_point(seed, regions, fas_per_region, mobiles_per_region, false),
+        run_point(seed, regions, fas_per_region, mobiles_per_region, true),
+    ]
+}
+
+/// The default sweep: the 1k and 10k commuter worlds, flat vs
+/// hierarchical (the 100k point lives in the `simcore` bench, where the
+/// sharded engine runs it).
+pub fn run(seed: u64) -> Vec<HierarchyTierRow> {
+    let mut rows = Vec::new();
+    rows.extend(run_size(seed, 5, 4, 200)); // 1 000 hosts
+    rows.extend(run_size(seed, 25, 4, 400)); // 10 000 hosts
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regional_tier_absorbs_intra_region_handoffs() {
+        let [flat, hier] = run_size(1994, 3, 3, 6);
+        // Identical plans: the comparison is mode-only.
+        assert_eq!(flat.handoffs, hier.handoffs, "{flat:?} vs {hier:?}");
+        assert!(flat.handoffs > 0, "{flat:?}");
+        // The §12 claim: the regional tier keeps registrations off the
+        // home agents.
+        assert!(hier.ha_registrations < flat.ha_registrations, "{flat:?} vs {hier:?}");
+        assert!(hier.reg_registrations > 0, "{hier:?}");
+        assert!(hier.reg_handoffs_local > 0, "{hier:?}");
+        // Flat mode never touches the regional counters.
+        assert_eq!(flat.reg_registrations, 0, "{flat:?}");
+        assert_eq!(flat.reg_handoffs_local, 0, "{flat:?}");
+    }
+}

@@ -1,0 +1,155 @@
+//! **E18 — DESIGN.md §12: registration latency under a flash crowd,
+//! flat vs hierarchical.**
+//!
+//! A handoff is not complete until the mobile host holds a registration
+//! ack — until then, correspondent packets chase the previous cell. In
+//! flat MHRP the ack round-trips to the home agent across the backbone;
+//! with a regional tier the serving region's agent acks directly (one
+//! LAN round trip) and completes the home-agent registration
+//! asynchronously, so the mobile's outage window shrinks to
+//! intra-region scale.
+//!
+//! This experiment throws a flash crowd at one cell of a *foreign*
+//! region (most joiners are cross-region visitors), runs the identical
+//! plan flat and hierarchical, and compares the mobile-host-measured
+//! registration latency (move → matching registration ack, the
+//! `MobilityStats` latency introduced with the regional tier).
+//!
+//! Expected shape: equal joiner counts; hierarchical mean latency
+//! strictly below flat (every cross-region joiner saves the backbone
+//! round trip). Home-agent registrations stay *equal*: a crowd arrival
+//! is each joiner's first registration in the region, so the regional
+//! agent still completes one upstream registration — the backbone
+//! *traffic* saving needs repeat intra-region handoffs (E17); what the
+//! regional tier buys here is taking that round trip off the mobile's
+//! critical path.
+
+use netsim::time::SimDuration;
+use netsim::{IfaceId, NodeId};
+use workload::{FlashCrowd, MobilityModel};
+
+use mhrp::MobileHostNode;
+
+use crate::hierarchy::{Hierarchy, HierarchyParams};
+
+/// One mode's crowd run.
+#[derive(Debug, Clone)]
+pub struct HandoffLatencyRow {
+    /// `"flat"` or `"hierarchical"`.
+    pub mode: &'static str,
+    /// Handoffs the crowd plan performed (arrivals + dispersals).
+    pub handoffs: u64,
+    /// Registration acks mobiles matched during the crowd window.
+    pub acked: u64,
+    /// Mean move → registration-ack latency, microseconds.
+    pub latency_mean_us: u64,
+    /// Worst move → registration-ack latency, microseconds.
+    pub latency_max_us: u64,
+    /// Registrations that reached a home agent during the window.
+    pub ha_registrations: u64,
+}
+
+/// Fraction of hosts that join the crowd.
+pub const CROWD_FRACTION: f64 = 0.5;
+
+/// Steady phase before the crowd, crowd phase after.
+pub const PRE_PHASE: SimDuration = SimDuration::from_secs(2);
+
+/// Crowd phase length (arrivals spread over its first 2 s; dispersal
+/// 4 s after each arrival).
+pub const CROWD_PHASE: SimDuration = SimDuration::from_secs(10);
+
+/// Aggregated mobile-host registration latency across the world.
+fn latency_totals(h: &Hierarchy) -> (u64, u64, u64) {
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    let mut max = 0u64;
+    for &m in &h.mobiles {
+        let s = &h.world.node::<MobileHostNode>(m).core.stats;
+        sum += s.registration_latency_us_sum;
+        count += s.registration_latency_count;
+        max = max.max(s.registration_latency_us_max);
+    }
+    (sum, count, max)
+}
+
+/// Runs one mode of the crowd (4 regions × 4 cells × 32 hosts; the
+/// crowd converges on region 1's first cell, foreign to 3/4 of the
+/// population).
+pub fn run_mode(seed: u64, hierarchical: bool) -> HandoffLatencyRow {
+    let fas_per_region = 4usize;
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions: 4,
+        fas_per_region,
+        mobiles_per_region: 32,
+        correspondent: false, // registration-only
+        hierarchical,
+        seed,
+        ..Default::default()
+    });
+    assert!(
+        h.run_until_attached(1.0, SimDuration::from_secs(30)),
+        "mobile hosts failed to register"
+    );
+
+    let start_cells: Vec<usize> = (0..h.mobiles.len())
+        .map(|idx| {
+            let r = idx / h.mobiles_per_region;
+            let i = idx % h.mobiles_per_region;
+            r * h.fas_per_region + (i % h.fas_per_region)
+        })
+        .collect();
+    let layout = workload::Layout { cells: h.cells.len(), start_cells };
+    let from = h.world.now();
+    let model = FlashCrowd {
+        seed,
+        at: from + PRE_PHASE,
+        cell: fas_per_region, // region 1, cell 0
+        fraction: CROWD_FRACTION,
+        arrival_window: SimDuration::from_secs(2),
+        disperse_after: Some(SimDuration::from_secs(4)),
+    };
+    let plan = model.compile(&layout, from, from + PRE_PHASE + CROWD_PHASE);
+    let bindings: Vec<(NodeId, IfaceId)> = h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect();
+    plan.install(&mut h.world, &bindings, &h.cells);
+
+    let (sum0, count0, _) = latency_totals(&h);
+    let ha0 = h.world.stats().counter("mhrp.ha_registrations");
+
+    h.world.run_for(PRE_PHASE + CROWD_PHASE + SimDuration::from_secs(2));
+
+    let (sum, count, max) = latency_totals(&h);
+    let acked = count - count0;
+    HandoffLatencyRow {
+        mode: if hierarchical { "hierarchical" } else { "flat" },
+        handoffs: plan.handoffs(),
+        acked,
+        latency_mean_us: (sum - sum0).checked_div(acked).unwrap_or(0),
+        latency_max_us: max,
+        ha_registrations: h.world.stats().counter("mhrp.ha_registrations") - ha0,
+    }
+}
+
+/// Both modes, flat first.
+pub fn run(seed: u64) -> [HandoffLatencyRow; 2] {
+    [run_mode(seed, false), run_mode(seed, true)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regional_acks_shrink_the_registration_window() {
+        let [flat, hier] = run(1994);
+        assert_eq!(flat.handoffs, hier.handoffs, "{flat:?} vs {hier:?}");
+        assert!(flat.acked > 0 && hier.acked > 0, "{flat:?} vs {hier:?}");
+        // Cross-region joiners ack at the regional agent instead of
+        // round-tripping the backbone.
+        assert!(hier.latency_mean_us < flat.latency_mean_us, "{flat:?} vs {hier:?}");
+        // First-registration upstreams keep the HA count equal — the
+        // tier moves the round trip off the critical path, it does not
+        // skip it for fresh arrivals.
+        assert_eq!(hier.ha_registrations, flat.ha_registrations, "{flat:?} vs {hier:?}");
+    }
+}

@@ -1,4 +1,4 @@
-//! One module per reproduced experiment (DESIGN.md's E01–E16 index).
+//! One module per reproduced experiment (DESIGN.md's E01–E18 index).
 
 pub mod e01_header;
 pub mod e02_overhead;
@@ -16,3 +16,5 @@ pub mod e13_provenance;
 pub mod e14_cache_capacity;
 pub mod e15_mobility_rate;
 pub mod e16_flash_crowd;
+pub mod e17_hierarchy;
+pub mod e18_handoff_latency;

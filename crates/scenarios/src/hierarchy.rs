@@ -129,6 +129,12 @@ pub struct HierarchyParams {
     pub config: MhrpConfig,
     /// Link latency of the wired segments.
     pub wired_latency: SimDuration,
+    /// Run hierarchical MHRP (DESIGN.md §12): every regional router also
+    /// hosts a regional agent owning its region's visitor bindings, and
+    /// every cell foreign agent registers its visitors regionally instead
+    /// of straight with the home agent. `false` builds the classic flat
+    /// world, byte-identical to every pre-regional release.
+    pub hierarchical: bool,
     /// Replace the wireless cells' default 1 ms per-receiver jitter with
     /// jitter-free 2 ms cells. Per-receiver jitter draws consume the
     /// owning world's RNG, which is the one source of divergence between
@@ -149,6 +155,7 @@ impl Default for HierarchyParams {
             correspondent: true,
             config: MhrpConfig::default(),
             wired_latency: SimDuration::from_micros(500),
+            hierarchical: false,
             deterministic_cells: false,
             seed: 1994,
         }
@@ -216,11 +223,13 @@ impl Hierarchy {
         // --- Regional routers: backbone <-> region LAN, home agents ---
         let mut routers = Vec::with_capacity(p.regions);
         for (r, &lan) in lans.iter().enumerate() {
-            let id = w.add_node(
-                MhrpRouterNode::new(p.config.clone())
-                    .with_home_agent(IfaceId(1))
-                    .with_advertiser(vec![IfaceId(1)]),
-            );
+            let mut node = MhrpRouterNode::new(p.config.clone())
+                .with_home_agent(IfaceId(1))
+                .with_advertiser(vec![IfaceId(1)]);
+            if p.hierarchical {
+                node = node.with_regional_agent(IfaceId(1));
+            }
+            let id = w.add_node(node);
             w.add_iface(id, Some(backbone)); // iface 0
             w.add_iface(id, Some(lan)); // iface 1
             let fas_per_region = p.fas_per_region;
@@ -251,11 +260,13 @@ impl Hierarchy {
         let mut fas = Vec::with_capacity(p.regions * p.fas_per_region);
         for r in 0..p.regions {
             for f in 0..p.fas_per_region {
-                let id = w.add_node(
-                    MhrpRouterNode::new(p.config.clone())
-                        .with_foreign_agent(IfaceId(1))
-                        .with_advertiser(vec![IfaceId(1)]),
-                );
+                let mut node = MhrpRouterNode::new(p.config.clone())
+                    .with_foreign_agent(IfaceId(1))
+                    .with_advertiser(vec![IfaceId(1)]);
+                if p.hierarchical {
+                    node = node.with_regional_parent(region_router_addr(r));
+                }
+                let id = w.add_node(node);
                 w.add_iface(id, Some(lans[r])); // iface 0
                 w.add_iface(id, Some(cells[r * p.fas_per_region + f])); // iface 1
                 w.with_node::<MhrpRouterNode, _>(id, move |n, _| {
@@ -440,12 +451,13 @@ impl ShardedHierarchy {
         // --- Regional routers: backbone <-> region LAN, home agents ---
         let mut routers = Vec::with_capacity(p.regions);
         for (r, &lan) in lans.iter().enumerate() {
-            let id = w.add_node(
-                shard_of(r),
-                MhrpRouterNode::new(p.config.clone())
-                    .with_home_agent(IfaceId(1))
-                    .with_advertiser(vec![IfaceId(1)]),
-            );
+            let mut node = MhrpRouterNode::new(p.config.clone())
+                .with_home_agent(IfaceId(1))
+                .with_advertiser(vec![IfaceId(1)]);
+            if p.hierarchical {
+                node = node.with_regional_agent(IfaceId(1));
+            }
+            let id = w.add_node(shard_of(r), node);
             w.add_iface(id, Some(backbone)); // iface 0
             w.add_iface(id, Some(lan)); // iface 1
             let fas_per_region = p.fas_per_region;
@@ -476,12 +488,13 @@ impl ShardedHierarchy {
         let mut fas = Vec::with_capacity(p.regions * p.fas_per_region);
         for r in 0..p.regions {
             for f in 0..p.fas_per_region {
-                let id = w.add_node(
-                    shard_of(r),
-                    MhrpRouterNode::new(p.config.clone())
-                        .with_foreign_agent(IfaceId(1))
-                        .with_advertiser(vec![IfaceId(1)]),
-                );
+                let mut node = MhrpRouterNode::new(p.config.clone())
+                    .with_foreign_agent(IfaceId(1))
+                    .with_advertiser(vec![IfaceId(1)]);
+                if p.hierarchical {
+                    node = node.with_regional_parent(region_router_addr(r));
+                }
+                let id = w.add_node(shard_of(r), node);
                 w.add_iface(id, Some(lans[r])); // iface 0
                 w.add_iface(id, Some(cells[r * p.fas_per_region + f])); // iface 1
                 w.with_node::<MhrpRouterNode, _>(id, move |n, _| {
@@ -649,6 +662,51 @@ mod tests {
             let state = h.world.node::<MobileHostNode>(m).core.state;
             assert_eq!(state, Attachment::Foreign(h.mobile_cell_fa(idx)));
         }
+    }
+
+    #[test]
+    fn hierarchical_cross_region_visit_registers_regionally() {
+        let p = HierarchyParams {
+            regions: 2,
+            fas_per_region: 3,
+            mobiles_per_region: 3,
+            hierarchical: true,
+            ..Default::default()
+        };
+        let mut h = Hierarchy::build(p);
+        assert!(h.run_until_attached(1.0, SimDuration::from_secs(30)), "registration stalled");
+        // Carry region 0's host 0 into region 1's cell 1 — a cross-region
+        // visit that must be served by region 1's regional agent.
+        let mover = h.mobiles[0];
+        let at = h.world.now() + SimDuration::from_millis(10);
+        h.world.schedule_admin(
+            at,
+            netsim::AdminOp::MoveIface { node: mover, iface: IfaceId(0), segment: h.cells[3 + 1] },
+        );
+        h.world.run_for(SimDuration::from_secs(10));
+        let state = h.world.node::<MobileHostNode>(mover).core.state;
+        assert_eq!(state, Attachment::Foreign(fa_cell_addr(1, 1)));
+        assert!(
+            h.world.stats().counter("mhrp.reg_registrations") > 0,
+            "the regional tier saw no registration"
+        );
+        // Correspondent traffic reaches the visitor through the two-tier
+        // tunnel (home agent -> regional agent -> cell FA).
+        let target = h.mobile_addr(0);
+        let c = h.correspondent.expect("correspondent");
+        h.world.with_node::<MhrpHostNode, _>(c, |host, ctx| {
+            host.send_udp(ctx, target, 4242, 4242, vec![7; 16]);
+        });
+        h.world.run_for(SimDuration::from_secs(2));
+        let got = h
+            .world
+            .node::<MobileHostNode>(mover)
+            .endpoint
+            .log
+            .udp_rx
+            .iter()
+            .any(|r| r.payload == vec![7; 16]);
+        assert!(got, "probe did not reach the cross-region visitor");
     }
 
     #[test]

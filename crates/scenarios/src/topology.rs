@@ -39,6 +39,9 @@ pub struct Figure1Addrs {
     pub r4: Ipv4Addr,
     /// R5's network-E address (foreign agent on E).
     pub r5: Ipv4Addr,
+    /// H, the stationary neighbour host on network B (only present when
+    /// [`Figure1Options::home_host`] is set).
+    pub h: Ipv4Addr,
     /// Network B's prefix (M's home network).
     pub home_prefix: Prefix,
 }
@@ -64,6 +67,12 @@ pub struct Figure1Options {
     /// Whether R1 examines forwarded packets as a cache agent (§6.2's
     /// support for networks of unmodified hosts).
     pub r1_cache_agent: bool,
+    /// Whether to add H, a plain stationary host on M's home network B.
+    /// H talks to M the way any 1994 LAN neighbour would — by ARPing for
+    /// M's address directly — so it is the node that observes the home
+    /// agent's gratuitous/proxy-ARP interception (§2) and its repair
+    /// after a home-agent reboot (§5.2).
+    pub home_host: bool,
     /// Link latency of the wired segments.
     pub wired_latency: SimDuration,
     /// Deterministic seed.
@@ -76,6 +85,7 @@ impl Default for Figure1Options {
             config: MhrpConfig::default(),
             correspondent: CorrespondentKind::Mhrp,
             r1_cache_agent: true,
+            home_host: false,
             wired_latency: SimDuration::from_micros(500),
             seed: 42,
         }
@@ -91,6 +101,9 @@ pub struct Figure1 {
     pub s: NodeId,
     /// Mobile host M.
     pub m: NodeId,
+    /// H, the plain host on M's home network (only with
+    /// [`Figure1Options::home_host`]).
+    pub h: Option<NodeId>,
     /// Router R1 (network A).
     pub r1: NodeId,
     /// Router R2 (network B, home agent).
@@ -130,6 +143,7 @@ impl Figure1Addrs {
             r3: Ipv4Addr::new(10, 3, 0, 1),
             r4: Ipv4Addr::new(10, 4, 0, 1),
             r5: Ipv4Addr::new(10, 5, 0, 1),
+            h: Ipv4Addr::new(10, 2, 0, 5),
             home_prefix: Prefix::new(Ipv4Addr::new(10, 2, 0, 0), 24),
         }
     }
@@ -299,6 +313,20 @@ impl Figure1 {
             }
         };
 
+        // --- H: optional plain host on network B (M's LAN neighbour) ---
+        let h = opts.home_host.then(|| {
+            let h = w.add_node(HostNode::new());
+            w.add_iface(h, Some(net_b));
+            w.with_node::<HostNode, _>(h, |host, _| {
+                host.stack.add_iface(IfaceId(0), addrs.h, net(2));
+                host.stack.routes.add(
+                    Prefix::default_route(),
+                    NextHop::Gateway { iface: IfaceId(0), via: addrs.r2 },
+                );
+            });
+            h
+        });
+
         // --- M: the mobile host, at home on network B ---
         let m = w.add_node(MobileHostNode::new(
             addrs.m,
@@ -314,6 +342,7 @@ impl Figure1 {
             world: w,
             s,
             m,
+            h,
             r1,
             r2,
             r3,

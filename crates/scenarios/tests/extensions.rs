@@ -43,6 +43,12 @@ fn replica_home_agent_takes_over_after_primary_loss() {
     f.world.with_node::<MhrpRouterNode, _>(f.r2, |r, _| {
         r.ha.as_mut().unwrap().replicas.push(replica_addr);
     });
+    // ...and the standby back to the primary, so a promotion can push its
+    // database to the (returned, amnesiac) ex-primary.
+    let r2_addr = f.addrs.r2;
+    f.world.with_node::<MhrpRouterNode, _>(replica, |r, _| {
+        r.ha.as_mut().unwrap().replicas.push(r2_addr);
+    });
     // The replica node was added after start(); fire its on_start by hand
     // (it has no advertiser, so this is a no-op, but keep the invariant).
     f.world.run_until(SimTime::from_secs(2));
@@ -86,7 +92,16 @@ fn replica_home_agent_takes_over_after_primary_loss() {
         "packet not delivered via the replica home agent"
     );
     assert!(f.world.stats().counter("mhrp.ha_activations") >= 1);
-    assert!(f.world.stats().counter("mhrp.ha_syncs_applied") >= 1);
+    assert!(f.world.stats().counter("mhrp.ha_syncs_applied") >= 2);
+
+    // Promotion also pushed the database to the new primary's own replica
+    // list: the wiped ex-primary has caught back up and could itself be
+    // re-promoted without another registration from M.
+    assert_eq!(
+        f.world.node::<MhrpRouterNode>(f.r2).ha.as_ref().unwrap().binding(m_addr),
+        Some(f.addrs.r4),
+        "activate never re-synced the promoted database to the ex-primary"
+    );
 }
 
 /// §3 end: interception by host-specific routing instead of proxy ARP —

@@ -4,9 +4,10 @@
 //! a fixed fault plan replays byte-identically — the full event trace
 //! and every counter.
 
-use mhrp::{Attachment, MhrpHostNode, MhrpRouterNode, MobileHostNode};
+use mhrp::{Attachment, MhrpConfig, MhrpHostNode, MhrpRouterNode, MobileHostNode};
 use netsim::time::{SimDuration, SimTime};
-use netsim::{Event, FaultOp, FaultPlan, IfaceId, TeleEventKind};
+use netsim::{Event, FaultOp, FaultPlan, IfaceId, MacAddr, TeleEventKind};
+use netstack::nodes::HostNode;
 use scenarios::topology::{CorrespondentKind, Figure1, Figure1Options};
 
 const DATA_PORT: u16 = 7001;
@@ -95,6 +96,66 @@ fn crashed_foreign_agent_recovers_its_visitors() {
     let rx_before = f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len();
     f.world.with_node::<MhrpHostNode, _>(f.s, |s, ctx| {
         s.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![2; 16]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+    assert!(f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() > rx_before);
+}
+
+/// §5.2 + §2 regression: a rebooting home agent must *re-broadcast* the
+/// gratuitous ARP for every binding it reloads from disk, not merely
+/// re-install its local proxy/capture state. A home-network neighbour
+/// whose ARP cache went stale during the outage would otherwise keep
+/// sending the mobile host's packets to a dead MAC until its cache
+/// expires — with no ARP request for the proxy to answer.
+#[test]
+fn rebooted_home_agent_rebroadcasts_gratuitous_arp() {
+    let mut f = Figure1::build(Figure1Options {
+        correspondent: CorrespondentKind::Mhrp,
+        config: MhrpConfig { home_agent_disk: true, ..Default::default() },
+        home_host: true,
+        seed: 79,
+        ..Default::default()
+    });
+    let h = f.h.expect("built with home_host");
+    attach_m_at_r4(&mut f);
+
+    // H (M's LAN neighbour) resolves M's address: R2's proxy ARP answers
+    // and the packet is intercepted + tunneled to R4.
+    let m_addr = f.addrs.m;
+    let rx_before = f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len();
+    f.world.with_node::<HostNode, _>(h, |host, ctx| {
+        host.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![3; 16]);
+    });
+    f.world.run_for(SimDuration::from_secs(2));
+    assert!(
+        f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() > rx_before,
+        "baseline interception never delivered"
+    );
+    let r2_mac = f.world.node::<HostNode>(h).stack.arp.lookup(IfaceId(0), m_addr).unwrap();
+
+    // R2 crashes. While it is down H's cache goes stale (modeling cache
+    // churn during the outage: the entry now names a MAC nobody owns).
+    let crash_at = f.world.now() + SimDuration::from_millis(100);
+    f.world.install_faults(&FaultPlan::new().crash(f.r2, crash_at, SimDuration::from_secs(2)));
+    f.world.run_until(crash_at + SimDuration::from_secs(1));
+    assert!(f.world.node_is_down(f.r2), "R2 should be down mid-window");
+    let bogus = MacAddr::from_index(9_999);
+    f.world.with_node::<HostNode, _>(h, |host, _| {
+        host.stack.arp.insert(IfaceId(0), m_addr, bogus);
+    });
+
+    // Reboot: the journaled binding reloads and the gratuitous ARP
+    // broadcast must overwrite H's stale mapping straight away — M does
+    // not re-register (it is stably attached at R4), so nothing else
+    // would repair it.
+    f.world.run_until(crash_at + SimDuration::from_secs(2) + SimDuration::from_millis(200));
+    let repaired = f.world.node::<HostNode>(h).stack.arp.lookup(IfaceId(0), m_addr);
+    assert_eq!(repaired, Some(r2_mac), "reboot did not re-broadcast the gratuitous ARP");
+
+    // And interception carries traffic end to end again.
+    let rx_before = f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len();
+    f.world.with_node::<HostNode, _>(h, |host, ctx| {
+        host.send_udp(ctx, m_addr, DATA_PORT, DATA_PORT, vec![4; 16]);
     });
     f.world.run_for(SimDuration::from_secs(2));
     assert!(f.world.node::<MobileHostNode>(f.m).endpoint.log.udp_rx.len() > rx_before);

@@ -253,18 +253,46 @@ impl MobilityModel for RandomWaypoint {
 /// cell and a random phase, then commutes there and back every
 /// `period`, spending half the period at each end. The handoff rate is
 /// exactly `2/period` per host — the knob experiment E15 sweeps.
+///
+/// With `work_hops > 0` the model additionally wanders *within the work
+/// region* during each work phase: the cells are treated as contiguous
+/// regions of `region_cells` each (matching the hierarchy builders'
+/// global cell indexing `region * fas_per_region + fa`), and the host
+/// hops to `work_hops` random other cells of the work cell's region,
+/// evenly spaced through the phase. Those hops are exactly the
+/// intra-region handoffs a regional registration tier absorbs without
+/// touching the backbone — experiment E17 contrasts them flat vs
+/// hierarchical. Hops draw from their own RNG stream, so the commute
+/// pattern (work cells, phases) is the same at every `work_hops`
+/// setting and `work_hops == 0` plans are identical to the classic
+/// two-field model's.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Commuter {
     /// Deterministic seed.
     pub seed: u64,
     /// Full home → work → home cycle length.
     pub period: SimDuration,
+    /// Intra-work-region cell hops per work phase (0 = classic pure
+    /// oscillation).
+    pub work_hops: usize,
+    /// Cells per region of the underlying world (global cell index /
+    /// `region_cells` = region). Must be positive when `work_hops > 0`;
+    /// ignored otherwise.
+    pub region_cells: usize,
 }
 
 impl MobilityModel for Commuter {
     fn compile(&self, layout: &Layout, from: SimTime, until: SimTime) -> MovePlan {
         assert!(self.period > SimDuration::ZERO, "period must be positive");
+        assert!(
+            self.work_hops == 0 || self.region_cells > 0,
+            "work_hops needs region_cells to delimit the work region"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // Hops draw from their own stream so they never perturb the
+        // commute draws above — plans with different `work_hops` share
+        // the same work cells and phases.
+        let mut hop_rng = StdRng::seed_from_u64(self.seed ^ 0xc2b2_ae3d_27d4_eb4f);
         let mut plan = MovePlan::new();
         let half = SimDuration::from_micros(self.period.as_micros() / 2);
         for host in 0..layout.hosts() {
@@ -282,6 +310,18 @@ impl MobilityModel for Commuter {
                 at_work = !at_work;
                 let cell = if at_work { work } else { home };
                 plan = plan.op(at, MoveOp::Attach { host, cell });
+                if at_work && self.work_hops > 0 {
+                    plan = self.work_phase_hops(
+                        &mut hop_rng,
+                        plan,
+                        layout,
+                        host,
+                        work,
+                        at,
+                        half,
+                        until,
+                    );
+                }
                 at += half;
             }
         }
@@ -290,6 +330,44 @@ impl MobilityModel for Commuter {
 
     fn name(&self) -> &'static str {
         "commuter"
+    }
+}
+
+impl Commuter {
+    /// Emits the intra-region hops of one work phase starting at
+    /// `arrive`; hops are spaced `half / (work_hops + 1)` apart so the
+    /// last one still leaves dwell time before the commute home.
+    #[allow(clippy::too_many_arguments)]
+    fn work_phase_hops(
+        &self,
+        rng: &mut StdRng,
+        mut plan: MovePlan,
+        layout: &Layout,
+        host: usize,
+        work: usize,
+        arrive: SimTime,
+        half: SimDuration,
+        until: SimTime,
+    ) -> MovePlan {
+        let base = work / self.region_cells * self.region_cells;
+        let span = self.region_cells.min(layout.cells - base);
+        if span < 2 {
+            return plan; // single-cell work region: nowhere to hop
+        }
+        let step = half.as_micros() / (self.work_hops as u64 + 1);
+        let mut cur = work;
+        for k in 0..self.work_hops {
+            let at = arrive + SimDuration::from_micros(step * (k as u64 + 1));
+            if at >= until {
+                break;
+            }
+            // Uniform over the region's other cells.
+            let pick = rng.random_range(0..span - 1);
+            let rel = cur - base;
+            cur = base + if pick >= rel { pick + 1 } else { pick };
+            plan = plan.op(at, MoveOp::Attach { host, cell: cur });
+        }
+        plan
     }
 }
 
@@ -385,7 +463,8 @@ mod tests {
 
     #[test]
     fn commuter_alternates_work_and_home() {
-        let m = Commuter { seed: 3, period: SimDuration::from_secs(4) };
+        let m =
+            Commuter { seed: 3, period: SimDuration::from_secs(4), work_hops: 0, region_cells: 0 };
         let l = Layout::round_robin(3, 1);
         let plan = m.compile(&l, SimTime::ZERO, SimTime::from_secs(20));
         // ~2 handoffs per period over 20 s: at least 8 attaches, and the
@@ -403,6 +482,52 @@ mod tests {
             assert_ne!(pair[0], pair[1]);
         }
         assert!(cells.contains(&l.start_cells[0]));
+    }
+
+    #[test]
+    fn commuter_work_hops_stay_inside_the_work_region() {
+        // 3 regions of 4 cells; every work-phase hop must land in the
+        // same region as the host's work cell.
+        let l = Layout::round_robin(12, 6);
+        let base =
+            Commuter { seed: 9, period: SimDuration::from_secs(4), work_hops: 0, region_cells: 4 };
+        let hoppy = Commuter { work_hops: 3, ..base.clone() };
+        let plain = base.compile(&l, SimTime::ZERO, SimTime::from_secs(20));
+        let plan = hoppy.compile(&l, SimTime::ZERO, SimTime::from_secs(20));
+        assert!(plan.handoffs() > plain.handoffs(), "work_hops added no handoffs");
+        // Reconstruct each host's work cell (first attach not at home).
+        let mut work = vec![None; l.hosts()];
+        for (_, op) in plain.ops() {
+            if let MoveOp::Attach { host, cell } = op {
+                if *cell != l.start_cells[*host] && work[*host].is_none() {
+                    work[*host] = Some(*cell);
+                }
+            }
+        }
+        for (_, op) in plan.ops() {
+            if let MoveOp::Attach { host, cell } = op {
+                let (home, w) = (l.start_cells[*host], work[*host].unwrap());
+                assert!(
+                    *cell == home || *cell / 4 == w / 4,
+                    "host {host} attached to cell {cell} outside home {home} / work region {}",
+                    w / 4
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commuter_without_work_hops_matches_classic_plans() {
+        // work_hops = 0 must not perturb the RNG draw sequence: the plan
+        // is identical whatever region_cells says.
+        let l = Layout::round_robin(8, 5);
+        let a =
+            Commuter { seed: 5, period: SimDuration::from_secs(6), work_hops: 0, region_cells: 0 };
+        let b = Commuter { region_cells: 4, ..a.clone() };
+        assert_eq!(
+            a.compile(&l, SimTime::ZERO, SimTime::from_secs(30)),
+            b.compile(&l, SimTime::ZERO, SimTime::from_secs(30)),
+        );
     }
 
     #[test]
@@ -437,7 +562,8 @@ mod tests {
             dwell_max: SimDuration::from_millis(200),
         };
         assert!(rw.compile(&l, SimTime::ZERO, SimTime::from_secs(10)).is_empty());
-        let c = Commuter { seed: 1, period: SimDuration::from_secs(2) };
+        let c =
+            Commuter { seed: 1, period: SimDuration::from_secs(2), work_hops: 0, region_cells: 0 };
         assert!(c.compile(&l, SimTime::ZERO, SimTime::from_secs(10)).is_empty());
     }
 

@@ -28,7 +28,12 @@ fn build_model(raw: RawModel, seed: u64, from: SimTime, cells: usize) -> Box<dyn
                 dwell_max: dwell_min + SimDuration::from_millis(b % 2_000),
             })
         }
-        1 => Box::new(Commuter { seed, period: SimDuration::from_millis(300 + a % 4_000) }),
+        1 => Box::new(Commuter {
+            seed,
+            period: SimDuration::from_millis(300 + a % 4_000),
+            work_hops: (b % 3) as usize,
+            region_cells: 1 + (c % cells as u64) as usize,
+        }),
         _ => Box::new(FlashCrowd {
             seed,
             at: from + SimDuration::from_millis(a % 4_000),
