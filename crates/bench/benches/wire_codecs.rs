@@ -43,6 +43,7 @@ fn bench_icmp(c: &mut Criterion) {
         code: LocationUpdateCode::Bind,
         mobile: a(7),
         foreign_agent: a(100),
+        mac: None,
     });
     let bytes = msg.encode();
     c.bench_function("location_update_encode", |b| b.iter(|| black_box(&msg).encode()));

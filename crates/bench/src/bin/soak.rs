@@ -27,7 +27,15 @@
 //!   tier (DESIGN.md §12): regional routers own their region's visitor
 //!   bindings and cell foreign agents register visitors regionally. The
 //!   same SLOs apply — the tier must not cost delivery or latency.
+//! * `--adversarial` runs the soak under attack (DESIGN.md §13): one
+//!   attacker host floods forged registrations and cache-poisoning
+//!   updates at region 0 while the authentication extension is on. The
+//!   ordinary SLOs still gate the run — the defense must neutralise
+//!   the attack — and an extra `auth_rejected_min` check fails the run
+//!   if no forgery was ever rejected (i.e. the attack never engaged).
+//!   CI publishes this run's report as `slo_report_adv.json`.
 
+use mhrp::MhrpConfig;
 use netsim::time::SimDuration;
 use scenarios::hierarchy::HierarchyParams;
 use scenarios::soak::{run_random_waypoint_soak, RwSoakConfig};
@@ -63,6 +71,7 @@ fn main() {
         flag_value(&args, "--duration-secs").map_or(8, |v| parse_or_die("--duration-secs", v));
     let shards: usize = flag_value(&args, "--shards").map_or(1, |v| parse_or_die("--shards", v));
     let hierarchical = args.iter().any(|a| a == "--hierarchical");
+    let adversarial = args.iter().any(|a| a == "--adversarial");
 
     let harness_start = std::time::Instant::now();
     let hosts = regions * mobiles;
@@ -92,11 +101,20 @@ fn main() {
             fas_per_region: fas,
             mobiles_per_region: mobiles,
             hierarchical,
+            attackers: usize::from(adversarial),
+            config: MhrpConfig {
+                // The adversarial gate only makes sense with the §13
+                // defense on: without it the forged registrations
+                // simply win and every delivery SLO breaches.
+                auth_key: adversarial.then_some(0x1994_0d0c_5bad_c0de),
+                ..Default::default()
+            },
             ..Default::default()
         },
         duration: SimDuration::from_secs(duration),
         thresholds,
         shards,
+        adversarial,
         ..RwSoakConfig::default()
     };
     let run = run_random_waypoint_soak(&cfg);

@@ -17,6 +17,7 @@ use scenarios::experiments::{
     e01_header, e02_overhead, e03_path, e04_handoff, e05_loops, e06_recovery, e07_scalability,
     e08_rate_limit, e09_icmp_errors, e10_at_home, e11_flapping, e12_partition, e13_provenance,
     e14_cache_capacity, e15_mobility_rate, e16_flash_crowd, e17_hierarchy, e18_handoff_latency,
+    e19_forged_registration, e20_registration_storm, e21_ping_pong,
 };
 use scenarios::report::{f2, table};
 
@@ -735,6 +736,140 @@ fn e18(failures: &mut Vec<String>) {
     );
 }
 
+fn e19(failures: &mut Vec<String>) {
+    println!("\n== E19 — DESIGN.md §13: forged registrations and cache poisoning ==");
+    let rows = e19_forged_registration::run(SEED);
+    println!(
+        "{}",
+        table(
+            &[
+                "mode",
+                "delivered",
+                "delivery",
+                "diverted flows",
+                "control",
+                "auth rejected",
+                "poison dropped",
+            ],
+            rows.iter()
+                .map(|r| vec![
+                    r.mode.label().into(),
+                    format!("{}/{}", r.delivered, r.sent),
+                    f2(r.delivery),
+                    r.diverted_flows.to_string(),
+                    f2(r.control_delivery),
+                    r.auth_rejected.to_string(),
+                    r.poison_dropped.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    let (benign, open, auth) = (&rows[0], &rows[1], &rows[2]);
+    check(failures, "e19", benign.delivery > 0.95, "benign baseline below 95% delivery");
+    check(failures, "e19", benign.auth_rejected == 0, "benign run rejected something");
+    // Without authentication the attack must demonstrably win: at least
+    // one victim's traffic diverted, aggregate delivery collapsed.
+    check(failures, "e19", open.diverted_flows >= 1, "attack diverted no flow without auth");
+    check(
+        failures,
+        "e19",
+        open.delivery < benign.delivery - 0.2,
+        &format!(
+            "no-auth delivery {} not collapsed vs benign {}",
+            f2(open.delivery),
+            f2(benign.delivery)
+        ),
+    );
+    // With authentication the forgeries must be counted and neutralised:
+    // delivery back at the benign baseline.
+    check(failures, "e19", auth.auth_rejected > 0, "auth run rejected no forgery");
+    check(failures, "e19", auth.poison_dropped > 0, "auth run dropped no poisoned update");
+    check(failures, "e19", auth.diverted_flows == 0, "auth run still had a diverted flow");
+    check(
+        failures,
+        "e19",
+        auth.delivery > benign.delivery - 0.02,
+        &format!("auth delivery {} below benign {}", f2(auth.delivery), f2(benign.delivery)),
+    );
+}
+
+fn e20(failures: &mut Vec<String>) {
+    println!("\n== E20 — §4.3/§5.1: forged-tunnel update storm at the rate limiter ==");
+    let rows = e20_registration_storm::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["mode", "delivered", "updates sent", "rate limited", "evictions", "readmitted"],
+            rows.iter()
+                .map(|r| vec![
+                    if r.storm { "storm" } else { "calm" }.into(),
+                    format!("{}/{}", r.delivered, r.sent),
+                    r.updates_sent.to_string(),
+                    r.updates_rate_limited.to_string(),
+                    r.limiter_evictions.to_string(),
+                    r.limiter_readmitted.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    let (calm, storm) = (&rows[0], &rows[1]);
+    check(
+        failures,
+        "e20",
+        storm.updates_sent > calm.updates_sent * 3,
+        "storm did not amplify update traffic",
+    );
+    check(
+        failures,
+        "e20",
+        storm.limiter_evictions > calm.limiter_evictions,
+        "storm did not churn the limiter LRU",
+    );
+    check(failures, "e20", storm.limiter_readmitted > 0, "no storm-evicted hot entry readmitted");
+    check(
+        failures,
+        "e20",
+        storm.delivery > calm.delivery - 0.02,
+        &format!("storm delivery {} fell below calm {}", f2(storm.delivery), f2(calm.delivery)),
+    );
+}
+
+fn e21(failures: &mut Vec<String>) {
+    println!("\n== E21 — §5: ping-pong handoff oscillation, with and without auth ==");
+    let rows = e21_ping_pong::run(SEED);
+    println!(
+        "{}",
+        table(
+            &["auth", "handoffs", "delivered", "loss/handoff", "updates", "registrations"],
+            rows.iter()
+                .map(|r| vec![
+                    if r.auth { "on" } else { "off" }.into(),
+                    r.handoffs.to_string(),
+                    format!("{}/{}", r.delivered, r.sent),
+                    f2(r.loss_per_handoff),
+                    r.updates_sent.to_string(),
+                    r.registrations.to_string(),
+                ])
+                .collect(),
+        )
+    );
+    let (open, auth) = (&rows[0], &rows[1]);
+    check(failures, "e21", open.handoffs > 4, "oscillation performed too few handoffs");
+    check(failures, "e21", open.handoffs == auth.handoffs, "auth changed the handoff count");
+    check(
+        failures,
+        "e21",
+        open.loss_per_handoff <= 1.0,
+        &format!("no-auth loss/handoff {} above the §5 bound", f2(open.loss_per_handoff)),
+    );
+    check(
+        failures,
+        "e21",
+        auth.loss_per_handoff <= 1.0,
+        &format!("auth loss/handoff {} above the §5 bound", f2(auth.loss_per_handoff)),
+    );
+}
+
 /// Re-runs the Figure 1 handoff with telemetry + pcap capture on and
 /// writes `trace.json` and `figure1.pcap` into `dir` (CI publishes them
 /// as workflow artifacts; the pcap opens in Wireshark).
@@ -853,6 +988,15 @@ fn main() {
     }
     if want("e18") {
         e18(&mut failures);
+    }
+    if want("e19") {
+        e19(&mut failures);
+    }
+    if want("e20") {
+        e20(&mut failures);
+    }
+    if want("e21") {
+        e21(&mut failures);
     }
     if let Some(dir) = artifacts_dir {
         if let Err(e) = export_artifacts(&dir) {

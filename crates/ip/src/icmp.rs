@@ -84,7 +84,9 @@ pub enum LocationUpdateCode {
 }
 
 impl LocationUpdateCode {
-    fn as_u8(self) -> u8 {
+    /// The wire value of this code (also the domain-separation input for
+    /// the authentication extension's update MAC).
+    pub fn as_u8(self) -> u8 {
         match self {
             LocationUpdateCode::Bind => 0,
             LocationUpdateCode::AtHome => 1,
@@ -113,6 +115,12 @@ pub struct LocationUpdate {
     /// The foreign agent currently serving it (meaningful for
     /// [`LocationUpdateCode::Bind`]; zero otherwise, per the paper).
     pub foreign_agent: Ipv4Addr,
+    /// Optional keyed MAC over the update's semantic fields (the MHRP
+    /// authentication extension, DESIGN.md §13). `None` — the default for
+    /// the paper's 1994 protocol — encodes to the original 8-byte body;
+    /// `Some` appends 8 MAC octets. Receivers that do not enforce
+    /// authentication ignore the field either way.
+    pub mac: Option<u64>,
 }
 
 /// An agent advertisement (paper §3): agents periodically multicast these;
@@ -257,6 +265,9 @@ impl IcmpMessage {
                 buf.extend_from_slice(&[types::LOCATION_UPDATE, lu.code.as_u8(), 0, 0]);
                 buf.extend_from_slice(&lu.mobile.octets());
                 buf.extend_from_slice(&lu.foreign_agent.octets());
+                if let Some(mac) = lu.mac {
+                    buf.extend_from_slice(&mac.to_be_bytes());
+                }
             }
             IcmpMessage::Unknown { ty, code, body } => {
                 buf.extend_from_slice(&[*ty, *code, 0, 0]);
@@ -326,10 +337,16 @@ impl IcmpMessage {
             types::AGENT_SOLICITATION => IcmpMessage::AgentSolicitation,
             types::LOCATION_UPDATE => {
                 need(8)?;
+                let mac = if body.len() >= 16 {
+                    Some(u64::from_be_bytes(body[8..16].try_into().expect("8 bytes")))
+                } else {
+                    None
+                };
                 IcmpMessage::LocationUpdate(LocationUpdate {
                     code: LocationUpdateCode::from_u8(code)?,
                     mobile: addr(&body[..4]),
                     foreign_agent: addr(&body[4..8]),
+                    mac,
                 })
             }
             _ => IcmpMessage::Unknown { ty, code, body: body.to_vec() },
@@ -390,6 +407,13 @@ mod tests {
             code: LocationUpdateCode::Bind,
             mobile: a(3),
             foreign_agent: a(4),
+            mac: None,
+        }));
+        round_trip(IcmpMessage::LocationUpdate(LocationUpdate {
+            code: LocationUpdateCode::Bind,
+            mobile: a(3),
+            foreign_agent: a(4),
+            mac: Some(0x0123_4567_89ab_cdef),
         }));
         round_trip(IcmpMessage::Unknown { ty: 200, code: 9, body: vec![1] });
     }
@@ -403,7 +427,36 @@ mod tests {
                 code,
                 mobile: a(1),
                 foreign_agent: a(2),
+                mac: None,
             }));
+        }
+    }
+
+    #[test]
+    fn location_update_without_mac_is_the_1994_wire_format() {
+        // Golden: with no MAC the encoding is exactly the original
+        // 4-byte ICMP header + 8-byte body, so auth-off runs stay
+        // byte-identical to pre-extension traces.
+        let msg = IcmpMessage::LocationUpdate(LocationUpdate {
+            code: LocationUpdateCode::Bind,
+            mobile: a(3),
+            foreign_agent: a(4),
+            mac: None,
+        });
+        assert_eq!(msg.encode().len(), 12);
+        // A body with some, but fewer than 8, trailing octets is not a
+        // MAC; decode stays total and yields `mac: None`.
+        let mut bytes = msg.encode();
+        bytes.extend_from_slice(&[0; 5]);
+        let ck = internet_checksum(&{
+            let mut b = bytes.clone();
+            b[2..4].copy_from_slice(&[0, 0]);
+            b
+        });
+        bytes[2..4].copy_from_slice(&ck.to_be_bytes());
+        match IcmpMessage::decode(&bytes).unwrap() {
+            IcmpMessage::LocationUpdate(lu) => assert_eq!(lu.mac, None),
+            other => panic!("unexpected decode: {other:?}"),
         }
     }
 

@@ -120,7 +120,9 @@ proptest! {
     }
 
     #[test]
-    fn icmp_location_update_round_trip(mobile in arb_addr(), fa in arb_addr(), code in 0u8..3) {
+    fn icmp_location_update_round_trip(mobile in arb_addr(), fa in arb_addr(), code in 0u8..3,
+                                       mac_bits in any::<u64>(), has_mac in any::<bool>()) {
+        let mac = has_mac.then_some(mac_bits);
         let m = IcmpMessage::LocationUpdate(LocationUpdate {
             code: match code {
                 0 => LocationUpdateCode::Bind,
@@ -129,6 +131,7 @@ proptest! {
             },
             mobile,
             foreign_agent: fa,
+            mac,
         });
         prop_assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
     }

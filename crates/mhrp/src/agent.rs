@@ -15,6 +15,7 @@ use ip::proto;
 use netsim::{Counter, Ctx, TeleEventKind};
 use netstack::IpStack;
 
+use crate::auth;
 use crate::cache::LocationCache;
 use crate::config::MhrpConfig;
 use crate::rate_limit::UpdateRateLimiter;
@@ -47,6 +48,8 @@ pub(crate) struct CaCounters {
     updates_rate_limited: Counter,
     cache_evictions: Counter,
     rate_limit_evictions: Counter,
+    rate_limit_readmitted: Counter,
+    poison_dropped: Counter,
 }
 
 impl CaCounters {
@@ -61,6 +64,8 @@ impl CaCounters {
             updates_rate_limited: Counter::new("mhrp.updates_rate_limited"),
             cache_evictions: Counter::new("mhrp.cache.evictions"),
             rate_limit_evictions: Counter::new("mhrp.rate_limit.evictions"),
+            rate_limit_readmitted: Counter::new("mhrp.rate_limit.readmitted"),
+            poison_dropped: Counter::new("mhrp.cache.poison_dropped"),
         }
     }
 }
@@ -76,11 +81,16 @@ pub struct CacheAgentCore {
     pub max_prev_sources: usize,
     /// §5.3 loop detection; disable to model TTL-only loop decay (E05).
     pub detect_loops: bool,
+    /// Shared authentication key (DESIGN.md §13). When set, outgoing
+    /// location updates carry a MAC and incoming ones are verified
+    /// (forgeries are dropped and counted as `mhrp.cache.poison_dropped`).
+    pub auth_key: Option<u64>,
     pub(crate) counters: CaCounters,
     /// Eviction totals already published to the stats sink, so only the
     /// delta is added on the next publish.
     reported_cache_evictions: u64,
     reported_rate_evictions: u64,
+    reported_rate_readmissions: u64,
 }
 
 impl CacheAgentCore {
@@ -95,9 +105,11 @@ impl CacheAgentCore {
             rate: UpdateRateLimiter::new(config.update_min_interval, config.update_rate_entries),
             max_prev_sources: config.effective_max_prev_sources(),
             detect_loops: config.detect_loops,
+            auth_key: config.auth_key,
             counters: CaCounters::new(),
             reported_cache_evictions: 0,
             reported_rate_evictions: 0,
+            reported_rate_readmissions: 0,
         }
     }
 
@@ -117,6 +129,31 @@ impl CacheAgentCore {
                 .rate_limit_evictions
                 .add(ctx.stats(), rate_total - self.reported_rate_evictions);
             self.reported_rate_evictions = rate_total;
+        }
+        let readmit_total = self.rate.readmissions();
+        if readmit_total > self.reported_rate_readmissions {
+            self.counters
+                .rate_limit_readmitted
+                .add(ctx.stats(), readmit_total - self.reported_rate_readmissions);
+            self.reported_rate_readmissions = readmit_total;
+        }
+    }
+
+    /// Verifies a received location update against the shared key.
+    /// Vacuously true when authentication is off (the 1994 baseline
+    /// trusts every update, which is exactly what E19 measures).
+    fn update_authentic(&self, update: &LocationUpdate) -> bool {
+        match self.auth_key {
+            None => true,
+            Some(key) => {
+                update.mac
+                    == Some(auth::update_mac(
+                        key,
+                        update.code.as_u8(),
+                        update.mobile,
+                        update.foreign_agent,
+                    ))
+            }
         }
     }
 
@@ -142,13 +179,22 @@ impl CacheAgentCore {
             return;
         }
         self.counters.updates_sent.incr(ctx.stats());
-        let msg = IcmpMessage::LocationUpdate(LocationUpdate { code, mobile, foreign_agent });
+        let mac =
+            self.auth_key.map(|key| auth::update_mac(key, code.as_u8(), mobile, foreign_agent));
+        let msg = IcmpMessage::LocationUpdate(LocationUpdate { code, mobile, foreign_agent, mac });
         stack.send_icmp(ctx, to, &msg, None);
     }
 
-    /// Applies a location update delivered to this node (§4.3).
+    /// Applies a location update delivered to this node (§4.3). With
+    /// authentication on, an update without a valid MAC is a poisoning
+    /// attempt: it is dropped and counted instead of applied.
     pub fn on_update(&mut self, ctx: &mut Ctx<'_>, update: &LocationUpdate) {
         self.counters.updates_received.incr(ctx.stats());
+        if !self.update_authentic(update) {
+            self.counters.poison_dropped.incr(ctx.stats());
+            ctx.tele_event(TeleEventKind::PoisonDrop);
+            return;
+        }
         ctx.tele_event(TeleEventKind::CacheUpdate);
         self.cache.apply_update(update, ctx.now());
         self.publish_evictions(ctx);
@@ -174,10 +220,18 @@ impl CacheAgentCore {
             // message may also cache the address" (§4.3). Updates are
             // forwarded, not tunneled.
             if let Ok(IcmpMessage::LocationUpdate(lu)) = IcmpMessage::decode(&pkt.payload) {
-                self.counters.updates_snooped.incr(ctx.stats());
-                ctx.tele_event(TeleEventKind::CacheUpdate);
-                self.cache.apply_update(&lu, ctx.now());
-                self.publish_evictions(ctx);
+                // Snooping is opportunistic: a forged update is not
+                // cached, but the packet is still forwarded (the final
+                // recipient does its own verification and counting).
+                if self.update_authentic(&lu) {
+                    self.counters.updates_snooped.incr(ctx.stats());
+                    ctx.tele_event(TeleEventKind::CacheUpdate);
+                    self.cache.apply_update(&lu, ctx.now());
+                    self.publish_evictions(ctx);
+                } else {
+                    self.counters.poison_dropped.incr(ctx.stats());
+                    ctx.tele_event(TeleEventKind::PoisonDrop);
+                }
                 return Some(pkt);
             }
         }
@@ -269,5 +323,47 @@ mod tests {
         let core = CacheAgentCore::new(&cfg);
         assert_eq!(core.cache.capacity(), 3);
         assert_eq!(core.max_prev_sources, 2);
+    }
+
+    fn update(mac: Option<u64>) -> LocationUpdate {
+        LocationUpdate {
+            code: LocationUpdateCode::Bind,
+            mobile: Ipv4Addr::new(10, 1, 1, 1),
+            foreign_agent: Ipv4Addr::new(11, 1, 0, 1),
+            mac,
+        }
+    }
+
+    #[test]
+    fn without_auth_every_update_is_trusted() {
+        // The 1994 baseline: the protocol believes any source — this is
+        // exactly the poisoning surface E19 measures.
+        let core = CacheAgentCore::new(&MhrpConfig::default());
+        assert!(core.update_authentic(&update(None)));
+        assert!(core.update_authentic(&update(Some(0xdead_beef))));
+    }
+
+    #[test]
+    fn with_auth_only_a_matching_mac_is_accepted() {
+        let key = 0x1994_0d0c_5bad_c0de;
+        let cfg = MhrpConfig { auth_key: Some(key), ..Default::default() };
+        let core = CacheAgentCore::new(&cfg);
+        let good = update(None);
+        let mac = auth::update_mac(key, good.code.as_u8(), good.mobile, good.foreign_agent);
+
+        assert!(core.update_authentic(&update(Some(mac))));
+        // A spoofed update (no MAC — the attacker holds no key) and a
+        // guessed MAC are both poisoning attempts.
+        assert!(!core.update_authentic(&update(None)));
+        assert!(!core.update_authentic(&update(Some(mac ^ 1))));
+        // A valid MAC replayed onto different content (the "stale
+        // previous-source" splice: same mobile, different agent) fails —
+        // the MAC binds code, mobile and agent together.
+        let mut spliced = update(Some(mac));
+        spliced.foreign_agent = Ipv4Addr::new(11, 9, 0, 1);
+        assert!(!core.update_authentic(&spliced));
+        let mut purge = update(Some(mac));
+        purge.code = LocationUpdateCode::Purge;
+        assert!(!core.update_authentic(&purge));
     }
 }

@@ -168,7 +168,12 @@ mod tests {
     fn apply_update_bind_and_delete() {
         let mut c = LocationCache::new(4);
         c.apply_update(
-            &LocationUpdate { code: LocationUpdateCode::Bind, mobile: a(1), foreign_agent: a(9) },
+            &LocationUpdate {
+                code: LocationUpdateCode::Bind,
+                mobile: a(1),
+                foreign_agent: a(9),
+                mac: None,
+            },
             t(0),
         );
         assert_eq!(c.peek(a(1)), Some(a(9)));
@@ -177,6 +182,7 @@ mod tests {
                 code: LocationUpdateCode::AtHome,
                 mobile: a(1),
                 foreign_agent: Ipv4Addr::UNSPECIFIED,
+                mac: None,
             },
             t(1),
         );
@@ -188,6 +194,7 @@ mod tests {
                 code: LocationUpdateCode::Purge,
                 mobile: a(2),
                 foreign_agent: Ipv4Addr::UNSPECIFIED,
+                mac: None,
             },
             t(3),
         );
@@ -204,6 +211,7 @@ mod tests {
                 code: LocationUpdateCode::Bind,
                 mobile: a(1),
                 foreign_agent: Ipv4Addr::UNSPECIFIED,
+                mac: None,
             },
             t(1),
         );

@@ -58,6 +58,12 @@ pub struct MhrpConfig {
     /// §5.3 loop detection via the previous-source list. Disable only to
     /// model the TTL-only baseline the paper argues against (E05).
     pub detect_loops: bool,
+    /// Shared key for the registration-authentication extension
+    /// (DESIGN.md §13). `None` (the default) disables authentication and
+    /// reproduces the paper's 1994 wire format byte-for-byte; `Some(key)`
+    /// makes agents emit MAC'd registration variants, verify the MAC on
+    /// location updates, and enforce per-mobile replay windows.
+    pub auth_key: Option<u64>,
 }
 
 impl MhrpConfig {
@@ -119,6 +125,7 @@ impl Default for MhrpConfig {
             verify_on_recovery: false,
             home_agent_disk: true,
             detect_loops: true,
+            auth_key: None,
         }
     }
 }
@@ -137,6 +144,9 @@ mod tests {
         assert!(c.registration_retry_cap >= c.registration_retry);
         assert!(c.forwarding_pointers);
         assert!(c.home_agent_disk);
+        // Authentication must default off: the goldens pin the 1994 wire
+        // format, which has no MAC fields.
+        assert!(c.auth_key.is_none());
         assert!(c.validate().is_ok());
     }
 

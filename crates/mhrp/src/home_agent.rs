@@ -17,6 +17,7 @@ use netsim::{Counter, Ctx, IfaceId, TeleEventKind};
 use netstack::IpStack;
 
 use crate::agent::CacheAgentCore;
+use crate::auth::{self, ReplayWindow};
 use crate::messages::ControlMessage;
 use crate::tunnel;
 
@@ -45,11 +46,18 @@ pub struct HomeAgentCore {
     /// Stable-storage copy surviving reboots (§2: "should also be recorded
     /// on disk"), when enabled.
     disk: Option<HashMap<Ipv4Addr, Ipv4Addr>>,
+    /// Shared authentication key (DESIGN.md §13). When set, plain
+    /// registrations are rejected, MAC'd ones are verified against a
+    /// per-mobile replay window, and `HaSync` is accepted only from the
+    /// configured replica set.
+    pub auth_key: Option<u64>,
+    replay: ReplayWindow,
     // Per-intercepted-packet counter, cached so the tunnel fast path
     // stays free of name hashing.
     tunneled: Counter,
     registrations: Counter,
     acks_tunneled: Counter,
+    auth_rejected: Counter,
 }
 
 impl HomeAgentCore {
@@ -63,10 +71,19 @@ impl HomeAgentCore {
             active: true,
             bindings: HashMap::new(),
             disk: with_disk.then(HashMap::new),
+            auth_key: None,
+            replay: ReplayWindow::new(),
             tunneled: Counter::new("mhrp.ha_tunneled"),
             registrations: Counter::new("mhrp.ha_registrations"),
             acks_tunneled: Counter::new("mhrp.ha_acks_tunneled"),
+            auth_rejected: Counter::new("mhrp.auth.rejected"),
         }
+    }
+
+    fn reject_auth(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        self.auth_rejected.incr(ctx.stats());
+        ctx.tele_event(TeleEventKind::AuthReject);
+        true
     }
 
     /// Creates a warm-standby replica: it applies [`ControlMessage::HaSync`]
@@ -166,8 +183,31 @@ impl HomeAgentCore {
         msg: &ControlMessage,
     ) -> bool {
         let (mobile, fa, seq) = match *msg {
-            ControlMessage::HaRegister { mobile, fa, seq } => (mobile, fa, seq),
+            ControlMessage::HaRegister { mobile, fa, seq } => {
+                if self.auth_key.is_some() {
+                    // Auth enforced: an unauthenticated registration is a
+                    // forgery (every legitimate mobile holds the key).
+                    return self.reject_auth(ctx);
+                }
+                (mobile, fa, seq)
+            }
+            ControlMessage::HaRegisterAuth { mobile, fa, seq, mac } => {
+                if let Some(key) = self.auth_key {
+                    if mac != auth::registration_mac(key, auth::TAG_HA, mobile, fa, seq)
+                        || !self.replay.accept(mobile, seq)
+                    {
+                        return self.reject_auth(ctx);
+                    }
+                }
+                (mobile, fa, seq)
+            }
             ControlMessage::HaSync { mobile, fa } => {
+                if self.auth_key.is_some() && !self.replicas.contains(&src) {
+                    // With auth on, database replication is accepted only
+                    // from the configured replica set — otherwise HaSync
+                    // is an unauthenticated side door around the MAC.
+                    return self.reject_auth(ctx);
+                }
                 // §2 replication: apply a peer's binding change silently.
                 ctx.stats().incr("mhrp.ha_syncs_applied");
                 self.apply_binding(stack, ctx, mobile, fa);
@@ -346,6 +386,10 @@ impl HomeAgentCore {
             Some(disk) => self.bindings.clone_from(disk),
             None => self.bindings.clear(),
         }
+        // The replay window is volatile (re-seeds from the next
+        // authenticated registration); only the binding database is
+        // journaled.
+        self.replay.clear();
         if self.active {
             let reloaded: Vec<Ipv4Addr> = self.bindings.keys().copied().collect();
             for mobile in reloaded {

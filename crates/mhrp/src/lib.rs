@@ -33,6 +33,7 @@
 //! | [`lru`] | §2, §4.3 | deterministic O(1) LRU map backing the bounded tables |
 //! | [`rate_limit`] | §4.3 | per-destination update rate limiting |
 //! | [`agent`] | §2, §4.3, §4.5 | the cache-agent role |
+//! | [`auth`] | extension | registration authentication: keyed MACs + replay windows (DESIGN.md §13) |
 //! | [`home_agent`] | §2, §5.1, §5.2 | the home-agent role |
 //! | [`foreign_agent`] | §2, §4.4, §5.2 | the foreign-agent role |
 //! | [`regional`] | extension | the regional-agent tier (hierarchical MHRP, DESIGN.md §12) |
@@ -49,6 +50,7 @@
 #![deny(missing_docs)]
 
 pub mod agent;
+pub mod auth;
 pub mod cache;
 pub mod config;
 pub mod discovery;
@@ -64,6 +66,7 @@ pub mod regional;
 pub mod tunnel;
 
 pub use agent::CacheAgentCore;
+pub use auth::ReplayWindow;
 pub use cache::LocationCache;
 pub use config::MhrpConfig;
 pub use foreign_agent::ForeignAgentCore;

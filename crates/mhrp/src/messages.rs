@@ -102,6 +102,47 @@ pub enum ControlMessage {
         /// Sequence number matching request to acknowledgment.
         seq: u16,
     },
+    /// Authenticated [`FaRegister`](ControlMessage::FaRegister)
+    /// (DESIGN.md §13). Adds the mobile's registration sequence number
+    /// (replay window) and a keyed MAC over the semantic fields.
+    FaRegisterAuth {
+        /// The registering mobile host (its home address).
+        mobile: Ipv4Addr,
+        /// The mobile host's home agent.
+        home_agent: Ipv4Addr,
+        /// The mobile's registration sequence number.
+        seq: u16,
+        /// Keyed MAC over (tag, mobile, home_agent, seq).
+        mac: u64,
+    },
+    /// Authenticated [`HaRegister`](ControlMessage::HaRegister)
+    /// (DESIGN.md §13).
+    HaRegisterAuth {
+        /// The registering mobile host.
+        mobile: Ipv4Addr,
+        /// The serving foreign agent, or 0.0.0.0 when home.
+        fa: Ipv4Addr,
+        /// Sequence number matching request to acknowledgment, and the
+        /// replay-window value.
+        seq: u16,
+        /// Keyed MAC over (tag, mobile, fa, seq).
+        mac: u64,
+    },
+    /// Authenticated [`RegRegister`](ControlMessage::RegRegister)
+    /// (DESIGN.md §13).
+    RegRegisterAuth {
+        /// The registering mobile host.
+        mobile: Ipv4Addr,
+        /// The mobile host's global home agent.
+        home_agent: Ipv4Addr,
+        /// The serving cell foreign agent.
+        fa: Ipv4Addr,
+        /// Sequence number matching request to acknowledgment, and the
+        /// replay-window value.
+        seq: u16,
+        /// Keyed MAC over (tag, mobile, fa, seq).
+        mac: u64,
+    },
 }
 
 impl ControlMessage {
@@ -155,6 +196,28 @@ impl ControlMessage {
                 buf.extend_from_slice(&home_agent.octets());
                 buf.extend_from_slice(&fa.octets());
                 buf.extend_from_slice(&seq.to_be_bytes());
+            }
+            ControlMessage::FaRegisterAuth { mobile, home_agent, seq, mac } => {
+                buf.push(11);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&home_agent.octets());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(&mac.to_be_bytes());
+            }
+            ControlMessage::HaRegisterAuth { mobile, fa, seq, mac } => {
+                buf.push(12);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&fa.octets());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(&mac.to_be_bytes());
+            }
+            ControlMessage::RegRegisterAuth { mobile, home_agent, fa, seq, mac } => {
+                buf.push(13);
+                buf.extend_from_slice(&mobile.octets());
+                buf.extend_from_slice(&home_agent.octets());
+                buf.extend_from_slice(&fa.octets());
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(&mac.to_be_bytes());
             }
         }
         buf
@@ -225,6 +288,34 @@ impl ControlMessage {
                     seq: u16::from_be_bytes([rest[12], rest[13]]),
                 }
             }
+            11 => {
+                need(18)?;
+                ControlMessage::FaRegisterAuth {
+                    mobile: addr(&rest[..4]),
+                    home_agent: addr(&rest[4..8]),
+                    seq: u16::from_be_bytes([rest[8], rest[9]]),
+                    mac: u64::from_be_bytes(rest[10..18].try_into().expect("8 bytes")),
+                }
+            }
+            12 => {
+                need(18)?;
+                ControlMessage::HaRegisterAuth {
+                    mobile: addr(&rest[..4]),
+                    fa: addr(&rest[4..8]),
+                    seq: u16::from_be_bytes([rest[8], rest[9]]),
+                    mac: u64::from_be_bytes(rest[10..18].try_into().expect("8 bytes")),
+                }
+            }
+            13 => {
+                need(22)?;
+                ControlMessage::RegRegisterAuth {
+                    mobile: addr(&rest[..4]),
+                    home_agent: addr(&rest[4..8]),
+                    fa: addr(&rest[8..12]),
+                    seq: u16::from_be_bytes([rest[12], rest[13]]),
+                    mac: u64::from_be_bytes(rest[14..22].try_into().expect("8 bytes")),
+                }
+            }
             _ => return Err(PacketError::BadField("control message type")),
         })
     }
@@ -254,6 +345,20 @@ mod tests {
             ControlMessage::HaSync { mobile: a(1), fa: Ipv4Addr::UNSPECIFIED },
             ControlMessage::FaRegisterAckRegional { mobile: a(1), regional: a(4) },
             ControlMessage::RegRegister { mobile: a(1), home_agent: a(2), fa: a(3), seq: 7 },
+            ControlMessage::FaRegisterAuth {
+                mobile: a(1),
+                home_agent: a(2),
+                seq: 3,
+                mac: 0xdead_beef_cafe_f00d,
+            },
+            ControlMessage::HaRegisterAuth { mobile: a(1), fa: a(3), seq: 99, mac: u64::MAX },
+            ControlMessage::RegRegisterAuth {
+                mobile: a(1),
+                home_agent: a(2),
+                fa: a(3),
+                seq: 7,
+                mac: 0,
+            },
         ];
         for m in msgs {
             assert_eq!(ControlMessage::decode(&m.encode()).unwrap(), m);
@@ -265,6 +370,10 @@ mod tests {
         assert_eq!(ControlMessage::decode(&[]), Err(PacketError::Truncated));
         assert_eq!(ControlMessage::decode(&[1, 0, 0]), Err(PacketError::Truncated));
         assert_eq!(ControlMessage::decode(&[10, 0, 0, 0, 0]), Err(PacketError::Truncated));
+        // Authenticated variants truncated inside the MAC field.
+        assert_eq!(ControlMessage::decode(&[11; 17]), Err(PacketError::Truncated));
+        assert_eq!(ControlMessage::decode(&[12; 18]), Err(PacketError::Truncated));
+        assert_eq!(ControlMessage::decode(&[13; 22]), Err(PacketError::Truncated));
         assert_eq!(
             ControlMessage::decode(&[200]),
             Err(PacketError::BadField("control message type"))

@@ -22,6 +22,7 @@ use netstack::route::NextHop;
 use netstack::IpStack;
 
 use crate::agent::CacheAgentCore;
+use crate::auth;
 use crate::config::MhrpConfig;
 use crate::messages::{ControlMessage, MHRP_PORT};
 use crate::tunnel;
@@ -398,10 +399,38 @@ impl MobileHostCore {
         self.state = Attachment::Foreign(fa);
         self.last_advert = Some(ctx.now());
         // §3 ordering: new foreign agent first; the rest follows its ack.
-        let msg =
-            ControlMessage::FaRegister { mobile: self.home_addr, home_agent: self.home_agent };
+        let msg = self.fa_register_msg();
         self.pending_fa = Some(Pending::new(msg, fa));
         self.send_pending(stack, ctx, REG_KIND_FA);
+    }
+
+    /// Builds the foreign-agent registration: plain `FaRegister`, or the
+    /// MAC'd variant when the domain runs authentication (DESIGN.md §13).
+    /// Only the authenticated form consumes a sequence number — the plain
+    /// 1994 message carries none, and burning one would shift every later
+    /// `HaRegister` seq and break byte-identical replays of the baseline.
+    fn fa_register_msg(&mut self) -> ControlMessage {
+        match self.config.auth_key {
+            Some(key) => {
+                self.reg_seq = self.reg_seq.wrapping_add(1);
+                let seq = self.reg_seq;
+                ControlMessage::FaRegisterAuth {
+                    mobile: self.home_addr,
+                    home_agent: self.home_agent,
+                    seq,
+                    mac: auth::registration_mac(
+                        key,
+                        auth::TAG_FA,
+                        self.home_addr,
+                        self.home_agent,
+                        seq,
+                    ),
+                }
+            }
+            None => {
+                ControlMessage::FaRegister { mobile: self.home_addr, home_agent: self.home_agent }
+            }
+        }
     }
 
     fn return_home(&mut self, stack: &mut IpStack, ctx: &mut Ctx<'_>) {
@@ -517,23 +546,40 @@ impl MobileHostCore {
         // regional agent — unless the region is our *home* region, where
         // the regional agent and home agent coincide and the plain §3
         // registration is both correct and cheaper.
+        let seq = self.reg_seq;
         let (msg, dst) = match self.regional {
             Some(ra)
                 if ra != self.home_agent
                     && !fa.is_unspecified()
                     && matches!(self.state, Attachment::Foreign(_)) =>
             {
-                let msg = ControlMessage::RegRegister {
-                    mobile: self.home_addr,
-                    home_agent: self.home_agent,
-                    fa,
-                    seq: self.reg_seq,
+                let msg = match self.config.auth_key {
+                    Some(key) => ControlMessage::RegRegisterAuth {
+                        mobile: self.home_addr,
+                        home_agent: self.home_agent,
+                        fa,
+                        seq,
+                        mac: auth::reg_register_mac(key, self.home_addr, self.home_agent, fa, seq),
+                    },
+                    None => ControlMessage::RegRegister {
+                        mobile: self.home_addr,
+                        home_agent: self.home_agent,
+                        fa,
+                        seq,
+                    },
                 };
                 (msg, ra)
             }
             _ => {
-                let msg =
-                    ControlMessage::HaRegister { mobile: self.home_addr, fa, seq: self.reg_seq };
+                let msg = match self.config.auth_key {
+                    Some(key) => ControlMessage::HaRegisterAuth {
+                        mobile: self.home_addr,
+                        fa,
+                        seq,
+                        mac: auth::registration_mac(key, auth::TAG_HA, self.home_addr, fa, seq),
+                    },
+                    None => ControlMessage::HaRegister { mobile: self.home_addr, fa, seq },
+                };
                 (msg, self.home_agent)
             }
         };
@@ -711,6 +757,11 @@ impl MobileHostCore {
                         // same message type — the retransmission machine
                         // is shared between the two tiers.
                         ControlMessage::RegRegister { seq: s, .. } => s == seq,
+                        // The authenticated forms carry the same seq; the
+                        // ack itself is not MAC'd (it is only useful to
+                        // the mobile that sent the matching registration).
+                        ControlMessage::HaRegisterAuth { seq: s, .. } => s == seq,
+                        ControlMessage::RegRegisterAuth { seq: s, .. } => s == seq,
                         _ => false,
                     };
                     if matched {
@@ -745,10 +796,7 @@ impl MobileHostCore {
                 if let Attachment::Foreign(fa) = self.state {
                     self.stats.recovery_reregistrations += 1;
                     ctx.stats().incr("mhrp.mh_recovery_reregs");
-                    let m = ControlMessage::FaRegister {
-                        mobile: self.home_addr,
-                        home_agent: self.home_agent,
-                    };
+                    let m = self.fa_register_msg();
                     self.pending_fa = Some(Pending::new(m, fa));
                     self.send_pending(stack, ctx, REG_KIND_FA);
                 }

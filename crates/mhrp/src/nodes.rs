@@ -76,7 +76,9 @@ impl MhrpRouterNode {
 
     /// Adds the home-agent role serving the network on `home_iface`.
     pub fn with_home_agent(mut self, home_iface: IfaceId) -> MhrpRouterNode {
-        self.ha = Some(HomeAgentCore::new(home_iface, self.config.home_agent_disk));
+        let mut ha = HomeAgentCore::new(home_iface, self.config.home_agent_disk);
+        ha.auth_key = self.config.auth_key;
+        self.ha = Some(ha);
         self
     }
 
@@ -165,11 +167,12 @@ impl MhrpRouterNode {
                 };
                 let mut consumed = false;
                 if let Some(fa) = &mut self.fa {
-                    consumed = fa.on_control(&mut self.ca, &mut self.stack, ctx, &msg);
+                    consumed = fa.on_control(&mut self.ca, &mut self.stack, ctx, pkt.src, &msg);
                 }
                 if !consumed {
                     if let Some(reg) = &mut self.regional {
-                        consumed = reg.on_control(&mut self.ca, &mut self.stack, ctx, &msg);
+                        consumed =
+                            reg.on_control(&mut self.ca, &mut self.stack, ctx, pkt.src, &msg);
                     }
                 }
                 if !consumed {

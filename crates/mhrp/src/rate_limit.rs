@@ -23,6 +23,12 @@ use crate::lru::LruMap;
 pub struct UpdateRateLimiter {
     min_interval: SimDuration,
     last_sent: LruMap<SimTime>,
+    /// Shadow of recently *evicted* entries whose suppression window had
+    /// not yet expired, so readmissions (see
+    /// [`UpdateRateLimiter::readmissions`]) can be counted. Bounded to
+    /// the same capacity as the live list.
+    evicted_hot: LruMap<SimTime>,
+    readmissions: u64,
 }
 
 impl UpdateRateLimiter {
@@ -34,7 +40,12 @@ impl UpdateRateLimiter {
     /// Panics if `capacity` is zero.
     pub fn new(min_interval: SimDuration, capacity: usize) -> UpdateRateLimiter {
         assert!(capacity > 0, "rate limiter capacity must be positive");
-        UpdateRateLimiter { min_interval, last_sent: LruMap::new(capacity) }
+        UpdateRateLimiter {
+            min_interval,
+            last_sent: LruMap::new(capacity),
+            evicted_hot: LruMap::new(capacity),
+            readmissions: 0,
+        }
     }
 
     /// Returns `true` (and records the send) if an update to `dst` is
@@ -46,7 +57,23 @@ impl UpdateRateLimiter {
                 return false;
             }
         }
-        self.last_sent.insert(dst, now);
+        // A send to a destination the list was *forced to forget* while
+        // its suppression window was still open is a readmission: the
+        // bounded list, not elapsed time, is what re-allowed it. This is
+        // the amplification a registration storm exploits (E20) — the
+        // send is still permitted (denying would change benign-world
+        // behaviour), only counted.
+        if let Some(&forgotten) = self.evicted_hot.peek(dst) {
+            if now.since(forgotten) < self.min_interval {
+                self.readmissions += 1;
+            }
+            self.evicted_hot.remove(dst);
+        }
+        if let Some((victim, last)) = self.last_sent.insert(dst, now) {
+            if now.since(last) < self.min_interval {
+                self.evicted_hot.insert(victim, last);
+            }
+        }
         true
     }
 
@@ -60,9 +87,11 @@ impl UpdateRateLimiter {
         self.last_sent.is_empty()
     }
 
-    /// Forgets all history (reboot). The eviction total is preserved.
+    /// Forgets all history (reboot). The eviction and readmission totals
+    /// are preserved.
     pub fn clear(&mut self) {
         self.last_sent.clear();
+        self.evicted_hot.clear();
     }
 
     /// Total destinations evicted to make room since construction
@@ -71,6 +100,17 @@ impl UpdateRateLimiter {
     /// allowed — the trade-off the paper accepts for a bounded list.
     pub fn evictions(&self) -> u64 {
         self.last_sent.evictions()
+    }
+
+    /// Total *readmissions* since construction (monotonic; feeds the
+    /// `mhrp.rate_limit.readmitted` counter): sends allowed to a
+    /// destination whose previous entry was evicted to make room while
+    /// its suppression window was still open. Under benign churn this
+    /// stays near zero; a storm of distinct spoofed sources (E20) drives
+    /// it up by evicting legitimate `last_sent` entries and readmitting
+    /// just-suppressed senders.
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions
     }
 }
 
@@ -139,6 +179,32 @@ mod tests {
         assert!(rl.allow(a(3), t(3))); // evicts a(1), not a(2)
         assert!(!rl.allow(a(2), t(4)), "a(2) survived the eviction");
         assert!(rl.allow(a(1), t(4)), "a(1) was the victim despite its denied retry");
+    }
+
+    #[test]
+    fn storm_readmits_suppressed_sender_and_is_counted() {
+        // Regression pin for the E20 storm amplification: a flood of
+        // *distinct* destinations evicts a legitimate, still-suppressed
+        // sender from the bounded list, and the very next send to it is
+        // allowed — inside its min_interval. The limiter must count this
+        // readmission so the experiment can measure the edge.
+        let mut rl = UpdateRateLimiter::new(SimDuration::from_secs(5), 2);
+        assert!(rl.allow(a(1), t(0)));
+        assert!(!rl.allow(a(1), t(1)), "a(1) is suppressed");
+        // Storm: two fresh destinations evict a(1) while it is still hot.
+        assert!(rl.allow(a(2), t(2)));
+        assert!(rl.allow(a(3), t(3)));
+        assert_eq!(rl.evictions(), 1);
+        assert_eq!(rl.readmissions(), 0, "eviction alone is not a readmission");
+        // The bug being pinned: a(1) is allowed again 4ms after its last
+        // send, despite the 5s minimum interval.
+        assert!(rl.allow(a(1), t(4)));
+        assert_eq!(rl.readmissions(), 1, "the early re-allow is counted");
+        // A *cold* eviction (window already expired) is not a readmission.
+        assert!(rl.allow(a(4), t(6000)));
+        assert!(rl.allow(a(5), t(6001)));
+        assert!(rl.allow(a(2), t(12_000)), "re-send after the window");
+        assert_eq!(rl.readmissions(), 1);
     }
 
     #[test]

@@ -134,6 +134,75 @@ proptest! {
     }
 
     #[test]
+    fn authenticated_control_messages_round_trip(
+        mobile in arb_addr(), agent in arb_addr(), fa in arb_addr(),
+        seq in any::<u16>(), mac in any::<u64>(),
+    ) {
+        // The §13 authenticated registration variants carry the MAC as
+        // opaque wire data: any 64-bit value round-trips (verification
+        // happens at the agent, not the codec).
+        for msg in [
+            ControlMessage::FaRegisterAuth { mobile, home_agent: agent, seq, mac },
+            ControlMessage::HaRegisterAuth { mobile, fa: agent, seq, mac },
+            ControlMessage::RegRegisterAuth { mobile, home_agent: agent, fa, seq, mac },
+            ControlMessage::RegRegister { mobile, home_agent: agent, fa, seq },
+        ] {
+            prop_assert_eq!(ControlMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn authenticated_control_decode_survives_mutation(
+        mobile in arb_addr(), agent in arb_addr(), fa in arb_addr(),
+        seq in any::<u16>(), mac in any::<u64>(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        // An attacker's forge attempt is exactly this: bytes that look
+        // almost like an authenticated registration. Flipped MAC bits,
+        // mangled sequence numbers and truncated tails must all decode
+        // to Ok or Err — never panic — in both the decoder and a
+        // re-encode of whatever was decoded.
+        for msg in [
+            ControlMessage::FaRegisterAuth { mobile, home_agent: agent, seq, mac },
+            ControlMessage::HaRegisterAuth { mobile, fa: agent, seq, mac },
+            ControlMessage::RegRegisterAuth { mobile, home_agent: agent, fa, seq, mac },
+        ] {
+            let mut bytes = msg.encode();
+            for (idx, mask) in &flips {
+                let i = idx.index(bytes.len());
+                bytes[i] ^= mask | 1;
+            }
+            bytes.truncate(truncate.index(bytes.len() + 1));
+            if let Ok(back) = ControlMessage::decode(&bytes) {
+                let _ = back.encode();
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_auth_messages_never_decode_as_complete(
+        mobile in arb_addr(), agent in arb_addr(), fa in arb_addr(),
+        seq in any::<u16>(), mac in any::<u64>(),
+    ) {
+        // Cutting any byte off an authenticated variant must not yield
+        // a successfully decoded message of the same type (a truncated
+        // MAC accepted as shorter-but-valid would be a forgery vector).
+        for msg in [
+            ControlMessage::FaRegisterAuth { mobile, home_agent: agent, seq, mac },
+            ControlMessage::HaRegisterAuth { mobile, fa: agent, seq, mac },
+            ControlMessage::RegRegisterAuth { mobile, home_agent: agent, fa, seq, mac },
+        ] {
+            let bytes = msg.encode();
+            for cut in 1..bytes.len() {
+                if let Ok(back) = ControlMessage::decode(&bytes[..cut]) {
+                    prop_assert_ne!(back, msg.clone(), "truncation to {} bytes decoded whole", cut);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn control_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
         let _ = ControlMessage::decode(&bytes);
     }
@@ -221,7 +290,12 @@ proptest! {
                 }
                 3 => {
                     cache.apply_update(
-                        &LocationUpdate { code: LocationUpdateCode::Bind, mobile, foreign_agent: fa },
+                        &LocationUpdate {
+                            code: LocationUpdateCode::Bind,
+                            mobile,
+                            foreign_agent: fa,
+                            mac: None,
+                        },
                         now,
                     );
                     if !present {
@@ -235,6 +309,7 @@ proptest! {
                             code: LocationUpdateCode::Bind,
                             mobile,
                             foreign_agent: Ipv4Addr::UNSPECIFIED,
+                            mac: None,
                         },
                         now,
                     );

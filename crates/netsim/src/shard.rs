@@ -669,8 +669,9 @@ impl ShardedWorld {
     /// # Panics
     ///
     /// Panics on `AdminOp::Call` (a script closure cannot run against
-    /// one shard and still observe the whole world — schedule per-shard
-    /// work through node handlers instead), on cross-shard
+    /// one shard and still observe the whole world — use the node-scoped
+    /// `AdminOp::CallNode`, which is routed to the owning shard with the
+    /// node id rewritten to the shard-local one), on cross-shard
     /// `MoveIface`/`AttachIface` (shard migration is unsupported; keep
     /// mobility region-confined), and on `SetSegmentLoss` for a portal.
     pub fn schedule_admin(&mut self, at: SimTime, op: AdminOp) {
@@ -724,6 +725,12 @@ impl ShardedWorld {
                     "AdminOp::Call is not supported on a ShardedWorld: a script closure \
                         would see one shard, not the world"
                 )
+            }
+            AdminOp::CallNode { node, script } => {
+                let (shard, local) = self.node_loc[node.0];
+                self.cells[shard as usize]
+                    .0
+                    .schedule_admin(at, AdminOp::CallNode { node: local, script });
             }
         }
     }
@@ -848,6 +855,8 @@ fn kind_rank(kind: &EventKind) -> u32 {
         EventKind::LoopDetected { .. } => 7,
         EventKind::CacheHit => 8,
         EventKind::CacheUpdate => 9,
+        EventKind::AuthReject => 10,
+        EventKind::PoisonDrop => 11,
         EventKind::Fault { kind } => {
             16 + match kind {
                 FaultKind::SegmentDown => 0,

@@ -21,6 +21,10 @@ use crate::trace::Tracer;
 use telemetry::pcapng::PcapWriter;
 use telemetry::{DropReason, EventLog, FaultKind, Journey, JourneyId};
 
+/// A node-scoped admin script: receives the world and the (possibly
+/// shard-local) id of the node it is bound to.
+pub type NodeScript = Box<dyn FnOnce(&mut World, NodeId) + Send>;
+
 /// A scripted world mutation, schedulable on the event queue.
 ///
 /// Admin operations model everything "physical" that happens to the network
@@ -78,6 +82,20 @@ pub enum AdminOp {
     /// to worker threads when run as a shard of a
     /// [`ShardedWorld`](crate::shard::ShardedWorld).
     Call(Box<dyn FnOnce(&mut World) + Send>),
+    /// Run a script scoped to a single node.
+    ///
+    /// Unlike [`AdminOp::Call`], this variant is shard-routable: a
+    /// [`ShardedWorld`](crate::shard::ShardedWorld) forwards it to the
+    /// shard owning `node` (with `node` rewritten to the shard-local id),
+    /// so the same plan lowers identically on flat and sharded worlds.
+    /// The script must confine its effects to `node` — in a sharded run
+    /// the `World` it receives is one shard, not the whole topology.
+    CallNode {
+        /// The node the script is scoped to.
+        node: NodeId,
+        /// The script; receives the (possibly shard-local) node id.
+        script: NodeScript,
+    },
 }
 
 impl fmt::Debug for AdminOp {
@@ -96,6 +114,7 @@ impl fmt::Debug for AdminOp {
             }
             AdminOp::Reboot { node } => write!(f, "Reboot({node})"),
             AdminOp::Call(_) => write!(f, "Call(<script>)"),
+            AdminOp::CallNode { node, .. } => write!(f, "CallNode({node}, <script>)"),
         }
     }
 }
@@ -887,6 +906,7 @@ impl World {
             }
             AdminOp::Reboot { node } => self.reboot_node(node),
             AdminOp::Call(f) => f(self),
+            AdminOp::CallNode { node, script } => script(self, node),
         }
     }
 

@@ -310,6 +310,7 @@ fn plain_hosts_silently_ignore_location_updates() {
             code: ip::icmp::LocationUpdateCode::Bind,
             mobile: addr(9, 9),
             foreign_agent: addr(8, 8),
+            mac: None,
         });
         h.stack.send_icmp(ctx, dst, &msg, None);
     });

@@ -1,0 +1,251 @@
+//! **E19 — hostile internet: forged registrations and cache poisoning.**
+//!
+//! The 1994 protocol authenticates nothing (the paper's §7 names
+//! authentication as future work), so an off-path attacker who can
+//! source datagrams owns every mobile host's reachability:
+//!
+//! * a forged `HaRegister` makes the home agent believe the victim is
+//!   served by a foreign agent of the attacker's choosing — every
+//!   intercepted packet then tunnels into a black hole;
+//! * a spoofed §4.3 location update pointed at a correspondent's cache
+//!   agent makes the *sender* tunnel straight into the black hole, so
+//!   the home agent never even sees the traffic and §5's
+//!   stale-entry-correction machinery cannot fire.
+//!
+//! This experiment runs the same hostile plan three ways: a benign
+//! baseline (no attack), the attack against the unauthenticated
+//! protocol, and the attack against the DESIGN.md §13 authentication
+//! extension (keyed MACs + replay windows, `MhrpConfig::auth_key`).
+//!
+//! Expected shape: without authentication delivery collapses for every
+//! targeted flow while the untargeted control flow is untouched; with
+//! authentication every forgery lands in `mhrp.auth.rejected` /
+//! `mhrp.cache.poison_dropped` and delivery matches the benign
+//! baseline.
+
+use adversary::{AttackOp, AttackPlan, Binding};
+use mhrp::MhrpConfig;
+use netsim::time::SimDuration;
+use workload::{run_soak, Flow, FlowCfg, Pattern, SoakParams};
+
+use crate::hierarchy::{
+    attacker_addr, mobile_home_addr, region_router_addr, Hierarchy, HierarchyParams,
+    CORRESPONDENT_ADDR,
+};
+use crate::soak::MhrpIo;
+
+/// How one E19 point is configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No attack: the benign yardstick the other two compare against.
+    Benign,
+    /// Attack against the plain 1994 protocol (no authentication).
+    AttackNoAuth,
+    /// Attack against the §13 authentication extension.
+    AttackAuth,
+}
+
+impl Mode {
+    /// Human-readable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Benign => "benign",
+            Mode::AttackNoAuth => "attack/no-auth",
+            Mode::AttackAuth => "attack/auth",
+        }
+    }
+}
+
+/// One row of the E19 comparison.
+#[derive(Debug, Clone)]
+pub struct ForgedRegistrationRow {
+    /// Which configuration produced the row.
+    pub mode: Mode,
+    /// Probes the correspondent sent across all flows.
+    pub sent: u64,
+    /// Probes delivered to their mobile host.
+    pub delivered: u64,
+    /// Delivered fraction across all flows.
+    pub delivery: f64,
+    /// Targeted flows whose delivery fell below one half — the
+    /// machine-checkable "diverted" signal.
+    pub diverted_flows: usize,
+    /// Delivered fraction of the untargeted control flow.
+    pub control_delivery: f64,
+    /// `mhrp.auth.rejected` across the run.
+    pub auth_rejected: u64,
+    /// `mhrp.cache.poison_dropped` across the run.
+    pub poison_dropped: u64,
+    /// Tunnels that arrived at a host not serving their mobile (the
+    /// black hole's view of the diverted traffic).
+    pub not_for_us: u64,
+}
+
+/// Number of mobile hosts; the last one is the untargeted control.
+pub const MOBILES: usize = 8;
+
+/// Mobiles `0..FORGE_VICTIMS` get forged home-agent registrations.
+pub const FORGE_VICTIMS: usize = 4;
+
+/// Mobiles `FORGE_VICTIMS..POISON_END` get their correspondent-side
+/// cache entry poisoned instead.
+pub const POISON_END: usize = 7;
+
+/// Simulated soak length per point.
+pub const DURATION: SimDuration = SimDuration::from_secs(24);
+
+/// CBR probe spacing per flow.
+pub const CBR_INTERVAL: SimDuration = SimDuration::from_millis(600);
+
+/// The shared authentication key the `AttackAuth` point uses. The
+/// attacker never holds it — forged messages are always sent in the
+/// plain 1994 format.
+pub const AUTH_KEY: u64 = 0x1994_0d0c_5bad_c0de;
+
+/// The hostile plan: sweeps of forged registrations plus spoofed
+/// location updates, repeated so a victim's genuine re-registration
+/// cannot heal the diversion for long.
+fn attack_plan(from: netsim::time::SimTime) -> AttackPlan {
+    let mut plan = AttackPlan::new();
+    let forge_victims: Vec<_> = (0..FORGE_VICTIMS).map(|i| mobile_home_addr(0, i)).collect();
+    for sweep in 0..3 {
+        let at = from + SimDuration::from_secs(4 * sweep);
+        plan = plan.forged_registration_sweep(
+            at,
+            SimDuration::from_millis(50),
+            0,
+            region_router_addr(0),
+            attacker_addr(0),
+            &forge_victims,
+            0x7000 + sweep as u16,
+        );
+        for i in FORGE_VICTIMS..POISON_END {
+            plan = plan.op(
+                at + SimDuration::from_millis(500),
+                AttackOp::PoisonUpdate {
+                    attacker: 0,
+                    target: CORRESPONDENT_ADDR,
+                    mobile: mobile_home_addr(0, i),
+                    foreign_agent: attacker_addr(0),
+                },
+            );
+        }
+    }
+    plan
+}
+
+/// Runs one E19 point.
+pub fn run_mode(seed: u64, mode: Mode) -> ForgedRegistrationRow {
+    let config = MhrpConfig {
+        auth_key: if mode == Mode::AttackAuth { Some(AUTH_KEY) } else { None },
+        ..Default::default()
+    };
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions: 1,
+        fas_per_region: 4,
+        mobiles_per_region: MOBILES,
+        attackers: 1,
+        config,
+        seed,
+        ..Default::default()
+    });
+    assert!(
+        h.run_until_attached(1.0, SimDuration::from_secs(30)),
+        "mobile hosts failed to register"
+    );
+
+    if mode != Mode::Benign {
+        let binding = Binding { attackers: h.attackers.clone(), ..Default::default() };
+        attack_plan(h.world.now() + SimDuration::from_secs(4)).install(&mut h.world, &binding);
+    }
+
+    let mut flows: Vec<Flow> = (0..MOBILES)
+        .map(|i| {
+            Flow::new(
+                i as u32,
+                FlowCfg {
+                    pattern: Pattern::Cbr { interval: CBR_INTERVAL },
+                    bytes: 32,
+                    seed: seed ^ i as u64,
+                    limit: None,
+                },
+            )
+        })
+        .collect();
+
+    let targets: Vec<usize> = (0..MOBILES).collect();
+    let flow_bindings = MhrpIo::hierarchy_flows(&h, &targets);
+    let mut io = MhrpIo::new(&mut h.world, h.correspondent.expect("correspondent"), flow_bindings);
+    run_soak(
+        &mut io,
+        &mut flows,
+        &SoakParams {
+            duration: DURATION,
+            tick: SimDuration::from_millis(50),
+            drain: SimDuration::from_secs(2),
+        },
+    );
+
+    let (mut sent, mut delivered) = (0u64, 0u64);
+    let mut diverted_flows = 0usize;
+    for f in flows.iter().take(POISON_END) {
+        sent += f.stats.sent;
+        delivered += f.stats.delivered;
+        if (f.stats.delivered as f64) < f.stats.sent as f64 * 0.5 {
+            diverted_flows += 1;
+        }
+    }
+    let control = &flows[MOBILES - 1];
+    sent += control.stats.sent;
+    delivered += control.stats.delivered;
+
+    ForgedRegistrationRow {
+        mode,
+        sent,
+        delivered,
+        delivery: delivered as f64 / sent.max(1) as f64,
+        diverted_flows,
+        control_delivery: control.stats.delivered as f64 / control.stats.sent.max(1) as f64,
+        auth_rejected: h.world.stats().counter("mhrp.auth.rejected"),
+        poison_dropped: h.world.stats().counter("mhrp.cache.poison_dropped"),
+        not_for_us: h.world.stats().counter("mhrp.mh_not_for_us"),
+    }
+}
+
+/// Runs all three points.
+pub fn run(seed: u64) -> Vec<ForgedRegistrationRow> {
+    [Mode::Benign, Mode::AttackNoAuth, Mode::AttackAuth]
+        .into_iter()
+        .map(|m| run_mode(seed, m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forgery_collapses_delivery_and_auth_restores_it() {
+        let benign = run_mode(1994, Mode::Benign);
+        let open = run_mode(1994, Mode::AttackNoAuth);
+        let auth = run_mode(1994, Mode::AttackAuth);
+
+        // Benign yardstick: near-total delivery, nothing rejected.
+        assert!(benign.delivery > 0.95, "{benign:?}");
+        assert_eq!(benign.auth_rejected, 0, "{benign:?}");
+        assert_eq!(benign.diverted_flows, 0, "{benign:?}");
+
+        // Unauthenticated: the attack diverts targeted flows and
+        // collapses aggregate delivery, but leaves the control alone.
+        assert!(open.diverted_flows >= 1, "{open:?}");
+        assert!(open.delivery < benign.delivery - 0.2, "{open:?} vs {benign:?}");
+        assert!(open.control_delivery > 0.95, "{open:?}");
+
+        // Authenticated: forgeries are counted and discarded; delivery
+        // matches the benign baseline.
+        assert!(auth.auth_rejected > 0, "{auth:?}");
+        assert!(auth.poison_dropped > 0, "{auth:?}");
+        assert_eq!(auth.diverted_flows, 0, "{auth:?}");
+        assert!(auth.delivery > benign.delivery - 0.02, "{auth:?} vs {benign:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! **E20 — registration storm at the rate limiter's edge.**
+//!
+//! §4.3 requires every agent to rate-limit the location updates it
+//! sends to any single destination, and §5.1 makes the home agent fan
+//! an update out to *every* previous source listed in a tunneled
+//! packet it intercepts. Those two rules collide under forgery: one
+//! crafted MHRP tunnel addressed to a mobile host's home address, with
+//! a fabricated previous-source list at the one-octet wire maximum,
+//! provokes up to 255 updates — an amplification the attacker can
+//! repeat every packet, churning the limiter's bounded LRU
+//! ([`mhrp::MhrpConfig::update_rate_entries`] entries) with hundreds of
+//! never-repeating destinations.
+//!
+//! This experiment streams a benign CBR workload while an attacker
+//! pours storm tunnels at one victim, and compares against the same
+//! world without the storm. It measures the amplification
+//! (`mhrp.updates_sent`), the limiter churn (evictions, plus the
+//! storm-eviction *readmissions* whose miscounting the rate-limiter
+//! regression test pins), and — the point of §4.3's bound — that
+//! benign delivery rides through the storm untouched.
+//!
+//! Expected shape: the storm multiplies update traffic but the
+//! per-destination bound holds (`updates_rate_limited` grows with it),
+//! the limiter's LRU churns (evictions ≫ 0, readmissions observed),
+//! and delivery matches the calm run.
+
+use adversary::{AttackPlan, Binding};
+use netsim::time::SimDuration;
+use workload::{run_soak, Flow, FlowCfg, Pattern, SoakParams};
+
+use crate::hierarchy::{mobile_home_addr, Hierarchy, HierarchyParams};
+use crate::soak::MhrpIo;
+
+/// One row of the storm comparison.
+#[derive(Debug, Clone)]
+pub struct RegistrationStormRow {
+    /// Whether the attacker's storm ran.
+    pub storm: bool,
+    /// Probes the correspondent sent.
+    pub sent: u64,
+    /// Probes delivered to their mobile host.
+    pub delivered: u64,
+    /// Delivered fraction.
+    pub delivery: f64,
+    /// Location updates actually sent (`mhrp.updates_sent`).
+    pub updates_sent: u64,
+    /// Updates suppressed by the §4.3 limiter
+    /// (`mhrp.updates_rate_limited`).
+    pub updates_rate_limited: u64,
+    /// Limiter LRU evictions (`mhrp.rate_limit.evictions`).
+    pub limiter_evictions: u64,
+    /// Hot destinations readmitted after a storm eviction
+    /// (`mhrp.rate_limit.readmitted`).
+    pub limiter_readmitted: u64,
+}
+
+/// Number of mobile hosts (all carry benign flows; the first is the
+/// storm's victim).
+pub const MOBILES: usize = 4;
+
+/// Simulated soak length per point.
+pub const DURATION: SimDuration = SimDuration::from_secs(24);
+
+/// CBR probe spacing per flow.
+pub const CBR_INTERVAL: SimDuration = SimDuration::from_millis(600);
+
+/// Storm tunnels the attacker sends.
+pub const STORM_PACKETS: usize = 160;
+
+/// Fabricated previous sources per storm tunnel.
+pub const SOURCES_PER_PACKET: usize = 200;
+
+/// Runs one point, with or without the storm.
+pub fn run_point(seed: u64, storm: bool) -> RegistrationStormRow {
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions: 1,
+        fas_per_region: 2,
+        mobiles_per_region: MOBILES,
+        attackers: 1,
+        seed,
+        ..Default::default()
+    });
+    assert!(
+        h.run_until_attached(1.0, SimDuration::from_secs(30)),
+        "mobile hosts failed to register"
+    );
+
+    if storm {
+        let plan = AttackPlan::new().update_storm(
+            h.world.now() + SimDuration::from_secs(2),
+            SimDuration::from_millis(125),
+            0,
+            mobile_home_addr(0, 0),
+            STORM_PACKETS,
+            SOURCES_PER_PACKET,
+            seed,
+        );
+        let binding = Binding { attackers: h.attackers.clone(), ..Default::default() };
+        plan.install(&mut h.world, &binding);
+    }
+
+    let mut flows: Vec<Flow> = (0..MOBILES)
+        .map(|i| {
+            Flow::new(
+                i as u32,
+                FlowCfg {
+                    pattern: Pattern::Cbr { interval: CBR_INTERVAL },
+                    bytes: 32,
+                    seed: seed ^ i as u64,
+                    limit: None,
+                },
+            )
+        })
+        .collect();
+
+    let targets: Vec<usize> = (0..MOBILES).collect();
+    let flow_bindings = MhrpIo::hierarchy_flows(&h, &targets);
+    let mut io = MhrpIo::new(&mut h.world, h.correspondent.expect("correspondent"), flow_bindings);
+    run_soak(
+        &mut io,
+        &mut flows,
+        &SoakParams {
+            duration: DURATION,
+            tick: SimDuration::from_millis(50),
+            drain: SimDuration::from_secs(2),
+        },
+    );
+
+    let (mut sent, mut delivered) = (0u64, 0u64);
+    for f in &flows {
+        sent += f.stats.sent;
+        delivered += f.stats.delivered;
+    }
+    RegistrationStormRow {
+        storm,
+        sent,
+        delivered,
+        delivery: delivered as f64 / sent.max(1) as f64,
+        updates_sent: h.world.stats().counter("mhrp.updates_sent"),
+        updates_rate_limited: h.world.stats().counter("mhrp.updates_rate_limited"),
+        limiter_evictions: h.world.stats().counter("mhrp.rate_limit.evictions"),
+        limiter_readmitted: h.world.stats().counter("mhrp.rate_limit.readmitted"),
+    }
+}
+
+/// Runs the calm/storm pair.
+pub fn run(seed: u64) -> Vec<RegistrationStormRow> {
+    vec![run_point(seed, false), run_point(seed, true)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_churns_the_limiter_but_delivery_survives() {
+        let calm = run_point(1994, false);
+        let storm = run_point(1994, true);
+        // Amplification: forged tunnels multiply update traffic.
+        assert!(storm.updates_sent > calm.updates_sent * 3, "{storm:?} vs {calm:?}");
+        // The bounded LRU churns under hundreds of distinct targets.
+        assert!(storm.limiter_evictions > calm.limiter_evictions, "{storm:?} vs {calm:?}");
+        assert!(storm.limiter_readmitted > 0, "{storm:?}");
+        // §4.3's point: the per-destination bound keeps the storm from
+        // starving benign operation.
+        assert!(calm.delivery > 0.95, "{calm:?}");
+        assert!(storm.delivery > calm.delivery - 0.02, "{storm:?} vs {calm:?}");
+    }
+}

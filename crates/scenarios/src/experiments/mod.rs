@@ -1,4 +1,4 @@
-//! One module per reproduced experiment (DESIGN.md's E01–E18 index).
+//! One module per reproduced experiment (DESIGN.md's E01–E21 index).
 
 pub mod e01_header;
 pub mod e02_overhead;
@@ -18,3 +18,6 @@ pub mod e15_mobility_rate;
 pub mod e16_flash_crowd;
 pub mod e17_hierarchy;
 pub mod e18_handoff_latency;
+pub mod e19_forged_registration;
+pub mod e20_registration_storm;
+pub mod e21_ping_pong;

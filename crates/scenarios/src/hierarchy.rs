@@ -103,6 +103,13 @@ pub fn mobile_home_addr(region: usize, i: usize) -> Ipv4Addr {
 /// The optional correspondent host's backbone address.
 pub const CORRESPONDENT_ADDR: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 254);
 
+/// Attacker host `i`'s backbone address (from `10.255.0.253` *down*, so
+/// the range never collides with the regional routers' `10.255.0.(r+1)`
+/// octets — regions stop at 200 — or the correspondent at `.254`).
+pub fn attacker_addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 255, 0, u8::try_from(253 - i).expect("attacker octet"))
+}
+
 /// Cell segment parameters chosen by the plan (see
 /// [`HierarchyParams::deterministic_cells`]).
 fn cell_params(p: &HierarchyParams) -> SegmentParams {
@@ -125,6 +132,12 @@ pub struct HierarchyParams {
     pub mobiles_per_region: usize,
     /// Whether to add an MHRP correspondent host on the backbone.
     pub correspondent: bool,
+    /// Number of attacker hosts on the backbone (0..=50), addressed from
+    /// `10.255.0.253` down. They are ordinary [`MhrpHostNode`]s built
+    /// *after* every legitimate node, so `attackers: 0` yields a world
+    /// byte-identical to the pre-adversary plan and any other count only
+    /// appends node ids. The `adversary` crate drives them.
+    pub attackers: usize,
     /// The protocol configuration shared by every MHRP node.
     pub config: MhrpConfig,
     /// Link latency of the wired segments.
@@ -153,6 +166,7 @@ impl Default for HierarchyParams {
             fas_per_region: 4,
             mobiles_per_region: 32,
             correspondent: true,
+            attackers: 0,
             config: MhrpConfig::default(),
             wired_latency: SimDuration::from_micros(500),
             hierarchical: false,
@@ -190,6 +204,8 @@ pub struct Hierarchy {
     pub mobiles: Vec<NodeId>,
     /// The correspondent host, when built.
     pub correspondent: Option<NodeId>,
+    /// Attacker hosts on the backbone (see [`HierarchyParams::attackers`]).
+    pub attackers: Vec<NodeId>,
 }
 
 impl Hierarchy {
@@ -203,14 +219,17 @@ impl Hierarchy {
         assert!((1..=200).contains(&p.regions), "regions must be in 1..=200");
         assert!((1..=250).contains(&p.fas_per_region), "fas_per_region must be in 1..=250");
         assert!(p.mobiles_per_region <= 65_000, "mobiles_per_region must be <= 65_000");
+        assert!(p.attackers <= 50, "attackers must be <= 50");
 
         let mut w = World::new(p.seed);
         // The population is known up front, so hint the event queue's
         // steady-state size before anything is scheduled: each node keeps
         // a few timers armed (watchdog, advertiser, retransmit) plus its
         // share of frames in flight.
-        let nodes =
-            p.regions * (1 + p.fas_per_region) + p.host_count() + usize::from(p.correspondent);
+        let nodes = p.regions * (1 + p.fas_per_region)
+            + p.host_count()
+            + usize::from(p.correspondent)
+            + p.attackers;
         w.reserve_events(nodes * 4);
         let wired = SegmentParams::with_latency(p.wired_latency);
         let backbone = w.add_segment(wired);
@@ -319,6 +338,28 @@ impl Hierarchy {
             }
         }
 
+        // --- Attacker hosts on the backbone (built last: node ids of
+        // every legitimate node are independent of the attacker count) ---
+        let mut attackers = Vec::with_capacity(p.attackers);
+        for a in 0..p.attackers {
+            let id = w.add_node(MhrpHostNode::new(&p.config));
+            w.add_iface(id, Some(backbone));
+            let regions = p.regions;
+            w.with_node::<MhrpHostNode, _>(id, move |h, _| {
+                h.stack.add_iface(IfaceId(0), attacker_addr(a), backbone_prefix());
+                for r in 0..regions {
+                    let via = backbone_addr(r);
+                    h.stack
+                        .routes
+                        .add(region_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                    h.stack
+                        .routes
+                        .add(cells_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                }
+            });
+            attackers.push(id);
+        }
+
         w.start();
         Hierarchy {
             world: w,
@@ -330,6 +371,7 @@ impl Hierarchy {
             cells,
             mobiles,
             correspondent,
+            attackers,
         }
     }
 
@@ -414,6 +456,9 @@ pub struct ShardedHierarchy {
     pub mobiles: Vec<NodeId>,
     /// The correspondent host, when built.
     pub correspondent: Option<NodeId>,
+    /// Attacker hosts on the backbone, on shard 0 (see
+    /// [`HierarchyParams::attackers`]).
+    pub attackers: Vec<NodeId>,
 }
 
 impl ShardedHierarchy {
@@ -429,12 +474,15 @@ impl ShardedHierarchy {
         assert!((1..=200).contains(&p.regions), "regions must be in 1..=200");
         assert!((1..=250).contains(&p.fas_per_region), "fas_per_region must be in 1..=250");
         assert!(p.mobiles_per_region <= 65_000, "mobiles_per_region must be <= 65_000");
+        assert!(p.attackers <= 50, "attackers must be <= 50");
         let shards = shards.min(p.regions);
         let shard_of = |r: usize| shard_of_region(r, p.regions, shards);
 
         let mut w = ShardedWorld::new(p.seed, shards);
-        let nodes =
-            p.regions * (1 + p.fas_per_region) + p.host_count() + usize::from(p.correspondent);
+        let nodes = p.regions * (1 + p.fas_per_region)
+            + p.host_count()
+            + usize::from(p.correspondent)
+            + p.attackers;
         w.reserve_events((nodes * 4).div_ceil(shards));
         let wired = SegmentParams::with_latency(p.wired_latency);
         let all_shards: Vec<usize> = (0..shards).collect();
@@ -550,6 +598,28 @@ impl ShardedHierarchy {
             }
         }
 
+        // --- Attacker hosts on the backbone, shard 0 (built last, same
+        // global order as the unsharded world) ---
+        let mut attackers = Vec::with_capacity(p.attackers);
+        for a in 0..p.attackers {
+            let id = w.add_node(0, MhrpHostNode::new(&p.config));
+            w.add_iface(id, Some(backbone));
+            let regions = p.regions;
+            w.with_node::<MhrpHostNode, _>(id, move |h, _| {
+                h.stack.add_iface(IfaceId(0), attacker_addr(a), backbone_prefix());
+                for r in 0..regions {
+                    let via = backbone_addr(r);
+                    h.stack
+                        .routes
+                        .add(region_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                    h.stack
+                        .routes
+                        .add(cells_prefix(r), NextHop::Gateway { iface: IfaceId(0), via });
+                }
+            });
+            attackers.push(id);
+        }
+
         w.start();
         ShardedHierarchy {
             world: w,
@@ -562,6 +632,7 @@ impl ShardedHierarchy {
             cells,
             mobiles,
             correspondent,
+            attackers,
         }
     }
 

@@ -191,6 +191,14 @@ pub struct RwSoakConfig {
     /// [`ShardedHierarchy`] with region-confined mobility and runs the
     /// same soak through the conservative barrier scheduler.
     pub shards: usize,
+    /// Run the soak under attack (DESIGN.md §13): install a hostile
+    /// [`adversary::AttackPlan`] — repeated forged-registration sweeps
+    /// plus cache poisoning against region 0 — alongside the benign
+    /// workload. Requires `params.attackers >= 1`; the report gains an
+    /// `auth_rejected_min` check so the gate fails unless the
+    /// authentication extension actually engaged (and the ordinary
+    /// SLOs prove it neutralised the attack).
+    pub adversarial: bool,
 }
 
 impl Default for RwSoakConfig {
@@ -210,8 +218,67 @@ impl Default for RwSoakConfig {
             thresholds: SloThresholds::default(),
             telemetry: false,
             shards: 1,
+            adversarial: false,
         }
     }
+}
+
+/// The hostile plan the adversarial soak installs: a forged-registration
+/// sweep over region 0's first mobiles every two seconds (re-diverting
+/// ahead of any genuine re-registration), each followed by spoofed
+/// location updates poisoning the correspondent's cache. All forged
+/// traffic is plain 1994-format (the attacker holds no key), so with
+/// authentication on every message lands in `mhrp.auth.rejected` /
+/// `mhrp.cache.poison_dropped`.
+fn hostile_plan(
+    p: &HierarchyParams,
+    from: SimTime,
+    duration: SimDuration,
+) -> adversary::AttackPlan {
+    use crate::hierarchy::{attacker_addr, mobile_home_addr, region_router_addr};
+    let victims: Vec<Ipv4Addr> =
+        (0..p.mobiles_per_region.min(8)).map(|i| mobile_home_addr(0, i)).collect();
+    let mut plan = adversary::AttackPlan::new();
+    let sweeps = (duration.as_millis() / 2_000).max(1);
+    for s in 0..sweeps {
+        let at = from + SimDuration::from_millis(2_000 * s);
+        plan = plan.forged_registration_sweep(
+            at,
+            SimDuration::from_millis(40),
+            0,
+            region_router_addr(0),
+            attacker_addr(0),
+            &victims,
+            0x7000 + s as u16,
+        );
+        for v in victims.iter().take(4) {
+            plan = plan.op(
+                at + SimDuration::from_millis(300),
+                adversary::AttackOp::PoisonUpdate {
+                    attacker: 0,
+                    target: crate::hierarchy::CORRESPONDENT_ADDR,
+                    mobile: *v,
+                    foreign_agent: attacker_addr(0),
+                },
+            );
+        }
+    }
+    plan
+}
+
+/// Appends the adversarial gate to a report: the run only passes if the
+/// authentication extension visibly rejected forged traffic (a silent
+/// zero would mean the attack never engaged and the soak proved
+/// nothing).
+fn gate_on_auth_rejections(report: &mut SloReport, rejected: u64) {
+    let measured = rejected as f64;
+    report.checks.push(workload::SloCheck {
+        name: "auth_rejected_min".into(),
+        measured,
+        threshold: 1.0,
+        pass: measured >= 1.0,
+    });
+    report.pass = report.checks.iter().all(|c| c.pass);
 }
 
 /// Everything one soak run produced.
@@ -274,6 +341,13 @@ pub fn run_random_waypoint_soak(cfg: &RwSoakConfig) -> SoakRun {
     let plan = model.compile(&layout, from, from + cfg.duration);
     let bindings: Vec<(NodeId, IfaceId)> = h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect();
     plan.install(&mut h.world, &bindings, &h.cells);
+
+    if cfg.adversarial {
+        assert!(!h.attackers.is_empty(), "adversarial soak needs params.attackers >= 1");
+        let binding = adversary::Binding { attackers: h.attackers.clone(), ..Default::default() };
+        hostile_plan(&cfg.params, from + SimDuration::from_millis(500), cfg.duration)
+            .install(&mut h.world, &binding);
+    }
 
     // Traffic: flow targets spread evenly over the mobiles; the first
     // `closed_flows` are request/response clients.
@@ -355,7 +429,10 @@ pub fn run_random_waypoint_soak(cfg: &RwSoakConfig) -> SoakRun {
         "hierarchy {}r x {}fa x {}m",
         cfg.params.regions, cfg.params.fas_per_region, cfg.params.mobiles_per_region
     );
-    let report = evaluate(workload_label, world_label, m, &cfg.thresholds);
+    let mut report = evaluate(workload_label, world_label, m, &cfg.thresholds);
+    if cfg.adversarial {
+        gate_on_auth_rejections(&mut report, h.world.stats().counter("mhrp.auth.rejected"));
+    }
     let events_log: Vec<netsim::Event> =
         if cfg.telemetry { h.world.telemetry().events().copied().collect() } else { Vec::new() };
     SoakRun { report, events, wall_seconds, latency, events_log }
@@ -409,6 +486,13 @@ pub fn run_random_waypoint_soak_sharded(cfg: &RwSoakConfig) -> SoakRun {
             .collect();
         plan.install(&mut h.world, &bindings, &h.cells[r * fas..(r + 1) * fas]);
         region_plans.push(plan);
+    }
+
+    if cfg.adversarial {
+        assert!(!h.attackers.is_empty(), "adversarial soak needs params.attackers >= 1");
+        let binding = adversary::Binding { attackers: h.attackers.clone(), ..Default::default() };
+        hostile_plan(&cfg.params, from + SimDuration::from_millis(500), cfg.duration)
+            .install(&mut h.world, &binding);
     }
 
     // Traffic: identical flow construction to the classic soak.
@@ -496,7 +580,10 @@ pub fn run_random_waypoint_soak_sharded(cfg: &RwSoakConfig) -> SoakRun {
         cfg.params.mobiles_per_region,
         h.world.shard_count(),
     );
-    let report = evaluate(workload_label, world_label, m, &cfg.thresholds);
+    let mut report = evaluate(workload_label, world_label, m, &cfg.thresholds);
+    if cfg.adversarial {
+        gate_on_auth_rejections(&mut report, h.world.counter("mhrp.auth.rejected"));
+    }
     let events_log: Vec<netsim::Event> =
         if cfg.telemetry { h.world.merged_events() } else { Vec::new() };
     SoakRun { report, events, wall_seconds, latency, events_log }

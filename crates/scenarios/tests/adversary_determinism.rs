@@ -1,0 +1,150 @@
+//! Determinism contract for the adversary engine (DESIGN.md §13):
+//!
+//! 1. A fixed [`AttackPlan`] replays byte-identically — same seed, same
+//!    plan, same typed-event log, with authentication off *and* on.
+//! 2. The plan lowers onto the sharded engine through shard-routable
+//!    admin ops, so on jitter-free worlds the merged typed-event stream
+//!    is invariant over shard counts {1, 2, 4} — hostile traffic
+//!    included.
+
+use adversary::{AttackOp, AttackPlan, Binding};
+use mhrp::MhrpConfig;
+use netsim::time::{SimDuration, SimTime};
+use netsim::IfaceId;
+use scenarios::hierarchy::{
+    attacker_addr, mobile_home_addr, region_router_addr, Hierarchy, HierarchyParams,
+    ShardedHierarchy, CORRESPONDENT_ADDR,
+};
+
+const KEY: u64 = 0x1994_0d0c_5bad_c0de;
+
+fn params(seed: u64, regions: usize, auth: bool) -> HierarchyParams {
+    HierarchyParams {
+        regions,
+        fas_per_region: 2,
+        mobiles_per_region: 4,
+        attackers: 1,
+        deterministic_cells: true,
+        config: MhrpConfig { auth_key: auth.then_some(KEY), ..Default::default() },
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The fixed hostile plan: every op class once — forged registrations
+/// against the nearest and the farthest region (the latter crosses the
+/// portal on multi-shard layouts), cache poisoning, a seeded storm, and
+/// a ping-pong oscillation.
+fn hostile_plan(from: SimTime, regions: usize) -> AttackPlan {
+    let far = regions - 1;
+    AttackPlan::new()
+        .op(
+            from,
+            AttackOp::ForgeHaRegister {
+                attacker: 0,
+                mobile: mobile_home_addr(0, 0),
+                home_agent: region_router_addr(0),
+                fa: attacker_addr(0),
+                seq: 0x7001,
+            },
+        )
+        .op(
+            from + SimDuration::from_millis(100),
+            AttackOp::ForgeHaRegister {
+                attacker: 0,
+                mobile: mobile_home_addr(far, 0),
+                home_agent: region_router_addr(far),
+                fa: attacker_addr(0),
+                seq: 0x7002,
+            },
+        )
+        .op(
+            from + SimDuration::from_millis(200),
+            AttackOp::PoisonUpdate {
+                attacker: 0,
+                target: CORRESPONDENT_ADDR,
+                mobile: mobile_home_addr(0, 1),
+                foreign_agent: attacker_addr(0),
+            },
+        )
+        .update_storm(
+            from + SimDuration::from_millis(300),
+            SimDuration::from_millis(250),
+            0,
+            mobile_home_addr(0, 2),
+            4,
+            60,
+            1994,
+        )
+        .ping_pong(from + SimDuration::from_secs(2), SimDuration::from_secs(2), 0, 0, 1, 4)
+}
+
+fn binding_for_flat(h: &Hierarchy) -> Binding {
+    Binding {
+        attackers: h.attackers.clone(),
+        mobiles: h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect(),
+        cells: h.cells.clone(),
+    }
+}
+
+fn run_flat(seed: u64, auth: bool) -> (Vec<netsim::Event>, u64, u64) {
+    let mut h = Hierarchy::build(params(seed, 2, auth));
+    h.world.set_telemetry(true);
+    h.world.run_until(SimTime::from_secs(8));
+    let b = binding_for_flat(&h);
+    hostile_plan(SimTime::from_secs(8), 2).install(&mut h.world, &b);
+    h.world.run_until(SimTime::from_secs(20));
+    let events: Vec<netsim::Event> = h.world.telemetry().events().copied().collect();
+    let delivered = h.world.stats().counter("link.frames_delivered");
+    let rejected = h.world.stats().counter("mhrp.auth.rejected");
+    (events, delivered, rejected)
+}
+
+fn run_sharded(seed: u64, shards: usize) -> (Vec<netsim::Event>, u64) {
+    let mut h = ShardedHierarchy::build(params(seed, 4, false), shards);
+    h.world.set_telemetry(true);
+    h.world.run_until(SimTime::from_secs(8));
+    let b = Binding {
+        attackers: h.attackers.clone(),
+        mobiles: h.mobiles.iter().map(|&m| (m, IfaceId(0))).collect(),
+        cells: h.cells.clone(),
+    };
+    hostile_plan(SimTime::from_secs(8), 4).install(&mut h.world, &b);
+    h.world.run_until(SimTime::from_secs(20));
+    (h.world.merged_events(), h.world.counter("link.frames_delivered"))
+}
+
+/// Same seed + same plan ⇒ byte-identical typed-event log, with the
+/// authentication extension off and on.
+#[test]
+fn attack_plan_replay_is_byte_identical() {
+    for auth in [false, true] {
+        let (a, delivered_a, rejected_a) = run_flat(1994, auth);
+        let (b, delivered_b, rejected_b) = run_flat(1994, auth);
+        assert!(!a.is_empty(), "telemetry produced nothing (auth={auth})");
+        assert_eq!(delivered_a, delivered_b, "delivery diverged across replays (auth={auth})");
+        assert_eq!(rejected_a, rejected_b, "rejections diverged across replays (auth={auth})");
+        assert_eq!(a, b, "typed-event logs diverged across replays (auth={auth})");
+        if auth {
+            assert!(rejected_a > 0, "auth run should reject the forged registrations");
+        } else {
+            assert_eq!(rejected_a, 0, "plain run has nothing to reject");
+        }
+    }
+}
+
+/// The plan lowers identically at every shard count: merged streams at
+/// {2, 4} shards match the 1-shard baseline record-for-record.
+#[test]
+fn attack_plan_is_shard_count_independent() {
+    let (base, delivered) = run_sharded(1994, 1);
+    assert!(!base.is_empty(), "telemetry produced nothing");
+    for shards in [2, 4] {
+        let (events, d) = run_sharded(1994, shards);
+        assert_eq!(delivered, d, "frames delivered diverged at {shards} shards");
+        assert_eq!(base.len(), events.len(), "stream lengths diverged at {shards} shards");
+        for (i, (x, y)) in base.iter().zip(events.iter()).enumerate() {
+            assert_eq!(x, y, "merged stream diverged at {shards} shards, record {i}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Cache-poisoning enforcement at both cache-agent tiers (DESIGN.md
+//! §13): a spoofed location update from a non-authoritative sender —
+//! the attacker was never on the packet's path, so it could never
+//! legitimately appear as a previous source — must be dropped and
+//! counted (`mhrp.cache.poison_dropped`) when authentication is on,
+//! at the end-host cache agent and at the forwarding-path (router)
+//! snoop alike, in flat and regional-tier worlds. With authentication
+//! off, the same update is believed — the 1994 baseline E19 measures.
+
+use adversary::{AttackOp, AttackPlan, Binding};
+use mhrp::{MhrpConfig, MhrpHostNode};
+use netsim::time::SimDuration;
+use scenarios::hierarchy::{
+    attacker_addr, mobile_home_addr, Hierarchy, HierarchyParams, CORRESPONDENT_ADDR,
+};
+
+const KEY: u64 = 0x1994_0d0c_5bad_c0de;
+
+/// Builds a one-region world, fires two spoofed updates (one at the
+/// correspondent's own cache agent, one routed *through* the regional
+/// router so its forwarding-path snoop sees it), and returns the
+/// poison-drop count plus the correspondent's resulting cache entry
+/// for the victim.
+fn poison_run(auth: bool, hierarchical: bool) -> (u64, Option<std::net::Ipv4Addr>) {
+    let mut h = Hierarchy::build(HierarchyParams {
+        regions: 1,
+        fas_per_region: 2,
+        mobiles_per_region: 4,
+        attackers: 1,
+        hierarchical,
+        config: MhrpConfig { auth_key: auth.then_some(KEY), ..Default::default() },
+        seed: 1994,
+        ..Default::default()
+    });
+    assert!(
+        h.run_until_attached(1.0, SimDuration::from_secs(30)),
+        "mobile hosts failed to register"
+    );
+    let victim = mobile_home_addr(0, 0);
+    let now = h.world.now();
+    let plan = AttackPlan::new()
+        // End-host tier: poison the correspondent's cache directly.
+        .op(
+            now + SimDuration::from_millis(100),
+            AttackOp::PoisonUpdate {
+                attacker: 0,
+                target: CORRESPONDENT_ADDR,
+                mobile: victim,
+                foreign_agent: attacker_addr(0),
+            },
+        )
+        // Router tier: an update addressed to a host *behind* the
+        // regional router transits its forwarding path, where the §4.3
+        // snoop must apply the same verification.
+        .op(
+            now + SimDuration::from_millis(200),
+            AttackOp::PoisonUpdate {
+                attacker: 0,
+                target: mobile_home_addr(0, 1),
+                mobile: victim,
+                foreign_agent: attacker_addr(0),
+            },
+        );
+    let binding = Binding { attackers: h.attackers.clone(), ..Default::default() };
+    plan.install(&mut h.world, &binding);
+    h.world.run_for(SimDuration::from_secs(2));
+
+    let dropped = h.world.stats().counter("mhrp.cache.poison_dropped");
+    let correspondent = h.correspondent.expect("correspondent");
+    let cached =
+        h.world.with_node::<MhrpHostNode, _>(correspondent, |c, _| c.ca.cache.peek(victim));
+    (dropped, cached)
+}
+
+#[test]
+fn flat_tier_drops_and_counts_poisoned_updates() {
+    let (dropped, cached) = poison_run(true, false);
+    // Both tiers saw the spoof: the correspondent's own cache agent and
+    // the router snoop each dropped and counted one.
+    assert!(dropped >= 2, "expected both tiers to count drops, got {dropped}");
+    assert_ne!(cached, Some(attacker_addr(0)), "correspondent cache was poisoned");
+}
+
+#[test]
+fn regional_tier_drops_and_counts_poisoned_updates() {
+    let (dropped, cached) = poison_run(true, true);
+    assert!(dropped >= 2, "expected both tiers to count drops, got {dropped}");
+    assert_ne!(cached, Some(attacker_addr(0)), "correspondent cache was poisoned");
+}
+
+#[test]
+fn without_auth_the_same_spoof_is_believed() {
+    // The 1994 baseline: no MAC, no verification — the forged binding
+    // lands in the correspondent's cache and nothing is counted.
+    let (dropped, cached) = poison_run(false, false);
+    assert_eq!(dropped, 0, "plain mode has no poison detection");
+    assert_eq!(cached, Some(attacker_addr(0)), "spoof should have been believed");
+}

@@ -121,6 +121,15 @@ pub enum EventKind {
     CacheHit,
     /// A location cache applied a binding update (§6).
     CacheUpdate,
+    /// A registration message failed authentication and was rejected
+    /// (missing/forged MAC, replayed sequence number, or an
+    /// unauthenticated message while the auth extension is enforced —
+    /// DESIGN.md §13). Never emitted when authentication is off.
+    AuthReject,
+    /// A location update failed MAC verification and was dropped instead
+    /// of being applied to the cache (DESIGN.md §13). Never emitted when
+    /// authentication is off.
+    PoisonDrop,
 }
 
 /// One record in the [`crate::EventLog`].

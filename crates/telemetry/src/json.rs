@@ -73,6 +73,8 @@ fn push_event(out: &mut String, ev: &Event) {
         }
         EventKind::CacheHit => push_kv_str(out, "kind", "cache_hit", &mut first),
         EventKind::CacheUpdate => push_kv_str(out, "kind", "cache_update", &mut first),
+        EventKind::AuthReject => push_kv_str(out, "kind", "auth_reject", &mut first),
+        EventKind::PoisonDrop => push_kv_str(out, "kind", "poison_drop", &mut first),
     }
     out.push('}');
 }
